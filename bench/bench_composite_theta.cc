@@ -1,0 +1,79 @@
+/// \file
+/// E2 — §4 complexity table, row Θ (full transformation expressions), data
+/// complexity (Theorem 4.3 / Lemma 4.1: ∈ PSPACE). Composite pipelines
+/// τ ∘ b ∘ τ ∘ ... with b ∈ {⊓, ⊔, π}, applied to growing databases. With a fixed
+/// expression the per-step machinery stays polynomial; chaining steps multiplies
+/// the work by the (bounded) number of intermediate worlds.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+
+namespace kbt::bench {
+namespace {
+
+/// depth-d pipeline: alternate an indefinite insert, a certainty collapse and a
+/// definitional insert, then project.
+Pipeline CompositePipeline(int depth) {
+  Pipeline p;
+  for (int i = 0; i < depth; ++i) {
+    std::string layer = std::to_string(i);
+    p.Tau("R(a" + layer + ", b" + layer + ") | R(b" + layer + ", a" + layer + ")");
+    p.Lub();
+    p.Tau("forall x, y: R(x, y) -> S" + layer + "(x, y)");
+    p.Glb();
+  }
+  p.Project({"R"});
+  return p;
+}
+
+void BM_CompositeTheta_Depth(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Knowledgebase kb = GraphKb("R", RandomEdges(10, 2.0, 41));
+  Pipeline pipeline = CompositePipeline(depth);
+  for (auto _ : state) {
+    auto out = pipeline.Apply(kb);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["steps"] = static_cast<double>(pipeline.steps().size());
+}
+BENCHMARK(BM_CompositeTheta_Depth)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_CompositeTheta_DatabaseSize(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Knowledgebase kb = GraphKb("R", RandomEdges(n, 3.0, 43));
+  Pipeline pipeline = CompositePipeline(2);
+  for (auto _ : state) {
+    auto out = pipeline.Apply(kb);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_CompositeTheta_DatabaseSize)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// Worlds multiply through repeated indefinite inserts, then collapse: the
+/// intermediate knowledgebase size (2^k worlds) dominates, illustrating why the
+/// PSPACE bound walks candidate databases rather than materializing the kb.
+void BM_CompositeTheta_WorldBlowup(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Pipeline p;
+  for (int i = 0; i < k; ++i) {
+    std::string layer = std::to_string(i);
+    p.Tau("R(a" + layer + ", x) | R(a" + layer + ", y)");
+  }
+  p.Lub();
+  Knowledgebase kb = GraphKb("R", ChainEdges(4));
+  for (auto _ : state) {
+    auto out = p.Apply(kb);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["worlds"] = std::pow(2.0, k);
+}
+BENCHMARK(BM_CompositeTheta_WorldBlowup)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+}  // namespace
+}  // namespace kbt::bench

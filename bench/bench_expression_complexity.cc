@@ -1,0 +1,60 @@
+/// \file
+/// E3 — §4 complexity table, row (τ, π), expression complexity (Theorem 4.4:
+/// ∈ co-NEXPTIME). Fixed small database, growing sentence: the grounding is
+/// O(|φ|·|B|^depth), so runtime rises exponentially with quantifier depth and
+/// polynomially with |B| at fixed depth — both series below.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace kbt::bench {
+namespace {
+
+/// φ_k = ∀x1...xk ((R(x1,x2) ∧ R(x2,x3) ∧ ... ∧ R(x_{k-1},x_k)) → S(x1,xk)).
+Formula PathFormula(int k) {
+  std::vector<Symbol> vars;
+  for (int i = 1; i <= k; ++i) vars.push_back(Name("x" + std::to_string(i)));
+  std::vector<Formula> body;
+  for (int i = 0; i + 1 < k; ++i) {
+    body.push_back(Atom("R", {Term::Var(vars[static_cast<size_t>(i)]),
+                              Term::Var(vars[static_cast<size_t>(i + 1)])}));
+  }
+  Formula head = Atom("S", {Term::Var(vars.front()), Term::Var(vars.back())});
+  return Forall(vars, Implies(And(std::move(body)), head));
+}
+
+void BM_ExpressionComplexity_QuantifierDepth(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Knowledgebase kb = GraphKb("R", RandomEdges(5, 2.0, 31));
+  Formula phi = PathFormula(depth);
+  MuOptions options;
+  options.strategy = MuStrategy::kSat;
+  options.max_ground_nodes = 50'000'000;
+  for (auto _ : state) {
+    auto out = Tau(phi, kb, options);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["formula_size"] = static_cast<double>(FormulaSize(phi));
+}
+BENCHMARK(BM_ExpressionComplexity_QuantifierDepth)
+    ->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_ExpressionComplexity_DomainAtFixedDepth(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Knowledgebase kb = GraphKb("R", RandomEdges(n, 2.0, 37));
+  Formula phi = PathFormula(3);
+  MuOptions options;
+  options.strategy = MuStrategy::kSat;
+  for (auto _ : state) {
+    auto out = Tau(phi, kb, options);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ExpressionComplexity_DomainAtFixedDepth)
+    ->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+}  // namespace
+}  // namespace kbt::bench

@@ -1,0 +1,151 @@
+/// \file
+/// E7 — the §3 example transformations as scaling benchmarks. The polynomial ones
+/// (transitive closure) scale comfortably; the NP-hard encodings (reductions,
+/// partitions, cliques) blow up by design — the paper's §3 point is expressive
+/// power, not tractability, and the curves document exactly where the wall is.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace kbt::bench {
+namespace {
+
+void BM_Example1_TransitiveClosure(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Knowledgebase kb = GraphKb("R1", RandomEdges(n, 2.5, 71));
+  Engine engine;
+  const char* expr =
+      "tau{ forall x1, x2, x3: (R2(x1, x2) & R1(x2, x3)) | R1(x1, x3) "
+      "-> R2(x1, x3) } >> pi[R2]";
+  for (auto _ : state) {
+    auto out = engine.Apply(expr, kb);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Example1_TransitiveClosure)
+    ->Arg(8)->Arg(32)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Example2_TransitiveReductions(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  // DAG inputs: Example 2's sentence is exact on DAGs (see the caveat test).
+  Knowledgebase kb = GraphKb("R1", RandomDagEdges(n, 1.8, 73));
+  Engine engine;
+  const char* expr =
+      "tau{ (forall x1, x2: R2(x1, x2) -> R1(x1, x2)) & "
+      "(forall x1, x3: (exists x2: R3(x1, x2) & R1(x2, x3)) | R1(x1, x3) "
+      "<-> R3(x1, x3)) & "
+      "(forall x1, x3: (exists x2: R3(x1, x2) & R2(x2, x3)) | R2(x1, x3) "
+      "<-> R3(x1, x3)) } >> pi[R2]";
+  for (auto _ : state) {
+    auto out = engine.Apply(expr, kb);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Example2_TransitiveReductions)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Example4_RobotsCounterfactual(benchmark::State& state) {
+  Database has_v = *MakeDatabase({{"R1", 1}}, {{"R1", {{"v"}}}});
+  Database has_w = *MakeDatabase({{"R1", 1}}, {{"R1", {{"w"}}}});
+  Knowledgebase kb = *Knowledgebase::FromDatabases({has_v, has_w});
+  Engine engine;
+  for (auto _ : state) {
+    auto out = engine.Apply("tau{ R1(v) } >> lub", kb);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Example4_RobotsCounterfactual);
+
+void BM_Example5_MonochromaticTriangle(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  // Complete graph K_n (symmetric).
+  std::vector<Tuple> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) edges.push_back(Tuple{Name(V(i)), Name(V(j))});
+    }
+  }
+  Knowledgebase kb = GraphKb("R1", Relation(2, std::move(edges)));
+  Engine engine;
+  Pipeline p;
+  p.Tau(CopyFormula("R1", "R4", 2));
+  p.Tau(
+      "(forall x1, x2: R1(x1, x2) -> R2(x1, x2) | R3(x1, x2)) & "
+      "(forall x1, x2, x3: R2(x1, x2) & R2(x2, x3) -> !R2(x1, x3)) & "
+      "(forall x1, x2, x3: R3(x1, x2) & R3(x2, x3) -> !R3(x1, x3)) & "
+      "(forall x1, x2: R1(x1, x2) <-> R1(x2, x1)) & "
+      "(forall x1, x2: R2(x1, x2) <-> R2(x2, x1)) & "
+      "(forall x1, x2: R3(x1, x2) <-> R3(x2, x1))");
+  p.Tau(DifferenceFormula("R4", "R1", "R5", 2));
+  p.Tau("R6() <-> (forall x1, x2: !R5(x1, x2))");
+  p.Lub().Project({"R6"});
+  for (auto _ : state) {
+    auto out = engine.Apply(p, kb);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Example5_MonochromaticTriangle)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Example6_Parity(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Knowledgebase kb = Knowledgebase::Singleton(
+      *Database::Create(*Schema::Of({{"R1", 1}}), {UnarySet(n)}));
+  Engine engine;
+  Pipeline p;
+  p.Tau("forall x1: R1(x1) -> R2(x1) | R3(x1)");
+  p.Tau("forall x1, x2: R2(x1) & R3(x2) -> R4(x1, x2)");
+  p.Tau(
+      "(forall x1, x2, x3: R4(x1, x2) & R4(x1, x3) -> x2 = x3) & "
+      "(forall x1, x2, x3: R4(x2, x1) & R4(x3, x1) -> x2 = x3)");
+  p.Tau("forall x1, x2: R4(x1, x2) | R4(x2, x1) -> R5(x1)");
+  p.Tau(DifferenceFormula("R1", "R5", "R6", 1));
+  for (auto _ : state) {
+    auto out = engine.Apply(p, kb);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Example6_Parity)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Example7_CliqueDetection(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int k = 3;
+  std::vector<Tuple> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && (i + j) % 3 != 0) {
+        edges.push_back(Tuple{Name(V(i)), Name(V(j))});
+      }
+    }
+  }
+  std::vector<Tuple> seeds;
+  for (int i = 0; i < k; ++i) seeds.push_back(Tuple{Name("s" + std::to_string(i))});
+  Knowledgebase kb = Knowledgebase::Singleton(
+      *Database::Create(*Schema::Of({{"R1", 2}, {"R2", 1}}),
+                        {Relation(2, std::move(edges)), Relation(1, seeds)}));
+  Formula phi = *ParseFormula(
+      "(forall x1: R2(x1) -> (exists x2: R5(x1, x2))) & "
+      "(forall x1: R4(x1) -> (exists x2: R5(x2, x1))) & "
+      "(forall x1, x2, x3: R5(x2, x1) & R5(x3, x1) -> x2 = x3) & "
+      "(forall x1, x2, x3: R5(x1, x2) & R5(x1, x3) -> x2 = x3) & "
+      "(forall x1, x2: R4(x1) & R4(x2) & !(x1 = x2) -> R1(x1, x2)) & "
+      "(forall x1, x2: R5(x1, x2) -> R2(x1) & R4(x2))");
+  for (auto _ : state) {
+    auto out = Tau(phi, kb);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Example7_CliqueDetection)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kbt::bench

@@ -1,0 +1,66 @@
+/// \file
+/// Quickstart: the flight-network example of §1 (Example 1.2).
+///
+/// A knowledgebase holds the direct Air Canada routes in R1. Queries and updates
+/// are the same thing — transformations:
+///   * "which cities are reachable from Toronto?" inserts the transitive-closure
+///     sentence (Example 1) and projects the new relation;
+///   * "delete flight YYZ→YOW" inserts the sentence denying that flight.
+///
+/// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/kbt.h"
+
+int main() {
+  using namespace kbt;
+
+  // The stored database: direct flights.
+  StatusOr<Knowledgebase> kb = MakeSingletonKb(
+      {{"R1", 2}}, {{"R1",
+                     {{"toronto", "ottawa"},
+                      {"ottawa", "montreal"},
+                      {"montreal", "quebec"},
+                      {"halifax", "toronto"}}}});
+  if (!kb.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", kb.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("knowledgebase: %s\n\n", kb->ToString().c_str());
+
+  Engine engine;
+
+  // Query: reachability, via Example 1's transitive-closure insertion.
+  StatusOr<Knowledgebase> reachable = engine.Apply(
+      "tau{ forall x, y, z: (R2(x, y) & R1(y, z)) | R1(x, z) -> R2(x, z) } "
+      ">> pi[R2]",
+      *kb);
+  if (!reachable.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 reachable.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reachable city pairs (R2 = transitive closure):\n  %s\n\n",
+              reachable->ToString().c_str());
+
+  // Update: delete a flight by inserting its denial (Example 1.2).
+  StatusOr<Knowledgebase> updated =
+      engine.Insert("!R1(toronto, ottawa)", *kb);
+  if (!updated.ok()) {
+    std::fprintf(stderr, "update failed: %s\n",
+                 updated.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("after deleting toronto->ottawa:\n  %s\n\n",
+              updated->ToString().c_str());
+
+  // Re-run the reachability query on the updated knowledgebase.
+  StatusOr<Knowledgebase> reachable_after = engine.Apply(
+      "tau{ forall x, y, z: (R2(x, y) & R1(y, z)) | R1(x, z) -> R2(x, z) } "
+      ">> pi[R2]",
+      *updated);
+  std::printf("reachable pairs after the update:\n  %s\n",
+              reachable_after->ToString().c_str());
+  return 0;
+}

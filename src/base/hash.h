@@ -1,0 +1,28 @@
+#ifndef KBT_BASE_HASH_H_
+#define KBT_BASE_HASH_H_
+
+/// \file
+/// Small hash-combining utilities used by tuples, formulas and circuits.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace kbt {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Hashes a range of hashable elements into one value.
+template <typename It>
+size_t HashRange(It first, It last, size_t seed = 0xcbf29ce484222325ULL) {
+  std::hash<typename std::iterator_traits<It>::value_type> hasher;
+  for (It it = first; it != last; ++it) seed = HashCombine(seed, hasher(*it));
+  return seed;
+}
+
+}  // namespace kbt
+
+#endif  // KBT_BASE_HASH_H_

@@ -1,0 +1,177 @@
+#ifndef KBT_BASE_STATUS_H_
+#define KBT_BASE_STATUS_H_
+
+/// \file
+/// Error handling for the kbt library.
+///
+/// Following the Google / Arrow / RocksDB house style, fallible public APIs do not
+/// throw; they return a Status, or a StatusOr<T> when they also produce a value.
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace kbt {
+
+/// Machine-readable error category, modeled after the canonical status space used by
+/// Google client libraries and RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller supplied a malformed argument (bad schema, arity mismatch, ...).
+  kInvalidArgument = 1,
+  /// Input text failed to parse (formula, datalog program, expression).
+  kParseError = 2,
+  /// An instance exceeded a configured resource guard (grounding budget, atom budget).
+  kResourceExhausted = 3,
+  /// A looked-up entity (relation symbol, variable) does not exist.
+  kNotFound = 4,
+  /// An operation is not supported for this input class (e.g. fast path preconditions).
+  kUnsupported = 5,
+  /// Internal invariant violation; indicates a bug in the library itself.
+  kInternal = 6,
+};
+
+/// Human-readable name of a StatusCode ("ok", "invalid-argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus, for errors, a message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation). The class is final and
+/// immutable after construction.
+class Status final {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be kOk;
+  /// use the default constructor (or OK()) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an kInvalidArgument status with the given message.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Returns a kParseError status with the given message.
+  static Status ParseError(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  /// Returns a kResourceExhausted status with the given message.
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  /// Returns a kNotFound status with the given message.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// Returns a kUnsupported status with the given message.
+  static Status Unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  /// Returns a kInternal status with the given message.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A Status or a value of type T: the return type of fallible value-producing APIs.
+///
+/// Typical use:
+/// \code
+///   StatusOr<Formula> f = ParseFormula("forall x: R(x) -> S(x)");
+///   if (!f.ok()) return f.status();
+///   Use(*f);
+/// \endcode
+template <typename T>
+class StatusOr final {
+ public:
+  /// Constructs from an error status. `status.ok()` must be false.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status out of the current function.
+#define KBT_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::kbt::Status kbt_status_tmp_ = (expr);        \
+    if (!kbt_status_tmp_.ok()) return kbt_status_tmp_; \
+  } while (false)
+
+/// Evaluates a StatusOr expression, propagating errors and otherwise moving the value
+/// into `lhs` (which must name a declaration, e.g. `auto x`).
+#define KBT_ASSIGN_OR_RETURN(lhs, expr)                       \
+  KBT_ASSIGN_OR_RETURN_IMPL_(KBT_STATUS_CONCAT_(kbt_sor_, __LINE__), lhs, expr)
+
+#define KBT_STATUS_CONCAT_INNER_(a, b) a##b
+#define KBT_STATUS_CONCAT_(a, b) KBT_STATUS_CONCAT_INNER_(a, b)
+#define KBT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace kbt
+
+#endif  // KBT_BASE_STATUS_H_

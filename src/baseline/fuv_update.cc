@@ -1,0 +1,74 @@
+#include "baseline/fuv_update.h"
+
+#include "logic/analysis.h"
+#include "logic/grounder.h"
+#include "sat/solver.h"
+#include "sat/tseitin.h"
+
+namespace kbt::baseline {
+
+namespace {
+
+/// Builds one circuit conjoining the sentences; all share an atom index.
+StatusOr<Grounding> GroundAll(const std::vector<Formula>& sentences) {
+  for (const Formula& f : sentences) {
+    if (!IsGround(f)) {
+      return Status::InvalidArgument(
+          "FUV baseline handles ground sentences only; got: non-ground input");
+    }
+  }
+  return GroundSentence(And(sentences), /*domain=*/{});
+}
+
+}  // namespace
+
+StatusOr<bool> GroundConsistent(const std::vector<Formula>& sentences) {
+  KBT_ASSIGN_OR_RETURN(Grounding g, GroundAll(sentences));
+  if (g.root == g.circuit.FalseNode()) return false;
+  if (g.root == g.circuit.TrueNode()) return true;
+  sat::Solver solver;
+  sat::TseitinEncoder encoder(&g.circuit, &solver);
+  encoder.Assert(g.root);
+  return solver.Solve() == sat::SolveResult::kSat;
+}
+
+StatusOr<FuvResult> FuvUpdate(const std::vector<Formula>& theory,
+                              const Formula& insertion) {
+  if (theory.size() > 20) {
+    return Status::ResourceExhausted("FUV baseline limited to 20 sentences");
+  }
+  KBT_ASSIGN_OR_RETURN(bool insertion_ok, GroundConsistent({insertion}));
+  FuvResult result;
+  if (!insertion_ok) return result;
+
+  const size_t n = theory.size();
+  std::vector<uint32_t> consistent_masks;
+  for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
+    std::vector<Formula> subset{insertion};
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) subset.push_back(theory[i]);
+    }
+    KBT_ASSIGN_OR_RETURN(bool ok, GroundConsistent(subset));
+    if (ok) consistent_masks.push_back(mask);
+  }
+  // Keep the inclusion-maximal masks.
+  for (uint32_t m : consistent_masks) {
+    bool maximal = true;
+    for (uint32_t other : consistent_masks) {
+      if (other != m && (other & m) == m) {
+        maximal = false;
+        break;
+      }
+    }
+    if (!maximal) continue;
+    std::vector<Formula> kept;
+    for (size_t i = 0; i < n; ++i) {
+      if ((m >> i) & 1) kept.push_back(theory[i]);
+    }
+    kept.push_back(insertion);
+    result.flock.push_back(std::move(kept));
+  }
+  return result;
+}
+
+}  // namespace kbt::baseline

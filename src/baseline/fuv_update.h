@@ -1,0 +1,41 @@
+#ifndef KBT_BASELINE_FUV_UPDATE_H_
+#define KBT_BASELINE_FUV_UPDATE_H_
+
+/// \file
+/// The Fagin–Ullman–Vardi update [FUV83, FKUV86], discussed and critiqued in §2.1
+/// of the paper: a *theory-based* update that keeps every maximal subset of the
+/// stored sentences consistent with the inserted sentence (a "flock" of theories).
+///
+/// The paper rejects this operator because it violates the principle of the
+/// irrelevance of syntax: logically equivalent theories can update to inequivalent
+/// results (see tests/baseline_test.cc for the classic {A, B} vs {A ∧ B} witness).
+/// It is implemented here as a comparison baseline, restricted to ground sentences
+/// (boolean combinations of ground atoms), with consistency decided by the SAT
+/// substrate.
+
+#include <vector>
+
+#include "base/status.h"
+#include "logic/formula.h"
+
+namespace kbt::baseline {
+
+/// Result of a flock update: each element is one maximal consistent subset of the
+/// original theory, with the inserted sentence appended.
+struct FuvResult {
+  std::vector<std::vector<Formula>> flock;
+};
+
+/// True iff the conjunction of the given ground sentences is satisfiable.
+StatusOr<bool> GroundConsistent(const std::vector<Formula>& sentences);
+
+/// Updates `theory` (ground sentences) with `insertion` per [FUV83]: every maximal
+/// S ⊆ theory with S ∪ {insertion} consistent. If the insertion itself is
+/// inconsistent the flock is empty. Theory sizes beyond 20 sentences are rejected
+/// (the subset enumeration is exponential — this is a baseline, not the engine).
+StatusOr<FuvResult> FuvUpdate(const std::vector<Formula>& theory,
+                              const Formula& insertion);
+
+}  // namespace kbt::baseline
+
+#endif  // KBT_BASELINE_FUV_UPDATE_H_

@@ -1,0 +1,27 @@
+#include "baseline/revision.h"
+
+#include "core/tau.h"
+#include "eval/model_check.h"
+#include "logic/analysis.h"
+
+namespace kbt::baseline {
+
+StatusOr<Knowledgebase> Revise(const Formula& sentence, const Knowledgebase& kb,
+                               const MuOptions& options) {
+  // Consistent case: members already satisfying φ.
+  std::vector<Database> satisfying;
+  KBT_ASSIGN_OR_RETURN(Schema formula_schema, SchemaOf(sentence));
+  if (kb.schema().Includes(formula_schema)) {
+    for (const Database& db : kb) {
+      KBT_ASSIGN_OR_RETURN(bool sat, Satisfies(db, sentence));
+      if (sat) satisfying.push_back(db);
+    }
+  }
+  if (!satisfying.empty()) {
+    return Knowledgebase::FromDatabases(std::move(satisfying));
+  }
+  // Inconsistent case: fall back to minimal change, i.e. the update.
+  return Tau(sentence, kb, options);
+}
+
+}  // namespace kbt::baseline

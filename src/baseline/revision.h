@@ -1,0 +1,33 @@
+#ifndef KBT_BASELINE_REVISION_H_
+#define KBT_BASELINE_REVISION_H_
+
+/// \file
+/// An AGM-style *revision* operator, for contrast with the paper's *update*.
+///
+/// Katsuno and Mendelzon distinguish updating (the world changed) from revising
+/// (new information about a static world). The AGM postulate the paper's
+/// Example 1.1 turns on says: when the new sentence φ is consistent with the
+/// knowledgebase, revision is logical conjunction — keep exactly the worlds that
+/// already satisfy φ. This operator implements that consistent case, falling back
+/// to the update τ when no member satisfies φ.
+///
+/// On the Venus-robots knowledgebase kb = {{v}, {w}} with φ = "V has landed":
+///   Revise(φ, kb) = {{v}}        — concludes W is still orbiting (wrong for
+///                                  a changing world),
+///   Tau(φ, kb)    = {{v}, {v,w}} — leaves W's status open (the paper's answer).
+
+#include "base/status.h"
+#include "core/mu.h"
+#include "logic/formula.h"
+#include "rel/knowledgebase.h"
+
+namespace kbt::baseline {
+
+/// Revises `kb` by `sentence` (see file comment). The result keeps σ(kb) in the
+/// consistent case and σ(kb) ∪ σ(φ) when falling back to update.
+StatusOr<Knowledgebase> Revise(const Formula& sentence, const Knowledgebase& kb,
+                               const MuOptions& options = MuOptions());
+
+}  // namespace kbt::baseline
+
+#endif  // KBT_BASELINE_REVISION_H_

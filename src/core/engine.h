@@ -1,0 +1,79 @@
+#ifndef KBT_CORE_ENGINE_H_
+#define KBT_CORE_ENGINE_H_
+
+/// \file
+/// Convenience facade over the transformation language: parse-and-apply with one
+/// options object, plus helpers for building databases and knowledgebases from
+/// string literals. Examples and benchmarks go through this API.
+
+#include <string_view>
+
+#include "base/status.h"
+#include "core/expr.h"
+#include "core/expr_parser.h"
+#include "core/mu.h"
+#include "rel/knowledgebase.h"
+
+namespace kbt {
+
+struct EngineOptions {
+  MuOptions mu;
+  /// Collect per-step traces into Engine::last_trace().
+  bool trace = false;
+};
+
+/// High-level entry point: owns options, parses expressions, applies them.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = EngineOptions())
+      : options_(std::move(options)) {}
+
+  /// Parses and applies a transformation expression to `kb`.
+  StatusOr<Knowledgebase> Apply(std::string_view expression,
+                                const Knowledgebase& kb);
+
+  /// Applies a pre-built pipeline to `kb`.
+  StatusOr<Knowledgebase> Apply(const Pipeline& pipeline, const Knowledgebase& kb);
+
+  /// Shorthand for a single τ step with the sentence in concrete syntax.
+  StatusOr<Knowledgebase> Insert(std::string_view sentence, const Knowledgebase& kb);
+
+  const EngineOptions& options() const { return options_; }
+  EngineOptions& options() { return options_; }
+
+  /// Traces from the most recent Apply/Insert (when options().trace is set).
+  const PipelineStats& last_trace() const { return last_trace_; }
+
+ private:
+  EngineOptions options_;
+  PipelineStats last_trace_;
+};
+
+/// Builds a relation of the given arity from tuples of constant names, e.g.
+/// MakeRelation(2, {{"a", "b"}, {"b", "c"}}).
+Relation MakeRelation(size_t arity,
+                      std::initializer_list<std::initializer_list<std::string_view>>
+                          tuples);
+
+/// Builds a database over the given schema, e.g.
+///   MakeDatabase({{"R1", 2}}, {{"R1", {{"a","b"},{"b","c"}}}}).
+/// Relations not listed stay empty.
+StatusOr<Database> MakeDatabase(
+    std::initializer_list<std::pair<std::string_view, size_t>> schema_decls,
+    std::initializer_list<
+        std::pair<std::string_view,
+                  std::initializer_list<std::initializer_list<std::string_view>>>>
+        relations);
+
+/// Builds a single-database knowledgebase over the given schema, e.g.
+///   MakeSingletonKb({{"R1", 2}}, {{"R1", {{"a","b"},{"b","c"}}}}).
+StatusOr<Knowledgebase> MakeSingletonKb(
+    std::initializer_list<std::pair<std::string_view, size_t>> schema_decls,
+    std::initializer_list<
+        std::pair<std::string_view,
+                  std::initializer_list<std::initializer_list<std::string_view>>>>
+        relations);
+
+}  // namespace kbt
+
+#endif  // KBT_CORE_ENGINE_H_

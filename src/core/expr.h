@@ -1,0 +1,114 @@
+#ifndef KBT_CORE_EXPR_H_
+#define KBT_CORE_EXPR_H_
+
+/// \file
+/// Transformation expressions Θ (§2): compositions of the four operators
+///
+///   τ_φ   insert a sentence (queries and updates alike),
+///   ⊓     componentwise intersection of all possible worlds (certainty),
+///   ⊔     componentwise union (possibility),
+///   π     projection onto a list of relation symbols.
+///
+/// A Pipeline applies its steps left to right, so the paper's right-to-left
+/// composition π₂(⊓(τ_φ(kb))) is written
+///
+///   Pipeline().Tau(phi).Glb().Project({"R2"})          // fluent builder
+///   "tau{ ... } >> glb >> pi[R2]"                      // concrete syntax
+///
+/// There is deliberately no query/update distinction: both are transformations
+/// KB → KB, exactly as in the paper.
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/mu.h"
+#include "core/tau.h"
+#include "logic/formula.h"
+#include "rel/knowledgebase.h"
+
+namespace kbt {
+
+/// One transformation step.
+struct TransformStep {
+  enum class Kind {
+    kTau,
+    kGlb,
+    kLub,
+    kProject,
+    /// Extension beyond the paper (§6 invites application-specific operators):
+    /// keep exactly the worlds satisfying a sentence. This is the "consistent
+    /// case" of AGM revision as a pipeline step, and the natural selection
+    /// companion to ⊓/⊔'s certainty/possibility semantics [ASV90].
+    kFilter,
+  };
+
+  Kind kind;
+  /// kTau / kFilter: the sentence.
+  Formula sentence;
+  /// kProject: relation symbols to keep, in order.
+  std::vector<Symbol> projection;
+
+  std::string ToString() const;
+};
+
+/// Per-step evaluation record (sizes and strategy), for EXPERIMENTS and debugging.
+struct StepTrace {
+  std::string step;
+  size_t input_databases = 0;
+  size_t output_databases = 0;
+  MuStats mu;
+};
+
+struct PipelineStats {
+  std::vector<StepTrace> steps;
+};
+
+/// A transformation expression: an ordered sequence of steps.
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  /// Appends τ_φ.
+  Pipeline& Tau(Formula sentence);
+  /// Appends τ for a sentence in concrete syntax; invalid syntax is reported at
+  /// Apply time via the stored status.
+  Pipeline& Tau(std::string_view sentence_text);
+  /// Appends ⊓.
+  Pipeline& Glb();
+  /// Appends ⊔.
+  Pipeline& Lub();
+  /// Appends π onto the named relations.
+  Pipeline& Project(std::vector<std::string> names);
+  Pipeline& Project(std::vector<Symbol> symbols);
+  /// Appends the filter extension step (keep worlds satisfying the sentence).
+  Pipeline& Filter(Formula sentence);
+  Pipeline& Filter(std::string_view sentence_text);
+
+  const std::vector<TransformStep>& steps() const { return steps_; }
+
+  /// Applies every step in order.
+  StatusOr<Knowledgebase> Apply(const Knowledgebase& kb,
+                                const MuOptions& options = MuOptions(),
+                                PipelineStats* stats = nullptr) const;
+
+  /// Concrete syntax of the pipeline ("tau{...} >> glb >> pi[R2]").
+  std::string ToString() const;
+
+ private:
+  std::vector<TransformStep> steps_;
+  Status deferred_error_;  // First construction error, reported by Apply.
+};
+
+/// Sugar used throughout §3 of the paper: the sentence ∀x̄ (From(x̄) ↔ To(x̄)),
+/// which copies relation `from` into the new relation `to` (both of arity `arity`).
+Formula CopyFormula(std::string_view from, std::string_view to, size_t arity);
+
+/// Sugar: ∀x̄ ((A(x̄) ∧ ¬B(x̄)) ↔ To(x̄)) — assigns A \ B to the new relation `to`
+/// (the {= step of Example 5 and {@ of Example 6).
+Formula DifferenceFormula(std::string_view a, std::string_view b,
+                          std::string_view to, size_t arity);
+
+}  // namespace kbt
+
+#endif  // KBT_CORE_EXPR_H_

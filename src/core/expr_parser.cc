@@ -1,0 +1,136 @@
+#include "core/expr_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "logic/parser.h"
+
+namespace kbt {
+
+namespace {
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Pipeline> Parse() {
+    Pipeline pipeline;
+    SkipSpace();
+    bool first = true;
+    while (pos_ < text_.size()) {
+      if (!first && !EatWord(">>")) {
+        return Error("expected '>>' between steps");
+      }
+      KBT_RETURN_IF_ERROR(ParseStep(&pipeline));
+      first = false;
+      SkipSpace();
+    }
+    if (first) return Error("empty transformation expression");
+    return pipeline;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool EatWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at position " + std::to_string(pos_));
+  }
+
+  StatusOr<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Status ParseStep(Pipeline* pipeline) {
+    KBT_ASSIGN_OR_RETURN(std::string word, ParseIdent());
+    if (word == "tau" || word == "insert" || word == "filter") {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '{') {
+        return Error("expected '{' after '" + word + "'");
+      }
+      size_t open = pos_++;
+      int depth = 1;
+      while (pos_ < text_.size() && depth > 0) {
+        if (text_[pos_] == '{') ++depth;
+        if (text_[pos_] == '}') --depth;
+        ++pos_;
+      }
+      if (depth != 0) return Error("unterminated '{' opened");
+      std::string_view body = text_.substr(open + 1, pos_ - open - 2);
+      KBT_ASSIGN_OR_RETURN(Formula sentence, ParseSentence(body));
+      if (word == "filter") {
+        pipeline->Filter(std::move(sentence));
+      } else {
+        pipeline->Tau(std::move(sentence));
+      }
+      return Status::OK();
+    }
+    if (word == "glb" || word == "meet") {
+      pipeline->Glb();
+      return Status::OK();
+    }
+    if (word == "lub" || word == "join") {
+      pipeline->Lub();
+      return Status::OK();
+    }
+    if (word == "pi" || word == "project") {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '[') {
+        return Error("expected '[' after '" + word + "'");
+      }
+      ++pos_;
+      std::vector<std::string> names;
+      while (true) {
+        KBT_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+        names.push_back(std::move(name));
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ']') {
+        return Error("expected ']' after projection list");
+      }
+      ++pos_;
+      pipeline->Project(std::move(names));
+      return Status::OK();
+    }
+    return Error("unknown step '" + word + "'");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Pipeline> ParsePipeline(std::string_view text) {
+  ExprParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace kbt

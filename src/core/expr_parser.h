@@ -1,0 +1,29 @@
+#ifndef KBT_CORE_EXPR_PARSER_H_
+#define KBT_CORE_EXPR_PARSER_H_
+
+/// \file
+/// Concrete syntax for transformation expressions:
+///
+///   pipeline := step ( ">>" step )*
+///   step     := ("tau" | "insert") "{" formula "}"
+///             | "glb" | "meet"
+///             | "lub" | "join"
+///             | ("pi" | "project") "[" ident ("," ident)* "]"
+///
+/// Steps apply left to right, e.g. the paper's π₂ ⊓ τ_φ is
+/// "tau{ <φ> } >> glb >> pi[R2]". The formula between braces uses the syntax of
+/// logic/parser.h and must be a sentence.
+
+#include <string_view>
+
+#include "base/status.h"
+#include "core/expr.h"
+
+namespace kbt {
+
+/// Parses a pipeline in concrete syntax.
+StatusOr<Pipeline> ParsePipeline(std::string_view text);
+
+}  // namespace kbt
+
+#endif  // KBT_CORE_EXPR_PARSER_H_

@@ -1,0 +1,41 @@
+#include "core/hypothetical.h"
+
+#include "core/tau.h"
+#include "eval/model_check.h"
+#include "logic/analysis.h"
+
+namespace kbt {
+
+StatusOr<bool> NestedCounterfactual(const Knowledgebase& kb,
+                                    const std::vector<Formula>& antecedents,
+                                    const Formula& consequent, Modality modality,
+                                    const MuOptions& options) {
+  Knowledgebase current = kb;
+  for (const Formula& a : antecedents) {
+    KBT_ASSIGN_OR_RETURN(current, Tau(a, current, options));
+  }
+  // The consequent may mention relations the updates introduced; extend the
+  // schema so satisfaction is defined (new relations are empty under CWA).
+  KBT_ASSIGN_OR_RETURN(Schema consequent_schema, SchemaOf(consequent));
+  if (!current.schema().Includes(consequent_schema)) {
+    KBT_ASSIGN_OR_RETURN(Schema extended,
+                         current.schema().Union(consequent_schema));
+    KBT_ASSIGN_OR_RETURN(current, current.ExtendTo(extended));
+  }
+  bool all = true;
+  bool some = false;
+  for (const Database& db : current) {
+    KBT_ASSIGN_OR_RETURN(bool holds, Satisfies(db, consequent));
+    all = all && holds;
+    some = some || holds;
+  }
+  return modality == Modality::kNecessarily ? all : some;
+}
+
+StatusOr<bool> Counterfactual(const Knowledgebase& kb, const Formula& antecedent,
+                              const Formula& consequent, Modality modality,
+                              const MuOptions& options) {
+  return NestedCounterfactual(kb, {antecedent}, consequent, modality, options);
+}
+
+}  // namespace kbt

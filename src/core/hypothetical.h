@@ -1,0 +1,47 @@
+#ifndef KBT_CORE_HYPOTHETICAL_H_
+#define KBT_CORE_HYPOTHETICAL_H_
+
+/// \file
+/// Hypothetical and counterfactual queries (§1, Example 4, [GM95]).
+///
+/// A counterfactual A > B asks: "if A were inserted, would B hold?" — evaluated
+/// by updating with A and checking B over the resulting worlds, either in all of
+/// them (necessity, the ⊓-flavored reading) or in some (possibility, ⊔-flavored).
+/// Right-nested chains A1 > (A2 > (... > B)) are sequential updates
+/// τ_{A1}, τ_{A2}, ... followed by the check, exactly as the paper's note after
+/// Example 4 describes.
+
+#include <vector>
+
+#include "base/status.h"
+#include "core/mu.h"
+#include "logic/formula.h"
+#include "rel/knowledgebase.h"
+
+namespace kbt {
+
+enum class Modality {
+  /// B must hold in every world of the updated knowledgebase (vacuously true
+  /// when the update is inconsistent).
+  kNecessarily,
+  /// B must hold in at least one world.
+  kPossibly,
+};
+
+/// Evaluates the counterfactual `antecedent > consequent` over `kb`.
+StatusOr<bool> Counterfactual(const Knowledgebase& kb, const Formula& antecedent,
+                              const Formula& consequent,
+                              Modality modality = Modality::kNecessarily,
+                              const MuOptions& options = MuOptions());
+
+/// Right-nested chain: antecedents are inserted left to right, then the
+/// consequent is checked. An empty chain degenerates to a plain modal query.
+StatusOr<bool> NestedCounterfactual(const Knowledgebase& kb,
+                                    const std::vector<Formula>& antecedents,
+                                    const Formula& consequent,
+                                    Modality modality = Modality::kNecessarily,
+                                    const MuOptions& options = MuOptions());
+
+}  // namespace kbt
+
+#endif  // KBT_CORE_HYPOTHETICAL_H_

@@ -1,0 +1,47 @@
+#ifndef KBT_CORE_KBT_H_
+#define KBT_CORE_KBT_H_
+
+/// \file
+/// Umbrella header for the kbt library — a C++ implementation of
+/// "Knowledgebase Transformations" (Grahne, Mendelzon, Revesz; PODS 1992 /
+/// JCSS 54(1), 1997).
+///
+/// Quick start:
+/// \code
+///   #include "core/kbt.h"
+///
+///   kbt::Engine engine;
+///   auto kb = kbt::MakeSingletonKb({{"R1", 2}},
+///                                  {{"R1", {{"tor", "ott"}, {"ott", "mtl"}}}});
+///   auto result = engine.Apply(
+///       "tau{ forall x, y, z:"
+///       "  (R2(x, y) & R1(y, z)) | R1(x, z) -> R2(x, z) } >> pi[R2]",
+///       *kb);
+///   // *result is the singleton kb holding the transitive closure in R2.
+/// \endcode
+
+#include "base/interner.h"
+#include "base/status.h"
+#include "core/engine.h"
+#include "core/expr.h"
+#include "core/expr_parser.h"
+#include "core/hypothetical.h"
+#include "core/mu.h"
+#include "core/stratified.h"
+#include "core/tau.h"
+#include "core/universe.h"
+#include "core/winslett_order.h"
+#include "eval/model_check.h"
+#include "logic/analysis.h"
+#include "logic/formula.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "logic/transform.h"
+#include "rel/database.h"
+#include "rel/io.h"
+#include "rel/knowledgebase.h"
+#include "rel/relation.h"
+#include "rel/schema.h"
+#include "rel/tuple.h"
+
+#endif  // KBT_CORE_KBT_H_

@@ -1,0 +1,100 @@
+#include "core/mu.h"
+
+#include "core/mu_internal.h"
+#include "logic/analysis.h"
+
+namespace kbt {
+
+const char* MuStrategyName(MuStrategy strategy) {
+  switch (strategy) {
+    case MuStrategy::kAuto:
+      return "auto";
+    case MuStrategy::kReference:
+      return "reference";
+    case MuStrategy::kSat:
+      return "sat";
+    case MuStrategy::kDatalog:
+      return "datalog";
+    case MuStrategy::kDefinitional:
+      return "definitional";
+  }
+  return "unknown";
+}
+
+void MuStats::MergeFrom(const MuStats& other) {
+  minimal_models += other.minimal_models;
+  candidates_examined += other.candidates_examined;
+  ground_nodes += other.ground_nodes;
+  ground_atoms += other.ground_atoms;
+  sat_solve_calls += other.sat_solve_calls;
+  sat_conflicts += other.sat_conflicts;
+  sat_decisions += other.sat_decisions;
+  datalog_rounds += other.datalog_rounds;
+  datalog_derived_tuples += other.datalog_derived_tuples;
+  used = other.used;  // Last strategy wins; τ reports per-call anyway.
+}
+
+StatusOr<Knowledgebase> Mu(const Formula& sentence, const Database& db,
+                           const MuOptions& options, MuStats* stats) {
+  KBT_ASSIGN_OR_RETURN(UpdateContext ctx, MakeUpdateContext(sentence, db));
+  MuStats local;
+  MuStats* out = stats != nullptr ? stats : &local;
+
+  switch (options.strategy) {
+    case MuStrategy::kReference:
+      out->used = MuStrategy::kReference;
+      return internal::MuReference(sentence, db, ctx, options, out);
+    case MuStrategy::kSat:
+      out->used = MuStrategy::kSat;
+      return internal::MuSat(sentence, db, ctx, options, out);
+    case MuStrategy::kDatalog: {
+      KBT_ASSIGN_OR_RETURN(auto plan, internal::PlanDatalog(sentence, db));
+      if (!plan) {
+        return Status::Unsupported(
+            "sentence is not Datalog-restricted with new head predicates");
+      }
+      out->used = MuStrategy::kDatalog;
+      return internal::MuDatalog(*plan, db, ctx, options, out);
+    }
+    case MuStrategy::kDefinitional: {
+      KBT_ASSIGN_OR_RETURN(auto plan, internal::PlanDefinitional(sentence, db));
+      if (!plan) {
+        return Status::Unsupported("sentence is not definitional over σ(db)");
+      }
+      out->used = MuStrategy::kDefinitional;
+      return internal::MuDefinitional(*plan, db, ctx, options, out);
+    }
+    case MuStrategy::kAuto:
+      break;
+  }
+
+  // Automatic dispatch, cheapest applicable first.
+  if (IsGround(sentence)) {
+    // Theorem 4.7: ground updates touch at most |φ| atoms — reference enumeration
+    // is polynomial in the database. Very wide ground sentences still go to SAT.
+    StatusOr<Knowledgebase> result =
+        internal::MuReference(sentence, db, ctx, options, out);
+    if (result.ok() || result.status().code() != StatusCode::kResourceExhausted) {
+      out->used = MuStrategy::kReference;
+      return result;
+    }
+  }
+  {
+    KBT_ASSIGN_OR_RETURN(auto plan, internal::PlanDatalog(sentence, db));
+    if (plan) {
+      out->used = MuStrategy::kDatalog;
+      return internal::MuDatalog(*plan, db, ctx, options, out);
+    }
+  }
+  {
+    KBT_ASSIGN_OR_RETURN(auto plan, internal::PlanDefinitional(sentence, db));
+    if (plan) {
+      out->used = MuStrategy::kDefinitional;
+      return internal::MuDefinitional(*plan, db, ctx, options, out);
+    }
+  }
+  out->used = MuStrategy::kSat;
+  return internal::MuSat(sentence, db, ctx, options, out);
+}
+
+}  // namespace kbt

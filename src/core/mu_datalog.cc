@@ -1,0 +1,45 @@
+#include "core/mu_internal.h"
+#include "datalog/analysis.h"
+#include "datalog/eval.h"
+#include "datalog/from_fo.h"
+
+namespace kbt::internal {
+
+StatusOr<std::optional<DatalogPlan>> PlanDatalog(const Formula& sentence,
+                                                 const Database& db) {
+  KBT_ASSIGN_OR_RETURN(std::optional<datalog::Program> program,
+                       datalog::FromFirstOrder(sentence));
+  if (!program) return std::optional<DatalogPlan>{};
+  // Fast-path preconditions beyond Horn shape (anything else falls back to the
+  // generic engine rather than erroring):
+  //  * safety — ∀x R(x) and friends are Horn but not Datalog-evaluable;
+  //  * every head predicate is new w.r.t. σ(db) — the least fixpoint is then the
+  //    unique ≤_db-minimal model (Δ = ∅ is achievable, and Horn theories with
+  //    fixed EDB have componentwise-least models).
+  if (!datalog::CheckSafety(*program).ok()) return std::optional<DatalogPlan>{};
+  for (Symbol head : program->HeadPredicates()) {
+    if (db.schema().Contains(head)) return std::optional<DatalogPlan>{};
+  }
+  return std::optional<DatalogPlan>{DatalogPlan{std::move(*program)}};
+}
+
+StatusOr<Knowledgebase> MuDatalog(const DatalogPlan& plan, const Database& db,
+                                  const UpdateContext& ctx, const MuOptions& options,
+                                  MuStats* stats) {
+  datalog::EvalOptions eopts;
+  eopts.use_seminaive = options.use_seminaive;
+  datalog::EvalStats estats;
+  KBT_ASSIGN_OR_RETURN(Database least,
+                       datalog::Evaluate(plan.program, db, eopts, &estats));
+  stats->datalog_rounds = estats.rounds;
+  stats->datalog_derived_tuples = estats.derived_tuples;
+  stats->minimal_models = 1;
+  // Align the result's relation order with ctx.schema (σ(db) ∪ σ(φ)).
+  std::vector<Symbol> order;
+  order.reserve(ctx.schema.size());
+  for (const RelationDecl& d : ctx.schema.decls()) order.push_back(d.symbol);
+  KBT_ASSIGN_OR_RETURN(Database aligned, least.ProjectTo(order));
+  return Knowledgebase::Singleton(std::move(aligned));
+}
+
+}  // namespace kbt::internal

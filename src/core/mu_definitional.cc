@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/mu_internal.h"
+#include "eval/model_check.h"
+#include "logic/analysis.h"
+
+namespace kbt::internal {
+
+namespace {
+
+/// Collects conjuncts of a (possibly nested) conjunction.
+void FlattenAnd(const Formula& f, std::vector<Formula>* out) {
+  if (f->kind() == FormulaKind::kAnd) {
+    for (const Formula& c : f->children()) FlattenAnd(c, out);
+  } else {
+    out->push_back(f);
+  }
+}
+
+/// Parses one conjunct as ∀x̄ (ψ OP H(ȳ)), OP ∈ {→, ↔}, head args distinct
+/// variables drawn from x̄. Returns false if the shape does not match.
+bool ParseDefinition(const Formula& conjunct, DefinitionalPlan::Definition* out) {
+  Formula f = conjunct;
+  out->all_vars.clear();
+  while (f->kind() == FormulaKind::kForall) {
+    out->all_vars.push_back(f->variable());
+    f = f->children()[0];
+  }
+  if (f->kind() != FormulaKind::kImplies && f->kind() != FormulaKind::kIff) {
+    return false;
+  }
+  out->iff = f->kind() == FormulaKind::kIff;
+  const Formula& head = f->children()[1];
+  if (head->kind() != FormulaKind::kAtom) return false;
+  out->head = head->relation();
+  out->head_vars.clear();
+  std::set<Symbol> seen;
+  for (const Term& t : head->terms()) {
+    if (!t.is_variable()) return false;
+    if (!seen.insert(t.symbol).second) return false;  // Repeated head variable.
+    if (std::find(out->all_vars.begin(), out->all_vars.end(), t.symbol) ==
+        out->all_vars.end()) {
+      return false;  // Head variable not universally quantified here.
+    }
+    out->head_vars.push_back(t.symbol);
+  }
+  if (out->iff && out->head_vars.size() != out->all_vars.size()) {
+    // ∀x̄ (ψ ↔ H(ȳ)) with ȳ ⊊ x̄ constrains H twice over the projected-away
+    // variables; that is not a plain definition. Leave it to the generic engine.
+    return false;
+  }
+  out->body = f->children()[0];
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::optional<DefinitionalPlan>> PlanDefinitional(const Formula& sentence,
+                                                           const Database& db) {
+  std::vector<Formula> conjuncts;
+  FlattenAnd(sentence, &conjuncts);
+  DefinitionalPlan plan;
+  for (const Formula& c : conjuncts) {
+    DefinitionalPlan::Definition def;
+    if (!ParseDefinition(c, &def)) return std::optional<DefinitionalPlan>{};
+    plan.definitions.push_back(std::move(def));
+  }
+  // Heads must be new, defined from old relations only, and not feed each other
+  // (otherwise minimization is no longer relation-by-relation independent).
+  std::set<Symbol> heads;
+  std::map<Symbol, size_t> head_counts;
+  for (const auto& def : plan.definitions) {
+    if (db.schema().Contains(def.head)) return std::optional<DefinitionalPlan>{};
+    heads.insert(def.head);
+    ++head_counts[def.head];
+  }
+  for (const auto& def : plan.definitions) {
+    StatusOr<Schema> body_schema = SchemaOf(def.body);
+    if (!body_schema.ok()) return std::optional<DefinitionalPlan>{};
+    for (const RelationDecl& d : body_schema->decls()) {
+      if (!db.schema().Contains(d.symbol)) return std::optional<DefinitionalPlan>{};
+    }
+    // Body free variables must be covered by the quantifier prefix.
+    std::set<Symbol> free = FreeVariables(def.body);
+    for (Symbol v : free) {
+      if (std::find(def.all_vars.begin(), def.all_vars.end(), v) ==
+          def.all_vars.end()) {
+        return std::optional<DefinitionalPlan>{};
+      }
+    }
+    // An ↔-definition must be the unique definition of its head.
+    if (def.iff && head_counts[def.head] > 1) return std::optional<DefinitionalPlan>{};
+  }
+  return std::optional<DefinitionalPlan>{std::move(plan)};
+}
+
+StatusOr<Knowledgebase> MuDefinitional(const DefinitionalPlan& plan,
+                                       const Database& db, const UpdateContext& ctx,
+                                       const MuOptions& options, MuStats* stats) {
+  (void)options;
+  // Each head's least content is the union over its definitions of
+  // π_headvars { x̄ ∈ B^|x̄| : db ⊨ ψ(x̄) }. Keeping db unchanged is always
+  // possible (heads are new and bodies old), so Δ = ∅ and the fixed contents are
+  // the unique stage-2 minimum.
+  std::map<Symbol, std::vector<Tuple>> head_tuples;
+  for (const auto& def : plan.definitions) {
+    KBT_ASSIGN_OR_RETURN(Relation answers,
+                         EvaluateQuery(db, def.body, def.all_vars, ctx.domain));
+    ++stats->candidates_examined;
+    std::vector<size_t> projection;
+    projection.reserve(def.head_vars.size());
+    for (Symbol hv : def.head_vars) {
+      size_t pos = static_cast<size_t>(
+          std::find(def.all_vars.begin(), def.all_vars.end(), hv) -
+          def.all_vars.begin());
+      projection.push_back(pos);
+    }
+    auto& bucket = head_tuples[def.head];
+    for (const Tuple& t : answers) {
+      bucket.push_back(t.Project(projection));
+    }
+  }
+  Database out = ctx.extended_base;
+  for (auto& [head, tuples] : head_tuples) {
+    KBT_ASSIGN_OR_RETURN(Relation current, out.RelationFor(head));
+    KBT_ASSIGN_OR_RETURN(out, out.WithRelation(
+                                   head, Relation(current.arity(), std::move(tuples))));
+  }
+  stats->minimal_models = 1;
+  return Knowledgebase::Singleton(std::move(out));
+}
+
+}  // namespace kbt::internal

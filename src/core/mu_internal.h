@@ -1,0 +1,73 @@
+#ifndef KBT_CORE_MU_INTERNAL_H_
+#define KBT_CORE_MU_INTERNAL_H_
+
+/// \file
+/// Internal interfaces between the μ dispatcher and its strategies. Not part of the
+/// public API.
+
+#include <optional>
+
+#include "core/mu.h"
+#include "core/universe.h"
+#include "datalog/ast.h"
+#include "logic/circuit.h"
+#include "logic/ground_atom.h"
+
+namespace kbt::internal {
+
+/// Reference (specification) enumeration. Fails with kResourceExhausted when more
+/// than options.max_reference_atoms ground atoms are mentioned.
+StatusOr<Knowledgebase> MuReference(const Formula& sentence, const Database& db,
+                                    const UpdateContext& ctx, const MuOptions& options,
+                                    MuStats* stats);
+
+/// CDCL-based minimal-model enumeration.
+StatusOr<Knowledgebase> MuSat(const Formula& sentence, const Database& db,
+                              const UpdateContext& ctx, const MuOptions& options,
+                              MuStats* stats);
+
+/// Datalog fast path plan: the extracted program (all head predicates new w.r.t.
+/// σ(db)). nullopt when φ is not of this shape.
+struct DatalogPlan {
+  datalog::Program program;
+};
+StatusOr<std::optional<DatalogPlan>> PlanDatalog(const Formula& sentence,
+                                                 const Database& db);
+StatusOr<Knowledgebase> MuDatalog(const DatalogPlan& plan, const Database& db,
+                                  const UpdateContext& ctx, const MuOptions& options,
+                                  MuStats* stats);
+
+/// Definitional fast path plan: conjuncts ∀x̄ (ψ → H(x̄')) / ∀x̄ (ψ ↔ H(x̄)), H new,
+/// bodies over σ(db). nullopt when φ is not of this shape.
+struct DefinitionalPlan {
+  struct Definition {
+    Symbol head;
+    std::vector<Symbol> head_vars;  ///< Distinct head argument variables.
+    std::vector<Symbol> all_vars;   ///< Universally quantified variables, in order.
+    Formula body;
+    bool iff = false;
+  };
+  std::vector<Definition> definitions;
+};
+StatusOr<std::optional<DefinitionalPlan>> PlanDefinitional(const Formula& sentence,
+                                                           const Database& db);
+StatusOr<Knowledgebase> MuDefinitional(const DefinitionalPlan& plan,
+                                       const Database& db, const UpdateContext& ctx,
+                                       const MuOptions& options, MuStats* stats);
+
+/// Shared helper: true when the ground atom's relation belongs to σ(db) ("old").
+inline bool IsOldAtom(const GroundAtom& atom, const Database& db) {
+  return db.schema().Contains(atom.relation);
+}
+
+/// Shared helper: turns an (atom id → truth value) assignment into a database over
+/// ctx.schema, starting from ctx.extended_base and deviating only on the listed
+/// atoms.
+StatusOr<Database> MaterializeModel(
+    const UpdateContext& ctx, const AtomIndex& atoms,
+    const std::vector<int>& mentioned_atom_ids,
+    const std::function<bool(int)>& atom_value);
+
+}  // namespace kbt::internal
+
+#endif  // KBT_CORE_MU_INTERNAL_H_

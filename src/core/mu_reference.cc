@@ -1,0 +1,201 @@
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <map>
+
+#include "core/mu_internal.h"
+#include "core/winslett_order.h"
+#include "logic/grounder.h"
+
+namespace kbt::internal {
+
+StatusOr<Database> MaterializeModel(
+    const UpdateContext& ctx, const AtomIndex& atoms,
+    const std::vector<int>& mentioned_atom_ids,
+    const std::function<bool(int)>& atom_value) {
+  // Group deviations per relation, then rebuild each touched relation once.
+  std::map<Symbol, std::pair<std::vector<Tuple>, std::vector<Tuple>>> edits;
+  for (int id : mentioned_atom_ids) {
+    const GroundAtom& atom = atoms.AtomOf(id);
+    KBT_ASSIGN_OR_RETURN(Relation current, ctx.extended_base.RelationFor(atom.relation));
+    bool present = current.Contains(atom.tuple);
+    bool wanted = atom_value(id);
+    if (present == wanted) continue;
+    auto& [adds, removes] = edits[atom.relation];
+    (wanted ? adds : removes).push_back(atom.tuple);
+  }
+  Database out = ctx.extended_base;
+  for (auto& [symbol, add_remove] : edits) {
+    KBT_ASSIGN_OR_RETURN(Relation r, out.RelationFor(symbol));
+    Relation adds(r.arity(), std::move(add_remove.first));
+    Relation removes(r.arity(), std::move(add_remove.second));
+    KBT_ASSIGN_OR_RETURN(out, out.WithRelation(symbol,
+                                               r.Union(adds).Difference(removes)));
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-relation bitmasks over the mentioned atoms, for fast Winslett comparison
+/// of enumerated assignments without materializing databases.
+struct MaskContext {
+  uint64_t default_mask = 0;                  ///< Default value per atom bit.
+  std::vector<uint64_t> old_relation_masks;   ///< One mask per σ(db) relation used.
+  uint64_t new_mask = 0;                      ///< Bits of new-relation atoms.
+
+  /// True iff model `a` is strictly ≤_db-closer than model `b`.
+  bool StrictlyCloser(uint64_t a, uint64_t b) const {
+    uint64_t da = a ^ default_mask;
+    uint64_t db = b ^ default_mask;
+    bool some_strict = false;
+    for (uint64_t rel : old_relation_masks) {
+      uint64_t d1 = da & rel;
+      uint64_t d2 = db & rel;
+      if ((d1 & ~d2) != 0) return false;  // Not a componentwise subset.
+      if (d1 != d2) some_strict = true;
+    }
+    if (some_strict) return true;
+    uint64_t n1 = a & new_mask;
+    uint64_t n2 = b & new_mask;
+    return (n1 & ~n2) == 0 && n1 != n2;
+  }
+
+  size_t DiffCount(uint64_t a) const {
+    uint64_t bits = 0;
+    for (uint64_t rel : old_relation_masks) bits |= (a ^ default_mask) & rel;
+    return static_cast<size_t>(std::popcount(bits));
+  }
+  size_t NewCount(uint64_t a) const {
+    return static_cast<size_t>(std::popcount(a & new_mask));
+  }
+};
+
+}  // namespace
+
+StatusOr<Knowledgebase> MuReference(const Formula& sentence, const Database& db,
+                                    const UpdateContext& ctx, const MuOptions& options,
+                                    MuStats* stats) {
+  GrounderOptions gopts;
+  gopts.max_nodes = options.max_ground_nodes;
+  KBT_ASSIGN_OR_RETURN(Grounding g, GroundSentence(sentence, ctx.domain, gopts));
+  stats->ground_nodes = g.circuit.size();
+  std::vector<int> vars = g.circuit.CollectVars(g.root);
+  stats->ground_atoms = vars.size();
+
+  if (vars.size() > options.max_reference_atoms || vars.size() > 62) {
+    return Status::ResourceExhausted(
+        "reference enumeration over " + std::to_string(vars.size()) +
+        " ground atoms exceeds the budget of " +
+        std::to_string(options.max_reference_atoms));
+  }
+
+  // Per-relation masks and defaults over the mentioned atoms.
+  const size_t k = vars.size();
+  MaskContext masks;
+  std::map<Symbol, uint64_t> old_groups;
+  for (size_t i = 0; i < k; ++i) {
+    const GroundAtom& atom = g.atoms.AtomOf(vars[i]);
+    uint64_t bit = uint64_t{1} << i;
+    if (IsOldAtom(atom, db)) {
+      old_groups[atom.relation] |= bit;
+      KBT_ASSIGN_OR_RETURN(Relation r, ctx.extended_base.RelationFor(atom.relation));
+      if (r.Contains(atom.tuple)) masks.default_mask |= bit;
+    } else {
+      masks.new_mask |= bit;
+    }
+  }
+  for (const auto& [symbol, mask] : old_groups) {
+    masks.old_relation_masks.push_back(mask);
+  }
+
+  // Enumerate every assignment to the mentioned atoms. In any minimal model the
+  // unmentioned atoms keep their default (deviating only moves a candidate farther
+  // from db), so this is exhaustive for minimality purposes.
+  std::vector<uint64_t> models;
+  std::vector<int8_t> memo(g.circuit.size());
+  std::vector<bool> assignment(g.atoms.size(), false);
+  std::function<bool(int)> eval = [&](int id) -> bool {
+    if (memo[static_cast<size_t>(id)] != 0) {
+      return memo[static_cast<size_t>(id)] == 2;
+    }
+    const Circuit::Node& n = g.circuit.node(id);
+    bool result = false;
+    switch (n.kind) {
+      case Circuit::NodeKind::kConst:
+        result = (n.var == 1);
+        break;
+      case Circuit::NodeKind::kVar:
+        result = assignment[static_cast<size_t>(n.var)];
+        break;
+      case Circuit::NodeKind::kNot:
+        result = !eval(n.children[0]);
+        break;
+      case Circuit::NodeKind::kAnd:
+        result = true;
+        for (int c : n.children) {
+          if (!eval(c)) {
+            result = false;
+            break;
+          }
+        }
+        break;
+      case Circuit::NodeKind::kOr:
+        for (int c : n.children) {
+          if (eval(c)) {
+            result = true;
+            break;
+          }
+        }
+        break;
+    }
+    memo[static_cast<size_t>(id)] = result ? 2 : 1;
+    return result;
+  };
+
+  for (uint64_t mask = 0; mask < (uint64_t{1} << k); ++mask) {
+    for (size_t i = 0; i < k; ++i) {
+      assignment[static_cast<size_t>(vars[i])] = ((mask >> i) & 1) != 0;
+    }
+    std::fill(memo.begin(), memo.end(), 0);
+    ++stats->candidates_examined;
+    if (eval(g.root)) models.push_back(mask);
+  }
+
+  // Minimal-element selection on masks: dominators have lexicographically
+  // smaller (|Δ|, |new|) keys, so a sorted scan against accepted minima suffices.
+  std::stable_sort(models.begin(), models.end(), [&](uint64_t a, uint64_t b) {
+    size_t da = masks.DiffCount(a), db_count = masks.DiffCount(b);
+    if (da != db_count) return da < db_count;
+    return masks.NewCount(a) < masks.NewCount(b);
+  });
+  std::vector<uint64_t> minimal_masks;
+  for (uint64_t m : models) {
+    bool minimal = true;
+    for (uint64_t accepted : minimal_masks) {
+      if (masks.StrictlyCloser(accepted, m)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) minimal_masks.push_back(m);
+  }
+
+  stats->minimal_models = minimal_masks.size();
+  if (minimal_masks.empty()) return Knowledgebase(ctx.schema);
+  std::vector<Database> minimal;
+  minimal.reserve(minimal_masks.size());
+  for (uint64_t m : minimal_masks) {
+    KBT_ASSIGN_OR_RETURN(
+        Database model, MaterializeModel(ctx, g.atoms, vars, [&](int id) {
+          for (size_t i = 0; i < k; ++i) {
+            if (vars[i] == id) return ((m >> i) & 1) != 0;
+          }
+          return false;
+        }));
+    minimal.push_back(std::move(model));
+  }
+  return Knowledgebase::FromDatabases(std::move(minimal));
+}
+
+}  // namespace kbt::internal

@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <functional>
+
+#include "core/mu_internal.h"
+#include "core/winslett_order.h"
+#include "logic/grounder.h"
+#include "sat/solver.h"
+#include "sat/tseitin.h"
+
+namespace kbt::internal {
+
+namespace {
+
+using sat::Lit;
+using sat::MkLit;
+using sat::SolveResult;
+using sat::Solver;
+using sat::Var;
+
+/// One enumerated minimal model, kept for dominance checks against later
+/// descent fixpoints (blocked models are invisible to the solver, so later
+/// fixpoints must be re-validated against these).
+struct FoundModel {
+  Database database;
+  std::vector<int> flipped_old;  ///< Mentioned old atoms deviating from db.
+  std::vector<int> true_new;     ///< Mentioned new atoms set to true.
+};
+
+class SatEnumerator {
+ public:
+  SatEnumerator(const Database& db, const UpdateContext& ctx,
+                const MuOptions& options, MuStats* stats)
+      : db_(db), ctx_(ctx), options_(options), stats_(stats) {}
+
+  StatusOr<Knowledgebase> Run(const Formula& sentence) {
+    GrounderOptions gopts;
+    gopts.max_nodes = options_.max_ground_nodes;
+    KBT_ASSIGN_OR_RETURN(Grounding g, GroundSentence(sentence, ctx_.domain, gopts));
+    stats_->ground_nodes = g.circuit.size();
+    atoms_ = &g.atoms;
+
+    if (g.root == g.circuit.FalseNode()) {
+      return Knowledgebase(ctx_.schema);  // No models at all.
+    }
+
+    sat::TseitinEncoder encoder(&g.circuit, &solver_);
+    encoder.Assert(g.root);
+    mentioned_ = g.circuit.CollectVars(g.root);
+    stats_->ground_atoms = mentioned_.size();
+    for (int atom_id : mentioned_) {
+      atom_var_[atom_id] = encoder.VarForAtom(atom_id);
+      const GroundAtom& atom = g.atoms.AtomOf(atom_id);
+      bool is_old = IsOldAtom(atom, db_);
+      KBT_ASSIGN_OR_RETURN(Relation r, ctx_.extended_base.RelationFor(atom.relation));
+      default_value_[atom_id] = is_old && r.Contains(atom.tuple);
+      (is_old ? old_atoms_ : new_atoms_).push_back(atom_id);
+      // Branch toward the default first: first models start near the minimum.
+      solver_.SetPhase(atom_var_[atom_id], default_value_[atom_id]);
+    }
+
+    std::vector<FoundModel> minimal;
+    while (true) {
+      if (Solve({}) == SolveResult::kUnsat) break;
+      KBT_ASSIGN_OR_RETURN(FoundModel candidate, Descend());
+      // The descent fixpoint is minimal unless a previously reported minimal model
+      // (now blocked, hence invisible) lies strictly below it.
+      bool dominated = false;
+      for (const FoundModel& m : minimal) {
+        KBT_ASSIGN_OR_RETURN(bool below,
+                             StrictlyCloser(m.database, candidate.database, db_));
+        if (below) {
+          dominated = true;
+          break;
+        }
+      }
+      bool exhausted = BlockAbove(candidate, options_.use_cone_blocking);
+      if (!dominated) minimal.push_back(std::move(candidate));
+      if (exhausted) break;
+      if (minimal.size() > options_.max_models) {
+        return Status::ResourceExhausted("μ produced more than " +
+                                         std::to_string(options_.max_models) +
+                                         " minimal models");
+      }
+    }
+
+    stats_->minimal_models = minimal.size();
+    if (minimal.empty()) return Knowledgebase(ctx_.schema);
+    std::vector<Database> dbs;
+    dbs.reserve(minimal.size());
+    for (FoundModel& m : minimal) dbs.push_back(std::move(m.database));
+    return Knowledgebase::FromDatabases(std::move(dbs));
+  }
+
+ private:
+  /// Blocks the candidate and everything ≥_db it. Since the candidate is strictly
+  /// above some reported minimal model whenever it is not itself minimal, every
+  /// member of its up-set is safely non-minimal (or the candidate itself), so this
+  /// is sound for dominated fixpoints too. Two constructs:
+  ///
+  ///  (a) flips(M) ⊋ flips(c) ⟹ c <_db M by stage 1, regardless of new atoms:
+  ///      one clause per old atom b ∉ flips(c):  (⋁_{a∈flips(c)} keep(a)) ∨ keep(b);
+  ///  (b) flips(M) ⊇ flips(c) ∧ newtrue(M) ⊇ newtrue(c) ⟹ c ≤_db M:
+  ///      the cone clause (⋁_{a∈flips(c)} keep(a)) ∨ (⋁_{n∈newtrue(c)} ¬n).
+  ///
+  /// With `strong` false (the ablation's exact-blocking mode) only the candidate's
+  /// own assignment is excluded. Returns true when the whole space is now blocked
+  /// (the candidate was the global minimum), letting the caller stop immediately.
+  bool BlockAbove(const FoundModel& candidate, bool strong) {
+    if (!strong) {
+      auto candidate_value = [&](int a) {
+        if (std::binary_search(candidate.flipped_old.begin(),
+                               candidate.flipped_old.end(), a)) {
+          return !default_value_[a];
+        }
+        if (std::binary_search(candidate.true_new.begin(),
+                               candidate.true_new.end(), a)) {
+          return true;
+        }
+        return default_value_[a];  // New atoms default to false.
+      };
+      std::vector<Lit> clause;
+      clause.reserve(mentioned_.size());
+      for (int a : mentioned_) {
+        clause.push_back(MkLit(atom_var_[a], candidate_value(a)));
+      }
+      if (clause.empty()) return true;  // Single possible assignment.
+      solver_.AddClause(std::move(clause));
+      return false;
+    }
+    std::vector<Lit> core;
+    for (int a : candidate.flipped_old) core.push_back(KeepLit(a));
+    // (a) Forbid strict flip supersets.
+    for (int b : old_atoms_) {
+      if (std::binary_search(candidate.flipped_old.begin(),
+                             candidate.flipped_old.end(), b)) {
+        continue;
+      }
+      std::vector<Lit> clause = core;
+      clause.push_back(KeepLit(b));
+      solver_.AddClause(std::move(clause));
+    }
+    // (b) The cone clause.
+    std::vector<Lit> cone = core;
+    for (int n : candidate.true_new) {
+      cone.push_back(MkLit(atom_var_[n], /*negated=*/true));
+    }
+    if (cone.empty()) return true;  // Candidate is the global minimum.
+    solver_.AddClause(std::move(cone));
+    return false;
+  }
+
+  /// Literal asserting atom `a` has its default value.
+  Lit KeepLit(int a) { return MkLit(atom_var_[a], /*negated=*/!default_value_[a]); }
+  /// Literal asserting atom `a` equals `value`.
+  Lit ValueLit(int a, bool value) { return MkLit(atom_var_[a], !value); }
+
+  bool ModelValueOf(int a) { return solver_.ModelValue(atom_var_[a]); }
+
+  SolveResult Solve(const std::vector<Lit>& assumptions) {
+    SolveResult r = solver_.Solve(assumptions);
+    stats_->sat_solve_calls = solver_.stats().solve_calls;
+    stats_->sat_conflicts = solver_.stats().conflicts;
+    stats_->sat_decisions = solver_.stats().decisions;
+    if (r == SolveResult::kSat) ++stats_->candidates_examined;
+    return r;
+  }
+
+  /// Two-stage greedy descent from the solver's current model to a ≤_db fixpoint.
+  StatusOr<FoundModel> Descend() {
+    // Snapshot the model.
+    std::vector<bool> value(atoms_->size(), false);
+    for (int a : mentioned_) value[static_cast<size_t>(a)] = ModelValueOf(a);
+    auto val = [&](int a) { return value[static_cast<size_t>(a)]; };
+
+    // Stage 1: shrink the old-atom flip set until no model has a strictly smaller
+    // one. Pinning every unflipped atom keeps Δ(M') ⊆ Δ(M) componentwise; the
+    // activation-guarded clause forces at least one flip to revert.
+    while (true) {
+      std::vector<int> flipped;
+      for (int a : old_atoms_) {
+        if (val(a) != default_value_[a]) flipped.push_back(a);
+      }
+      if (flipped.empty()) break;
+      Var act = solver_.NewVar();
+      std::vector<Lit> guard{MkLit(act, true)};
+      for (int a : flipped) guard.push_back(KeepLit(a));
+      solver_.AddClause(std::move(guard));
+      std::vector<Lit> assumptions{MkLit(act)};
+      for (int a : old_atoms_) {
+        if (val(a) == default_value_[a]) assumptions.push_back(KeepLit(a));
+      }
+      SolveResult r = Solve(assumptions);
+      solver_.AddClause({MkLit(act, true)});  // Retire the guard.
+      if (r == SolveResult::kUnsat) break;
+      for (int a : mentioned_) value[static_cast<size_t>(a)] = ModelValueOf(a);
+    }
+
+    // Stage 2: with the Δ-vector fixed (old atoms fully pinned), shrink the
+    // true set of new atoms.
+    while (true) {
+      std::vector<int> true_new;
+      for (int a : new_atoms_) {
+        if (val(a)) true_new.push_back(a);
+      }
+      if (true_new.empty()) break;
+      Var act = solver_.NewVar();
+      std::vector<Lit> guard{MkLit(act, true)};
+      for (int a : true_new) guard.push_back(ValueLit(a, false));
+      solver_.AddClause(std::move(guard));
+      std::vector<Lit> assumptions{MkLit(act)};
+      for (int a : old_atoms_) assumptions.push_back(ValueLit(a, val(a)));
+      for (int a : new_atoms_) {
+        if (!val(a)) assumptions.push_back(ValueLit(a, false));
+      }
+      SolveResult r = Solve(assumptions);
+      solver_.AddClause({MkLit(act, true)});
+      if (r == SolveResult::kUnsat) break;
+      for (int a : mentioned_) value[static_cast<size_t>(a)] = ModelValueOf(a);
+    }
+
+    FoundModel out;
+    for (int a : old_atoms_) {
+      if (val(a) != default_value_[a]) out.flipped_old.push_back(a);
+    }
+    for (int a : new_atoms_) {
+      if (val(a)) out.true_new.push_back(a);
+    }
+    KBT_ASSIGN_OR_RETURN(out.database,
+                         MaterializeModel(ctx_, *atoms_, mentioned_, val));
+    return out;
+  }
+
+  const Database& db_;
+  const UpdateContext& ctx_;
+  const MuOptions& options_;
+  MuStats* stats_;
+
+  Solver solver_;
+  const AtomIndex* atoms_ = nullptr;
+  std::vector<int> mentioned_;
+  std::vector<int> old_atoms_;
+  std::vector<int> new_atoms_;
+  std::unordered_map<int, Var> atom_var_;
+  std::unordered_map<int, bool> default_value_;
+};
+
+}  // namespace
+
+StatusOr<Knowledgebase> MuSat(const Formula& sentence, const Database& db,
+                              const UpdateContext& ctx, const MuOptions& options,
+                              MuStats* stats) {
+  SatEnumerator enumerator(db, ctx, options, stats);
+  return enumerator.Run(sentence);
+}
+
+}  // namespace kbt::internal

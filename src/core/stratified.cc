@@ -1,0 +1,39 @@
+#include "core/stratified.h"
+
+#include <algorithm>
+
+#include "core/tau.h"
+#include "datalog/analysis.h"
+#include "datalog/to_fo.h"
+
+namespace kbt {
+
+StatusOr<Knowledgebase> InsertStratified(const datalog::Program& program,
+                                         const Knowledgebase& kb,
+                                         const MuOptions& options) {
+  KBT_RETURN_IF_ERROR(datalog::CheckSafety(program));
+  KBT_ASSIGN_OR_RETURN(std::vector<std::vector<Symbol>> strata,
+                       datalog::Stratify(program));
+  for (Symbol head : program.HeadPredicates()) {
+    if (kb.schema().Contains(head)) {
+      return Status::InvalidArgument(
+          "InsertStratified: head predicate already stored: " + NameOf(head));
+    }
+  }
+  Knowledgebase current = kb;
+  for (const std::vector<Symbol>& stratum : strata) {
+    datalog::Program slice;
+    for (const datalog::Rule& r : program.rules) {
+      if (std::find(stratum.begin(), stratum.end(), r.head.predicate) !=
+          stratum.end()) {
+        slice.rules.push_back(r);
+      }
+    }
+    if (slice.rules.empty()) continue;
+    KBT_ASSIGN_OR_RETURN(Formula sentence, datalog::ToFirstOrder(slice));
+    KBT_ASSIGN_OR_RETURN(current, Tau(sentence, current, options));
+  }
+  return current;
+}
+
+}  // namespace kbt

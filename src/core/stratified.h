@@ -1,0 +1,33 @@
+#ifndef KBT_CORE_STRATIFIED_H_
+#define KBT_CORE_STRATIFIED_H_
+
+/// \file
+/// Stratified-program insertion: the paper's §2.1 remark that "the iterative
+/// fixpoint [ABW88] of a stratified program can be obtained in our language by
+/// sequentially updating the database with the strata of the program in their
+/// hierarchical order."
+///
+/// Each stratum's rules become one first-order sentence (datalog/to_fo.h) that is
+/// inserted with τ. Purely positive strata ride the Theorem 4.8 Datalog fast
+/// path; strata with negation refer only to already-materialized relations, so
+/// their minimal models are the stratum's iterated fixpoint. The end result
+/// matches bottom-up stratified evaluation — a property the tests check against
+/// datalog::Evaluate.
+
+#include "base/status.h"
+#include "core/mu.h"
+#include "datalog/ast.h"
+#include "rel/knowledgebase.h"
+
+namespace kbt {
+
+/// Inserts `program` stratum by stratum. The program must be safe and
+/// stratifiable, and its head predicates must be new w.r.t. σ(kb) (they are the
+/// relations being defined).
+StatusOr<Knowledgebase> InsertStratified(const datalog::Program& program,
+                                         const Knowledgebase& kb,
+                                         const MuOptions& options = MuOptions());
+
+}  // namespace kbt
+
+#endif  // KBT_CORE_STRATIFIED_H_

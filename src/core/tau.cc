@@ -1,0 +1,38 @@
+#include "core/tau.h"
+
+#include "logic/analysis.h"
+
+namespace kbt {
+
+StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
+                            const MuOptions& options, TauStats* stats) {
+  TauStats local;
+  TauStats* out = stats != nullptr ? stats : &local;
+  out->input_databases = kb.size();
+
+  if (kb.empty()) {
+    // Preserve the extended schema so downstream steps see σ(kb) ∪ σ(φ).
+    Database probe(kb.schema());
+    KBT_ASSIGN_OR_RETURN(UpdateContext ctx, MakeUpdateContext(sentence, probe));
+    out->output_databases = 0;
+    return Knowledgebase(ctx.schema);
+  }
+
+  Knowledgebase result;
+  bool first = true;
+  for (const Database& db : kb) {
+    MuStats mu_stats;
+    KBT_ASSIGN_OR_RETURN(Knowledgebase models, Mu(sentence, db, options, &mu_stats));
+    out->mu.MergeFrom(mu_stats);
+    if (first) {
+      result = std::move(models);
+      first = false;
+    } else {
+      KBT_ASSIGN_OR_RETURN(result, result.UnionWith(models));
+    }
+  }
+  out->output_databases = result.size();
+  return result;
+}
+
+}  // namespace kbt

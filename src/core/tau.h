@@ -1,0 +1,34 @@
+#ifndef KBT_CORE_TAU_H_
+#define KBT_CORE_TAU_H_
+
+/// \file
+/// τ_φ(kb) — eq. (10): the update operator. "Inserts" the sentence φ into a
+/// knowledgebase by replacing each member db with the φ-models closest to it,
+/// μ(φ, db), and unioning the results. Theorem 2.1 shows τ satisfies the
+/// Katsuno–Mendelzon update postulates; tests/tau_postulates_test.cc re-verifies
+/// them on randomized inputs against this implementation.
+
+#include "base/status.h"
+#include "core/mu.h"
+#include "rel/knowledgebase.h"
+
+namespace kbt {
+
+struct TauStats {
+  /// Sizes before and after.
+  size_t input_databases = 0;
+  size_t output_databases = 0;
+  /// Aggregated μ counters.
+  MuStats mu;
+};
+
+/// Computes τ_φ(kb). All members of `kb` share a schema, so every μ call works over
+/// the same extended schema s = σ(kb) ∪ σ(φ) and the union is well-formed. An empty
+/// kb stays empty (over s).
+StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
+                            const MuOptions& options = MuOptions(),
+                            TauStats* stats = nullptr);
+
+}  // namespace kbt
+
+#endif  // KBT_CORE_TAU_H_

@@ -1,0 +1,110 @@
+#include "datalog/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace kbt::datalog {
+
+using kbt::RelationDecl;
+using kbt::Schema;
+using kbt::Status;
+using kbt::StatusOr;
+
+Status CheckSafety(const Program& program) {
+  for (const Rule& rule : program.rules) {
+    std::set<Symbol> positive_vars;
+    for (const Literal& l : rule.body) {
+      if (l.negated) continue;
+      for (const Term& t : l.atom.args) {
+        if (t.is_variable()) positive_vars.insert(t.symbol);
+      }
+    }
+    auto check_term = [&](const Term& t, const char* where) -> Status {
+      if (t.is_variable() && positive_vars.count(t.symbol) == 0) {
+        return Status::InvalidArgument(
+            std::string("unsafe rule (variable ") + kbt::NameOf(t.symbol) + " in " +
+            where + " not bound by a positive body literal): " + rule.ToString());
+      }
+      return Status::OK();
+    };
+    for (const Term& t : rule.head.args) {
+      KBT_RETURN_IF_ERROR(check_term(t, "head"));
+    }
+    for (const Literal& l : rule.body) {
+      if (!l.negated) continue;
+      for (const Term& t : l.atom.args) {
+        KBT_RETURN_IF_ERROR(check_term(t, "negated literal"));
+      }
+    }
+    for (const Constraint& c : rule.constraints) {
+      KBT_RETURN_IF_ERROR(check_term(c.lhs, "constraint"));
+      KBT_RETURN_IF_ERROR(check_term(c.rhs, "constraint"));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Schema> ProgramSchema(const Program& program) {
+  Schema schema;
+  auto note = [&](const DlAtom& atom) -> Status {
+    std::optional<size_t> arity = schema.ArityOf(atom.predicate);
+    if (arity) {
+      if (*arity != atom.args.size()) {
+        return Status::InvalidArgument("predicate " + kbt::NameOf(atom.predicate) +
+                                       " used at two arities");
+      }
+      return Status::OK();
+    }
+    return schema.Append(RelationDecl{atom.predicate, atom.args.size()});
+  };
+  for (const Rule& rule : program.rules) {
+    KBT_RETURN_IF_ERROR(note(rule.head));
+    for (const Literal& l : rule.body) {
+      KBT_RETURN_IF_ERROR(note(l.atom));
+    }
+  }
+  return schema;
+}
+
+StatusOr<std::vector<std::vector<Symbol>>> Stratify(const Program& program) {
+  std::vector<Symbol> idb = program.HeadPredicates();
+  auto is_idb = [&](Symbol p) {
+    return std::find(idb.begin(), idb.end(), p) != idb.end();
+  };
+
+  // stratum[p] computed by iterated relaxation:
+  //   p :- ... q ...   =>  stratum[p] >= stratum[q]
+  //   p :- ... !q ...  =>  stratum[p] >= stratum[q] + 1
+  // A negative cycle forces a stratum beyond |idb| and is reported.
+  std::map<Symbol, size_t> stratum;
+  for (Symbol p : idb) stratum[p] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules) {
+      size_t& head_stratum = stratum[rule.head.predicate];
+      for (const Literal& l : rule.body) {
+        if (!is_idb(l.atom.predicate)) continue;
+        size_t need = stratum[l.atom.predicate] + (l.negated ? 1 : 0);
+        if (head_stratum < need) {
+          head_stratum = need;
+          if (head_stratum > idb.size()) {
+            return Status::InvalidArgument(
+                "program is not stratifiable (cyclic negation through " +
+                kbt::NameOf(rule.head.predicate) + ")");
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+
+  size_t max_stratum = 0;
+  for (Symbol p : idb) max_stratum = std::max(max_stratum, stratum[p]);
+  std::vector<std::vector<Symbol>> out(max_stratum + 1);
+  for (Symbol p : idb) out[stratum[p]].push_back(p);
+  return out;
+}
+
+}  // namespace kbt::datalog

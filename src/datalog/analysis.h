@@ -1,0 +1,33 @@
+#ifndef KBT_DATALOG_ANALYSIS_H_
+#define KBT_DATALOG_ANALYSIS_H_
+
+/// \file
+/// Static checks on Datalog programs: range-restriction (safety), predicate arities,
+/// and stratification of negation.
+
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/ast.h"
+#include "rel/schema.h"
+
+namespace kbt::datalog {
+
+/// Verifies the program is *safe*: every variable in a rule head, in a negated
+/// literal, or in a constraint occurs in some positive body literal of that rule.
+kbt::Status CheckSafety(const Program& program);
+
+/// Collects the arity of every predicate used in the program; fails when a
+/// predicate is used at two arities.
+kbt::StatusOr<kbt::Schema> ProgramSchema(const Program& program);
+
+/// Splits IDB predicates into strata such that (a) a predicate's rules only use
+/// predicates of lower-or-equal strata positively and (b) strictly lower strata
+/// under negation. Fails with kInvalidArgument when negation is cyclic (the program
+/// is not stratifiable). EDB predicates are assigned stratum 0 implicitly.
+/// Result: strata[i] lists the IDB predicates of stratum i, in dependency order.
+kbt::StatusOr<std::vector<std::vector<Symbol>>> Stratify(const Program& program);
+
+}  // namespace kbt::datalog
+
+#endif  // KBT_DATALOG_ANALYSIS_H_

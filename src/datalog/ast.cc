@@ -1,0 +1,65 @@
+#include "datalog/ast.h"
+
+#include <algorithm>
+
+#include "logic/printer.h"
+
+namespace kbt::datalog {
+
+std::string DlAtom::ToString() const {
+  std::string out = NameOf(predicate);
+  out += "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += kbt::ToString(args[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string Literal::ToString() const {
+  return negated ? "!" + atom.ToString() : atom.ToString();
+}
+
+std::string Constraint::ToString() const {
+  return kbt::ToString(lhs) + (negated ? " != " : " = ") + kbt::ToString(rhs);
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString();
+  if (body.empty() && constraints.empty()) return out + ".";
+  out += " :- ";
+  bool first = true;
+  for (const Literal& l : body) {
+    if (!first) out += ", ";
+    out += l.ToString();
+    first = false;
+  }
+  for (const Constraint& c : constraints) {
+    if (!first) out += ", ";
+    out += c.ToString();
+    first = false;
+  }
+  return out + ".";
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<Symbol> Program::HeadPredicates() const {
+  std::vector<Symbol> out;
+  for (const Rule& r : rules) {
+    if (std::find(out.begin(), out.end(), r.head.predicate) == out.end()) {
+      out.push_back(r.head.predicate);
+    }
+  }
+  return out;
+}
+
+}  // namespace kbt::datalog

@@ -1,0 +1,72 @@
+#ifndef KBT_DATALOG_AST_H_
+#define KBT_DATALOG_AST_H_
+
+/// \file
+/// Datalog programs: conjunctions of function-free Horn clauses, optionally with
+/// stratified negation and (in)equality constraints.
+///
+/// §4.3 singles out "Datalog-restricted transformations" — transformation
+/// expressions whose sentences are conjunctions of function-free Horn clauses — and
+/// Theorem 4.8 shows their data complexity drops to PTIME because inserting a Datalog
+/// program yields the unique least fixpoint. This module is that PTIME substrate; it
+/// also supports stratified negation so the paper's remark on iterated-fixpoint
+/// evaluation of stratified programs ([ABW88]) can be exercised through τ.
+
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+#include "rel/schema.h"
+
+namespace kbt::datalog {
+
+using kbt::Symbol;
+using kbt::Term;
+
+/// A predicate applied to terms, e.g. path(X, Y) or edge(X, a).
+struct DlAtom {
+  Symbol predicate;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+/// A body literal: an atom, possibly negated (negation must be stratified).
+struct Literal {
+  DlAtom atom;
+  bool negated = false;
+
+  std::string ToString() const;
+};
+
+/// A builtin (in)equality constraint between two terms, e.g. X != Y.
+struct Constraint {
+  Term lhs;
+  Term rhs;
+  bool negated = false;  ///< false: lhs = rhs; true: lhs != rhs.
+
+  std::string ToString() const;
+};
+
+/// One Horn clause: head :- body, constraints. A rule with an empty body is a fact.
+struct Rule {
+  DlAtom head;
+  std::vector<Literal> body;
+  std::vector<Constraint> constraints;
+
+  std::string ToString() const;
+};
+
+/// A Datalog program.
+struct Program {
+  std::vector<Rule> rules;
+
+  std::string ToString() const;
+
+  /// All predicates appearing in rule heads (the IDB), in first-appearance order.
+  std::vector<Symbol> HeadPredicates() const;
+};
+
+}  // namespace kbt::datalog
+
+#endif  // KBT_DATALOG_AST_H_

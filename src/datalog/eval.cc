@@ -1,0 +1,310 @@
+#include "datalog/eval.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datalog/analysis.h"
+
+namespace kbt::datalog {
+
+using kbt::Database;
+using kbt::Relation;
+using kbt::RelationDecl;
+using kbt::Schema;
+using kbt::Status;
+using kbt::StatusOr;
+using kbt::Tuple;
+using kbt::Value;
+
+namespace {
+
+/// A variable binding environment: small scoped stack, linear lookup (rules have
+/// few variables).
+class Env {
+ public:
+  bool Lookup(Symbol var, Value* out) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->first == var) {
+        *out = it->second;
+        return true;
+      }
+    }
+    return false;
+  }
+  void Push(Symbol var, Value v) { entries_.emplace_back(var, v); }
+  size_t Mark() const { return entries_.size(); }
+  void PopTo(size_t mark) { entries_.resize(mark); }
+
+ private:
+  std::vector<std::pair<Symbol, Value>> entries_;
+};
+
+/// Tuples of `r` whose first `prefix.size()` components equal `prefix`
+/// (relations are lexicographically sorted, so this is an equal_range).
+std::pair<std::vector<Tuple>::const_iterator, std::vector<Tuple>::const_iterator>
+PrefixRange(const Relation& r, const std::vector<Value>& prefix) {
+  auto cmp_lo = [&](const Tuple& t, int) {
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      if (t[i] != prefix[i]) return t[i] < prefix[i];
+    }
+    return false;  // Equal prefix: not less.
+  };
+  auto cmp_hi = [&](int, const Tuple& t) {
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      if (t[i] != prefix[i]) return prefix[i] < t[i];
+    }
+    return false;  // Equal prefix: not greater.
+  };
+  auto lo = std::lower_bound(r.begin(), r.end(), 0, cmp_lo);
+  auto hi = std::upper_bound(r.begin(), r.end(), 0, cmp_hi);
+  return {lo, hi};
+}
+
+class RuleRunner {
+ public:
+  RuleRunner(const Rule& rule, const std::map<Symbol, Relation>& relations,
+             EvalStats* stats)
+      : rule_(rule), relations_(relations), stats_(stats) {
+    for (const Literal& l : rule.body) {
+      (l.negated ? negatives_ : positives_).push_back(&l);
+    }
+  }
+
+  /// Runs the rule and appends derived head tuples to `out`. When `delta_pred` is
+  /// set, exactly one positive literal over that predicate is instantiated from
+  /// `delta` instead of the full relation — called once per delta position by the
+  /// semi-naive driver.
+  Status Run(const Relation* delta, size_t delta_position, std::vector<Tuple>* out) {
+    delta_ = delta;
+    delta_position_ = delta_position;
+    out_ = out;
+    if (stats_ != nullptr) ++stats_->rule_evaluations;
+    Env env;
+    return Recurse(0, &env);
+  }
+
+ private:
+  StatusOr<const Relation*> RelationOf(Symbol pred) const {
+    auto it = relations_.find(pred);
+    if (it == relations_.end()) {
+      return Status::Internal("datalog eval: relation missing for " +
+                              kbt::NameOf(pred));
+    }
+    return &it->second;
+  }
+
+  Status Recurse(size_t i, Env* env) {
+    if (i == positives_.size()) return Finish(env);
+    const Literal& lit = *positives_[i];
+    const Relation* rel;
+    if (delta_ != nullptr && i == delta_position_) {
+      rel = delta_;
+    } else {
+      KBT_ASSIGN_OR_RETURN(rel, RelationOf(lit.atom.predicate));
+    }
+    if (rel->arity() != lit.atom.args.size()) {
+      return Status::InvalidArgument("arity mismatch for " +
+                                     kbt::NameOf(lit.atom.predicate));
+    }
+    // Longest bound prefix for a sorted-range probe.
+    std::vector<Value> prefix;
+    for (const Term& t : lit.atom.args) {
+      Value v;
+      if (t.is_constant()) {
+        prefix.push_back(t.symbol);
+      } else if (env->Lookup(t.symbol, &v)) {
+        prefix.push_back(v);
+      } else {
+        break;
+      }
+    }
+    auto [lo, hi] = PrefixRange(*rel, prefix);
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& tuple = *it;
+      size_t mark = env->Mark();
+      bool match = true;
+      for (size_t j = prefix.size(); j < tuple.arity(); ++j) {
+        const Term& t = lit.atom.args[j];
+        if (t.is_constant()) {
+          if (tuple[j] != t.symbol) {
+            match = false;
+            break;
+          }
+        } else {
+          Value bound;
+          if (env->Lookup(t.symbol, &bound)) {
+            if (bound != tuple[j]) {
+              match = false;
+              break;
+            }
+          } else {
+            env->Push(t.symbol, tuple[j]);
+          }
+        }
+      }
+      if (match) {
+        KBT_RETURN_IF_ERROR(Recurse(i + 1, env));
+      }
+      env->PopTo(mark);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<Value> Resolve(const Term& t, Env* env) const {
+    if (t.is_constant()) return t.symbol;
+    Value v;
+    if (!env->Lookup(t.symbol, &v)) {
+      return Status::InvalidArgument("unsafe rule: unbound variable " +
+                                     kbt::NameOf(t.symbol));
+    }
+    return v;
+  }
+
+  Status Finish(Env* env) {
+    for (const Constraint& c : rule_.constraints) {
+      KBT_ASSIGN_OR_RETURN(Value lhs, Resolve(c.lhs, env));
+      KBT_ASSIGN_OR_RETURN(Value rhs, Resolve(c.rhs, env));
+      if ((lhs == rhs) == c.negated) return Status::OK();
+    }
+    for (const Literal* l : negatives_) {
+      KBT_ASSIGN_OR_RETURN(const Relation* rel, RelationOf(l->atom.predicate));
+      std::vector<Value> values;
+      values.reserve(l->atom.args.size());
+      for (const Term& t : l->atom.args) {
+        KBT_ASSIGN_OR_RETURN(Value v, Resolve(t, env));
+        values.push_back(v);
+      }
+      if (rel->Contains(Tuple(std::move(values)))) return Status::OK();
+    }
+    std::vector<Value> head;
+    head.reserve(rule_.head.args.size());
+    for (const Term& t : rule_.head.args) {
+      KBT_ASSIGN_OR_RETURN(Value v, Resolve(t, env));
+      head.push_back(v);
+    }
+    out_->emplace_back(std::move(head));
+    return Status::OK();
+  }
+
+  const Rule& rule_;
+  const std::map<Symbol, Relation>& relations_;
+  EvalStats* stats_;
+  std::vector<const Literal*> positives_;
+  std::vector<const Literal*> negatives_;
+  const Relation* delta_ = nullptr;
+  size_t delta_position_ = 0;
+  std::vector<Tuple>* out_ = nullptr;
+};
+
+}  // namespace
+
+StatusOr<Database> Evaluate(const Program& program, const Database& edb,
+                            const EvalOptions& options, EvalStats* stats) {
+  KBT_RETURN_IF_ERROR(CheckSafety(program));
+  KBT_ASSIGN_OR_RETURN(Schema program_schema, ProgramSchema(program));
+  KBT_ASSIGN_OR_RETURN(std::vector<std::vector<Symbol>> strata, Stratify(program));
+
+  // Output schema: EDB relations first, then unseen IDB predicates.
+  KBT_ASSIGN_OR_RETURN(Schema out_schema, edb.schema().Union(program_schema));
+
+  // Working relation store.
+  std::map<Symbol, Relation> store;
+  for (const RelationDecl& d : out_schema.decls()) {
+    std::optional<size_t> pos = edb.schema().PositionOf(d.symbol);
+    store.emplace(d.symbol,
+                  pos ? edb.relation_at(*pos) : Relation(d.arity));
+  }
+
+  std::vector<Symbol> idb = program.HeadPredicates();
+  for (size_t stratum = 0; stratum < strata.size(); ++stratum) {
+    const std::vector<Symbol>& stratum_preds = strata[stratum];
+    auto in_stratum = [&](Symbol p) {
+      return std::find(stratum_preds.begin(), stratum_preds.end(), p) !=
+             stratum_preds.end();
+    };
+    std::vector<const Rule*> rules;
+    for (const Rule& r : program.rules) {
+      if (in_stratum(r.head.predicate)) rules.push_back(&r);
+    }
+    if (rules.empty()) continue;
+
+    if (!options.use_seminaive) {
+      // Naive: re-derive everything until no growth.
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        if (stats != nullptr) ++stats->rounds;
+        for (const Rule* r : rules) {
+          std::vector<Tuple> derived;
+          RuleRunner runner(*r, store, stats);
+          KBT_RETURN_IF_ERROR(runner.Run(nullptr, 0, &derived));
+          Relation& head = store.at(r->head.predicate);
+          Relation fresh = Relation(head.arity(), std::move(derived)).Difference(head);
+          if (!fresh.empty()) {
+            if (stats != nullptr) stats->derived_tuples += fresh.size();
+            head = head.Union(fresh);
+            grew = true;
+          }
+        }
+      }
+      continue;
+    }
+
+    // Semi-naive. Round 0 evaluates every rule in full (this seeds facts and
+    // captures contributions of lower strata); afterwards only rules with a
+    // recursive positive literal re-fire, instantiated through the deltas.
+    std::map<Symbol, Relation> delta;
+    if (stats != nullptr) ++stats->rounds;
+    for (const Rule* r : rules) {
+      std::vector<Tuple> derived;
+      RuleRunner runner(*r, store, stats);
+      KBT_RETURN_IF_ERROR(runner.Run(nullptr, 0, &derived));
+      Relation& head = store.at(r->head.predicate);
+      Relation fresh = Relation(head.arity(), std::move(derived)).Difference(head);
+      if (!fresh.empty()) {
+        if (stats != nullptr) stats->derived_tuples += fresh.size();
+        head = head.Union(fresh);
+        auto [it, inserted] = delta.emplace(r->head.predicate, fresh);
+        if (!inserted) it->second = it->second.Union(fresh);
+      }
+    }
+    while (!delta.empty()) {
+      if (stats != nullptr) ++stats->rounds;
+      std::map<Symbol, Relation> next_delta;
+      for (const Rule* r : rules) {
+        // One pass per recursive positive literal, fed by that literal's delta.
+        size_t positive_index = 0;
+        for (const Literal& l : r->body) {
+          if (l.negated) continue;
+          size_t this_index = positive_index++;
+          auto dit = delta.find(l.atom.predicate);
+          if (dit == delta.end() || !in_stratum(l.atom.predicate)) continue;
+          std::vector<Tuple> derived;
+          RuleRunner runner(*r, store, stats);
+          KBT_RETURN_IF_ERROR(runner.Run(&dit->second, this_index, &derived));
+          if (derived.empty()) continue;
+          Relation& head = store.at(r->head.predicate);
+          Relation fresh =
+              Relation(head.arity(), std::move(derived)).Difference(head);
+          if (fresh.empty()) continue;
+          if (stats != nullptr) stats->derived_tuples += fresh.size();
+          head = head.Union(fresh);
+          auto [it, inserted] = next_delta.emplace(r->head.predicate, fresh);
+          if (!inserted) it->second = it->second.Union(fresh);
+        }
+      }
+      delta = std::move(next_delta);
+    }
+  }
+
+  // Assemble the output database.
+  std::vector<Relation> out_relations;
+  out_relations.reserve(out_schema.size());
+  for (const RelationDecl& d : out_schema.decls()) {
+    out_relations.push_back(store.at(d.symbol));
+  }
+  return Database::Create(std::move(out_schema), std::move(out_relations));
+}
+
+}  // namespace kbt::datalog

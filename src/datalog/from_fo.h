@@ -1,0 +1,35 @@
+#ifndef KBT_DATALOG_FROM_FO_H_
+#define KBT_DATALOG_FROM_FO_H_
+
+/// \file
+/// Detection of the Datalog-restricted fragment of §4.3: first-order sentences that
+/// are conjunctions of universally closed function-free Horn clauses.
+///
+/// Accepted conjunct shapes (after stripping the ∀ prefix):
+///
+///   * an atom (a fact; must be ground for safety),
+///   * body → head, where head is an atom and body is a conjunction — or a
+///     disjunction of conjunctions, which distributes into several clauses, the
+///     shape the paper's transitive-closure sentence of Example 1 uses:
+///     ∀x1x2x3 ((R2 x1x2 ∧ R1 x2x3) ∨ R1 x1x3 → R2 x1x3) —
+///     of positive atoms, equalities, and inequalities.
+///
+/// Anything else (negated body atoms, ↔, ∃, disjunctive heads) is rejected with
+/// nullopt so the caller can fall back to the generic engine.
+
+#include <optional>
+
+#include "base/status.h"
+#include "datalog/ast.h"
+#include "logic/formula.h"
+
+namespace kbt::datalog {
+
+/// Extracts a Datalog program from `sentence`, or nullopt when the sentence is not
+/// in the fragment. A successfully extracted program is syntactically faithful:
+/// models of the sentence over a fixed domain = models of the program's clauses.
+kbt::StatusOr<std::optional<Program>> FromFirstOrder(const kbt::Formula& sentence);
+
+}  // namespace kbt::datalog
+
+#endif  // KBT_DATALOG_FROM_FO_H_

@@ -1,0 +1,165 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace kbt::datalog {
+
+namespace {
+
+using kbt::Status;
+using kbt::StatusOr;
+
+class ProgramParser {
+ public:
+  explicit ProgramParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Program> Parse() {
+    Program program;
+    SkipSpace();
+    while (pos_ < text_.size()) {
+      KBT_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      program.rules.push_back(std::move(rule));
+      SkipSpace();
+    }
+    return program;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool EatWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at position " + std::to_string(pos_));
+  }
+
+  StatusOr<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '\'')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<Term> ParseTerm() {
+    KBT_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+    if (std::isupper(static_cast<unsigned char>(ident[0]))) {
+      return Term::Var(ident);
+    }
+    return Term::Const(ident);
+  }
+
+  StatusOr<DlAtom> ParseAtom() {
+    KBT_ASSIGN_OR_RETURN(std::string pred, ParseIdent());
+    DlAtom atom;
+    atom.predicate = kbt::Name(pred);
+    if (!Eat('(')) return Error("expected '(' after predicate name");
+    if (Eat(')')) return atom;
+    do {
+      KBT_ASSIGN_OR_RETURN(Term t, ParseTerm());
+      atom.args.push_back(t);
+    } while (Eat(','));
+    if (!Eat(')')) return Error("expected ')' after atom arguments");
+    return atom;
+  }
+
+  StatusOr<Rule> ParseRule() {
+    Rule rule;
+    KBT_ASSIGN_OR_RETURN(rule.head, ParseAtom());
+    if (Eat('.')) return rule;  // Fact.
+    if (!EatWord(":-")) return Error("expected ':-' or '.' after rule head");
+    do {
+      SkipSpace();
+      if (pos_ < text_.size() && (text_[pos_] == '!' || text_[pos_] == '\\')) {
+        // Negated literal: !p(...) (also accepts "\+" Prolog-style).
+        if (text_[pos_] == '\\') {
+          if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '+') {
+            return Error("expected '\\+'");
+          }
+          pos_ += 2;
+        } else {
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '=') {
+            return Error("unexpected '!=' without left-hand term");
+          }
+        }
+        KBT_ASSIGN_OR_RETURN(DlAtom atom, ParseAtom());
+        rule.body.push_back(Literal{std::move(atom), true});
+        continue;
+      }
+      // Lookahead: term (= | !=) term, or atom.
+      size_t save = pos_;
+      KBT_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '(') {
+        pos_ = save;
+        KBT_ASSIGN_OR_RETURN(DlAtom atom, ParseAtom());
+        rule.body.push_back(Literal{std::move(atom), false});
+        continue;
+      }
+      // Constraint.
+      Term lhs = std::isupper(static_cast<unsigned char>(ident[0]))
+                     ? Term::Var(ident)
+                     : Term::Const(ident);
+      bool negated;
+      if (EatWord("!=")) {
+        negated = true;
+      } else if (Eat('=')) {
+        negated = false;
+      } else {
+        return Error("expected '=', '!=' or '(' after identifier");
+      }
+      KBT_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      rule.constraints.push_back(Constraint{lhs, rhs, negated});
+    } while (Eat(','));
+    if (!Eat('.')) return Error("expected '.' at end of rule");
+    return rule;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Program> ParseProgram(std::string_view text) {
+  ProgramParser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace kbt::datalog

@@ -1,0 +1,30 @@
+#ifndef KBT_DATALOG_PARSER_H_
+#define KBT_DATALOG_PARSER_H_
+
+/// \file
+/// Parser for the usual concrete Datalog syntax:
+///
+///   path(X, Y) :- edge(X, Y).
+///   path(X, Z) :- path(X, Y), edge(Y, Z).
+///   unreachable(X, Y) :- node(X), node(Y), !path(X, Y).
+///   neq(X, Y) :- node(X), node(Y), X != Y.
+///   fact(a, b).
+///   % comments run to end of line
+///
+/// Identifiers starting with an uppercase letter are variables; all other
+/// identifiers (and numbers) are constants. (This is the classic Datalog convention;
+/// note it differs from the FO formula syntax, where quantification decides.)
+
+#include <string_view>
+
+#include "base/status.h"
+#include "datalog/ast.h"
+
+namespace kbt::datalog {
+
+/// Parses a whole program.
+kbt::StatusOr<Program> ParseProgram(std::string_view text);
+
+}  // namespace kbt::datalog
+
+#endif  // KBT_DATALOG_PARSER_H_

@@ -1,0 +1,50 @@
+#include "datalog/to_fo.h"
+
+#include <set>
+
+namespace kbt::datalog {
+
+using kbt::Formula;
+
+Formula RuleToFirstOrder(const Rule& rule) {
+  std::vector<Formula> body;
+  for (const Literal& l : rule.body) {
+    Formula atom = kbt::Atom(l.atom.predicate, l.atom.args);
+    body.push_back(l.negated ? kbt::Not(std::move(atom)) : std::move(atom));
+  }
+  for (const Constraint& c : rule.constraints) {
+    Formula eq = kbt::Equals(c.lhs, c.rhs);
+    body.push_back(c.negated ? kbt::Not(std::move(eq)) : std::move(eq));
+  }
+  Formula head = kbt::Atom(rule.head.predicate, rule.head.args);
+  Formula core = body.empty() ? head
+                              : kbt::Implies(kbt::And(std::move(body)), head);
+
+  // Universal closure over every variable of the rule, in first-occurrence order.
+  std::vector<Symbol> vars;
+  std::set<Symbol> seen;
+  auto note = [&](const Term& t) {
+    if (t.is_variable() && seen.insert(t.symbol).second) vars.push_back(t.symbol);
+  };
+  for (const Literal& l : rule.body) {
+    for (const Term& t : l.atom.args) note(t);
+  }
+  for (const Constraint& c : rule.constraints) {
+    note(c.lhs);
+    note(c.rhs);
+  }
+  for (const Term& t : rule.head.args) note(t);
+  return kbt::Forall(vars, std::move(core));
+}
+
+kbt::StatusOr<Formula> ToFirstOrder(const Program& program) {
+  if (program.rules.empty()) {
+    return kbt::Status::InvalidArgument("cannot convert an empty program");
+  }
+  std::vector<Formula> conjuncts;
+  conjuncts.reserve(program.rules.size());
+  for (const Rule& r : program.rules) conjuncts.push_back(RuleToFirstOrder(r));
+  return kbt::And(std::move(conjuncts));
+}
+
+}  // namespace kbt::datalog

@@ -1,0 +1,26 @@
+#ifndef KBT_DATALOG_TO_FO_H_
+#define KBT_DATALOG_TO_FO_H_
+
+/// \file
+/// The reverse bridge: Datalog rules to first-order sentences, so programs can be
+/// "inserted" through τ. Each rule becomes its universal closure
+/// ∀x̄ (body⁺ ∧ ¬body⁻ ∧ constraints → head); a program becomes the conjunction.
+/// Positive programs land in the Theorem 4.8 fast path; rules with (stratified)
+/// negation go through the generic engine — core/stratified.h drives them stratum
+/// by stratum, which is the paper's [ABW88] remark made executable.
+
+#include "base/status.h"
+#include "datalog/ast.h"
+#include "logic/formula.h"
+
+namespace kbt::datalog {
+
+/// The universal closure of one rule.
+kbt::Formula RuleToFirstOrder(const Rule& rule);
+
+/// Conjunction of all rules' closures. Fails on an empty program.
+kbt::StatusOr<kbt::Formula> ToFirstOrder(const Program& program);
+
+}  // namespace kbt::datalog
+
+#endif  // KBT_DATALOG_TO_FO_H_

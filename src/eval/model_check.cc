@@ -1,0 +1,188 @@
+#include "eval/model_check.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "logic/analysis.h"
+
+namespace kbt {
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const Database& db, const std::vector<Value>& domain)
+      : db_(db), domain_(domain) {}
+
+  StatusOr<bool> Check(const Formula& f) {
+    switch (f->kind()) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kAtom: {
+        std::optional<size_t> pos = db_.schema().PositionOf(f->relation());
+        if (!pos) {
+          return Status::InvalidArgument(
+              "σ(db) does not dominate σ(φ): unknown relation " +
+              NameOf(f->relation()));
+        }
+        const Relation& r = db_.relation_at(*pos);
+        if (r.arity() != f->terms().size()) {
+          return Status::InvalidArgument("arity mismatch for relation " +
+                                         NameOf(f->relation()));
+        }
+        std::vector<Value> values;
+        values.reserve(f->terms().size());
+        for (const Term& t : f->terms()) {
+          KBT_ASSIGN_OR_RETURN(Value v, Resolve(t));
+          values.push_back(v);
+        }
+        return r.Contains(Tuple(std::move(values)));
+      }
+      case FormulaKind::kEquals: {
+        KBT_ASSIGN_OR_RETURN(Value lhs, Resolve(f->terms()[0]));
+        KBT_ASSIGN_OR_RETURN(Value rhs, Resolve(f->terms()[1]));
+        return lhs == rhs;
+      }
+      case FormulaKind::kNot: {
+        KBT_ASSIGN_OR_RETURN(bool inner, Check(f->children()[0]));
+        return !inner;
+      }
+      case FormulaKind::kAnd: {
+        for (const Formula& c : f->children()) {
+          KBT_ASSIGN_OR_RETURN(bool v, Check(c));
+          if (!v) return false;
+        }
+        return true;
+      }
+      case FormulaKind::kOr: {
+        for (const Formula& c : f->children()) {
+          KBT_ASSIGN_OR_RETURN(bool v, Check(c));
+          if (v) return true;
+        }
+        return false;
+      }
+      case FormulaKind::kImplies: {
+        KBT_ASSIGN_OR_RETURN(bool a, Check(f->children()[0]));
+        if (!a) return true;
+        return Check(f->children()[1]);
+      }
+      case FormulaKind::kIff: {
+        KBT_ASSIGN_OR_RETURN(bool a, Check(f->children()[0]));
+        KBT_ASSIGN_OR_RETURN(bool b, Check(f->children()[1]));
+        return a == b;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        bool universal = f->kind() == FormulaKind::kForall;
+        Symbol var = f->variable();
+        auto saved = env_.find(var);
+        std::optional<Value> outer;
+        if (saved != env_.end()) outer = saved->second;
+        StatusOr<bool> result = universal;
+        for (Value v : domain_) {
+          env_[var] = v;
+          result = Check(f->children()[0]);
+          if (!result.ok()) break;
+          if (*result != universal) break;  // Short-circuit.
+        }
+        if (outer) {
+          env_[var] = *outer;
+        } else {
+          env_.erase(var);
+        }
+        return result;
+      }
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+  void Bind(Symbol var, Value value) { env_[var] = value; }
+
+ private:
+  StatusOr<Value> Resolve(const Term& t) {
+    if (t.is_constant()) return t.symbol;
+    auto it = env_.find(t.symbol);
+    if (it == env_.end()) {
+      return Status::InvalidArgument("unbound variable: " + NameOf(t.symbol));
+    }
+    return it->second;
+  }
+
+  const Database& db_;
+  const std::vector<Value>& domain_;
+  std::unordered_map<Symbol, Value> env_;
+};
+
+}  // namespace
+
+std::vector<Value> ActiveDomain(const Database& db, const Formula& f) {
+  std::vector<Value> domain = db.ActiveDomain();
+  std::vector<Value> consts = ConstantsOf(f);
+  domain.insert(domain.end(), consts.begin(), consts.end());
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+StatusOr<bool> Satisfies(const Database& db, const Formula& f,
+                         const std::vector<Value>& domain) {
+  if (!IsSentence(f)) {
+    return Status::InvalidArgument("Satisfies requires a sentence");
+  }
+  Checker checker(db, domain);
+  return checker.Check(f);
+}
+
+StatusOr<bool> Satisfies(const Database& db, const Formula& f) {
+  return Satisfies(db, f, ActiveDomain(db, f));
+}
+
+StatusOr<bool> KbSatisfies(const Knowledgebase& kb, const Formula& f) {
+  for (const Database& db : kb) {
+    KBT_ASSIGN_OR_RETURN(bool v, Satisfies(db, f));
+    if (!v) return false;
+  }
+  return true;
+}
+
+StatusOr<Relation> EvaluateQuery(const Database& db, const Formula& f,
+                                 const std::vector<Symbol>& vars,
+                                 const std::vector<Value>& domain) {
+  std::set<Symbol> free = FreeVariables(f);
+  for (Symbol v : vars) free.erase(v);
+  if (!free.empty()) {
+    return Status::InvalidArgument("EvaluateQuery: free variables not covered");
+  }
+  Relation out(vars.size());
+  std::vector<Tuple> rows;
+  // Enumerate |domain|^|vars| assignments; fine for the moderate arities the
+  // examples and Theorem 5.1 benchmarks use. (An empty variable list checks the
+  // sentence itself: the 0-ary answer is {()} or {}.)
+  std::vector<size_t> idx(vars.size(), 0);
+  bool empty_domain = domain.empty() && !vars.empty();
+  if (empty_domain) return out;
+  while (true) {
+    Checker checker(db, domain);
+    std::vector<Value> values(vars.size());
+    for (size_t i = 0; i < vars.size(); ++i) {
+      values[i] = domain[idx[i]];
+      checker.Bind(vars[i], values[i]);
+    }
+    KBT_ASSIGN_OR_RETURN(bool v, checker.Check(f));
+    if (v) rows.emplace_back(std::move(values));
+    // Advance the odometer.
+    size_t k = 0;
+    while (k < idx.size()) {
+      if (++idx[k] < domain.size()) break;
+      idx[k] = 0;
+      ++k;
+    }
+    if (k == idx.size()) break;
+    if (vars.empty()) break;
+  }
+  return Relation(vars.size(), std::move(rows));
+}
+
+}  // namespace kbt

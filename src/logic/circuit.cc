@@ -1,0 +1,177 @@
+#include "logic/circuit.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kbt {
+
+Circuit::Circuit() {
+  nodes_.push_back(Node{NodeKind::kConst, 0, {}});  // id 0: false
+  nodes_.push_back(Node{NodeKind::kConst, 1, {}});  // id 1: true
+}
+
+int Circuit::Intern(Node node) {
+  NodeKey key{node.kind, node.var, node.children};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  cache_.emplace(std::move(key), id);
+  return id;
+}
+
+int Circuit::VarNode(int var_id) {
+  auto it = var_nodes_.find(var_id);
+  if (it != var_nodes_.end()) return it->second;
+  int id = Intern(Node{NodeKind::kVar, var_id, {}});
+  var_nodes_.emplace(var_id, id);
+  return id;
+}
+
+int Circuit::NotNode(int child) {
+  if (child == FalseNode()) return TrueNode();
+  if (child == TrueNode()) return FalseNode();
+  const Node& n = node(child);
+  if (n.kind == NodeKind::kNot) return n.children[0];
+  return Intern(Node{NodeKind::kNot, 0, {child}});
+}
+
+int Circuit::AndNode(std::vector<int> children) {
+  std::vector<int> flat;
+  for (int c : children) {
+    if (c == TrueNode()) continue;
+    if (c == FalseNode()) return FalseNode();
+    if (node(c).kind == NodeKind::kAnd) {
+      const std::vector<int>& sub = node(c).children;
+      flat.insert(flat.end(), sub.begin(), sub.end());
+    } else {
+      flat.push_back(c);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  // x ∧ ¬x → false.
+  for (int c : flat) {
+    const Node& n = node(c);
+    if (n.kind == NodeKind::kNot &&
+        std::binary_search(flat.begin(), flat.end(), n.children[0])) {
+      return FalseNode();
+    }
+  }
+  if (flat.empty()) return TrueNode();
+  if (flat.size() == 1) return flat[0];
+  return Intern(Node{NodeKind::kAnd, 0, std::move(flat)});
+}
+
+int Circuit::OrNode(std::vector<int> children) {
+  std::vector<int> flat;
+  for (int c : children) {
+    if (c == FalseNode()) continue;
+    if (c == TrueNode()) return TrueNode();
+    if (node(c).kind == NodeKind::kOr) {
+      const std::vector<int>& sub = node(c).children;
+      flat.insert(flat.end(), sub.begin(), sub.end());
+    } else {
+      flat.push_back(c);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  // x ∨ ¬x → true.
+  for (int c : flat) {
+    const Node& n = node(c);
+    if (n.kind == NodeKind::kNot &&
+        std::binary_search(flat.begin(), flat.end(), n.children[0])) {
+      return TrueNode();
+    }
+  }
+  if (flat.empty()) return FalseNode();
+  if (flat.size() == 1) return flat[0];
+  return Intern(Node{NodeKind::kOr, 0, std::move(flat)});
+}
+
+bool Circuit::Evaluate(int root, const std::function<bool(int)>& var_value) const {
+  std::unordered_map<int, bool> memo;
+  // Explicit stack to avoid deep recursion on wide/deep circuits.
+  std::function<bool(int)> eval = [&](int id) -> bool {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const Node& n = node(id);
+    bool result = false;
+    switch (n.kind) {
+      case NodeKind::kConst:
+        result = (n.var == 1);
+        break;
+      case NodeKind::kVar:
+        result = var_value(n.var);
+        break;
+      case NodeKind::kNot:
+        result = !eval(n.children[0]);
+        break;
+      case NodeKind::kAnd:
+        result = true;
+        for (int c : n.children) {
+          if (!eval(c)) {
+            result = false;
+            break;
+          }
+        }
+        break;
+      case NodeKind::kOr:
+        result = false;
+        for (int c : n.children) {
+          if (eval(c)) {
+            result = true;
+            break;
+          }
+        }
+        break;
+    }
+    memo.emplace(id, result);
+    return result;
+  };
+  return eval(root);
+}
+
+std::vector<int> Circuit::CollectVars(int root) const {
+  std::vector<int> out;
+  std::vector<int> stack{root};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<size_t>(id)]) continue;
+    seen[static_cast<size_t>(id)] = true;
+    const Node& n = node(id);
+    if (n.kind == NodeKind::kVar) out.push_back(n.var);
+    for (int c : n.children) stack.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Circuit::ToString(int root) const {
+  const Node& n = node(root);
+  switch (n.kind) {
+    case NodeKind::kConst:
+      return n.var == 1 ? "true" : "false";
+    case NodeKind::kVar:
+      return "v" + std::to_string(n.var);
+    case NodeKind::kNot:
+      return "(not " + ToString(n.children[0]) + ")";
+    case NodeKind::kAnd:
+    case NodeKind::kOr: {
+      std::string out = n.kind == NodeKind::kAnd ? "(and" : "(or";
+      for (int c : n.children) {
+        out += " ";
+        out += ToString(c);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace kbt

@@ -1,0 +1,102 @@
+#ifndef KBT_LOGIC_CIRCUIT_H_
+#define KBT_LOGIC_CIRCUIT_H_
+
+/// \file
+/// Hash-consed boolean circuits (AND/OR/NOT/VAR/CONST DAGs).
+///
+/// The grounder lowers a first-order sentence over a finite domain into a circuit
+/// whose variables are ground-atom ids; the Tseitin encoder then lowers the circuit
+/// to CNF. Hash-consing keeps repeated subformulas (ubiquitous after quantifier
+/// expansion) shared, and constructors fold constants, flatten nested same-kind
+/// gates, and collapse double negation.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+
+namespace kbt {
+
+/// A boolean circuit with structural sharing. Node ids are dense ints; ids 0 and 1
+/// are reserved for the constants false and true.
+class Circuit {
+ public:
+  enum class NodeKind : uint8_t { kConst, kVar, kNot, kAnd, kOr };
+
+  struct Node {
+    NodeKind kind;
+    /// kVar: external variable id. kConst: 0 or 1.
+    int var = 0;
+    /// kNot: one child; kAnd/kOr: two or more children (sorted, deduplicated).
+    std::vector<int> children;
+  };
+
+  Circuit();
+
+  /// Constant nodes.
+  int FalseNode() const { return 0; }
+  int TrueNode() const { return 1; }
+
+  /// Variable node for external variable `var_id` (hash-consed).
+  int VarNode(int var_id);
+
+  /// Negation; folds constants and double negation.
+  int NotNode(int child);
+
+  /// Conjunction; folds constants, flattens nested ANDs, dedups children,
+  /// short-circuits complementary literals to false.
+  int AndNode(std::vector<int> children);
+
+  /// Disjunction (dual simplifications).
+  int OrNode(std::vector<int> children);
+
+  /// a → b as ¬a ∨ b.
+  int ImpliesNode(int a, int b) { return OrNode({NotNode(a), b}); }
+  /// a ↔ b as (a → b) ∧ (b → a); children are shared, not re-expanded.
+  int IffNode(int a, int b) {
+    return AndNode({ImpliesNode(a, b), ImpliesNode(b, a)});
+  }
+
+  const Node& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  /// Total number of nodes (monotone over the circuit's lifetime).
+  size_t size() const { return nodes_.size(); }
+
+  /// Evaluates the subcircuit rooted at `root` under `var_value` (memoized).
+  bool Evaluate(int root, const std::function<bool(int)>& var_value) const;
+
+  /// External variable ids reachable from `root`, sorted and deduplicated.
+  std::vector<int> CollectVars(int root) const;
+
+  /// Debug rendering of the subcircuit at `root` (s-expression).
+  std::string ToString(int root) const;
+
+ private:
+  int Intern(Node node);
+
+  struct NodeKey {
+    NodeKind kind;
+    int var;
+    std::vector<int> children;
+    friend bool operator==(const NodeKey& a, const NodeKey& b) {
+      return a.kind == b.kind && a.var == b.var && a.children == b.children;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const {
+      size_t seed = HashCombine(static_cast<size_t>(k.kind), k.var);
+      for (int c : k.children) seed = HashCombine(seed, static_cast<size_t>(c));
+      return seed;
+    }
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, int, NodeKeyHash> cache_;
+  std::unordered_map<int, int> var_nodes_;
+};
+
+}  // namespace kbt
+
+#endif  // KBT_LOGIC_CIRCUIT_H_

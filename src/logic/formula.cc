@@ -1,0 +1,114 @@
+#include "logic/formula.h"
+
+#include <cassert>
+
+namespace kbt {
+
+namespace {
+
+Formula Make(FormulaKind kind, Symbol relation, std::vector<Term> terms,
+             std::vector<Formula> children, Symbol variable) {
+  return std::make_shared<const FormulaNode>(kind, relation, std::move(terms),
+                                             std::move(children), variable);
+}
+
+}  // namespace
+
+Formula True() {
+  static const Formula t = Make(FormulaKind::kTrue, 0, {}, {}, 0);
+  return t;
+}
+
+Formula False() {
+  static const Formula f = Make(FormulaKind::kFalse, 0, {}, {}, 0);
+  return f;
+}
+
+Formula Atom(Symbol relation, std::vector<Term> args) {
+  return Make(FormulaKind::kAtom, relation, std::move(args), {}, 0);
+}
+
+Formula Atom(std::string_view relation, std::vector<Term> args) {
+  return Atom(Name(relation), std::move(args));
+}
+
+Formula Equals(Term lhs, Term rhs) {
+  return Make(FormulaKind::kEquals, 0, {lhs, rhs}, {}, 0);
+}
+
+Formula NotEquals(Term lhs, Term rhs) { return Not(Equals(lhs, rhs)); }
+
+Formula Not(Formula f) {
+  assert(f != nullptr);
+  return Make(FormulaKind::kNot, 0, {}, {std::move(f)}, 0);
+}
+
+Formula And(std::vector<Formula> fs) {
+  if (fs.empty()) return True();
+  if (fs.size() == 1) return fs.front();
+  return Make(FormulaKind::kAnd, 0, {}, std::move(fs), 0);
+}
+
+Formula And(Formula a, Formula b) { return And(std::vector<Formula>{a, b}); }
+
+Formula Or(std::vector<Formula> fs) {
+  if (fs.empty()) return False();
+  if (fs.size() == 1) return fs.front();
+  return Make(FormulaKind::kOr, 0, {}, std::move(fs), 0);
+}
+
+Formula Or(Formula a, Formula b) { return Or(std::vector<Formula>{a, b}); }
+
+Formula Implies(Formula a, Formula b) {
+  return Make(FormulaKind::kImplies, 0, {}, {std::move(a), std::move(b)}, 0);
+}
+
+Formula Iff(Formula a, Formula b) {
+  return Make(FormulaKind::kIff, 0, {}, {std::move(a), std::move(b)}, 0);
+}
+
+Formula Exists(Symbol var, Formula body) {
+  return Make(FormulaKind::kExists, 0, {}, {std::move(body)}, var);
+}
+
+Formula Exists(std::string_view var, Formula body) {
+  return Exists(Name(var), std::move(body));
+}
+
+Formula Exists(std::vector<Symbol> vars, Formula body) {
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    body = Exists(*it, std::move(body));
+  }
+  return body;
+}
+
+Formula Forall(Symbol var, Formula body) {
+  return Make(FormulaKind::kForall, 0, {}, {std::move(body)}, var);
+}
+
+Formula Forall(std::string_view var, Formula body) {
+  return Forall(Name(var), std::move(body));
+}
+
+Formula Forall(std::vector<Symbol> vars, Formula body) {
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    body = Forall(*it, std::move(body));
+  }
+  return body;
+}
+
+bool StructurallyEqual(const Formula& a, const Formula& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  if (a->relation() != b->relation()) return false;
+  if (a->variable() != b->variable()) return false;
+  if (!(a->terms() == b->terms())) return false;
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!StructurallyEqual(a->children()[i], b->children()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace kbt

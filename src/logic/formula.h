@@ -1,0 +1,134 @@
+#ifndef KBT_LOGIC_FORMULA_H_
+#define KBT_LOGIC_FORMULA_H_
+
+/// \file
+/// The paper's first-order language L: function-free formulas over relation symbols,
+/// variables, domain constants, ∧, ¬, ∃ and equality (§2). We additionally provide
+/// ∨, →, ↔ and ∀ as first-class connectives (all definable from the paper's base) so
+/// that the §3 example transformations can be written exactly as printed.
+///
+/// Formulas are immutable, shared (shallow-copied) trees: `Formula` is a
+/// `shared_ptr<const FormulaNode>`. Subformulas may therefore be reused freely, and
+/// all analyses treat formulas as DAGs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/interner.h"
+#include "rel/tuple.h"
+
+namespace kbt {
+
+/// A term of L: a variable or a domain constant. Function symbols do not exist.
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  Kind kind;
+  /// Interned variable name (kVariable) or domain element (kConstant).
+  Symbol symbol;
+
+  /// A variable term.
+  static Term Var(Symbol name) { return Term{Kind::kVariable, name}; }
+  static Term Var(std::string_view name) { return Var(Name(name)); }
+  /// A constant term.
+  static Term Const(Value value) { return Term{Kind::kConstant, value}; }
+  static Term Const(std::string_view name) { return Const(Name(name)); }
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_constant() const { return kind == Kind::kConstant; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.symbol == b.symbol;
+  }
+};
+
+enum class FormulaKind {
+  kTrue,
+  kFalse,
+  kAtom,     ///< R(t1, ..., tk)
+  kEquals,   ///< t1 = t2
+  kNot,      ///< ¬φ
+  kAnd,      ///< φ1 ∧ ... ∧ φn (n-ary, n ≥ 1)
+  kOr,       ///< φ1 ∨ ... ∨ φn (n-ary, n ≥ 1)
+  kImplies,  ///< φ → ψ
+  kIff,      ///< φ ↔ ψ
+  kExists,   ///< ∃x φ
+  kForall,   ///< ∀x φ
+};
+
+class FormulaNode;
+/// Shared immutable formula handle.
+using Formula = std::shared_ptr<const FormulaNode>;
+
+/// One node of a formula tree. Construct via the factory functions below.
+class FormulaNode {
+ public:
+  FormulaKind kind() const { return kind_; }
+
+  /// Relation symbol; kind() must be kAtom.
+  Symbol relation() const { return relation_; }
+  /// Atom arguments (kAtom) or the two equality sides (kEquals).
+  const std::vector<Term>& terms() const { return terms_; }
+  /// Child formulas (connectives and quantifier bodies).
+  const std::vector<Formula>& children() const { return children_; }
+  /// Bound variable; kind() must be kExists or kForall.
+  Symbol variable() const { return variable_; }
+
+  // Internal constructor; use the factories.
+  FormulaNode(FormulaKind kind, Symbol relation, std::vector<Term> terms,
+              std::vector<Formula> children, Symbol variable)
+      : kind_(kind),
+        relation_(relation),
+        terms_(std::move(terms)),
+        children_(std::move(children)),
+        variable_(variable) {}
+
+ private:
+  FormulaKind kind_;
+  Symbol relation_ = 0;
+  std::vector<Term> terms_;
+  std::vector<Formula> children_;
+  Symbol variable_ = 0;
+};
+
+/// The constant ⊤.
+Formula True();
+/// The constant ⊥.
+Formula False();
+/// Atom R(args...).
+Formula Atom(Symbol relation, std::vector<Term> args);
+Formula Atom(std::string_view relation, std::vector<Term> args);
+/// Equality t1 = t2.
+Formula Equals(Term lhs, Term rhs);
+/// Inequality t1 ≠ t2 (sugar for ¬(t1 = t2)).
+Formula NotEquals(Term lhs, Term rhs);
+/// Negation ¬φ.
+Formula Not(Formula f);
+/// Conjunction. Empty input yields ⊤; singleton input yields its element.
+Formula And(std::vector<Formula> fs);
+Formula And(Formula a, Formula b);
+/// Disjunction. Empty input yields ⊥; singleton input yields its element.
+Formula Or(std::vector<Formula> fs);
+Formula Or(Formula a, Formula b);
+/// Implication a → b.
+Formula Implies(Formula a, Formula b);
+/// Biconditional a ↔ b.
+Formula Iff(Formula a, Formula b);
+/// Existential quantification ∃x φ.
+Formula Exists(Symbol var, Formula body);
+Formula Exists(std::string_view var, Formula body);
+/// Existential closure over several variables, left to right.
+Formula Exists(std::vector<Symbol> vars, Formula body);
+/// Universal quantification ∀x φ.
+Formula Forall(Symbol var, Formula body);
+Formula Forall(std::string_view var, Formula body);
+/// Universal closure over several variables, left to right.
+Formula Forall(std::vector<Symbol> vars, Formula body);
+
+/// Structural equality (same tree shape; bound variable names compared verbatim).
+bool StructurallyEqual(const Formula& a, const Formula& b);
+
+}  // namespace kbt
+
+#endif  // KBT_LOGIC_FORMULA_H_

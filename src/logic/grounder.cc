@@ -1,0 +1,122 @@
+#include "logic/grounder.h"
+
+#include <unordered_map>
+
+#include "logic/analysis.h"
+#include "logic/printer.h"
+
+namespace kbt {
+
+namespace {
+
+class GrounderImpl {
+ public:
+  GrounderImpl(const std::vector<Value>& domain, const GrounderOptions& options,
+               Grounding* out)
+      : domain_(domain), options_(options), out_(out) {}
+
+  StatusOr<int> Ground(const Formula& f) {
+    if (out_->circuit.size() > options_.max_nodes) {
+      return Status::ResourceExhausted(
+          "grounding exceeded node budget of " + std::to_string(options_.max_nodes));
+    }
+    switch (f->kind()) {
+      case FormulaKind::kTrue:
+        return out_->circuit.TrueNode();
+      case FormulaKind::kFalse:
+        return out_->circuit.FalseNode();
+      case FormulaKind::kAtom: {
+        std::vector<Value> values;
+        values.reserve(f->terms().size());
+        for (const Term& t : f->terms()) {
+          KBT_ASSIGN_OR_RETURN(Value v, Resolve(t));
+          values.push_back(v);
+        }
+        GroundAtom atom{f->relation(), Tuple(std::move(values))};
+        return out_->circuit.VarNode(out_->atoms.IdOf(atom));
+      }
+      case FormulaKind::kEquals: {
+        KBT_ASSIGN_OR_RETURN(Value lhs, Resolve(f->terms()[0]));
+        KBT_ASSIGN_OR_RETURN(Value rhs, Resolve(f->terms()[1]));
+        return lhs == rhs ? out_->circuit.TrueNode() : out_->circuit.FalseNode();
+      }
+      case FormulaKind::kNot: {
+        KBT_ASSIGN_OR_RETURN(int child, Ground(f->children()[0]));
+        return out_->circuit.NotNode(child);
+      }
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        std::vector<int> children;
+        children.reserve(f->children().size());
+        for (const Formula& c : f->children()) {
+          KBT_ASSIGN_OR_RETURN(int gc, Ground(c));
+          children.push_back(gc);
+        }
+        return f->kind() == FormulaKind::kAnd
+                   ? out_->circuit.AndNode(std::move(children))
+                   : out_->circuit.OrNode(std::move(children));
+      }
+      case FormulaKind::kImplies: {
+        KBT_ASSIGN_OR_RETURN(int a, Ground(f->children()[0]));
+        KBT_ASSIGN_OR_RETURN(int b, Ground(f->children()[1]));
+        return out_->circuit.ImpliesNode(a, b);
+      }
+      case FormulaKind::kIff: {
+        KBT_ASSIGN_OR_RETURN(int a, Ground(f->children()[0]));
+        KBT_ASSIGN_OR_RETURN(int b, Ground(f->children()[1]));
+        return out_->circuit.IffNode(a, b);
+      }
+      case FormulaKind::kForall:
+      case FormulaKind::kExists: {
+        std::vector<int> children;
+        children.reserve(domain_.size());
+        Symbol var = f->variable();
+        // Save any outer binding of the same name (shadowing).
+        auto saved = env_.find(var);
+        std::optional<Value> outer;
+        if (saved != env_.end()) outer = saved->second;
+        for (Value v : domain_) {
+          env_[var] = v;
+          KBT_ASSIGN_OR_RETURN(int gc, Ground(f->children()[0]));
+          children.push_back(gc);
+        }
+        if (outer) {
+          env_[var] = *outer;
+        } else {
+          env_.erase(var);
+        }
+        return f->kind() == FormulaKind::kForall
+                   ? out_->circuit.AndNode(std::move(children))
+                   : out_->circuit.OrNode(std::move(children));
+      }
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+ private:
+  StatusOr<Value> Resolve(const Term& t) {
+    if (t.is_constant()) return t.symbol;
+    auto it = env_.find(t.symbol);
+    if (it == env_.end()) {
+      return Status::InvalidArgument("free variable in sentence: " + NameOf(t.symbol));
+    }
+    return it->second;
+  }
+
+  const std::vector<Value>& domain_;
+  const GrounderOptions& options_;
+  Grounding* out_;
+  std::unordered_map<Symbol, Value> env_;
+};
+
+}  // namespace
+
+StatusOr<Grounding> GroundSentence(const Formula& f, const std::vector<Value>& domain,
+                                   const GrounderOptions& options) {
+  Grounding g;
+  GrounderImpl impl(domain, options, &g);
+  KBT_ASSIGN_OR_RETURN(g.root, impl.Ground(f));
+  return g;
+}
+
+}  // namespace kbt

@@ -1,0 +1,44 @@
+#ifndef KBT_LOGIC_GROUNDER_H_
+#define KBT_LOGIC_GROUNDER_H_
+
+/// \file
+/// Grounding: lowering a first-order sentence over a finite domain B into a boolean
+/// circuit over ground atoms.
+///
+/// Following the proof of Theorem 4.1, quantified variables range over B (the values
+/// of the database plus the constants of the sentence). ∀ expands to a conjunction
+/// and ∃ to a disjunction over B; equalities between resolved values fold to
+/// constants. The result size is O(|φ| · |B|^q) for quantifier depth q, so a
+/// configurable node budget guards against runaway instances.
+
+#include <vector>
+
+#include "base/status.h"
+#include "logic/circuit.h"
+#include "logic/formula.h"
+#include "logic/ground_atom.h"
+
+namespace kbt {
+
+struct GrounderOptions {
+  /// Maximum circuit nodes before the grounder aborts with kResourceExhausted.
+  size_t max_nodes = 5'000'000;
+};
+
+/// A grounded sentence: a circuit plus the table mapping circuit variables to
+/// ground atoms (circuit variable i is `atoms.AtomOf(i)`).
+struct Grounding {
+  Circuit circuit;
+  int root = 0;
+  AtomIndex atoms;
+};
+
+/// Grounds sentence `f` over `domain`. Fails with kInvalidArgument when `f` has free
+/// variables, and with kResourceExhausted when the node budget is exceeded.
+/// An empty domain is allowed: ∀ formulas ground to true, ∃ to false.
+StatusOr<Grounding> GroundSentence(const Formula& f, const std::vector<Value>& domain,
+                                   const GrounderOptions& options = GrounderOptions());
+
+}  // namespace kbt
+
+#endif  // KBT_LOGIC_GROUNDER_H_

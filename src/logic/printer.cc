@@ -1,0 +1,137 @@
+#include "logic/printer.h"
+
+#include <cassert>
+
+namespace kbt {
+
+namespace {
+
+// Binding strength, loosest to tightest. Quantifier bodies extend maximally to the
+// right, so a quantifier itself is the loosest construct.
+enum Precedence {
+  kPrecQuantifier = 0,
+  kPrecIff = 1,
+  kPrecImplies = 2,
+  kPrecOr = 3,
+  kPrecAnd = 4,
+  kPrecNot = 5,
+  kPrecAtomic = 6,
+};
+
+int PrecedenceOf(const Formula& f) {
+  switch (f->kind()) {
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return kPrecQuantifier;
+    case FormulaKind::kIff:
+      return kPrecIff;
+    case FormulaKind::kImplies:
+      return kPrecImplies;
+    case FormulaKind::kOr:
+      return kPrecOr;
+    case FormulaKind::kAnd:
+      return kPrecAnd;
+    case FormulaKind::kNot:
+      return kPrecNot;
+    default:
+      return kPrecAtomic;
+  }
+}
+
+void Print(const Formula& f, int parent_prec, std::string* out) {
+  int prec = PrecedenceOf(f);
+  bool parens = prec < parent_prec;
+  if (parens) *out += "(";
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      *out += "true";
+      break;
+    case FormulaKind::kFalse:
+      *out += "false";
+      break;
+    case FormulaKind::kAtom: {
+      *out += NameOf(f->relation());
+      *out += "(";
+      for (size_t i = 0; i < f->terms().size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += ToString(f->terms()[i]);
+      }
+      *out += ")";
+      break;
+    }
+    case FormulaKind::kEquals:
+      *out += ToString(f->terms()[0]);
+      *out += " = ";
+      *out += ToString(f->terms()[1]);
+      break;
+    case FormulaKind::kNot: {
+      // Print "t1 != t2" for ¬(t1 = t2).
+      const Formula& inner = f->children()[0];
+      if (inner->kind() == FormulaKind::kEquals) {
+        *out += ToString(inner->terms()[0]);
+        *out += " != ";
+        *out += ToString(inner->terms()[1]);
+      } else {
+        *out += "!";
+        Print(inner, kPrecNot, out);
+      }
+      break;
+    }
+    case FormulaKind::kAnd: {
+      for (size_t i = 0; i < f->children().size(); ++i) {
+        if (i > 0) *out += " & ";
+        Print(f->children()[i], kPrecAnd + 1, out);
+      }
+      break;
+    }
+    case FormulaKind::kOr: {
+      for (size_t i = 0; i < f->children().size(); ++i) {
+        if (i > 0) *out += " | ";
+        Print(f->children()[i], kPrecOr + 1, out);
+      }
+      break;
+    }
+    case FormulaKind::kImplies:
+      // Right-associative: a -> b -> c is a -> (b -> c).
+      Print(f->children()[0], kPrecImplies + 1, out);
+      *out += " -> ";
+      Print(f->children()[1], kPrecImplies, out);
+      break;
+    case FormulaKind::kIff:
+      Print(f->children()[0], kPrecIff + 1, out);
+      *out += " <-> ";
+      Print(f->children()[1], kPrecIff + 1, out);
+      break;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // Merge runs of like quantifiers: "forall x, y: ...".
+      FormulaKind kind = f->kind();
+      *out += (kind == FormulaKind::kExists) ? "exists " : "forall ";
+      Formula body = f;
+      bool first = true;
+      while (body->kind() == kind) {
+        if (!first) *out += ", ";
+        *out += NameOf(body->variable());
+        first = false;
+        body = body->children()[0];
+      }
+      *out += ": ";
+      Print(body, kPrecQuantifier, out);
+      break;
+    }
+  }
+  if (parens) *out += ")";
+}
+
+}  // namespace
+
+std::string ToString(const Term& term) { return NameOf(term.symbol); }
+
+std::string ToString(const Formula& f) {
+  assert(f != nullptr);
+  std::string out;
+  Print(f, kPrecQuantifier, &out);
+  return out;
+}
+
+}  // namespace kbt

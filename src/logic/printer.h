@@ -1,0 +1,23 @@
+#ifndef KBT_LOGIC_PRINTER_H_
+#define KBT_LOGIC_PRINTER_H_
+
+/// \file
+/// Rendering formulas back to the concrete syntax accepted by logic/parser.h, so that
+/// `Parse(ToString(f))` round-trips (up to insignificant parentheses).
+
+#include <string>
+
+#include "logic/formula.h"
+
+namespace kbt {
+
+/// Renders a term: variable and constant names print verbatim.
+std::string ToString(const Term& term);
+
+/// Renders a formula with minimal parentheses, e.g.
+/// "forall x, y: R1(x, y) & !(x = y) -> R2(x, y)".
+std::string ToString(const Formula& f);
+
+}  // namespace kbt
+
+#endif  // KBT_LOGIC_PRINTER_H_

@@ -1,0 +1,166 @@
+#include "logic/transform.h"
+
+#include <cassert>
+
+namespace kbt {
+
+namespace {
+
+Formula Nnf(const Formula& f, bool negated);
+
+Formula NnfChildren(const Formula& f, bool negated, bool conjunction) {
+  std::vector<Formula> children;
+  children.reserve(f->children().size());
+  for (const Formula& c : f->children()) children.push_back(Nnf(c, negated));
+  return conjunction ? And(std::move(children)) : Or(std::move(children));
+}
+
+Formula Nnf(const Formula& f, bool negated) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return negated ? False() : True();
+    case FormulaKind::kFalse:
+      return negated ? True() : False();
+    case FormulaKind::kAtom:
+    case FormulaKind::kEquals:
+      return negated ? Not(f) : f;
+    case FormulaKind::kNot:
+      return Nnf(f->children()[0], !negated);
+    case FormulaKind::kAnd:
+      // ¬(⋀ φi) = ⋁ ¬φi.
+      return NnfChildren(f, negated, /*conjunction=*/!negated);
+    case FormulaKind::kOr:
+      return NnfChildren(f, negated, /*conjunction=*/negated);
+    case FormulaKind::kImplies: {
+      // a → b = ¬a ∨ b; negated: a ∧ ¬b.
+      Formula na = Nnf(f->children()[0], !negated);
+      Formula b = Nnf(f->children()[1], negated);
+      return negated ? And(std::move(na), std::move(b))
+                     : Or(std::move(na), std::move(b));
+    }
+    case FormulaKind::kIff: {
+      // a ↔ b = (a ∧ b) ∨ (¬a ∧ ¬b); negated: (a ∧ ¬b) ∨ (¬a ∧ b).
+      Formula a_pos = Nnf(f->children()[0], false);
+      Formula a_neg = Nnf(f->children()[0], true);
+      Formula b_pos = Nnf(f->children()[1], false);
+      Formula b_neg = Nnf(f->children()[1], true);
+      if (negated) {
+        return Or(And(a_pos, b_neg), And(a_neg, b_pos));
+      }
+      return Or(And(a_pos, b_pos), And(a_neg, b_neg));
+    }
+    case FormulaKind::kExists: {
+      Formula body = Nnf(f->children()[0], negated);
+      return negated ? Forall(f->variable(), std::move(body))
+                     : Exists(f->variable(), std::move(body));
+    }
+    case FormulaKind::kForall: {
+      Formula body = Nnf(f->children()[0], negated);
+      return negated ? Exists(f->variable(), std::move(body))
+                     : Forall(f->variable(), std::move(body));
+    }
+  }
+  assert(false && "unreachable");
+  return f;
+}
+
+}  // namespace
+
+Formula ToNnf(const Formula& f) { return Nnf(f, /*negated=*/false); }
+
+bool IsNnf(const Formula& f) {
+  switch (f->kind()) {
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      return false;
+    case FormulaKind::kNot: {
+      FormulaKind inner = f->children()[0]->kind();
+      return inner == FormulaKind::kAtom || inner == FormulaKind::kEquals;
+    }
+    default:
+      for (const Formula& c : f->children()) {
+        if (!IsNnf(c)) return false;
+      }
+      return true;
+  }
+}
+
+Formula Simplify(const Formula& f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+      return f;
+    case FormulaKind::kEquals: {
+      const Term& lhs = f->terms()[0];
+      const Term& rhs = f->terms()[1];
+      if (lhs == rhs) return True();
+      if (lhs.is_constant() && rhs.is_constant()) {
+        return lhs.symbol == rhs.symbol ? True() : False();
+      }
+      return f;
+    }
+    case FormulaKind::kNot: {
+      Formula inner = Simplify(f->children()[0]);
+      if (inner->kind() == FormulaKind::kTrue) return False();
+      if (inner->kind() == FormulaKind::kFalse) return True();
+      if (inner->kind() == FormulaKind::kNot) return inner->children()[0];
+      return inner == f->children()[0] ? f : Not(std::move(inner));
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      bool conjunction = f->kind() == FormulaKind::kAnd;
+      std::vector<Formula> children;
+      for (const Formula& c : f->children()) {
+        Formula sc = Simplify(c);
+        if (sc->kind() == (conjunction ? FormulaKind::kTrue : FormulaKind::kFalse)) {
+          continue;  // Neutral element.
+        }
+        if (sc->kind() == (conjunction ? FormulaKind::kFalse : FormulaKind::kTrue)) {
+          return conjunction ? False() : True();  // Absorbing element.
+        }
+        if (sc->kind() == f->kind()) {
+          // Flatten nested same-kind connectives.
+          children.insert(children.end(), sc->children().begin(),
+                          sc->children().end());
+        } else {
+          children.push_back(std::move(sc));
+        }
+      }
+      return conjunction ? And(std::move(children)) : Or(std::move(children));
+    }
+    case FormulaKind::kImplies: {
+      Formula a = Simplify(f->children()[0]);
+      Formula b = Simplify(f->children()[1]);
+      if (a->kind() == FormulaKind::kFalse) return True();
+      if (a->kind() == FormulaKind::kTrue) return b;
+      if (b->kind() == FormulaKind::kTrue) return True();
+      if (b->kind() == FormulaKind::kFalse) return Simplify(Not(a));
+      return Implies(std::move(a), std::move(b));
+    }
+    case FormulaKind::kIff: {
+      Formula a = Simplify(f->children()[0]);
+      Formula b = Simplify(f->children()[1]);
+      if (a->kind() == FormulaKind::kTrue) return b;
+      if (b->kind() == FormulaKind::kTrue) return a;
+      if (a->kind() == FormulaKind::kFalse) return Simplify(Not(b));
+      if (b->kind() == FormulaKind::kFalse) return Simplify(Not(a));
+      return Iff(std::move(a), std::move(b));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      Formula body = Simplify(f->children()[0]);
+      // Quantifiers over constants stay (their truth depends on the domain being
+      // nonempty), except when the body is itself constant over a *used* var...
+      // We keep it simple and sound: only rebuild.
+      if (body == f->children()[0]) return f;
+      return f->kind() == FormulaKind::kExists
+                 ? Exists(f->variable(), std::move(body))
+                 : Forall(f->variable(), std::move(body));
+    }
+  }
+  assert(false && "unreachable");
+  return f;
+}
+
+}  // namespace kbt

@@ -1,0 +1,30 @@
+#ifndef KBT_LOGIC_TRANSFORM_H_
+#define KBT_LOGIC_TRANSFORM_H_
+
+/// \file
+/// Semantics-preserving formula rewrites.
+///
+/// * ToNnf — negation normal form: eliminates → and ↔ and pushes ¬ down to atoms
+///   and equalities. Useful as a preprocessing step and as a test oracle (NNF must
+///   preserve satisfaction under every database and domain).
+/// * Simplify — constant folding and structural cleanup: ⊤/⊥ absorption, double
+///   negation, flattening of nested conjunctions/disjunctions, trivial equalities
+///   (t = t becomes ⊤; distinct-constant equalities become ⊥).
+
+#include "logic/formula.h"
+
+namespace kbt {
+
+/// Negation normal form. The result contains only kAtom, kEquals, kAnd, kOr,
+/// kExists, kForall, kTrue, kFalse and kNot-applied-to-atoms/equalities.
+Formula ToNnf(const Formula& f);
+
+/// True iff `f` is in negation normal form.
+bool IsNnf(const Formula& f);
+
+/// Constant folding and flattening; preserves models over every domain.
+Formula Simplify(const Formula& f);
+
+}  // namespace kbt
+
+#endif  // KBT_LOGIC_TRANSFORM_H_

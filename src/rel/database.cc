@@ -1,0 +1,153 @@
+#include "rel/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/hash.h"
+
+namespace kbt {
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  relations_.reserve(schema_.size());
+  for (const RelationDecl& d : schema_.decls()) {
+    relations_.emplace_back(d.arity);
+  }
+}
+
+StatusOr<Database> Database::Create(Schema schema, std::vector<Relation> relations) {
+  if (schema.size() != relations.size()) {
+    return Status::InvalidArgument("database: schema/relation count mismatch");
+  }
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (relations[i].arity() != schema.decl(i).arity) {
+      return Status::InvalidArgument("database: arity mismatch for relation " +
+                                     NameOf(schema.decl(i).symbol));
+    }
+  }
+  Database db;
+  db.schema_ = std::move(schema);
+  db.relations_ = std::move(relations);
+  return db;
+}
+
+StatusOr<Relation> Database::RelationFor(Symbol symbol) const {
+  std::optional<size_t> pos = schema_.PositionOf(symbol);
+  if (!pos) {
+    return Status::NotFound("relation not in schema: " + NameOf(symbol));
+  }
+  return relations_[*pos];
+}
+
+StatusOr<Relation> Database::RelationFor(std::string_view name) const {
+  return RelationFor(Name(name));
+}
+
+StatusOr<Database> Database::WithRelation(Symbol symbol, Relation relation) const {
+  std::optional<size_t> pos = schema_.PositionOf(symbol);
+  if (!pos) {
+    return Status::NotFound("relation not in schema: " + NameOf(symbol));
+  }
+  if (relation.arity() != schema_.decl(*pos).arity) {
+    return Status::InvalidArgument("arity mismatch for relation " + NameOf(symbol));
+  }
+  Database out = *this;
+  out.relations_[*pos] = std::move(relation);
+  return out;
+}
+
+StatusOr<Database> Database::WithRelation(std::string_view name,
+                                          Relation relation) const {
+  return WithRelation(Name(name), std::move(relation));
+}
+
+StatusOr<Database> Database::ExtendTo(const Schema& super) const {
+  if (!super.Includes(schema_)) {
+    return Status::InvalidArgument("ExtendTo: target schema does not dominate σ(db)");
+  }
+  Database out(super);
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    std::optional<size_t> pos = super.PositionOf(schema_.decl(i).symbol);
+    assert(pos.has_value());
+    out.relations_[*pos] = relations_[i];
+  }
+  return out;
+}
+
+StatusOr<Database> Database::ProjectTo(const std::vector<Symbol>& symbols) const {
+  Schema schema;
+  std::vector<Relation> relations;
+  for (Symbol s : symbols) {
+    std::optional<size_t> pos = schema_.PositionOf(s);
+    if (!pos) {
+      return Status::NotFound("projection onto undeclared relation: " + NameOf(s));
+    }
+    KBT_RETURN_IF_ERROR(schema.Append(schema_.decl(*pos)));
+    relations.push_back(relations_[*pos]);
+  }
+  return Create(std::move(schema), std::move(relations));
+}
+
+std::vector<Value> Database::ActiveDomain() const {
+  std::vector<Value> values;
+  for (const Relation& r : relations_) r.CollectValues(&values);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+size_t Database::TupleCount() const {
+  size_t n = 0;
+  for (const Relation& r : relations_) n += r.size();
+  return n;
+}
+
+StatusOr<Database> Database::Meet(const Database& other) const {
+  if (schema_ != other.schema_) {
+    return Status::InvalidArgument("Meet: schema mismatch");
+  }
+  Database out = *this;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    out.relations_[i] = relations_[i].Intersect(other.relations_[i]);
+  }
+  return out;
+}
+
+StatusOr<Database> Database::Join(const Database& other) const {
+  if (schema_ != other.schema_) {
+    return Status::InvalidArgument("Join: schema mismatch");
+  }
+  Database out = *this;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    out.relations_[i] = relations_[i].Union(other.relations_[i]);
+  }
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out = "<";
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += NameOf(schema_.decl(i).symbol);
+    out += ": ";
+    out += relations_[i].ToString();
+  }
+  out += ">";
+  return out;
+}
+
+bool operator<(const Database& a, const Database& b) {
+  assert(a.schema_ == b.schema_ && "ordering databases across schemas");
+  return a.relations_ < b.relations_;
+}
+
+size_t Database::Hash() const {
+  size_t seed = 0x9b1a5d17;
+  for (const RelationDecl& d : schema_.decls()) {
+    seed = HashCombine(seed, d.symbol);
+    seed = HashCombine(seed, d.arity);
+  }
+  for (const Relation& r : relations_) seed = HashCombine(seed, r.Hash());
+  return seed;
+}
+
+}  // namespace kbt

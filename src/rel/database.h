@@ -1,0 +1,94 @@
+#ifndef KBT_REL_DATABASE_H_
+#define KBT_REL_DATABASE_H_
+
+/// \file
+/// Databases: finite relational structures under the closed world assumption.
+///
+/// A database db is a sequence of finite relations over a schema σ(db). Only the
+/// explicitly stored facts are true (closed world, [Rei78]). Databases are immutable
+/// value types: mutating helpers return fresh databases.
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "rel/relation.h"
+#include "rel/schema.h"
+
+namespace kbt {
+
+/// A finite relational structure over a fixed schema.
+class Database {
+ public:
+  /// Database over the empty schema.
+  Database() = default;
+
+  /// Database with all relations empty.
+  explicit Database(Schema schema);
+
+  /// Database from schema plus one relation per declaration (positionally aligned;
+  /// arities must match).
+  static StatusOr<Database> Create(Schema schema, std::vector<Relation> relations);
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return relations_.size(); }
+  const std::vector<Relation>& relations() const { return relations_; }
+
+  /// Relation at schema position `i`.
+  const Relation& relation_at(size_t i) const { return relations_[i]; }
+
+  /// Relation for `symbol`; fails with kNotFound when undeclared.
+  StatusOr<Relation> RelationFor(Symbol symbol) const;
+  /// Relation for an (interned) name; fails with kNotFound when undeclared.
+  StatusOr<Relation> RelationFor(std::string_view name) const;
+
+  /// Returns a copy with the relation for `symbol` replaced. Fails when the symbol is
+  /// undeclared or the arity mismatches.
+  StatusOr<Database> WithRelation(Symbol symbol, Relation relation) const;
+  StatusOr<Database> WithRelation(std::string_view name, Relation relation) const;
+
+  /// Embeds this database into `super` (which must include σ(db)); relations absent
+  /// here are empty in the result — the convention used when μ compares candidates
+  /// over σ(db) ∪ σ(φ) against db.
+  StatusOr<Database> ExtendTo(const Schema& super) const;
+
+  /// Projects onto the listed symbols, in the listed order (the paper's π).
+  StatusOr<Database> ProjectTo(const std::vector<Symbol>& symbols) const;
+
+  /// All values appearing in any relation, sorted and deduplicated — the data part of
+  /// the active domain B.
+  std::vector<Value> ActiveDomain() const;
+
+  /// Total number of stored tuples across relations.
+  size_t TupleCount() const;
+
+  /// Componentwise intersection with `other` (same schema required): the binary step
+  /// of the paper's ⊓.
+  StatusOr<Database> Meet(const Database& other) const;
+  /// Componentwise union with `other` (same schema required): the binary step of ⊔.
+  StatusOr<Database> Join(const Database& other) const;
+
+  /// Renders as "<R1: {...}, R2: {...}>".
+  std::string ToString() const;
+
+  friend bool operator==(const Database& a, const Database& b) {
+    return a.schema_ == b.schema_ && a.relations_ == b.relations_;
+  }
+  friend bool operator!=(const Database& a, const Database& b) { return !(a == b); }
+  /// Total order among same-schema databases (asserted); canonical kb ordering.
+  friend bool operator<(const Database& a, const Database& b);
+
+  size_t Hash() const;
+
+ private:
+  Schema schema_;
+  std::vector<Relation> relations_;
+};
+
+struct DatabaseHash {
+  size_t operator()(const Database& db) const { return db.Hash(); }
+};
+
+}  // namespace kbt
+
+#endif  // KBT_REL_DATABASE_H_

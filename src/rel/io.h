@@ -1,0 +1,36 @@
+#ifndef KBT_REL_IO_H_
+#define KBT_REL_IO_H_
+
+/// \file
+/// Text serialization for databases and knowledgebases, round-trippable:
+///
+///   database:       R1/2: {(a, b), (c, d)}; R2/1: {}
+///   knowledgebase:  [ R1/2: {(a, b)} | R1/2: {(c, d)} ]
+///
+/// Arities are explicit so empty relations deserialize unambiguously. Intended
+/// for examples, test fixtures and debugging dumps — not a storage format.
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "rel/database.h"
+#include "rel/knowledgebase.h"
+
+namespace kbt {
+
+/// Serializes a database in the grammar above.
+std::string FormatDatabase(const Database& db);
+
+/// Parses a database; the schema is read off the text (declaration order kept).
+StatusOr<Database> ParseDatabase(std::string_view text);
+
+/// Serializes a knowledgebase (its canonical member order).
+std::string FormatKnowledgebase(const Knowledgebase& kb);
+
+/// Parses a knowledgebase; members must agree on the schema.
+StatusOr<Knowledgebase> ParseKnowledgebase(std::string_view text);
+
+}  // namespace kbt
+
+#endif  // KBT_REL_IO_H_

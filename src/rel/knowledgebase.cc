@@ -1,0 +1,128 @@
+#include "rel/knowledgebase.h"
+
+#include <algorithm>
+
+namespace kbt {
+
+void Knowledgebase::Canonicalize() {
+  std::sort(databases_.begin(), databases_.end());
+  databases_.erase(std::unique(databases_.begin(), databases_.end()),
+                   databases_.end());
+}
+
+StatusOr<Knowledgebase> Knowledgebase::FromDatabases(std::vector<Database> databases) {
+  Knowledgebase kb;
+  if (databases.empty()) return kb;
+  kb.schema_ = databases.front().schema();
+  for (const Database& db : databases) {
+    if (db.schema() != kb.schema_) {
+      return Status::InvalidArgument(
+          "knowledgebase members must share one schema; got " +
+          db.schema().ToString() + " vs " + kb.schema_.ToString());
+    }
+  }
+  kb.databases_ = std::move(databases);
+  kb.Canonicalize();
+  return kb;
+}
+
+Knowledgebase Knowledgebase::Singleton(Database db) {
+  Knowledgebase kb;
+  kb.schema_ = db.schema();
+  kb.databases_.push_back(std::move(db));
+  return kb;
+}
+
+bool Knowledgebase::Contains(const Database& db) const {
+  if (db.schema() != schema_) return false;
+  return std::binary_search(databases_.begin(), databases_.end(), db);
+}
+
+StatusOr<Knowledgebase> Knowledgebase::WithDatabase(const Database& db) const {
+  if (!databases_.empty() && db.schema() != schema_) {
+    return Status::InvalidArgument("WithDatabase: schema mismatch");
+  }
+  Knowledgebase out = *this;
+  if (out.databases_.empty()) out.schema_ = db.schema();
+  out.databases_.push_back(db);
+  out.Canonicalize();
+  return out;
+}
+
+StatusOr<Knowledgebase> Knowledgebase::UnionWith(const Knowledgebase& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  if (schema_ != other.schema_) {
+    return Status::InvalidArgument("knowledgebase union: schema mismatch");
+  }
+  Knowledgebase out = *this;
+  out.databases_.insert(out.databases_.end(), other.databases_.begin(),
+                        other.databases_.end());
+  out.Canonicalize();
+  return out;
+}
+
+Knowledgebase Knowledgebase::Glb() const {
+  if (databases_.empty()) return *this;
+  Database acc = databases_.front();
+  for (size_t i = 1; i < databases_.size(); ++i) {
+    StatusOr<Database> next = acc.Meet(databases_[i]);
+    acc = std::move(next).value();  // Same schema by invariant.
+  }
+  return Singleton(std::move(acc));
+}
+
+Knowledgebase Knowledgebase::Lub() const {
+  if (databases_.empty()) return *this;
+  Database acc = databases_.front();
+  for (size_t i = 1; i < databases_.size(); ++i) {
+    StatusOr<Database> next = acc.Join(databases_[i]);
+    acc = std::move(next).value();  // Same schema by invariant.
+  }
+  return Singleton(std::move(acc));
+}
+
+StatusOr<Knowledgebase> Knowledgebase::ProjectTo(
+    const std::vector<Symbol>& symbols) const {
+  std::vector<Database> out;
+  out.reserve(databases_.size());
+  for (const Database& db : databases_) {
+    KBT_ASSIGN_OR_RETURN(Database projected, db.ProjectTo(symbols));
+    out.push_back(std::move(projected));
+  }
+  if (out.empty()) {
+    // Preserve the projected schema even with no worlds.
+    Database probe(schema_);
+    KBT_ASSIGN_OR_RETURN(Database projected, probe.ProjectTo(symbols));
+    return Knowledgebase(projected.schema());
+  }
+  return FromDatabases(std::move(out));
+}
+
+StatusOr<Knowledgebase> Knowledgebase::ExtendTo(const Schema& super) const {
+  std::vector<Database> out;
+  out.reserve(databases_.size());
+  for (const Database& db : databases_) {
+    KBT_ASSIGN_OR_RETURN(Database extended, db.ExtendTo(super));
+    out.push_back(std::move(extended));
+  }
+  if (out.empty()) {
+    if (!super.Includes(schema_)) {
+      return Status::InvalidArgument("ExtendTo: target schema does not dominate");
+    }
+    return Knowledgebase(super);
+  }
+  return FromDatabases(std::move(out));
+}
+
+std::string Knowledgebase::ToString() const {
+  std::string out = "{ ";
+  for (size_t i = 0; i < databases_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += databases_[i].ToString();
+  }
+  out += " }";
+  return out;
+}
+
+}  // namespace kbt

@@ -1,0 +1,86 @@
+#ifndef KBT_REL_KNOWLEDGEBASE_H_
+#define KBT_REL_KNOWLEDGEBASE_H_
+
+/// \file
+/// Knowledgebases: finite sets of databases on one schema.
+///
+/// A knowledgebase kb is the paper's data model for indefinite information: each
+/// member database is one possible state of the world. Members are kept sorted and
+/// deduplicated, so knowledgebases are canonical value types — two kbs are equal iff
+/// they denote the same set of possible worlds.
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "rel/database.h"
+
+namespace kbt {
+
+/// A canonical finite set of same-schema databases.
+class Knowledgebase {
+ public:
+  /// The empty knowledgebase over the empty schema. Note an empty kb (no possible
+  /// worlds, "inconsistent") differs from the singleton kb holding an empty database.
+  Knowledgebase() = default;
+
+  /// Empty knowledgebase over `schema`.
+  explicit Knowledgebase(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Builds from databases; all must share one schema. Duplicates collapse.
+  static StatusOr<Knowledgebase> FromDatabases(std::vector<Database> databases);
+
+  /// Singleton knowledgebase.
+  static Knowledgebase Singleton(Database db);
+
+  const Schema& schema() const { return schema_; }
+  /// Number of possible worlds.
+  size_t size() const { return databases_.size(); }
+  bool empty() const { return databases_.empty(); }
+  const std::vector<Database>& databases() const { return databases_; }
+
+  std::vector<Database>::const_iterator begin() const { return databases_.begin(); }
+  std::vector<Database>::const_iterator end() const { return databases_.end(); }
+
+  /// Membership test.
+  bool Contains(const Database& db) const;
+
+  /// This kb with `db` added (schema must match; no-op if present).
+  StatusOr<Knowledgebase> WithDatabase(const Database& db) const;
+
+  /// Set union with `other` (schemas must match) — the right-hand side of KM
+  /// postulate (viii): τ_φ(kb1 ∪ kb2) = τ_φ(kb1) ∪ τ_φ(kb2).
+  StatusOr<Knowledgebase> UnionWith(const Knowledgebase& other) const;
+
+  /// The paper's ⊓: componentwise intersection of all members, as a singleton kb.
+  /// ⊓ of an empty kb is the empty kb.
+  Knowledgebase Glb() const;
+  /// The paper's ⊔: componentwise union of all members, as a singleton kb.
+  Knowledgebase Lub() const;
+
+  /// The paper's π: projects every member onto the listed relation symbols.
+  StatusOr<Knowledgebase> ProjectTo(const std::vector<Symbol>& symbols) const;
+
+  /// Extends every member to `super` (new relations empty).
+  StatusOr<Knowledgebase> ExtendTo(const Schema& super) const;
+
+  /// Renders as "{ <db1>, <db2> }".
+  std::string ToString() const;
+
+  friend bool operator==(const Knowledgebase& a, const Knowledgebase& b) {
+    return a.schema_ == b.schema_ && a.databases_ == b.databases_;
+  }
+  friend bool operator!=(const Knowledgebase& a, const Knowledgebase& b) {
+    return !(a == b);
+  }
+
+ private:
+  void Canonicalize();
+
+  Schema schema_;
+  std::vector<Database> databases_;  // Sorted, unique.
+};
+
+}  // namespace kbt
+
+#endif  // KBT_REL_KNOWLEDGEBASE_H_

@@ -1,0 +1,106 @@
+#include "rel/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/hash.h"
+
+namespace kbt {
+
+Relation::Relation(size_t arity, std::vector<Tuple> tuples)
+    : arity_(arity), tuples_(std::move(tuples)) {
+  for (const Tuple& t : tuples_) {
+    assert(t.arity() == arity_ && "tuple arity mismatch");
+    (void)t;
+  }
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+Relation Relation::WithTuple(const Tuple& t) const {
+  assert(t.arity() == arity_);
+  if (Contains(t)) return *this;
+  std::vector<Tuple> tuples = tuples_;
+  tuples.insert(std::upper_bound(tuples.begin(), tuples.end(), t), t);
+  Relation out(arity_);
+  out.tuples_ = std::move(tuples);
+  return out;
+}
+
+Relation Relation::WithoutTuple(const Tuple& t) const {
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it == tuples_.end() || *it != t) return *this;
+  Relation out(arity_);
+  out.tuples_.reserve(tuples_.size() - 1);
+  out.tuples_.insert(out.tuples_.end(), tuples_.begin(), it);
+  out.tuples_.insert(out.tuples_.end(), it + 1, tuples_.end());
+  return out;
+}
+
+Relation Relation::Union(const Relation& other) const {
+  assert(arity_ == other.arity_);
+  Relation out(arity_);
+  out.tuples_.reserve(tuples_.size() + other.tuples_.size());
+  std::set_union(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                 other.tuples_.end(), std::back_inserter(out.tuples_));
+  return out;
+}
+
+Relation Relation::Intersect(const Relation& other) const {
+  assert(arity_ == other.arity_);
+  Relation out(arity_);
+  std::set_intersection(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                        other.tuples_.end(), std::back_inserter(out.tuples_));
+  return out;
+}
+
+Relation Relation::Difference(const Relation& other) const {
+  assert(arity_ == other.arity_);
+  Relation out(arity_);
+  std::set_difference(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                      other.tuples_.end(), std::back_inserter(out.tuples_));
+  return out;
+}
+
+Relation Relation::SymmetricDifference(const Relation& other) const {
+  assert(arity_ == other.arity_);
+  Relation out(arity_);
+  std::set_symmetric_difference(tuples_.begin(), tuples_.end(),
+                                other.tuples_.begin(), other.tuples_.end(),
+                                std::back_inserter(out.tuples_));
+  return out;
+}
+
+bool Relation::IsSubsetOf(const Relation& other) const {
+  assert(arity_ == other.arity_);
+  return std::includes(other.tuples_.begin(), other.tuples_.end(), tuples_.begin(),
+                       tuples_.end());
+}
+
+void Relation::CollectValues(std::vector<Value>* out) const {
+  for (const Tuple& t : tuples_) {
+    out->insert(out->end(), t.values().begin(), t.values().end());
+  }
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuples_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+size_t Relation::Hash() const {
+  size_t seed = HashCombine(0x51ab5f1e, arity_);
+  for (const Tuple& t : tuples_) seed = HashCombine(seed, t.Hash());
+  return seed;
+}
+
+}  // namespace kbt

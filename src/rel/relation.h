@@ -1,0 +1,87 @@
+#ifndef KBT_REL_RELATION_H_
+#define KBT_REL_RELATION_H_
+
+/// \file
+/// Finite relations: sorted duplicate-free sets of same-arity tuples.
+///
+/// A relation r_i in the paper is a finite subset of A^α(i). The representation here
+/// is a sorted vector, which makes the set operations the paper leans on — union,
+/// intersection, difference and the symmetric difference Δ of Definition 2.1 — linear
+/// merges, and subset tests linear scans.
+
+#include <string>
+#include <vector>
+
+#include "rel/tuple.h"
+
+namespace kbt {
+
+/// An immutable-after-construction finite relation of fixed arity.
+class Relation {
+ public:
+  /// Empty relation of the given arity.
+  explicit Relation(size_t arity = 0) : arity_(arity) {}
+
+  /// Relation from tuples; deduplicates and sorts. All tuples must have `arity`
+  /// components (asserted).
+  Relation(size_t arity, std::vector<Tuple> tuples);
+
+  /// Number of components of every tuple.
+  size_t arity() const { return arity_; }
+  /// Number of tuples.
+  size_t size() const { return tuples_.size(); }
+  /// True iff the relation holds no tuples.
+  bool empty() const { return tuples_.empty(); }
+  /// Sorted tuple storage.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+
+  /// Membership test (binary search, O(log n) tuple comparisons).
+  bool Contains(const Tuple& t) const;
+
+  /// Returns this relation with `t` inserted (no-op if present).
+  Relation WithTuple(const Tuple& t) const;
+  /// Returns this relation with `t` removed (no-op if absent).
+  Relation WithoutTuple(const Tuple& t) const;
+
+  /// Set union; arities must agree.
+  Relation Union(const Relation& other) const;
+  /// Set intersection; arities must agree.
+  Relation Intersect(const Relation& other) const;
+  /// Set difference this \ other; arities must agree.
+  Relation Difference(const Relation& other) const;
+  /// Symmetric difference (A \ B) ∪ (B \ A); the Δ of Definition 2.1.
+  Relation SymmetricDifference(const Relation& other) const;
+
+  /// True iff every tuple of this relation is in `other`.
+  bool IsSubsetOf(const Relation& other) const;
+
+  /// All values appearing in any tuple, appended to `out` (unsorted, may repeat).
+  void CollectValues(std::vector<Value>* out) const;
+
+  /// Renders as "{(a, b), (c, d)}".
+  std::string ToString() const;
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
+  }
+  friend bool operator!=(const Relation& a, const Relation& b) { return !(a == b); }
+  /// Arbitrary total order (arity, then lexicographic tuples); used for canonical
+  /// knowledgebase ordering.
+  friend bool operator<(const Relation& a, const Relation& b) {
+    if (a.arity_ != b.arity_) return a.arity_ < b.arity_;
+    return a.tuples_ < b.tuples_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  size_t arity_;
+  std::vector<Tuple> tuples_;  // Sorted, unique.
+};
+
+}  // namespace kbt
+
+#endif  // KBT_REL_RELATION_H_

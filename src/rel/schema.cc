@@ -1,0 +1,81 @@
+#include "rel/schema.h"
+
+namespace kbt {
+
+StatusOr<Schema> Schema::Of(
+    std::initializer_list<std::pair<std::string_view, size_t>> decls) {
+  std::vector<RelationDecl> out;
+  out.reserve(decls.size());
+  for (const auto& [name, arity] : decls) {
+    out.push_back(RelationDecl{Name(name), arity});
+  }
+  return FromDecls(std::move(out));
+}
+
+StatusOr<Schema> Schema::FromDecls(std::vector<RelationDecl> decls) {
+  Schema schema;
+  for (RelationDecl d : decls) {
+    KBT_RETURN_IF_ERROR(schema.Append(d));
+  }
+  return schema;
+}
+
+std::optional<size_t> Schema::PositionOf(Symbol symbol) const {
+  for (size_t i = 0; i < decls_.size(); ++i) {
+    if (decls_[i].symbol == symbol) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Schema::ArityOf(Symbol symbol) const {
+  std::optional<size_t> pos = PositionOf(symbol);
+  if (!pos) return std::nullopt;
+  return decls_[*pos].arity;
+}
+
+bool Schema::Includes(const Schema& sub) const {
+  for (const RelationDecl& d : sub.decls_) {
+    std::optional<size_t> arity = ArityOf(d.symbol);
+    if (!arity || *arity != d.arity) return false;
+  }
+  return true;
+}
+
+StatusOr<Schema> Schema::Union(const Schema& other) const {
+  Schema out = *this;
+  for (const RelationDecl& d : other.decls_) {
+    std::optional<size_t> arity = out.ArityOf(d.symbol);
+    if (arity) {
+      if (*arity != d.arity) {
+        return Status::InvalidArgument("schema union: arity conflict for relation " +
+                                       NameOf(d.symbol));
+      }
+      continue;
+    }
+    KBT_RETURN_IF_ERROR(out.Append(d));
+  }
+  return out;
+}
+
+Status Schema::Append(RelationDecl decl) {
+  if (Contains(decl.symbol)) {
+    return Status::InvalidArgument("duplicate relation symbol in schema: " +
+                                   NameOf(decl.symbol));
+  }
+  decls_.push_back(decl);
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < decls_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += NameOf(decls_[i].symbol);
+    out += "/";
+    out += std::to_string(decls_[i].arity);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace kbt

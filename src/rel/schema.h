@@ -1,0 +1,84 @@
+#ifndef KBT_REL_SCHEMA_H_
+#define KBT_REL_SCHEMA_H_
+
+/// \file
+/// Database schemas: ordered sequences of relation symbols with arities.
+///
+/// The paper treats a database as a *sequence* (r_i1, ..., r_in) of relations, so a
+/// schema here is ordered, and projection / component talk is by position as well as
+/// by symbol. "σ(db2) dominates σ(db1)" (σ(db1) ⊆ σ(db2)) becomes
+/// `schema2.Includes(schema1)`.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/status.h"
+
+namespace kbt {
+
+/// A relation symbol together with its arity α(i).
+struct RelationDecl {
+  Symbol symbol;
+  size_t arity;
+
+  friend bool operator==(const RelationDecl& a, const RelationDecl& b) {
+    return a.symbol == b.symbol && a.arity == b.arity;
+  }
+};
+
+/// An ordered set of relation declarations. Symbols are unique within a schema.
+class Schema {
+ public:
+  /// The empty schema.
+  Schema() = default;
+
+  /// Builds a schema from (name, arity) pairs, interning the names.
+  /// Duplicate names are an error.
+  static StatusOr<Schema> Of(
+      std::initializer_list<std::pair<std::string_view, size_t>> decls);
+
+  /// Builds from declarations; duplicate symbols are an error.
+  static StatusOr<Schema> FromDecls(std::vector<RelationDecl> decls);
+
+  /// Number of relations.
+  size_t size() const { return decls_.size(); }
+  bool empty() const { return decls_.empty(); }
+  const std::vector<RelationDecl>& decls() const { return decls_; }
+  const RelationDecl& decl(size_t position) const { return decls_[position]; }
+
+  /// Position of `symbol`, if declared.
+  std::optional<size_t> PositionOf(Symbol symbol) const;
+  /// True iff `symbol` is declared.
+  bool Contains(Symbol symbol) const { return PositionOf(symbol).has_value(); }
+  /// Arity of `symbol`, if declared.
+  std::optional<size_t> ArityOf(Symbol symbol) const;
+
+  /// True iff every declaration of `sub` appears here with the same arity
+  /// (the paper's "this dominates sub").
+  bool Includes(const Schema& sub) const;
+
+  /// This schema followed by the declarations of `other` not already present.
+  /// Fails if a shared symbol has conflicting arities.
+  StatusOr<Schema> Union(const Schema& other) const;
+
+  /// Appends one declaration; fails on duplicate symbol.
+  Status Append(RelationDecl decl);
+
+  /// Renders as "[R1/2, R2/1]".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.decls_ == b.decls_;
+  }
+  friend bool operator!=(const Schema& a, const Schema& b) { return !(a == b); }
+
+ private:
+  std::vector<RelationDecl> decls_;
+};
+
+}  // namespace kbt
+
+#endif  // KBT_REL_SCHEMA_H_

@@ -1,0 +1,34 @@
+#include "rel/tuple.h"
+
+#include <cassert>
+
+namespace kbt {
+
+Tuple Tuple::Of(std::initializer_list<std::string_view> names) {
+  std::vector<Value> values;
+  values.reserve(names.size());
+  for (std::string_view n : names) values.push_back(Name(n));
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> values;
+  values.reserve(indices.size());
+  for (size_t i : indices) {
+    assert(i < values_.size());
+    values.push_back(values_[i]);
+  }
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += NameOf(values_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace kbt

@@ -1,0 +1,76 @@
+#ifndef KBT_REL_TUPLE_H_
+#define KBT_REL_TUPLE_H_
+
+/// \file
+/// Tuples of interned domain elements.
+///
+/// In the paper, a k-ary term is a tuple with k components over A ∪ X; a *ground*
+/// tuple (the only kind stored in relations) has all components in the domain A.
+/// Components are interned Symbols (see base/interner.h). Arity 0 is supported: the
+/// empty tuple is the single inhabitant, used by the paper's zero-ary relations
+/// (e.g. R4 in Example 3 and r0 in Theorem 4.9).
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/interner.h"
+
+namespace kbt {
+
+/// An element of the domain A: an interned constant symbol.
+using Value = Symbol;
+
+/// An immutable ground tuple over the domain.
+class Tuple {
+ public:
+  /// The empty (zero-ary) tuple.
+  Tuple() = default;
+  /// Tuple from explicit values.
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  /// Tuple from a vector of values.
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  /// Builds a tuple by interning each name, e.g. Tuple::Of({"a1", "a2"}).
+  static Tuple Of(std::initializer_list<std::string_view> names);
+
+  /// Number of components.
+  size_t arity() const { return values_.size(); }
+  /// Component access; `i` must be < arity().
+  Value operator[](size_t i) const { return values_[i]; }
+  /// Underlying values.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Projects onto the given component indices (each < arity()); duplicates allowed.
+  Tuple Project(const std::vector<size_t>& indices) const;
+
+  /// Renders as "(a1, a2)" using the process-wide interner.
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  /// Lexicographic order; used to keep relations sorted.
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+  /// Hash over components.
+  size_t Hash() const {
+    return HashRange(values_.begin(), values_.end());
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace kbt
+
+#endif  // KBT_REL_TUPLE_H_

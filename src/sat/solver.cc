@@ -1,0 +1,322 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kbt::sat {
+
+Var Solver::NewVar() {
+  Var v = num_vars();
+  values_.push_back(LBool::kUndef);
+  levels_.push_back(0);
+  reasons_.push_back(kNoClause);
+  activity_.push_back(0.0);
+  saved_phase_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  order_heap_.push_back({0.0, v});
+  std::push_heap(order_heap_.begin(), order_heap_.end());
+  return v;
+}
+
+bool Solver::AddClause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  assert(DecisionLevel() == 0 && "AddClause only between Solve calls");
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  // Drop tautologies; remove false literals; detect satisfied clauses.
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (size_t i = 0; i < lits.size(); ++i) {
+    Lit l = lits[i];
+    if (i + 1 < lits.size() && lits[i + 1] == Negate(l) && VarOf(lits[i + 1]) == VarOf(l)) {
+      return true;  // l and ¬l adjacent after sorting: tautology.
+    }
+    LBool v = ValueOf(l);
+    if (v == LBool::kTrue) return true;  // Satisfied at top level.
+    if (v == LBool::kFalse) continue;    // Falsified at top level: drop literal.
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    Enqueue(out[0], kNoClause);
+    if (Propagate() != kNoClause) ok_ = false;
+    return ok_;
+  }
+  clauses_.push_back(Clause{std::move(out), false});
+  Attach(static_cast<ClauseRef>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::Attach(ClauseRef cref) {
+  const Clause& c = clauses_[static_cast<size_t>(cref)];
+  assert(c.lits.size() >= 2);
+  watches_[static_cast<size_t>(Negate(c.lits[0]))].push_back(cref);
+  watches_[static_cast<size_t>(Negate(c.lits[1]))].push_back(cref);
+}
+
+void Solver::Enqueue(Lit l, ClauseRef reason) {
+  assert(ValueOf(l) == LBool::kUndef);
+  Var v = VarOf(l);
+  values_[static_cast<size_t>(v)] = IsNegated(l) ? LBool::kFalse : LBool::kTrue;
+  levels_[static_cast<size_t>(v)] = DecisionLevel();
+  reasons_[static_cast<size_t>(v)] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::Propagate() {
+  while (propagate_head_ < trail_.size()) {
+    Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    std::vector<ClauseRef>& watch_list = watches_[static_cast<size_t>(p)];
+    size_t keep = 0;
+    for (size_t i = 0; i < watch_list.size(); ++i) {
+      ClauseRef cref = watch_list[i];
+      Clause& c = clauses_[static_cast<size_t>(cref)];
+      Lit false_lit = Negate(p);
+      // Normalize: the falsified watched literal goes to slot 1.
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == false_lit);
+      if (ValueOf(c.lits[0]) == LBool::kTrue) {
+        watch_list[keep++] = cref;  // Clause satisfied; keep watching.
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (size_t j = 2; j < c.lits.size(); ++j) {
+        if (ValueOf(c.lits[j]) != LBool::kFalse) {
+          std::swap(c.lits[1], c.lits[j]);
+          watches_[static_cast<size_t>(Negate(c.lits[1]))].push_back(cref);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // No replacement: unit or conflicting.
+      watch_list[keep++] = cref;
+      if (ValueOf(c.lits[0]) == LBool::kFalse) {
+        // Conflict. Keep the remaining watchers, restore list, report.
+        for (size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return cref;
+      }
+      Enqueue(c.lits[0], cref);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoClause;
+}
+
+void Solver::CancelUntil(int level) {
+  if (DecisionLevel() <= level) return;
+  int target = trail_lim_[static_cast<size_t>(level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= target; --i) {
+    Var v = VarOf(trail_[static_cast<size_t>(i)]);
+    saved_phase_[static_cast<size_t>(v)] =
+        values_[static_cast<size_t>(v)] == LBool::kTrue ? 1 : -1;
+    values_[static_cast<size_t>(v)] = LBool::kUndef;
+    reasons_[static_cast<size_t>(v)] = kNoClause;
+    order_heap_.push_back({activity_[static_cast<size_t>(v)], v});
+    std::push_heap(order_heap_.begin(), order_heap_.end());
+  }
+  trail_.resize(static_cast<size_t>(target));
+  trail_lim_.resize(static_cast<size_t>(level));
+  propagate_head_ = trail_.size();
+}
+
+void Solver::BumpVar(Var v) {
+  double& a = activity_[static_cast<size_t>(v)];
+  a += var_inc_;
+  if (a > 1e100) {
+    for (double& x : activity_) x *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_heap_.push_back({activity_[static_cast<size_t>(v)], v});
+  std::push_heap(order_heap_.begin(), order_heap_.end());
+}
+
+void Solver::DecayActivities() { var_inc_ /= 0.95; }
+
+void Solver::Analyze(ClauseRef confl, std::vector<Lit>* learned, int* bt_level) {
+  learned->clear();
+  learned->push_back(0);  // Slot for the asserting (1UIP) literal.
+  int counter = 0;
+  Lit p = -1;
+  size_t trail_index = trail_.size();
+  std::vector<Var> to_clear;
+
+  ClauseRef reason = confl;
+  do {
+    assert(reason != kNoClause);
+    const Clause& c = clauses_[static_cast<size_t>(reason)];
+    // On the first pass p == -1 and all literals are examined; afterwards the
+    // asserting literal at c.lits[0] equals p and is skipped.
+    for (size_t j = (p == -1 ? 0 : 1); j < c.lits.size(); ++j) {
+      Lit q = c.lits[j];
+      Var v = VarOf(q);
+      if (seen_[static_cast<size_t>(v)] || levels_[static_cast<size_t>(v)] == 0) {
+        continue;
+      }
+      seen_[static_cast<size_t>(v)] = 1;
+      to_clear.push_back(v);
+      BumpVar(v);
+      if (levels_[static_cast<size_t>(v)] == DecisionLevel()) {
+        ++counter;
+      } else {
+        learned->push_back(q);
+      }
+    }
+    // Select the next trail literal marked seen.
+    while (trail_index > 0 && !seen_[static_cast<size_t>(VarOf(trail_[trail_index - 1]))]) {
+      --trail_index;
+    }
+    assert(trail_index > 0);
+    --trail_index;
+    p = trail_[trail_index];
+    Var pv = VarOf(p);
+    seen_[static_cast<size_t>(pv)] = 0;
+    reason = reasons_[static_cast<size_t>(pv)];
+    --counter;
+  } while (counter > 0);
+  (*learned)[0] = Negate(p);
+
+  // Backtrack level: second-highest level in the learned clause.
+  if (learned->size() == 1) {
+    *bt_level = 0;
+  } else {
+    size_t max_i = 1;
+    for (size_t i = 2; i < learned->size(); ++i) {
+      if (levels_[static_cast<size_t>(VarOf((*learned)[i]))] >
+          levels_[static_cast<size_t>(VarOf((*learned)[max_i]))]) {
+        max_i = i;
+      }
+    }
+    std::swap((*learned)[1], (*learned)[max_i]);
+    *bt_level = levels_[static_cast<size_t>(VarOf((*learned)[1]))];
+  }
+  for (Var v : to_clear) seen_[static_cast<size_t>(v)] = 0;
+}
+
+Var Solver::PickBranchVar() {
+  while (!order_heap_.empty()) {
+    std::pop_heap(order_heap_.begin(), order_heap_.end());
+    Var v = order_heap_.back().second;
+    order_heap_.pop_back();
+    if (values_[static_cast<size_t>(v)] == LBool::kUndef) return v;
+  }
+  return -1;
+}
+
+int Solver::LubyUnit(int i) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  int k = 1;
+  while ((1 << (k + 1)) <= i + 1) ++k;
+  while ((1 << k) - 1 != i + 1) {
+    i = i - (1 << k) + 1;
+    k = 1;
+    while ((1 << (k + 1)) <= i + 1) ++k;
+  }
+  return 1 << (k - 1);
+}
+
+SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
+  ++stats_.solve_calls;
+  if (!ok_) return SolveResult::kUnsat;
+  CancelUntil(0);
+  if (Propagate() != kNoClause) {
+    ok_ = false;
+    return SolveResult::kUnsat;
+  }
+
+  int restart_count = 0;
+  uint64_t conflict_budget =
+      100 * static_cast<uint64_t>(LubyUnit(restart_count));
+  uint64_t conflicts_here = 0;
+  std::vector<Lit> learned;
+
+  while (true) {
+    ClauseRef confl = Propagate();
+    if (confl != kNoClause) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (DecisionLevel() == 0) {
+        ok_ = false;
+        return SolveResult::kUnsat;
+      }
+      // A conflict among assumption decisions alone (no free decisions below the
+      // conflict's resolution) may require backjumping into the assumption prefix;
+      // the assumptions are then re-decided. If the conflict persists with only
+      // assumptions on the trail and analysis yields level 0, the unit is
+      // propagated there; if an assumption is thereby falsified the decision step
+      // below reports kUnsat.
+      int bt_level = 0;
+      Analyze(confl, &learned, &bt_level);
+      CancelUntil(bt_level);
+      if (learned.size() == 1) {
+        if (ValueOf(learned[0]) == LBool::kFalse) {
+          ok_ = false;
+          return SolveResult::kUnsat;
+        }
+        if (ValueOf(learned[0]) == LBool::kUndef) Enqueue(learned[0], kNoClause);
+      } else {
+        clauses_.push_back(Clause{learned, true});
+        ++stats_.learned_clauses;
+        ClauseRef cref = static_cast<ClauseRef>(clauses_.size() - 1);
+        Attach(cref);
+        Enqueue(learned[0], cref);
+      }
+      DecayActivities();
+      continue;
+    }
+
+    if (conflicts_here >= conflict_budget) {
+      // Restart.
+      ++stats_.restarts;
+      ++restart_count;
+      conflict_budget = 100 * static_cast<uint64_t>(LubyUnit(restart_count));
+      conflicts_here = 0;
+      CancelUntil(0);
+      continue;
+    }
+
+    // Decision: assumptions first, then activity order.
+    if (DecisionLevel() < static_cast<int>(assumptions.size())) {
+      Lit a = assumptions[static_cast<size_t>(DecisionLevel())];
+      LBool v = ValueOf(a);
+      if (v == LBool::kFalse) {
+        CancelUntil(0);
+        return SolveResult::kUnsat;  // Assumption contradicted.
+      }
+      NewDecisionLevel();
+      if (v == LBool::kUndef) {
+        Enqueue(a, kNoClause);
+      }
+      // If already true, the level is a placeholder so indices keep aligned.
+      continue;
+    }
+
+    Var next = PickBranchVar();
+    if (next < 0) {
+      // All variables assigned: model found.
+      model_.assign(values_.size(), 0);
+      for (size_t i = 0; i < values_.size(); ++i) {
+        model_[i] = values_[i] == LBool::kTrue ? 1 : -1;
+      }
+      CancelUntil(0);
+      return SolveResult::kSat;
+    }
+    ++stats_.decisions;
+    NewDecisionLevel();
+    bool phase = saved_phase_[static_cast<size_t>(next)] >= 0;
+    Enqueue(MkLit(next, !phase), kNoClause);
+  }
+}
+
+}  // namespace kbt::sat

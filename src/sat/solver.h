@@ -1,0 +1,147 @@
+#ifndef KBT_SAT_SOLVER_H_
+#define KBT_SAT_SOLVER_H_
+
+/// \file
+/// A from-scratch CDCL SAT solver.
+///
+/// The knowledgebase update operator μ (eq. 9) needs to enumerate Winslett-minimal
+/// models of a grounded sentence — a co-NP-hard task (Theorem 4.2). The engine in
+/// core/mu_sat.cc drives this solver through a descend-and-block loop; the solver
+/// itself is a conventional conflict-driven clause-learning design:
+///
+///   * two-watched-literal propagation,
+///   * first-UIP conflict analysis with learned clauses,
+///   * VSIDS-style variable activities with phase saving,
+///   * Luby restarts,
+///   * solving under assumptions (for the minimization descent), and
+///   * incremental clause addition between Solve() calls (for blocking clauses and
+///     activation-literal-guarded constraints).
+///
+/// No exceptions, no dependencies; deterministic given the same sequence of calls.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace kbt::sat {
+
+/// A 0-based propositional variable.
+using Var = int;
+
+/// A literal: 2*var for the positive phase, 2*var+1 for the negative phase.
+using Lit = int;
+
+inline Lit MkLit(Var v, bool negated = false) { return 2 * v + (negated ? 1 : 0); }
+inline Var VarOf(Lit l) { return l >> 1; }
+inline bool IsNegated(Lit l) { return (l & 1) != 0; }
+inline Lit Negate(Lit l) { return l ^ 1; }
+
+enum class SolveResult { kSat, kUnsat };
+
+/// Truth value of a variable or literal: kUndef until assigned.
+enum class LBool : int8_t { kFalse = -1, kUndef = 0, kTrue = 1 };
+
+/// The CDCL solver. Create variables with NewVar, add clauses, then Solve —
+/// possibly repeatedly, with further clauses and different assumptions in between.
+class Solver {
+ public:
+  Solver() = default;
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Creates a fresh variable and returns it.
+  Var NewVar();
+
+  /// Number of variables created.
+  int num_vars() const { return static_cast<int>(values_.size()); }
+
+  /// Adds a clause (a disjunction of literals over existing variables).
+  /// Tautologies are silently dropped; duplicate literals are merged; the empty
+  /// clause makes the solver permanently unsatisfiable. Returns false iff the
+  /// solver is already known unsatisfiable after this call.
+  bool AddClause(std::vector<Lit> lits);
+
+  /// Solves the current formula under the given assumption literals. Further
+  /// clauses may be added afterwards and Solve called again.
+  SolveResult Solve(const std::vector<Lit>& assumptions = {});
+
+  /// Value of `v` in the model found by the last Solve (which must have returned
+  /// kSat and not been followed by AddClause).
+  bool ModelValue(Var v) const { return model_[static_cast<size_t>(v)] == 1; }
+
+  /// Sets the branching phase hint for `v` (the polarity tried first). Phase
+  /// saving overwrites it as search proceeds. The μ engine seeds old atoms with
+  /// their database value and new atoms with false, so first models start near
+  /// the Winslett minimum and descents are short.
+  void SetPhase(Var v, bool value) {
+    saved_phase_[static_cast<size_t>(v)] = value ? 1 : -1;
+  }
+
+  /// True once the clause set has been proven unsatisfiable outright (no
+  /// assumptions involved).
+  bool inconsistent() const { return !ok_; }
+
+  /// Cumulative search statistics.
+  struct Stats {
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learned_clauses = 0;
+    uint64_t solve_calls = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+  };
+  using ClauseRef = int;
+  static constexpr ClauseRef kNoClause = -1;
+
+  LBool ValueOf(Lit l) const {
+    LBool v = values_[static_cast<size_t>(VarOf(l))];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    bool is_true = (v == LBool::kTrue) != IsNegated(l);
+    return is_true ? LBool::kTrue : LBool::kFalse;
+  }
+
+  void Enqueue(Lit l, ClauseRef reason);
+  ClauseRef Propagate();
+  void Attach(ClauseRef cref);
+  void CancelUntil(int level);
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  void NewDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void Analyze(ClauseRef confl, std::vector<Lit>* learned, int* bt_level);
+  void BumpVar(Var v);
+  void DecayActivities();
+  Var PickBranchVar();
+  static int LubyUnit(int i);
+
+  bool ok_ = true;
+  std::vector<Clause> clauses_;
+  /// watches_[lit] = clauses to inspect when `lit` becomes true (they watch ¬lit).
+  std::vector<std::vector<ClauseRef>> watches_;
+  std::vector<LBool> values_;
+  std::vector<int> levels_;
+  std::vector<ClauseRef> reasons_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<std::pair<double, Var>> order_heap_;  // Lazy max-heap by activity.
+  std::vector<int8_t> saved_phase_;
+
+  std::vector<int8_t> model_;
+  std::vector<int8_t> seen_;  // Scratch for Analyze.
+
+  Stats stats_;
+};
+
+}  // namespace kbt::sat
+
+#endif  // KBT_SAT_SOLVER_H_

@@ -1,0 +1,76 @@
+#include "sat/tseitin.h"
+
+#include <cassert>
+#include <vector>
+
+namespace kbt::sat {
+
+Var TseitinEncoder::VarForAtom(int var_id) {
+  auto it = atom_vars_.find(var_id);
+  if (it != atom_vars_.end()) return it->second;
+  Var v = solver_->NewVar();
+  atom_vars_.emplace(var_id, v);
+  return v;
+}
+
+Lit TseitinEncoder::LitFor(int node_id) {
+  auto it = node_lits_.find(node_id);
+  if (it != node_lits_.end()) return it->second;
+
+  const Circuit::Node& n = circuit_->node(node_id);
+  Lit lit = 0;
+  switch (n.kind) {
+    case Circuit::NodeKind::kConst: {
+      if (const_true_ < 0) {
+        const_true_ = solver_->NewVar();
+        solver_->AddClause({MkLit(const_true_)});
+      }
+      lit = n.var == 1 ? MkLit(const_true_) : MkLit(const_true_, true);
+      break;
+    }
+    case Circuit::NodeKind::kVar:
+      lit = MkLit(VarForAtom(n.var));
+      break;
+    case Circuit::NodeKind::kNot:
+      lit = Negate(LitFor(n.children[0]));
+      break;
+    case Circuit::NodeKind::kAnd: {
+      std::vector<Lit> child_lits;
+      child_lits.reserve(n.children.size());
+      for (int c : n.children) child_lits.push_back(LitFor(c));
+      Var g = solver_->NewVar();
+      lit = MkLit(g);
+      // g → c_i for each i; (⋀ c_i) → g.
+      std::vector<Lit> back{lit};
+      for (Lit cl : child_lits) {
+        solver_->AddClause({Negate(lit), cl});
+        back.push_back(Negate(cl));
+      }
+      solver_->AddClause(std::move(back));
+      break;
+    }
+    case Circuit::NodeKind::kOr: {
+      std::vector<Lit> child_lits;
+      child_lits.reserve(n.children.size());
+      for (int c : n.children) child_lits.push_back(LitFor(c));
+      Var g = solver_->NewVar();
+      lit = MkLit(g);
+      // c_i → g for each i; g → (⋁ c_i).
+      std::vector<Lit> fwd{Negate(lit)};
+      for (Lit cl : child_lits) {
+        solver_->AddClause({lit, Negate(cl)});
+        fwd.push_back(cl);
+      }
+      solver_->AddClause(std::move(fwd));
+      break;
+    }
+  }
+  node_lits_.emplace(node_id, lit);
+  return lit;
+}
+
+void TseitinEncoder::Assert(int node_id) {
+  solver_->AddClause({LitFor(node_id)});
+}
+
+}  // namespace kbt::sat

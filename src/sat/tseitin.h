@@ -1,0 +1,52 @@
+#ifndef KBT_SAT_TSEITIN_H_
+#define KBT_SAT_TSEITIN_H_
+
+/// \file
+/// Tseitin transformation: boolean circuits to CNF.
+///
+/// Every circuit node gets a solver literal; gate semantics are encoded with full
+/// (both-direction) clauses, so the CNF models restricted to the atom variables are
+/// exactly the circuit's satisfying assignments — a bijection the minimal-model
+/// enumeration in core/mu_sat.cc relies on (auxiliary gate variables are functionally
+/// determined by the atom variables).
+
+#include <unordered_map>
+
+#include "logic/circuit.h"
+#include "sat/solver.h"
+
+namespace kbt::sat {
+
+/// Encodes circuit nodes into a Solver. The circuit's external variables (ground
+/// atom ids) map to dedicated solver variables, created on demand.
+class TseitinEncoder {
+ public:
+  /// Both `circuit` and `solver` must outlive the encoder.
+  TseitinEncoder(const Circuit* circuit, Solver* solver)
+      : circuit_(circuit), solver_(solver) {}
+
+  /// Returns a literal equivalent to circuit node `node_id`, adding gate clauses as
+  /// needed (idempotent per node).
+  Lit LitFor(int node_id);
+
+  /// Solver variable for circuit/external variable `var_id` (a ground-atom id),
+  /// created on first use.
+  Var VarForAtom(int var_id);
+
+  /// Asserts that node `node_id` is true (adds its literal as a unit clause).
+  void Assert(int node_id);
+
+  /// The atom-id → solver-var map built so far.
+  const std::unordered_map<int, Var>& atom_vars() const { return atom_vars_; }
+
+ private:
+  const Circuit* circuit_;
+  Solver* solver_;
+  std::unordered_map<int, Lit> node_lits_;
+  std::unordered_map<int, Var> atom_vars_;
+  Var const_true_ = -1;
+};
+
+}  // namespace kbt::sat
+
+#endif  // KBT_SAT_TSEITIN_H_

@@ -1,0 +1,85 @@
+#include "logic/circuit.h"
+
+#include <gtest/gtest.h>
+
+namespace kbt {
+namespace {
+
+TEST(CircuitTest, ConstantsAndVars) {
+  Circuit c;
+  EXPECT_EQ(c.FalseNode(), 0);
+  EXPECT_EQ(c.TrueNode(), 1);
+  int v0 = c.VarNode(0);
+  EXPECT_EQ(c.VarNode(0), v0);  // Hash-consed.
+  EXPECT_NE(c.VarNode(1), v0);
+}
+
+TEST(CircuitTest, NotFoldsConstantsAndDoubleNegation) {
+  Circuit c;
+  EXPECT_EQ(c.NotNode(c.TrueNode()), c.FalseNode());
+  EXPECT_EQ(c.NotNode(c.FalseNode()), c.TrueNode());
+  int v = c.VarNode(0);
+  EXPECT_EQ(c.NotNode(c.NotNode(v)), v);
+}
+
+TEST(CircuitTest, AndSimplifications) {
+  Circuit c;
+  int v0 = c.VarNode(0);
+  int v1 = c.VarNode(1);
+  EXPECT_EQ(c.AndNode({}), c.TrueNode());
+  EXPECT_EQ(c.AndNode({v0}), v0);
+  EXPECT_EQ(c.AndNode({v0, c.TrueNode()}), v0);
+  EXPECT_EQ(c.AndNode({v0, c.FalseNode()}), c.FalseNode());
+  EXPECT_EQ(c.AndNode({v0, v0}), v0);
+  EXPECT_EQ(c.AndNode({v0, c.NotNode(v0)}), c.FalseNode());
+  // Flattening: and(and(v0,v1), v0) == and(v0, v1).
+  EXPECT_EQ(c.AndNode({c.AndNode({v0, v1}), v0}), c.AndNode({v0, v1}));
+}
+
+TEST(CircuitTest, OrSimplifications) {
+  Circuit c;
+  int v0 = c.VarNode(0);
+  int v1 = c.VarNode(1);
+  EXPECT_EQ(c.OrNode({}), c.FalseNode());
+  EXPECT_EQ(c.OrNode({v0, c.FalseNode()}), v0);
+  EXPECT_EQ(c.OrNode({v0, c.TrueNode()}), c.TrueNode());
+  EXPECT_EQ(c.OrNode({v0, c.NotNode(v0)}), c.TrueNode());
+  EXPECT_EQ(c.OrNode({c.OrNode({v0, v1}), v1}), c.OrNode({v0, v1}));
+}
+
+TEST(CircuitTest, HashConsingSharesStructure) {
+  Circuit c;
+  int a = c.AndNode({c.VarNode(0), c.VarNode(1)});
+  int b = c.AndNode({c.VarNode(1), c.VarNode(0)});  // Children sorted: same node.
+  EXPECT_EQ(a, b);
+}
+
+TEST(CircuitTest, EvaluateAndCollectVars) {
+  Circuit c;
+  // (v0 ∧ ¬v1) ∨ v2
+  int f = c.OrNode({c.AndNode({c.VarNode(0), c.NotNode(c.VarNode(1))}),
+                    c.VarNode(2)});
+  auto val = [](bool a, bool b, bool d) {
+    return [=](int v) { return v == 0 ? a : (v == 1 ? b : d); };
+  };
+  EXPECT_TRUE(c.Evaluate(f, val(true, false, false)));
+  EXPECT_FALSE(c.Evaluate(f, val(true, true, false)));
+  EXPECT_TRUE(c.Evaluate(f, val(false, true, true)));
+  std::vector<int> vars = c.CollectVars(f);
+  EXPECT_EQ(vars, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CircuitTest, ImpliesAndIffHelpers) {
+  Circuit c;
+  int v0 = c.VarNode(0);
+  int v1 = c.VarNode(1);
+  int imp = c.ImpliesNode(v0, v1);
+  EXPECT_FALSE(c.Evaluate(imp, [](int v) { return v == 0; }));
+  EXPECT_TRUE(c.Evaluate(imp, [](int) { return true; }));
+  int iff = c.IffNode(v0, v1);
+  EXPECT_TRUE(c.Evaluate(iff, [](int) { return false; }));
+  EXPECT_FALSE(c.Evaluate(iff, [](int v) { return v == 1; }));
+}
+
+}  // namespace
+}  // namespace kbt

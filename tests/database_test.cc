@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "rel/database.h"
+
+namespace kbt {
+namespace {
+
+TEST(DatabaseTest, EmptyConstruction) {
+  Database db(*Schema::Of({{"R", 2}, {"S", 1}}));
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.relation_at(0).empty());
+  EXPECT_EQ(db.relation_at(0).arity(), 2u);
+  EXPECT_EQ(db.TupleCount(), 0u);
+}
+
+TEST(DatabaseTest, CreateChecksArities) {
+  Schema s = *Schema::Of({{"R", 2}});
+  EXPECT_FALSE(Database::Create(s, {Relation(1)}).ok());
+  EXPECT_FALSE(Database::Create(s, {}).ok());
+  EXPECT_TRUE(Database::Create(s, {Relation(2)}).ok());
+}
+
+TEST(DatabaseTest, RelationAccessAndUpdate) {
+  Database db = *MakeDatabase({{"R", 2}}, {{"R", {{"a", "b"}}}});
+  EXPECT_EQ(db.RelationFor("R")->size(), 1u);
+  EXPECT_EQ(db.RelationFor("missing").status().code(), StatusCode::kNotFound);
+  Database db2 = *db.WithRelation("R", MakeRelation(2, {{"a", "b"}, {"b", "c"}}));
+  EXPECT_EQ(db2.RelationFor("R")->size(), 2u);
+  EXPECT_EQ(db.RelationFor("R")->size(), 1u);  // Immutability.
+  // Arity mismatch rejected.
+  EXPECT_FALSE(db.WithRelation("R", Relation(3)).ok());
+}
+
+TEST(DatabaseTest, ExtendToEmbedsWithEmptyNewRelations) {
+  Database db = *MakeDatabase({{"R", 2}}, {{"R", {{"a", "b"}}}});
+  Schema super = *Schema::Of({{"R", 2}, {"S", 1}});
+  Database big = *db.ExtendTo(super);
+  EXPECT_EQ(big.schema(), super);
+  EXPECT_EQ(big.RelationFor("R")->size(), 1u);
+  EXPECT_TRUE(big.RelationFor("S")->empty());
+  // Cannot extend to a schema that does not dominate.
+  EXPECT_FALSE(db.ExtendTo(*Schema::Of({{"S", 1}})).ok());
+}
+
+TEST(DatabaseTest, ProjectToReordersComponents) {
+  Database db = *MakeDatabase({{"R", 2}, {"S", 1}},
+                              {{"R", {{"a", "b"}}}, {"S", {{"c"}}}});
+  Database p = *db.ProjectTo({Name("S"), Name("R")});
+  EXPECT_EQ(p.schema().decl(0).symbol, Name("S"));
+  EXPECT_EQ(p.schema().decl(1).symbol, Name("R"));
+  EXPECT_EQ(p.RelationFor("S")->size(), 1u);
+  EXPECT_FALSE(db.ProjectTo({Name("Zed")}).ok());
+}
+
+TEST(DatabaseTest, ActiveDomainSortedUnique) {
+  Database db = *MakeDatabase({{"R", 2}, {"S", 1}},
+                              {{"R", {{"a", "b"}, {"b", "c"}}}, {"S", {{"a"}}}});
+  std::vector<Value> dom = db.ActiveDomain();
+  EXPECT_EQ(dom.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(dom.begin(), dom.end()));
+}
+
+TEST(DatabaseTest, MeetAndJoinAreComponentwise) {
+  Database a = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}, {"b"}}}});
+  Database b = *MakeDatabase({{"R", 1}}, {{"R", {{"b"}, {"c"}}}});
+  EXPECT_EQ(*a.Meet(b)->RelationFor("R"), MakeRelation(1, {{"b"}}));
+  EXPECT_EQ(*a.Join(b)->RelationFor("R"), MakeRelation(1, {{"a"}, {"b"}, {"c"}}));
+  Database other = *MakeDatabase({{"S", 1}}, {});
+  EXPECT_FALSE(a.Meet(other).ok());
+  EXPECT_FALSE(a.Join(other).ok());
+}
+
+TEST(DatabaseTest, EqualityAndHash) {
+  Database a = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}}}});
+  Database b = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}}}});
+  Database c = *MakeDatabase({{"R", 1}}, {{"R", {{"b"}}}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace kbt

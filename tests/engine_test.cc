@@ -1,0 +1,73 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kbt.h"
+#include "testutil.h"
+
+namespace kbt {
+namespace {
+
+TEST(EngineTest, QuickstartTransitiveClosure) {
+  // The README quickstart: reachable cities via Example 1's sentence.
+  Engine engine;
+  Knowledgebase kb = *MakeSingletonKb(
+      {{"R1", 2}}, {{"R1", {{"tor", "ott"}, {"ott", "mtl"}, {"mtl", "qbc"}}}});
+  Knowledgebase out = *engine.Apply(
+      "tau{ forall x, y, z: (R2(x, y) & R1(y, z)) | R1(x, z) -> R2(x, z) } "
+      ">> pi[R2]",
+      kb);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(*out.databases()[0].RelationFor("R2"),
+            MakeRelation(2, {{"tor", "ott"},
+                             {"tor", "mtl"},
+                             {"tor", "qbc"},
+                             {"ott", "mtl"},
+                             {"ott", "qbc"},
+                             {"mtl", "qbc"}}));
+}
+
+TEST(EngineTest, InsertShorthand) {
+  Engine engine;
+  Knowledgebase kb = *MakeSingletonKb({{"R1", 2}}, {{"R1", {{"tor", "ott"}}}});
+  Knowledgebase out = *engine.Insert("!R1(tor, ott)", kb);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out.databases()[0].RelationFor("R1")->empty());
+}
+
+TEST(EngineTest, ParseErrorsPropagate) {
+  Engine engine;
+  Knowledgebase kb = *MakeSingletonKb({{"R1", 2}}, {});
+  EXPECT_EQ(engine.Apply("tau{ ((( }", kb).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(engine.Insert("R1(a", kb).status().code(), StatusCode::kParseError);
+}
+
+TEST(EngineTest, TraceCollection) {
+  EngineOptions options;
+  options.trace = true;
+  Engine engine(options);
+  Knowledgebase kb = *MakeSingletonKb({{"R", 1}}, {{"R", {{"a"}}}});
+  ASSERT_TRUE(engine.Apply("tau{ R(b) } >> lub", kb).ok());
+  ASSERT_EQ(engine.last_trace().steps.size(), 2u);
+  EXPECT_EQ(engine.last_trace().steps[0].step, "tau{ R(b) }");
+}
+
+TEST(EngineTest, OptionsControlStrategy) {
+  EngineOptions options;
+  options.mu.strategy = MuStrategy::kDatalog;
+  Engine engine(options);
+  Knowledgebase kb = *MakeSingletonKb({{"R", 1}}, {{"R", {{"a"}}}});
+  // Not Horn: the forced strategy must surface as an error.
+  EXPECT_EQ(engine.Insert("forall x: R(x) -> !S(x)", kb).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(EngineTest, MakeHelpersValidate) {
+  EXPECT_FALSE(MakeDatabase({{"R", 1}, {"R", 1}}, {}).ok());  // Dup symbol.
+  EXPECT_TRUE(MakeDatabase({{"R", 1}}, {{"R", {{"a"}}}}).ok());
+  EXPECT_EQ(MakeRelation(2, {{"a", "b"}}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace kbt

@@ -1,0 +1,82 @@
+#include "logic/formula.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/printer.h"
+
+namespace kbt {
+namespace {
+
+TEST(FormulaTest, FactoriesBuildExpectedKinds) {
+  Formula atom = Atom("R", {Term::Const("a"), Term::Var("x")});
+  EXPECT_EQ(atom->kind(), FormulaKind::kAtom);
+  EXPECT_EQ(atom->relation(), Name("R"));
+  EXPECT_EQ(atom->terms().size(), 2u);
+
+  Formula eq = Equals(Term::Var("x"), Term::Const("a"));
+  EXPECT_EQ(eq->kind(), FormulaKind::kEquals);
+
+  EXPECT_EQ(Not(atom)->kind(), FormulaKind::kNot);
+  EXPECT_EQ(Implies(atom, eq)->kind(), FormulaKind::kImplies);
+  EXPECT_EQ(Iff(atom, eq)->kind(), FormulaKind::kIff);
+  EXPECT_EQ(Exists(Name("x"), atom)->kind(), FormulaKind::kExists);
+  EXPECT_EQ(Forall(Name("x"), atom)->kind(), FormulaKind::kForall);
+}
+
+TEST(FormulaTest, AndOrNormalizeArity) {
+  Formula a = Atom("R", {Term::Const("a")});
+  EXPECT_EQ(And(std::vector<Formula>{})->kind(), FormulaKind::kTrue);
+  EXPECT_EQ(Or(std::vector<Formula>{})->kind(), FormulaKind::kFalse);
+  EXPECT_EQ(And(std::vector<Formula>{a}), a);
+  EXPECT_EQ(Or(std::vector<Formula>{a}), a);
+  EXPECT_EQ(And(a, a)->children().size(), 2u);
+}
+
+TEST(FormulaTest, MultiQuantifierClosure) {
+  Formula body = Atom("R", {Term::Var("x"), Term::Var("y")});
+  Formula f = Forall({Name("x"), Name("y")}, body);
+  EXPECT_EQ(f->kind(), FormulaKind::kForall);
+  EXPECT_EQ(f->variable(), Name("x"));
+  EXPECT_EQ(f->children()[0]->variable(), Name("y"));
+}
+
+TEST(FormulaTest, NotEqualsSugar) {
+  Formula ne = NotEquals(Term::Var("x"), Term::Const("a"));
+  EXPECT_EQ(ne->kind(), FormulaKind::kNot);
+  EXPECT_EQ(ne->children()[0]->kind(), FormulaKind::kEquals);
+}
+
+TEST(FormulaTest, StructuralEquality) {
+  Formula a1 = Forall("x", Atom("R", {Term::Var("x")}));
+  Formula a2 = Forall("x", Atom("R", {Term::Var("x")}));
+  Formula b = Forall("y", Atom("R", {Term::Var("y")}));
+  EXPECT_TRUE(StructurallyEqual(a1, a2));
+  EXPECT_FALSE(StructurallyEqual(a1, b));  // Bound names compared verbatim.
+  EXPECT_TRUE(StructurallyEqual(True(), True()));
+  EXPECT_FALSE(StructurallyEqual(True(), False()));
+}
+
+TEST(PrinterTest, RendersConnectivesWithMinimalParens) {
+  Formula r = Atom("R", {Term::Const("a")});
+  Formula s = Atom("S", {Term::Const("b")});
+  EXPECT_EQ(ToString(And(r, s)), "R(a) & S(b)");
+  EXPECT_EQ(ToString(Or(And(r, s), r)), "R(a) & S(b) | R(a)");
+  EXPECT_EQ(ToString(And(Or(r, s), r)), "(R(a) | S(b)) & R(a)");
+  EXPECT_EQ(ToString(Not(And(r, s))), "!(R(a) & S(b))");
+  EXPECT_EQ(ToString(Implies(r, s)), "R(a) -> S(b)");
+  EXPECT_EQ(ToString(NotEquals(Term::Const("a"), Term::Const("b"))), "a != b");
+}
+
+TEST(PrinterTest, MergesQuantifierRuns) {
+  Formula f = Forall({Name("x"), Name("y")},
+                     Implies(Atom("R", {Term::Var("x"), Term::Var("y")}),
+                             Atom("S", {Term::Var("x")})));
+  EXPECT_EQ(ToString(f), "forall x, y: R(x, y) -> S(x)");
+}
+
+TEST(PrinterTest, ZeroAryAtom) {
+  EXPECT_EQ(ToString(Atom("R4", {})), "R4()");
+}
+
+}  // namespace
+}  // namespace kbt

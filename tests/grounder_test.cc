@@ -1,0 +1,88 @@
+#include "logic/grounder.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+
+namespace kbt {
+namespace {
+
+std::vector<Value> Domain(std::initializer_list<std::string_view> names) {
+  std::vector<Value> out;
+  for (auto n : names) out.push_back(Name(n));
+  return out;
+}
+
+TEST(GrounderTest, GroundAtomBecomesVariable) {
+  Grounding g = *GroundSentence(*ParseFormula("R(a, b)"), Domain({"a", "b"}));
+  const Circuit::Node& n = g.circuit.node(g.root);
+  EXPECT_EQ(n.kind, Circuit::NodeKind::kVar);
+  EXPECT_EQ(g.atoms.AtomOf(n.var).ToString(), "R(a, b)");
+}
+
+TEST(GrounderTest, EqualityFoldsToConstants) {
+  EXPECT_EQ(GroundSentence(*ParseFormula("a = a"), Domain({"a"}))->root, 1);
+  EXPECT_EQ(GroundSentence(*ParseFormula("a = b"), Domain({"a", "b"}))->root, 0);
+  EXPECT_EQ(GroundSentence(*ParseFormula("a != b"), Domain({"a", "b"}))->root, 1);
+}
+
+TEST(GrounderTest, ForallExpandsToConjunction) {
+  Grounding g = *GroundSentence(*ParseFormula("forall x: R(x)"),
+                                Domain({"a", "b", "c"}));
+  const Circuit::Node& n = g.circuit.node(g.root);
+  EXPECT_EQ(n.kind, Circuit::NodeKind::kAnd);
+  EXPECT_EQ(n.children.size(), 3u);
+  EXPECT_EQ(g.atoms.size(), 3u);
+}
+
+TEST(GrounderTest, ExistsExpandsToDisjunction) {
+  Grounding g = *GroundSentence(*ParseFormula("exists x: R(x) & !(x = a)"),
+                                Domain({"a", "b"}));
+  // For x=a the conjunct folds to false, so only x=b survives.
+  const Circuit::Node& n = g.circuit.node(g.root);
+  EXPECT_EQ(n.kind, Circuit::NodeKind::kVar);
+  EXPECT_EQ(g.atoms.AtomOf(n.var).ToString(), "R(b)");
+}
+
+TEST(GrounderTest, EmptyDomainQuantifiers) {
+  EXPECT_EQ(GroundSentence(*ParseFormula("forall x: R(x)"), {})->root, 1);
+  EXPECT_EQ(GroundSentence(*ParseFormula("exists x: R(x)"), {})->root, 0);
+}
+
+TEST(GrounderTest, SharedSubformulasAreShared) {
+  // Iff grounds children once and reuses the literals.
+  Grounding g = *GroundSentence(*ParseFormula("forall x: R(x) <-> S(x)"),
+                                Domain({"a", "b"}));
+  EXPECT_EQ(g.atoms.size(), 4u);  // R(a), R(b), S(a), S(b) — no duplicates.
+}
+
+TEST(GrounderTest, NestedQuantifiersScaleAsDomainPower) {
+  Grounding g = *GroundSentence(*ParseFormula("forall x, y: Q(x, y)"),
+                                Domain({"a", "b", "c"}));
+  EXPECT_EQ(g.atoms.size(), 9u);
+}
+
+TEST(GrounderTest, ShadowedVariableUsesInnerBinding) {
+  // ∀x (R(x) ∨ ∃x S(x)): inner x independent of outer.
+  Grounding g = *GroundSentence(
+      *ParseFormula("forall x: R(x) | (exists x: S(x))"), Domain({"a", "b"}));
+  EXPECT_EQ(g.atoms.size(), 4u);
+}
+
+TEST(GrounderTest, NodeBudgetEnforced) {
+  GrounderOptions opts;
+  opts.max_nodes = 10;
+  auto result = GroundSentence(
+      *ParseFormula("forall x, y, z: Q(x, y) & Q(y, z) | Q(x, z) & Q(z, x)"),
+      Domain({"a", "b", "c", "d"}), opts);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GrounderTest, FreeVariableRejected) {
+  Formula open = Atom("R", {Term::Var("x")});
+  auto result = GroundSentence(open, Domain({"a"}));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kbt

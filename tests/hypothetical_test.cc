@@ -1,0 +1,84 @@
+#include "core/hypothetical.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "logic/parser.h"
+
+namespace kbt {
+namespace {
+
+Knowledgebase RobotsKb() {
+  Database has_v = *MakeDatabase({{"R1", 1}}, {{"R1", {{"v"}}}});
+  Database has_w = *MakeDatabase({{"R1", 1}}, {{"R1", {{"w"}}}});
+  return *Knowledgebase::FromDatabases({has_v, has_w});
+}
+
+TEST(CounterfactualTest, Example4RobotsQuery) {
+  // "If V had landed, would W necessarily still be orbiting?" — no.
+  Knowledgebase kb = RobotsKb();
+  EXPECT_FALSE(*Counterfactual(kb, *ParseFormula("R1(v)"),
+                               *ParseFormula("!R1(w)"),
+                               Modality::kNecessarily));
+  // But it is possible that W is still orbiting.
+  EXPECT_TRUE(*Counterfactual(kb, *ParseFormula("R1(v)"),
+                              *ParseFormula("!R1(w)"), Modality::kPossibly));
+  // And V's landing is certain after the update (KM postulate (i)).
+  EXPECT_TRUE(*Counterfactual(kb, *ParseFormula("R1(v)"), *ParseFormula("R1(v)"),
+                              Modality::kNecessarily));
+}
+
+TEST(CounterfactualTest, ModalitiesDifferOnIndefiniteResults) {
+  Knowledgebase kb = *MakeSingletonKb({{"P", 1}}, {});
+  Formula a_or_b = *ParseFormula("P(a) | P(b)");
+  EXPECT_FALSE(*Counterfactual(kb, a_or_b, *ParseFormula("P(a)"),
+                               Modality::kNecessarily));
+  EXPECT_TRUE(*Counterfactual(kb, a_or_b, *ParseFormula("P(a)"),
+                              Modality::kPossibly));
+  EXPECT_TRUE(*Counterfactual(kb, a_or_b, *ParseFormula("P(a) | P(b)"),
+                              Modality::kNecessarily));
+}
+
+TEST(CounterfactualTest, InconsistentAntecedent) {
+  // A contradictory antecedent empties the kb: necessity is vacuous, possibility
+  // fails.
+  Knowledgebase kb = *MakeSingletonKb({{"P", 1}}, {{"P", {{"a"}}}});
+  Formula bad = *ParseFormula("P(a) & !P(a)");
+  EXPECT_TRUE(*Counterfactual(kb, bad, *ParseFormula("P(zz)"),
+                              Modality::kNecessarily));
+  EXPECT_FALSE(*Counterfactual(kb, bad, *ParseFormula("P(a)"),
+                               Modality::kPossibly));
+}
+
+TEST(CounterfactualTest, RightNestedChain) {
+  // (A > (B > C)) as τ_A then τ_B then check C — the note after Example 4.
+  Knowledgebase kb = *MakeSingletonKb({{"P", 1}}, {});
+  std::vector<Formula> chain = {*ParseFormula("P(a)"), *ParseFormula("P(b)")};
+  EXPECT_TRUE(*NestedCounterfactual(kb, chain, *ParseFormula("P(a) & P(b)"),
+                                    Modality::kNecessarily));
+  // Later antecedents can undo earlier ones; the chain order matters.
+  std::vector<Formula> undo = {*ParseFormula("P(a)"), *ParseFormula("!P(a)")};
+  EXPECT_FALSE(*NestedCounterfactual(kb, undo, *ParseFormula("P(a)"),
+                                     Modality::kPossibly));
+}
+
+TEST(CounterfactualTest, EmptyChainIsModalQuery) {
+  Knowledgebase kb = RobotsKb();
+  EXPECT_TRUE(*NestedCounterfactual(kb, {}, *ParseFormula("R1(v) | R1(w)"),
+                                    Modality::kNecessarily));
+  EXPECT_FALSE(*NestedCounterfactual(kb, {}, *ParseFormula("R1(v)"),
+                                     Modality::kNecessarily));
+}
+
+TEST(CounterfactualTest, ConsequentOverNewRelations) {
+  // The consequent may mention a relation the antecedent introduced.
+  Knowledgebase kb = *MakeSingletonKb({{"P", 1}}, {{"P", {{"a"}}}});
+  EXPECT_TRUE(*Counterfactual(kb, *ParseFormula("Q(a, b)"),
+                              *ParseFormula("Q(a, b)"), Modality::kNecessarily));
+  // ...or one mentioned by neither: empty under CWA, handled by extension.
+  EXPECT_FALSE(*Counterfactual(kb, *ParseFormula("Q(a, b)"),
+                               *ParseFormula("Zed(a)"), Modality::kPossibly));
+}
+
+}  // namespace
+}  // namespace kbt

@@ -1,0 +1,72 @@
+#include "rel/io.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/engine.h"
+#include "testutil.h"
+
+namespace kbt {
+namespace {
+
+TEST(IoTest, FormatDatabase) {
+  Database db = *MakeDatabase({{"R1", 2}, {"R2", 1}},
+                              {{"R1", {{"a", "b"}}}, {"R2", {}}});
+  EXPECT_EQ(FormatDatabase(db), "R1/2: {(a, b)}; R2/1: {}");
+}
+
+TEST(IoTest, ParseDatabase) {
+  Database db = *ParseDatabase("R1/2: {(a, b), (c, d)}; R2/1: {}; R3/0: {()}");
+  EXPECT_EQ(db.schema().size(), 3u);
+  EXPECT_EQ(db.RelationFor("R1")->size(), 2u);
+  EXPECT_TRUE(db.RelationFor("R2")->empty());
+  EXPECT_TRUE(db.RelationFor("R3")->Contains(Tuple()));
+}
+
+TEST(IoTest, DatabaseRoundTrip) {
+  std::mt19937_64 rng(808);
+  for (int trial = 0; trial < 10; ++trial) {
+    Database db = testutil::RandomDatabase(&rng);
+    StatusOr<Database> back = ParseDatabase(FormatDatabase(db));
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, db);
+  }
+}
+
+TEST(IoTest, KnowledgebaseRoundTrip) {
+  std::mt19937_64 rng(909);
+  for (int trial = 0; trial < 10; ++trial) {
+    Knowledgebase kb = testutil::RandomKnowledgebase(&rng);
+    StatusOr<Knowledgebase> back = ParseKnowledgebase(FormatKnowledgebase(kb));
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, kb);
+  }
+}
+
+TEST(IoTest, EmptyKnowledgebase) {
+  Knowledgebase none;
+  StatusOr<Knowledgebase> back = ParseKnowledgebase(FormatKnowledgebase(none));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(IoTest, ParseErrors) {
+  EXPECT_FALSE(ParseDatabase("R1: {(a)}").ok());          // Missing arity.
+  EXPECT_FALSE(ParseDatabase("R1/2: {(a)}").ok());        // Tuple arity mismatch.
+  EXPECT_FALSE(ParseDatabase("R1/1: {(a)").ok());          // Unterminated set.
+  EXPECT_FALSE(ParseDatabase("R1/1: {(a)} junk").ok());    // Trailing input.
+  EXPECT_FALSE(ParseDatabase("R1/1: {(a)}; R1/1: {}").ok());  // Duplicate symbol.
+  EXPECT_FALSE(ParseKnowledgebase("R1/1: {}").ok());       // Missing brackets.
+  EXPECT_FALSE(
+      ParseKnowledgebase("[ R1/1: {} | R2/1: {} ]").ok());  // Schema mismatch.
+}
+
+TEST(IoTest, WhitespaceInsensitive) {
+  Database a = *ParseDatabase("R/2:{(a,b)};S/1:{(c)}");
+  Database b = *ParseDatabase("  R/2 : { ( a , b ) } ;  S/1 : { ( c ) }  ");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace kbt

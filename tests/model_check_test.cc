@@ -1,0 +1,103 @@
+#include "eval/model_check.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "logic/parser.h"
+
+namespace kbt {
+namespace {
+
+Database FlightDb() {
+  return *MakeDatabase({{"R1", 2}},
+                       {{"R1", {{"yyz", "yow"}, {"yow", "yul"}, {"yul", "yqb"}}}});
+}
+
+TEST(ModelCheckTest, AtomsFollowStoredFacts) {
+  Database db = FlightDb();
+  EXPECT_TRUE(*Satisfies(db, *ParseFormula("R1(yyz, yow)")));
+  EXPECT_FALSE(*Satisfies(db, *ParseFormula("R1(yow, yyz)")));  // Closed world.
+}
+
+TEST(ModelCheckTest, ConnectivesAndEquality) {
+  Database db = FlightDb();
+  EXPECT_TRUE(*Satisfies(db, *ParseFormula("R1(yyz, yow) & !R1(yow, yyz)")));
+  EXPECT_TRUE(*Satisfies(db, *ParseFormula("R1(a, b) | R1(yyz, yow)")));
+  EXPECT_TRUE(*Satisfies(db, *ParseFormula("R1(a, b) -> false")));
+  EXPECT_TRUE(*Satisfies(db, *ParseFormula("R1(yyz, yow) <-> R1(yow, yul)")));
+  EXPECT_TRUE(*Satisfies(db, *ParseFormula("yyz = yyz & !(yyz = yow)")));
+}
+
+TEST(ModelCheckTest, QuantifiersOverActiveDomain) {
+  Database db = FlightDb();
+  EXPECT_TRUE(*Satisfies(db, *ParseFormula("exists x: R1(yyz, x)")));
+  EXPECT_TRUE(*Satisfies(db, *ParseFormula("forall x, y: R1(x, y) -> !(x = y)")));
+  EXPECT_FALSE(*Satisfies(db, *ParseFormula("forall x: exists y: R1(x, y)")));
+}
+
+TEST(ModelCheckTest, ConstantsOfFormulaJoinTheDomain) {
+  Database db = *MakeDatabase({{"P", 1}}, {{"P", {{"a"}}}});
+  // "zz" appears only in the formula; it still participates in quantification.
+  EXPECT_TRUE(*Satisfies(db, *ParseFormula("exists x: !P(x) & x = zz")));
+}
+
+TEST(ModelCheckTest, ExplicitDomainOverridesActive) {
+  Database db = *MakeDatabase({{"P", 1}}, {{"P", {{"a"}}}});
+  Formula some_missing = *ParseFormula("exists x: !P(x)");
+  // Over the bare active domain {a} there is no non-P element...
+  EXPECT_FALSE(*Satisfies(db, some_missing));
+  // ...but over a caller-supplied larger domain there is.
+  EXPECT_TRUE(*Satisfies(db, some_missing, {Name("a"), Name("b")}));
+}
+
+TEST(ModelCheckTest, UndeclaredRelationIsAnError) {
+  Database db = FlightDb();
+  auto result = Satisfies(db, *ParseFormula("Zed(yyz)"));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelCheckTest, NonSentenceRejected) {
+  Database db = FlightDb();
+  auto result = Satisfies(db, Atom("R1", {Term::Var("x"), Term::Var("y")}));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelCheckTest, KbSatisfiesIsUniversal) {
+  Database with = *MakeDatabase({{"P", 1}}, {{"P", {{"a"}}}});
+  Database without = *MakeDatabase({{"P", 1}}, {});
+  Knowledgebase kb = *Knowledgebase::FromDatabases({with, without});
+  EXPECT_FALSE(*KbSatisfies(kb, *ParseFormula("P(a)")));
+  EXPECT_TRUE(*KbSatisfies(Knowledgebase::Singleton(with), *ParseFormula("P(a)")));
+  EXPECT_TRUE(*KbSatisfies(Knowledgebase(), *ParseFormula("P(a)")));  // Vacuous.
+}
+
+TEST(ModelCheckTest, EvaluateQueryComputesAnswerSet) {
+  Database db = FlightDb();
+  Formula reach2 = *ParseFormula("exists z: R1(x, z) & R1(z, y)");
+  // x, y free by construction.
+  Formula body = Exists("z", And(Atom("R1", {Term::Var("x"), Term::Var("z")}),
+                                 Atom("R1", {Term::Var("z"), Term::Var("y")})));
+  Relation ans = *EvaluateQuery(db, body, {Name("x"), Name("y")},
+                                ActiveDomain(db, body));
+  EXPECT_EQ(ans, MakeRelation(2, {{"yyz", "yul"}, {"yow", "yqb"}}));
+  (void)reach2;
+}
+
+TEST(ModelCheckTest, EvaluateQueryZeroVariables) {
+  Database db = FlightDb();
+  Formula yes = *ParseFormula("R1(yyz, yow)");
+  Relation r = *EvaluateQuery(db, yes, {}, db.ActiveDomain());
+  EXPECT_EQ(r.size(), 1u);  // {()}.
+  Formula no = *ParseFormula("R1(yow, yyz)");
+  EXPECT_TRUE(EvaluateQuery(db, no, {}, db.ActiveDomain())->empty());
+}
+
+TEST(ModelCheckTest, EvaluateQueryRejectsUncoveredFreeVariables) {
+  Database db = FlightDb();
+  Formula body = Atom("R1", {Term::Var("x"), Term::Var("y")});
+  auto result = EvaluateQuery(db, body, {Name("x")}, db.ActiveDomain());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kbt

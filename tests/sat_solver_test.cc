@@ -1,0 +1,212 @@
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace kbt::sat {
+namespace {
+
+TEST(SatSolverTest, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+}
+
+TEST(SatSolverTest, UnitsPropagate) {
+  Solver s;
+  Var a = s.NewVar(), b = s.NewVar();
+  s.AddClause({MkLit(a)});
+  s.AddClause({MkLit(a, true), MkLit(b)});
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+  EXPECT_TRUE(s.ModelValue(b));
+}
+
+TEST(SatSolverTest, DirectContradictionIsUnsat) {
+  Solver s;
+  Var a = s.NewVar();
+  s.AddClause({MkLit(a)});
+  EXPECT_FALSE(s.AddClause({MkLit(a, true)}));
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+  EXPECT_TRUE(s.inconsistent());
+}
+
+TEST(SatSolverTest, TautologyAndDuplicateLiterals) {
+  Solver s;
+  Var a = s.NewVar(), b = s.NewVar();
+  s.AddClause({MkLit(a), MkLit(a, true)});        // Tautology: dropped.
+  s.AddClause({MkLit(b), MkLit(b), MkLit(b)});    // Collapses to unit.
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(b));
+}
+
+TEST(SatSolverTest, ModelsSatisfyAllClauses) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 6; ++i) v.push_back(s.NewVar());
+  std::vector<std::vector<Lit>> clauses = {
+      {MkLit(v[0]), MkLit(v[1], true), MkLit(v[2])},
+      {MkLit(v[3], true), MkLit(v[4])},
+      {MkLit(v[1]), MkLit(v[5], true)},
+      {MkLit(v[0], true), MkLit(v[3])},
+      {MkLit(v[2], true), MkLit(v[5])},
+  };
+  for (auto& c : clauses) s.AddClause(c);
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  for (const auto& c : clauses) {
+    bool sat = false;
+    for (Lit l : c) sat |= (s.ModelValue(VarOf(l)) != IsNegated(l));
+    EXPECT_TRUE(sat);
+  }
+}
+
+/// Pigeonhole principle PHP(n+1, n): n+1 pigeons in n holes — classically UNSAT
+/// and hard for resolution; exercises conflict analysis and learning.
+void AddPigeonhole(Solver* s, int pigeons, int holes,
+                   std::vector<std::vector<Var>>* grid) {
+  grid->assign(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) (*grid)[p][h] = s->NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> some;
+    for (int h = 0; h < holes; ++h) some.push_back(MkLit((*grid)[p][h]));
+    s->AddClause(some);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s->AddClause({MkLit((*grid)[p1][h], true), MkLit((*grid)[p2][h], true)});
+      }
+    }
+  }
+}
+
+TEST(SatSolverTest, PigeonholeUnsat) {
+  for (int n = 2; n <= 5; ++n) {
+    Solver s;
+    std::vector<std::vector<Var>> grid;
+    AddPigeonhole(&s, n + 1, n, &grid);
+    EXPECT_EQ(s.Solve(), SolveResult::kUnsat) << "PHP(" << n + 1 << "," << n << ")";
+  }
+}
+
+TEST(SatSolverTest, PigeonholeExactFitSat) {
+  Solver s;
+  std::vector<std::vector<Var>> grid;
+  AddPigeonhole(&s, 4, 4, &grid);
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+}
+
+TEST(SatSolverTest, AssumptionsRestrictWithoutCommitting) {
+  Solver s;
+  Var a = s.NewVar(), b = s.NewVar();
+  s.AddClause({MkLit(a), MkLit(b)});
+  ASSERT_EQ(s.Solve({MkLit(a, true)}), SolveResult::kSat);
+  EXPECT_FALSE(s.ModelValue(a));
+  EXPECT_TRUE(s.ModelValue(b));
+  // Contradictory assumptions: UNSAT under them, SAT afterwards.
+  EXPECT_EQ(s.Solve({MkLit(a, true), MkLit(b, true)}), SolveResult::kUnsat);
+  EXPECT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_FALSE(s.inconsistent());
+}
+
+TEST(SatSolverTest, AssumptionConflictsWithUnit) {
+  Solver s;
+  Var a = s.NewVar();
+  s.AddClause({MkLit(a)});
+  EXPECT_EQ(s.Solve({MkLit(a, true)}), SolveResult::kUnsat);
+  EXPECT_EQ(s.Solve({MkLit(a)}), SolveResult::kSat);
+}
+
+TEST(SatSolverTest, IncrementalClauseAdditionAfterSolve) {
+  Solver s;
+  Var a = s.NewVar(), b = s.NewVar();
+  s.AddClause({MkLit(a), MkLit(b)});
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  // Block both single-literal solutions step by step.
+  s.AddClause({MkLit(a, true)});
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(b));
+  s.AddClause({MkLit(b, true)});
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+}
+
+TEST(SatSolverTest, ActivationLiteralPattern) {
+  // The μ engine retires guarded clauses by asserting ¬act.
+  Solver s;
+  Var x = s.NewVar(), act = s.NewVar();
+  s.AddClause({MkLit(act, true), MkLit(x)});  // act → x.
+  ASSERT_EQ(s.Solve({MkLit(act)}), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(x));
+  s.AddClause({MkLit(act, true)});  // Retire the guard.
+  ASSERT_EQ(s.Solve({MkLit(x, true)}), SolveResult::kSat);
+  EXPECT_FALSE(s.ModelValue(x));
+}
+
+/// Brute-force satisfiability for cross-checking.
+bool BruteForceSat(int num_vars, const std::vector<std::vector<Lit>>& clauses) {
+  for (uint32_t mask = 0; mask < (uint32_t{1} << num_vars); ++mask) {
+    bool all = true;
+    for (const auto& c : clauses) {
+      bool sat = false;
+      for (Lit l : c) {
+        bool value = (mask >> VarOf(l)) & 1;
+        if (value != IsNegated(l)) sat = true;
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+class Random3SatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Random3SatTest, AgreesWithBruteForce) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  constexpr int kVars = 10;
+  std::uniform_int_distribution<int> var(0, kVars - 1);
+  std::bernoulli_distribution sign(0.5);
+  // Sweep clause counts through the under- and over-constrained regimes.
+  for (int m : {20, 35, 43, 50, 70}) {
+    Solver s;
+    for (int i = 0; i < kVars; ++i) s.NewVar();
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < m; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) clause.push_back(MkLit(var(rng), sign(rng)));
+      clauses.push_back(clause);
+      s.AddClause(clause);
+    }
+    bool expected = BruteForceSat(kVars, clauses);
+    SolveResult got = s.Solve();
+    EXPECT_EQ(got == SolveResult::kSat, expected) << "m=" << m;
+    if (got == SolveResult::kSat) {
+      for (const auto& c : clauses) {
+        bool sat = false;
+        for (Lit l : c) sat |= (s.ModelValue(VarOf(l)) != IsNegated(l));
+        EXPECT_TRUE(sat);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3SatTest, ::testing::Range(0, 20));
+
+TEST(SatSolverTest, StatsAreTracked) {
+  Solver s;
+  std::vector<std::vector<Var>> grid;
+  AddPigeonhole(&s, 5, 4, &grid);
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+  EXPECT_EQ(s.stats().solve_calls, 1u);
+}
+
+}  // namespace
+}  // namespace kbt::sat

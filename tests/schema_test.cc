@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "rel/schema.h"
+
+namespace kbt {
+namespace {
+
+TEST(SchemaTest, OfBuildsOrderedDecls) {
+  auto s = Schema::Of({{"R1", 2}, {"R2", 1}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2u);
+  EXPECT_EQ(s->decl(0).symbol, Name("R1"));
+  EXPECT_EQ(s->decl(1).symbol, Name("R2"));
+  EXPECT_EQ(s->ToString(), "[R1/2, R2/1]");
+}
+
+TEST(SchemaTest, DuplicateSymbolRejected) {
+  auto s = Schema::Of({{"R", 2}, {"R", 2}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, Lookup) {
+  auto s = *Schema::Of({{"R1", 2}, {"R2", 1}});
+  EXPECT_EQ(*s.PositionOf(Name("R2")), 1u);
+  EXPECT_FALSE(s.PositionOf(Name("R9")).has_value());
+  EXPECT_EQ(*s.ArityOf(Name("R1")), 2u);
+  EXPECT_TRUE(s.Contains(Name("R1")));
+  EXPECT_FALSE(s.Contains(Name("R9")));
+}
+
+TEST(SchemaTest, IncludesIsThePaperDominates) {
+  auto big = *Schema::Of({{"R1", 2}, {"R2", 1}});
+  auto small = *Schema::Of({{"R2", 1}});
+  EXPECT_TRUE(big.Includes(small));
+  EXPECT_FALSE(small.Includes(big));
+  EXPECT_TRUE(big.Includes(big));
+  EXPECT_TRUE(big.Includes(Schema()));
+  // Same symbol, wrong arity: not included.
+  auto wrong = *Schema::Of({{"R2", 3}});
+  EXPECT_FALSE(big.Includes(wrong));
+}
+
+TEST(SchemaTest, UnionAppendsNewSymbols) {
+  auto a = *Schema::Of({{"R1", 2}});
+  auto b = *Schema::Of({{"R2", 1}, {"R1", 2}});
+  auto u = a.Union(b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 2u);
+  EXPECT_EQ(u->decl(0).symbol, Name("R1"));  // Left operand order preserved.
+  EXPECT_EQ(u->decl(1).symbol, Name("R2"));
+}
+
+TEST(SchemaTest, UnionArityConflictRejected) {
+  auto a = *Schema::Of({{"R1", 2}});
+  auto b = *Schema::Of({{"R1", 3}});
+  EXPECT_FALSE(a.Union(b).ok());
+}
+
+}  // namespace
+}  // namespace kbt

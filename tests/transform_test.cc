@@ -1,0 +1,109 @@
+#include "logic/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "eval/model_check.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "testutil.h"
+
+namespace kbt {
+namespace {
+
+TEST(NnfTest, EliminatesImplicationsAndBiconditionals) {
+  Formula f = *ParseFormula("forall x: P(x) -> Q(x, x)");
+  Formula nnf = ToNnf(f);
+  EXPECT_TRUE(IsNnf(nnf));
+  EXPECT_EQ(ToString(nnf), "forall x: !P(x) | Q(x, x)");
+  Formula iff = *ParseFormula("P(a) <-> P(b)");
+  EXPECT_TRUE(IsNnf(ToNnf(iff)));
+}
+
+TEST(NnfTest, PushesNegationsThroughQuantifiers) {
+  Formula f = *ParseFormula("!(forall x: exists y: Q(x, y))");
+  Formula nnf = ToNnf(f);
+  EXPECT_TRUE(IsNnf(nnf));
+  EXPECT_EQ(ToString(nnf), "exists x: forall y: !Q(x, y)");
+}
+
+TEST(NnfTest, DeMorgan) {
+  Formula f = *ParseFormula("!(P(a) & (P(b) | P(c)))");
+  EXPECT_EQ(ToString(ToNnf(f)), "!P(a) | !P(b) & !P(c)");
+}
+
+TEST(NnfTest, IsNnfRejectsNestedNegation) {
+  EXPECT_FALSE(IsNnf(*ParseFormula("!(P(a) & P(b))")));
+  EXPECT_FALSE(IsNnf(*ParseFormula("P(a) -> P(b)")));
+  EXPECT_TRUE(IsNnf(*ParseFormula("!P(a) | P(b)")));
+  EXPECT_TRUE(IsNnf(*ParseFormula("a != b")));  // ¬(a=b) counts as a literal.
+}
+
+class NnfPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NnfPropertyTest, PreservesSatisfactionOnRandomInputs) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) * 7331 + 17);
+  testutil::RandomSentenceGenerator gen(&rng, 0.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    Database db = testutil::RandomDatabase(&rng);
+    Formula f = gen.Generate(4);
+    Formula nnf = ToNnf(f);
+    ASSERT_TRUE(IsNnf(nnf)) << ToString(f);
+    EXPECT_EQ(*Satisfies(db, f), *Satisfies(db, nnf)) << ToString(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NnfPropertyTest, ::testing::Range(0, 10));
+
+TEST(SimplifyTest, ConstantFolding) {
+  EXPECT_EQ(ToString(Simplify(*ParseFormula("P(a) & true"))), "P(a)");
+  EXPECT_EQ(Simplify(*ParseFormula("P(a) & false"))->kind(), FormulaKind::kFalse);
+  EXPECT_EQ(ToString(Simplify(*ParseFormula("P(a) | false"))), "P(a)");
+  EXPECT_EQ(Simplify(*ParseFormula("P(a) | true"))->kind(), FormulaKind::kTrue);
+  EXPECT_EQ(Simplify(*ParseFormula("a = a"))->kind(), FormulaKind::kTrue);
+  EXPECT_EQ(Simplify(*ParseFormula("a = b"))->kind(), FormulaKind::kFalse);
+  EXPECT_EQ(Simplify(*ParseFormula("false -> P(a)"))->kind(), FormulaKind::kTrue);
+  EXPECT_EQ(ToString(Simplify(*ParseFormula("true -> P(a)"))), "P(a)");
+  EXPECT_EQ(ToString(Simplify(*ParseFormula("P(a) <-> true"))), "P(a)");
+  EXPECT_EQ(ToString(Simplify(*ParseFormula("!!P(a)"))), "P(a)");
+}
+
+TEST(SimplifyTest, FlattensNestedConnectives) {
+  Formula f = And(And(Atom("P", {Term::Const("a")}), Atom("P", {Term::Const("b")})),
+                  Atom("P", {Term::Const("c")}));
+  Formula s = Simplify(f);
+  EXPECT_EQ(s->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(s->children().size(), 3u);
+}
+
+TEST(SimplifyTest, VariableEqualityKept) {
+  // x = y between distinct variables is NOT foldable.
+  Formula f = *ParseFormula("forall x, y: x = y -> Q(x, y)");
+  Formula s = Simplify(f);
+  EXPECT_EQ(ToString(s), ToString(f));
+  // But x = x folds even under quantifiers.
+  Formula g = *ParseFormula("forall x: x = x | P(x)");
+  EXPECT_EQ(ToString(Simplify(g)), "forall x: true");
+}
+
+class SimplifyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyPropertyTest, PreservesSatisfactionOnRandomInputs) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) * 104729 + 19);
+  testutil::RandomSentenceGenerator gen(&rng, 0.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    Database db = testutil::RandomDatabase(&rng);
+    Formula f = gen.Generate(4);
+    Formula s = Simplify(f);
+    // Simplification may remove constants from the formula, shrinking the active
+    // domain; evaluate both over the original's domain for a fair comparison.
+    std::vector<Value> domain = ActiveDomain(db, f);
+    EXPECT_EQ(*Satisfies(db, f, domain), *Satisfies(db, s, domain)) << ToString(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace kbt

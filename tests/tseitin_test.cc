@@ -1,0 +1,109 @@
+#include "sat/tseitin.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "logic/circuit.h"
+#include "sat/solver.h"
+
+namespace kbt::sat {
+namespace {
+
+/// Checks that the CNF restricted to the atom variables has exactly the circuit's
+/// satisfying assignments: for every assignment of the external variables, the CNF
+/// is satisfiable under matching assumptions iff the circuit evaluates true.
+void CheckEquivalence(const Circuit& circuit, int root) {
+  Solver solver;
+  TseitinEncoder encoder(&circuit, &solver);
+  encoder.Assert(root);
+  std::vector<int> vars = circuit.CollectVars(root);
+  ASSERT_LE(vars.size(), 12u);
+  for (uint32_t mask = 0; mask < (uint32_t{1} << vars.size()); ++mask) {
+    auto value = [&](int v) {
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i] == v) return ((mask >> i) & 1) != 0;
+      }
+      ADD_FAILURE() << "unknown var " << v;
+      return false;
+    };
+    bool expected = circuit.Evaluate(root, value);
+    std::vector<Lit> assumptions;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      assumptions.push_back(MkLit(encoder.VarForAtom(vars[i]), !value(vars[i])));
+    }
+    SolveResult got = solver.Solve(assumptions);
+    EXPECT_EQ(got == SolveResult::kSat, expected) << "mask=" << mask;
+  }
+}
+
+TEST(TseitinTest, SingleGates) {
+  Circuit c;
+  int v0 = c.VarNode(0), v1 = c.VarNode(1), v2 = c.VarNode(2);
+  CheckEquivalence(c, c.AndNode({v0, v1, v2}));
+  CheckEquivalence(c, c.OrNode({v0, v1, v2}));
+  CheckEquivalence(c, c.NotNode(v0));
+  CheckEquivalence(c, v0);
+}
+
+TEST(TseitinTest, ConstantsEncodable) {
+  Circuit c;
+  Solver solver;
+  TseitinEncoder encoder(&c, &solver);
+  encoder.Assert(c.TrueNode());
+  EXPECT_EQ(solver.Solve(), SolveResult::kSat);
+  Solver solver2;
+  TseitinEncoder encoder2(&c, &solver2);
+  encoder2.Assert(c.FalseNode());
+  EXPECT_EQ(solver2.Solve(), SolveResult::kUnsat);
+}
+
+TEST(TseitinTest, NestedMixedGates) {
+  Circuit c;
+  int v0 = c.VarNode(0), v1 = c.VarNode(1), v2 = c.VarNode(2), v3 = c.VarNode(3);
+  int f = c.OrNode({c.AndNode({v0, c.NotNode(v1)}),
+                    c.AndNode({c.IffNode(v2, v3), c.ImpliesNode(v0, v3)})});
+  CheckEquivalence(c, f);
+}
+
+TEST(TseitinTest, SharedSubcircuitEncodedOnce) {
+  Circuit c;
+  int v0 = c.VarNode(0), v1 = c.VarNode(1);
+  int shared = c.AndNode({v0, v1});
+  int f = c.OrNode({shared, c.NotNode(shared)});
+  // f is a tautology over the shared node.
+  CheckEquivalence(c, f);
+}
+
+TEST(TseitinTest, RandomCircuitsAgreeWithEvaluation) {
+  std::mt19937_64 rng(20260610);
+  for (int trial = 0; trial < 30; ++trial) {
+    Circuit c;
+    std::vector<int> pool;
+    for (int v = 0; v < 5; ++v) pool.push_back(c.VarNode(v));
+    std::uniform_int_distribution<int> op(0, 3);
+    std::uniform_int_distribution<size_t> pick(0, 100);
+    for (int step = 0; step < 12; ++step) {
+      int a = pool[pick(rng) % pool.size()];
+      int b = pool[pick(rng) % pool.size()];
+      switch (op(rng)) {
+        case 0:
+          pool.push_back(c.AndNode({a, b}));
+          break;
+        case 1:
+          pool.push_back(c.OrNode({a, b}));
+          break;
+        case 2:
+          pool.push_back(c.NotNode(a));
+          break;
+        default:
+          pool.push_back(c.IffNode(a, b));
+          break;
+      }
+    }
+    CheckEquivalence(c, pool.back());
+  }
+}
+
+}  // namespace
+}  // namespace kbt::sat

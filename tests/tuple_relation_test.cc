@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "rel/relation.h"
+#include "rel/tuple.h"
+
+namespace kbt {
+namespace {
+
+TEST(TupleTest, BasicsAndZeroAry) {
+  Tuple empty;
+  EXPECT_EQ(empty.arity(), 0u);
+  Tuple ab = Tuple::Of({"a", "b"});
+  EXPECT_EQ(ab.arity(), 2u);
+  EXPECT_EQ(ab[0], Name("a"));
+  EXPECT_EQ(ab[1], Name("b"));
+  EXPECT_EQ(ab.ToString(), "(a, b)");
+  EXPECT_EQ(empty.ToString(), "()");
+}
+
+TEST(TupleTest, EqualityAndOrder) {
+  Tuple ab = Tuple::Of({"a", "b"});
+  Tuple ab2 = Tuple::Of({"a", "b"});
+  Tuple ac = Tuple::Of({"a", "c"});
+  EXPECT_EQ(ab, ab2);
+  EXPECT_NE(ab, ac);
+  EXPECT_EQ(ab.Hash(), ab2.Hash());
+  EXPECT_TRUE(ab < ac || ac < ab);
+}
+
+TEST(TupleTest, Project) {
+  Tuple abc = Tuple::Of({"a", "b", "c"});
+  Tuple proj = abc.Project({2, 0});
+  EXPECT_EQ(proj, (Tuple::Of({"c", "a"})));
+  EXPECT_EQ(abc.Project({1, 1}), (Tuple::Of({"b", "b"})));
+}
+
+TEST(RelationTest, ConstructionSortsAndDedups) {
+  Relation r(2, {Tuple::Of({"b", "c"}), Tuple::Of({"a", "b"}), Tuple::Of({"b", "c"})});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Tuple::Of({"a", "b"})));
+  EXPECT_TRUE(r.Contains(Tuple::Of({"b", "c"})));
+  EXPECT_FALSE(r.Contains(Tuple::Of({"c", "b"})));
+  EXPECT_TRUE(std::is_sorted(r.tuples().begin(), r.tuples().end()));
+}
+
+TEST(RelationTest, WithAndWithoutTuple) {
+  Relation r(1);
+  Relation r1 = r.WithTuple(Tuple::Of({"a"}));
+  EXPECT_TRUE(r.empty());  // Original untouched.
+  EXPECT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1.WithTuple(Tuple::Of({"a"})), r1);  // Idempotent.
+  Relation r0 = r1.WithoutTuple(Tuple::Of({"a"}));
+  EXPECT_TRUE(r0.empty());
+  EXPECT_EQ(r0.WithoutTuple(Tuple::Of({"a"})), r0);
+}
+
+TEST(RelationTest, SetOperations) {
+  Relation a(1, {Tuple::Of({"a"}), Tuple::Of({"b"})});
+  Relation b(1, {Tuple::Of({"b"}), Tuple::Of({"c"})});
+  EXPECT_EQ(a.Union(b), Relation(1, {Tuple::Of({"a"}), Tuple::Of({"b"}),
+                                     Tuple::Of({"c"})}));
+  EXPECT_EQ(a.Intersect(b), Relation(1, {Tuple::Of({"b"})}));
+  EXPECT_EQ(a.Difference(b), Relation(1, {Tuple::Of({"a"})}));
+  EXPECT_EQ(a.SymmetricDifference(b),
+            Relation(1, {Tuple::Of({"a"}), Tuple::Of({"c"})}));
+}
+
+TEST(RelationTest, SymmetricDifferenceProperties) {
+  Relation a(1, {Tuple::Of({"a"}), Tuple::Of({"b"})});
+  Relation b(1, {Tuple::Of({"b"}), Tuple::Of({"c"})});
+  // A Δ A = ∅ and A Δ ∅ = A — the two identities Definition 2.1's two-stage
+  // comparison relies on.
+  EXPECT_TRUE(a.SymmetricDifference(a).empty());
+  EXPECT_EQ(a.SymmetricDifference(Relation(1)), a);
+  EXPECT_EQ(a.SymmetricDifference(b), b.SymmetricDifference(a));
+}
+
+TEST(RelationTest, SubsetChecks) {
+  Relation a(1, {Tuple::Of({"a"})});
+  Relation ab(1, {Tuple::Of({"a"}), Tuple::Of({"b"})});
+  EXPECT_TRUE(a.IsSubsetOf(ab));
+  EXPECT_FALSE(ab.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(Relation(1).IsSubsetOf(a));
+}
+
+TEST(RelationTest, ZeroAryRelation) {
+  Relation empty(0);
+  EXPECT_TRUE(empty.empty());
+  Relation holds = empty.WithTuple(Tuple());
+  EXPECT_EQ(holds.size(), 1u);
+  EXPECT_TRUE(holds.Contains(Tuple()));
+  EXPECT_EQ(holds.ToString(), "{()}");
+}
+
+TEST(RelationTest, CollectValues) {
+  Relation r(2, {Tuple::Of({"a", "b"}), Tuple::Of({"b", "c"})});
+  std::vector<Value> values;
+  r.CollectValues(&values);
+  EXPECT_EQ(values.size(), 4u);
+}
+
+}  // namespace
+}  // namespace kbt

@@ -1,0 +1,143 @@
+#include "core/winslett_order.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/engine.h"
+#include "testutil.h"
+
+namespace kbt {
+namespace {
+
+TEST(WinslettOrderTest, PaperExampleAfterDefinition21) {
+  // db1 = <R:{(a1,a2)}, S:{(a1,a4)}>, db2 = <R:{(a1,a2)}, S:{(a1,a4),(a2,a3)}>,
+  // db  = <R:{(a1,a2)}>. The paper concludes db1 ≤_db db2.
+  Database db1 = *MakeDatabase({{"R", 2}, {"S", 2}},
+                               {{"R", {{"a1", "a2"}}}, {"S", {{"a1", "a4"}}}});
+  Database db2 = *MakeDatabase(
+      {{"R", 2}, {"S", 2}},
+      {{"R", {{"a1", "a2"}}}, {"S", {{"a1", "a4"}, {"a2", "a3"}}}});
+  Database base = *MakeDatabase({{"R", 2}}, {{"R", {{"a1", "a2"}}}});
+  EXPECT_EQ(*CompareCloseness(db1, db2, base), Closeness::kCloser);
+  EXPECT_EQ(*CompareCloseness(db2, db1, base), Closeness::kFarther);
+  EXPECT_TRUE(*CloserOrEqual(db1, db2, base));
+  EXPECT_FALSE(*CloserOrEqual(db2, db1, base));
+}
+
+TEST(WinslettOrderTest, StageOneBeatsStageTwo) {
+  // Candidate keeping the old relation intact is closer than one changing it,
+  // regardless of how much larger its new relations are (paper: condition (1)
+  // guarantees invariant-old-relation databases are closest).
+  Schema s = *Schema::Of({{"R", 1}, {"New", 1}});
+  Database base = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}}}});
+  Database keeps = *Database::Create(
+      s, {MakeRelation(1, {{"a"}}), MakeRelation(1, {{"a"}, {"b"}, {"c"}})});
+  Database changes = *Database::Create(s, {MakeRelation(1, {}), Relation(1)});
+  EXPECT_EQ(*CompareCloseness(keeps, changes, base), Closeness::kCloser);
+}
+
+TEST(WinslettOrderTest, EqualDiffsTieBreakOnNewRelations) {
+  Schema s = *Schema::Of({{"R", 1}, {"New", 1}});
+  Database base = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}}}});
+  Database small = *Database::Create(s, {MakeRelation(1, {{"a"}}),
+                                         MakeRelation(1, {{"b"}})});
+  Database large = *Database::Create(s, {MakeRelation(1, {{"a"}}),
+                                         MakeRelation(1, {{"b"}, {"c"}})});
+  EXPECT_EQ(*CompareCloseness(small, large, base), Closeness::kCloser);
+  EXPECT_EQ(*CompareCloseness(small, small, base), Closeness::kEqual);
+}
+
+TEST(WinslettOrderTest, IncomparableDiffs) {
+  // Candidate 1 deletes a, candidate 2 deletes b: {a} vs {b} diffs.
+  Database base = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}, {"b"}}}});
+  Database c1 = *MakeDatabase({{"R", 1}}, {{"R", {{"b"}}}});
+  Database c2 = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}}}});
+  EXPECT_EQ(*CompareCloseness(c1, c2, base), Closeness::kIncomparable);
+}
+
+TEST(WinslettOrderTest, IncomparableAcrossStages) {
+  // c1 has smaller old-diff but larger new content on a tie-breaking relation of
+  // ANOTHER component: old diff ⊂ wins regardless of new relations.
+  Schema s = *Schema::Of({{"R", 1}, {"New", 1}});
+  Database base = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}}}});
+  Database c1 = *Database::Create(s, {MakeRelation(1, {{"a"}}),
+                                      MakeRelation(1, {{"x"}, {"y"}})});
+  Database c2 = *Database::Create(s, {MakeRelation(1, {}), MakeRelation(1, {})});
+  EXPECT_EQ(*CompareCloseness(c1, c2, base), Closeness::kCloser);
+}
+
+TEST(WinslettOrderTest, SchemaMismatchesRejected) {
+  Database base = *MakeDatabase({{"R", 1}}, {});
+  Database c1 = *MakeDatabase({{"R", 1}}, {});
+  Database other = *MakeDatabase({{"S", 1}}, {});
+  EXPECT_FALSE(CompareCloseness(c1, other, base).ok());
+  EXPECT_FALSE(CompareCloseness(other, other, base).ok());
+}
+
+TEST(WinslettOrderTest, MinimalElementsKeepsIncomparables) {
+  Database base = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}, {"b"}}}});
+  Database keep = base;
+  Database del_a = *MakeDatabase({{"R", 1}}, {{"R", {{"b"}}}});
+  Database del_b = *MakeDatabase({{"R", 1}}, {{"R", {{"a"}}}});
+  Database del_both = *MakeDatabase({{"R", 1}}, {{"R", {}}});
+  auto minimal = *MinimalElements({del_a, del_b, del_both}, base);
+  EXPECT_EQ(minimal.size(), 2u);  // del_both dominated by either single deletion.
+  auto all = *MinimalElements({keep, del_a, del_b, del_both}, base);
+  EXPECT_EQ(all.size(), 1u);  // keep (Δ = ∅) dominates everything.
+  EXPECT_EQ(all[0], keep);
+}
+
+/// Property test: ≤_db is a partial order on random candidates (reflexive,
+/// antisymmetric, transitive) and CompareCloseness is antisymmetric as a function.
+class WinslettOrderPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WinslettOrderPropertyTest, PartialOrderAxioms) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) * 104729 + 1);
+  // Candidates over schema (R/1 old, N/1 new), base over R/1.
+  Schema s = *Schema::Of({{"R", 1}, {"N", 1}});
+  auto random_subset = [&](std::initializer_list<std::string_view> pool) {
+    std::vector<Tuple> tuples;
+    std::bernoulli_distribution coin(0.5);
+    for (auto name : pool) {
+      if (coin(rng)) tuples.push_back(Tuple{Name(name)});
+    }
+    return Relation(1, std::move(tuples));
+  };
+  Database base = *MakeDatabase({{"R", 1}}, {});
+  base = *base.WithRelation("R", random_subset({"a", "b"}));
+  std::vector<Database> candidates;
+  for (int i = 0; i < 8; ++i) {
+    candidates.push_back(*Database::Create(
+        s, {random_subset({"a", "b", "c"}), random_subset({"x", "y"})}));
+  }
+  for (const Database& x : candidates) {
+    EXPECT_EQ(*CompareCloseness(x, x, base), Closeness::kEqual);
+    for (const Database& y : candidates) {
+      Closeness xy = *CompareCloseness(x, y, base);
+      Closeness yx = *CompareCloseness(y, x, base);
+      // Antisymmetry of the comparison function.
+      if (xy == Closeness::kCloser) {
+        EXPECT_EQ(yx, Closeness::kFarther);
+      }
+      if (xy == Closeness::kEqual) {
+        EXPECT_EQ(yx, Closeness::kEqual);
+        EXPECT_EQ(x, y);  // Equal closeness at same schema means equal databases.
+      }
+      for (const Database& z : candidates) {
+        Closeness yz = *CompareCloseness(y, z, base);
+        if ((xy == Closeness::kCloser || xy == Closeness::kEqual) &&
+            (yz == Closeness::kCloser || yz == Closeness::kEqual)) {
+          Closeness xz = *CompareCloseness(x, z, base);
+          EXPECT_TRUE(xz == Closeness::kCloser || xz == Closeness::kEqual)
+              << "transitivity violated";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WinslettOrderPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace kbt
