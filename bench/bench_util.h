@@ -6,6 +6,7 @@
 /// graphs, chain graphs, and knowledgebase construction. Seeds are fixed so every
 /// run measures the same instances.
 
+#include <cstdio>
 #include <random>
 #include <set>
 #include <string>
@@ -15,6 +16,42 @@
 
 namespace kbt::bench {
 
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark records (BENCH_datalog.json). Kept dependency-free
+// so perf trajectories can be produced in any environment and diffed across
+// PRs.
+// ---------------------------------------------------------------------------
+
+/// One measured workload configuration.
+struct BenchRecord {
+  std::string name;           ///< Workload name, e.g. "datalog_tc".
+  int n = 0;                  ///< Size parameter (vertices, domain size, ...).
+  double ms_per_op = 0.0;     ///< Wall milliseconds per operation.
+  double ops_per_sec = 0.0;   ///< 1000 / ms_per_op.
+  size_t rounds = 0;          ///< Fixpoint rounds (datalog workloads).
+  size_t derived_tuples = 0;  ///< Tuples derived beyond the EDB.
+};
+
+/// Writes records as a JSON document: {"benchmarks": [{...}, ...]}.
+inline bool WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fprintf(f, "{\n  \"benchmarks\": [\n") >= 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    ok = std::fprintf(f,
+                      "    {\"name\": \"%s\", \"n\": %d, \"ms_per_op\": %.4f, "
+                      "\"ops_per_sec\": %.3f, \"rounds\": %zu, "
+                      "\"derived_tuples\": %zu}%s\n",
+                      r.name.c_str(), r.n, r.ms_per_op, r.ops_per_sec, r.rounds,
+                      r.derived_tuples, i + 1 < records.size() ? "," : "") >= 0 &&
+         ok;
+  }
+  ok = std::fprintf(f, "  ]\n}\n") >= 0 && ok;
+  return std::fclose(f) == 0 && ok;
+}
+
 inline std::string V(int i) { return "n" + std::to_string(i); }
 
 /// Random directed graph over n vertices with expected out-degree `degree`.
@@ -22,13 +59,13 @@ inline Relation RandomEdges(int n, double degree, uint64_t seed) {
   std::mt19937_64 rng(seed);
   double p = n > 1 ? degree / (n - 1) : 0.0;
   std::bernoulli_distribution coin(p);
-  std::vector<Tuple> tuples;
+  Relation::Builder edges(2);
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
-      if (i != j && coin(rng)) tuples.push_back(Tuple{Name(V(i)), Name(V(j))});
+      if (i != j && coin(rng)) edges.Append({Name(V(i)), Name(V(j))});
     }
   }
-  return Relation(2, std::move(tuples));
+  return edges.Build();
 }
 
 /// Random DAG (edges i → j only for i < j) with expected out-degree `degree`.
@@ -36,20 +73,21 @@ inline Relation RandomDagEdges(int n, double degree, uint64_t seed) {
   std::mt19937_64 rng(seed);
   double p = n > 1 ? degree / (n - 1) : 0.0;
   std::bernoulli_distribution coin(p);
-  std::vector<Tuple> tuples;
+  Relation::Builder edges(2);
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      if (coin(rng)) tuples.push_back(Tuple{Name(V(i)), Name(V(j))});
+      if (coin(rng)) edges.Append({Name(V(i)), Name(V(j))});
     }
   }
-  return Relation(2, std::move(tuples));
+  return edges.Build();
 }
 
 /// Chain 0 → 1 → ... → n-1.
 inline Relation ChainEdges(int n) {
-  std::vector<Tuple> tuples;
-  for (int i = 0; i + 1 < n; ++i) tuples.push_back(Tuple{Name(V(i)), Name(V(i + 1))});
-  return Relation(2, std::move(tuples));
+  Relation::Builder edges(2);
+  edges.Reserve(n > 0 ? n - 1 : 0);
+  for (int i = 0; i + 1 < n; ++i) edges.Append({Name(V(i)), Name(V(i + 1))});
+  return edges.Build();
 }
 
 /// Singleton kb over one binary relation.
@@ -60,11 +98,12 @@ inline Knowledgebase GraphKb(std::string_view relation, Relation edges) {
 
 /// Unary relation {e0, ..., e_{n-1}}.
 inline Relation UnarySet(int n, std::string_view prefix = "e") {
-  std::vector<Tuple> tuples;
+  Relation::Builder tuples(1);
+  tuples.Reserve(static_cast<size_t>(n > 0 ? n : 0));
   for (int i = 0; i < n; ++i) {
-    tuples.push_back(Tuple{Name(std::string(prefix) + std::to_string(i))});
+    tuples.Append({Name(std::string(prefix) + std::to_string(i))});
   }
-  return Relation(1, std::move(tuples));
+  return tuples.Build();
 }
 
 }  // namespace kbt::bench

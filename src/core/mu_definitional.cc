@@ -104,7 +104,7 @@ StatusOr<Knowledgebase> MuDefinitional(const DefinitionalPlan& plan,
   // π_headvars { x̄ ∈ B^|x̄| : db ⊨ ψ(x̄) }. Keeping db unchanged is always
   // possible (heads are new and bodies old), so Δ = ∅ and the fixed contents are
   // the unique stage-2 minimum.
-  std::map<Symbol, std::vector<Tuple>> head_tuples;
+  std::map<Symbol, Relation::Builder> head_tuples;
   for (const auto& def : plan.definitions) {
     KBT_ASSIGN_OR_RETURN(Relation answers,
                          EvaluateQuery(db, def.body, def.all_vars, ctx.domain));
@@ -117,16 +117,21 @@ StatusOr<Knowledgebase> MuDefinitional(const DefinitionalPlan& plan,
           def.all_vars.begin());
       projection.push_back(pos);
     }
-    auto& bucket = head_tuples[def.head];
-    for (const Tuple& t : answers) {
-      bucket.push_back(t.Project(projection));
+    auto [bucket, _] =
+        head_tuples.try_emplace(def.head, Relation::Builder(projection.size()));
+    bucket->second.Reserve(answers.size());
+    if (projection.empty()) {
+      for (size_t r = 0; r < answers.size(); ++r) bucket->second.Append(TupleView());
+    } else {
+      for (TupleView t : answers) {
+        Value* row = bucket->second.AppendRow();
+        for (size_t i = 0; i < projection.size(); ++i) row[i] = t[projection[i]];
+      }
     }
   }
   Database out = ctx.extended_base;
-  for (auto& [head, tuples] : head_tuples) {
-    KBT_ASSIGN_OR_RETURN(Relation current, out.RelationFor(head));
-    KBT_ASSIGN_OR_RETURN(out, out.WithRelation(
-                                   head, Relation(current.arity(), std::move(tuples))));
+  for (auto& [head, builder] : head_tuples) {
+    KBT_ASSIGN_OR_RETURN(out, out.WithRelation(head, builder.Build()));
   }
   stats->minimal_models = 1;
   return Knowledgebase::Singleton(std::move(out));

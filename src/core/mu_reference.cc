@@ -17,8 +17,11 @@ StatusOr<Database> MaterializeModel(
   std::map<Symbol, std::pair<std::vector<Tuple>, std::vector<Tuple>>> edits;
   for (int id : mentioned_atom_ids) {
     const GroundAtom& atom = atoms.AtomOf(id);
-    KBT_ASSIGN_OR_RETURN(Relation current, ctx.extended_base.RelationFor(atom.relation));
-    bool present = current.Contains(atom.tuple);
+    const Relation* current = ctx.extended_base.FindRelation(atom.relation);
+    if (current == nullptr) {
+      return Status::NotFound("relation not in schema: " + NameOf(atom.relation));
+    }
+    bool present = current->Contains(atom.tuple);
     bool wanted = atom_value(id);
     if (present == wanted) continue;
     auto& [adds, removes] = edits[atom.relation];
@@ -99,8 +102,11 @@ StatusOr<Knowledgebase> MuReference(const Formula& sentence, const Database& db,
     uint64_t bit = uint64_t{1} << i;
     if (IsOldAtom(atom, db)) {
       old_groups[atom.relation] |= bit;
-      KBT_ASSIGN_OR_RETURN(Relation r, ctx.extended_base.RelationFor(atom.relation));
-      if (r.Contains(atom.tuple)) masks.default_mask |= bit;
+      const Relation* r = ctx.extended_base.FindRelation(atom.relation);
+      if (r == nullptr) {
+        return Status::NotFound("relation not in schema: " + NameOf(atom.relation));
+      }
+      if (r->Contains(atom.tuple)) masks.default_mask |= bit;
     } else {
       masks.new_mask |= bit;
     }

@@ -47,12 +47,18 @@ class SatEnumerator {
     encoder.Assert(g.root);
     mentioned_ = g.circuit.CollectVars(g.root);
     stats_->ground_atoms = mentioned_.size();
+    atom_var_.resize(g.atoms.size(), -1);
+    default_value_.resize(g.atoms.size(), 0);
     for (int atom_id : mentioned_) {
       atom_var_[atom_id] = encoder.VarForAtom(atom_id);
       const GroundAtom& atom = g.atoms.AtomOf(atom_id);
       bool is_old = IsOldAtom(atom, db_);
-      KBT_ASSIGN_OR_RETURN(Relation r, ctx_.extended_base.RelationFor(atom.relation));
-      default_value_[atom_id] = is_old && r.Contains(atom.tuple);
+      const Relation* r = ctx_.extended_base.FindRelation(atom.relation);
+      if (r == nullptr) {
+        return Status::NotFound("relation not in schema: " +
+                                NameOf(atom.relation));
+      }
+      default_value_[atom_id] = is_old && r->Contains(atom.tuple);
       (is_old ? old_atoms_ : new_atoms_).push_back(atom_id);
       // Branch toward the default first: first models start near the minimum.
       solver_.SetPhase(atom_var_[atom_id], default_value_[atom_id]);
@@ -110,13 +116,13 @@ class SatEnumerator {
       auto candidate_value = [&](int a) {
         if (std::binary_search(candidate.flipped_old.begin(),
                                candidate.flipped_old.end(), a)) {
-          return !default_value_[a];
+          return default_value_[a] == 0;
         }
         if (std::binary_search(candidate.true_new.begin(),
                                candidate.true_new.end(), a)) {
           return true;
         }
-        return default_value_[a];  // New atoms default to false.
+        return default_value_[a] != 0;  // New atoms default to false.
       };
       std::vector<Lit> clause;
       clause.reserve(mentioned_.size());
@@ -240,8 +246,9 @@ class SatEnumerator {
   std::vector<int> mentioned_;
   std::vector<int> old_atoms_;
   std::vector<int> new_atoms_;
-  std::unordered_map<int, Var> atom_var_;
-  std::unordered_map<int, bool> default_value_;
+  /// Dense per-atom-id tables (ground atom ids are dense by construction).
+  std::vector<Var> atom_var_;
+  std::vector<int8_t> default_value_;
 };
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include "datalog/eval.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "datalog/analysis.h"
 
@@ -14,187 +17,434 @@ using kbt::RelationDecl;
 using kbt::Schema;
 using kbt::Status;
 using kbt::StatusOr;
-using kbt::Tuple;
+using kbt::TupleView;
 using kbt::Value;
 
 namespace {
 
-/// A variable binding environment: small scoped stack, linear lookup (rules have
-/// few variables).
-class Env {
- public:
-  bool Lookup(Symbol var, Value* out) const {
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-      if (it->first == var) {
-        *out = it->second;
-        return true;
-      }
-    }
-    return false;
-  }
-  void Push(Symbol var, Value v) { entries_.emplace_back(var, v); }
-  size_t Mark() const { return entries_.size(); }
-  void PopTo(size_t mark) { entries_.resize(mark); }
+/// Hash-index over one relation: buckets of row ids keyed by the hash of the
+/// values at a fixed set of key positions. Probes verify candidate rows against
+/// the key values, so bucket collisions only cost a few comparisons.
+struct HashIndex {
+  std::vector<size_t> positions;
+  std::unordered_map<size_t, std::vector<uint32_t>> buckets;
 
- private:
-  std::vector<std::pair<Symbol, Value>> entries_;
+  static size_t HashKey(const Value* values, size_t count) {
+    return kbt::TupleViewHash{}(TupleView(values, count));
+  }
+
+  void Build(const Relation& rel, std::vector<size_t> key_positions) {
+    // Row ids are 32-bit (debug-asserted; see Relation::Builder::Build).
+    assert(rel.size() < UINT32_MAX && "relation exceeds 32-bit row ids");
+    positions = std::move(key_positions);
+    buckets.clear();
+    buckets.reserve(rel.size());
+    std::vector<Value> key(positions.size());
+    for (size_t r = 0; r < rel.size(); ++r) {
+      TupleView row = rel[r];
+      for (size_t i = 0; i < positions.size(); ++i) key[i] = row[positions[i]];
+      buckets[HashKey(key.data(), key.size())].push_back(
+          static_cast<uint32_t>(r));
+    }
+  }
 };
 
-/// Tuples of `r` whose first `prefix.size()` components equal `prefix`
-/// (relations are lexicographically sorted, so this is an equal_range).
-std::pair<std::vector<Tuple>::const_iterator, std::vector<Tuple>::const_iterator>
-PrefixRange(const Relation& r, const std::vector<Value>& prefix) {
-  auto cmp_lo = [&](const Tuple& t, int) {
-    for (size_t i = 0; i < prefix.size(); ++i) {
-      if (t[i] != prefix[i]) return t[i] < prefix[i];
-    }
-    return false;  // Equal prefix: not less.
-  };
-  auto cmp_hi = [&](int, const Tuple& t) {
-    for (size_t i = 0; i < prefix.size(); ++i) {
-      if (t[i] != prefix[i]) return prefix[i] < t[i];
-    }
-    return false;  // Equal prefix: not greater.
-  };
-  auto lo = std::lower_bound(r.begin(), r.end(), 0, cmp_lo);
-  auto hi = std::upper_bound(r.begin(), r.end(), 0, cmp_hi);
-  return {lo, hi};
-}
+/// A relation plus a version stamp so cached indexes notice updates.
+struct StoredRel {
+  Relation rel;
+  uint64_t version = 0;
+};
 
-class RuleRunner {
+/// Caches hash indexes per (relation identity, key-position mask), invalidated
+/// by version stamps. Masks cover argument positions 0..62 (bit 63 marks delta
+/// indexes); a literal with a bound position ≥ 63 is marked non-indexable at
+/// compile time and handled by the scan path, never by this cache.
+class IndexCache {
  public:
-  RuleRunner(const Rule& rule, const std::map<Symbol, Relation>& relations,
-             EvalStats* stats)
-      : rule_(rule), relations_(relations), stats_(stats) {
-    for (const Literal& l : rule.body) {
-      (l.negated ? negatives_ : positives_).push_back(&l);
+  const HashIndex& For(Symbol pred, const Relation& rel, uint64_t version,
+                       uint64_t mask, const std::vector<size_t>& positions) {
+    Entry& e = entries_[Key{pred, mask}];
+    if (e.version != version || !e.valid) {
+      e.index.Build(rel, positions);
+      e.version = version;
+      e.valid = true;
     }
-  }
-
-  /// Runs the rule and appends derived head tuples to `out`. When `delta_pred` is
-  /// set, exactly one positive literal over that predicate is instantiated from
-  /// `delta` instead of the full relation — called once per delta position by the
-  /// semi-naive driver.
-  Status Run(const Relation* delta, size_t delta_position, std::vector<Tuple>* out) {
-    delta_ = delta;
-    delta_position_ = delta_position;
-    out_ = out;
-    if (stats_ != nullptr) ++stats_->rule_evaluations;
-    Env env;
-    return Recurse(0, &env);
+    return e.index;
   }
 
  private:
-  StatusOr<const Relation*> RelationOf(Symbol pred) const {
-    auto it = relations_.find(pred);
-    if (it == relations_.end()) {
-      return Status::Internal("datalog eval: relation missing for " +
-                              kbt::NameOf(pred));
+  struct Key {
+    Symbol pred;
+    uint64_t mask;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.pred == b.pred && a.mask == b.mask;
     }
-    return &it->second;
-  }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return kbt::HashCombine(k.pred, k.mask);
+    }
+  };
+  struct Entry {
+    HashIndex index;
+    uint64_t version = 0;
+    bool valid = false;
+  };
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
 
-  Status Recurse(size_t i, Env* env) {
-    if (i == positives_.size()) return Finish(env);
-    const Literal& lit = *positives_[i];
-    const Relation* rel;
-    if (delta_ != nullptr && i == delta_position_) {
-      rel = delta_;
-    } else {
-      KBT_ASSIGN_OR_RETURN(rel, RelationOf(lit.atom.predicate));
+/// A term reference resolved at compile time: either a constant value or a
+/// positional variable slot.
+struct SlotRef {
+  bool is_const;
+  Value value;    // is_const
+  uint16_t slot;  // !is_const
+};
+
+/// One compiled body literal. Argument positions are split into:
+///  * key positions — constants or variables bound by earlier literals; these
+///    form the probe key of the hash index (no per-row re-check needed);
+///  * binds — first occurrences of variables, written from the matching row;
+///  * checks — repeated occurrences within the same literal, verified after the
+///    binds of that row are written.
+struct CompiledLiteral {
+  Symbol pred = 0;
+  size_t arity = 0;
+  std::vector<size_t> key_positions;
+  std::vector<SlotRef> key_refs;  // Parallel to key_positions.
+  uint64_t key_mask = 0;
+  /// False when a key position does not fit the 63-bit mask (bit 63 is the
+  /// delta-index discriminator): such literals use the scan path so distinct
+  /// position sets can never alias one cached index.
+  bool indexable = true;
+  std::vector<std::pair<size_t, uint16_t>> binds;   // position → slot to write.
+  std::vector<std::pair<size_t, uint16_t>> checks;  // position → slot to equal.
+};
+
+/// A fully-bound literal reference (negatives): every argument resolvable once
+/// the positive join completes.
+struct CompiledAtomRef {
+  Symbol pred = 0;
+  std::vector<SlotRef> args;
+};
+
+struct CompiledConstraint {
+  bool negated;
+  SlotRef lhs, rhs;
+};
+
+/// A rule compiled to positional variable slots: no name lookups at join time.
+struct CompiledRule {
+  const Rule* rule = nullptr;
+  size_t num_slots = 0;
+  std::vector<CompiledLiteral> positives;
+  std::vector<CompiledAtomRef> negatives;
+  std::vector<CompiledConstraint> constraints;
+  Symbol head_pred = 0;
+  size_t head_arity = 0;
+  std::vector<SlotRef> head;
+};
+
+StatusOr<uint16_t> SlotOf(std::unordered_map<Symbol, uint16_t>* slots,
+                          Symbol var, bool* fresh) {
+  auto [it, inserted] = slots->try_emplace(
+      var, static_cast<uint16_t>(slots->size()));
+  if (inserted && slots->size() > UINT16_MAX) {
+    return Status::InvalidArgument("rule has too many variables");
+  }
+  *fresh = inserted;
+  return it->second;
+}
+
+StatusOr<SlotRef> ResolveRef(const std::unordered_map<Symbol, uint16_t>& slots,
+                             const Term& t) {
+  if (t.is_constant()) return SlotRef{true, t.symbol, 0};
+  auto it = slots.find(t.symbol);
+  if (it == slots.end()) {
+    return Status::InvalidArgument("unsafe rule: unbound variable " +
+                                   kbt::NameOf(t.symbol));
+  }
+  return SlotRef{false, 0, it->second};
+}
+
+StatusOr<CompiledRule> Compile(const Rule& rule,
+                               const std::unordered_map<Symbol, size_t>& arities) {
+  CompiledRule out;
+  out.rule = &rule;
+  std::unordered_map<Symbol, uint16_t> slots;
+  for (const Literal& l : rule.body) {
+    if (l.negated) continue;
+    auto ait = arities.find(l.atom.predicate);
+    if (ait == arities.end()) {
+      return Status::Internal("datalog eval: relation missing for " +
+                              kbt::NameOf(l.atom.predicate));
     }
-    if (rel->arity() != lit.atom.args.size()) {
+    if (ait->second != l.atom.args.size()) {
       return Status::InvalidArgument("arity mismatch for " +
-                                     kbt::NameOf(lit.atom.predicate));
+                                     kbt::NameOf(l.atom.predicate));
     }
-    // Longest bound prefix for a sorted-range probe.
-    std::vector<Value> prefix;
-    for (const Term& t : lit.atom.args) {
-      Value v;
+    CompiledLiteral cl;
+    cl.pred = l.atom.predicate;
+    cl.arity = l.atom.args.size();
+    for (size_t pos = 0; pos < l.atom.args.size(); ++pos) {
+      const Term& t = l.atom.args[pos];
       if (t.is_constant()) {
-        prefix.push_back(t.symbol);
-      } else if (env->Lookup(t.symbol, &v)) {
-        prefix.push_back(v);
-      } else {
-        break;
-      }
-    }
-    auto [lo, hi] = PrefixRange(*rel, prefix);
-    for (auto it = lo; it != hi; ++it) {
-      const Tuple& tuple = *it;
-      size_t mark = env->Mark();
-      bool match = true;
-      for (size_t j = prefix.size(); j < tuple.arity(); ++j) {
-        const Term& t = lit.atom.args[j];
-        if (t.is_constant()) {
-          if (tuple[j] != t.symbol) {
-            match = false;
-            break;
-          }
+        cl.key_positions.push_back(pos);
+        cl.key_refs.push_back(SlotRef{true, t.symbol, 0});
+        if (pos < 63) {
+          cl.key_mask |= uint64_t{1} << pos;
         } else {
-          Value bound;
-          if (env->Lookup(t.symbol, &bound)) {
-            if (bound != tuple[j]) {
-              match = false;
-              break;
-            }
-          } else {
-            env->Push(t.symbol, tuple[j]);
-          }
+          cl.indexable = false;
+        }
+        continue;
+      }
+      bool fresh = false;
+      KBT_ASSIGN_OR_RETURN(uint16_t slot, SlotOf(&slots, t.symbol, &fresh));
+      if (fresh) {
+        cl.binds.emplace_back(pos, slot);
+      } else if (std::any_of(cl.binds.begin(), cl.binds.end(),
+                             [&](const auto& b) { return b.second == slot; })) {
+        // Bound earlier in this same literal: verify after the row is read.
+        cl.checks.emplace_back(pos, slot);
+      } else {
+        cl.key_positions.push_back(pos);
+        cl.key_refs.push_back(SlotRef{false, 0, slot});
+        if (pos < 63) {
+          cl.key_mask |= uint64_t{1} << pos;
+        } else {
+          cl.indexable = false;
         }
       }
-      if (match) {
-        KBT_RETURN_IF_ERROR(Recurse(i + 1, env));
+    }
+    out.positives.push_back(std::move(cl));
+  }
+  for (const Literal& l : rule.body) {
+    if (!l.negated) continue;
+    auto ait = arities.find(l.atom.predicate);
+    if (ait == arities.end()) {
+      return Status::Internal("datalog eval: relation missing for " +
+                              kbt::NameOf(l.atom.predicate));
+    }
+    if (ait->second != l.atom.args.size()) {
+      return Status::InvalidArgument("arity mismatch for " +
+                                     kbt::NameOf(l.atom.predicate));
+    }
+    CompiledAtomRef ref;
+    ref.pred = l.atom.predicate;
+    ref.args.reserve(l.atom.args.size());
+    for (const Term& t : l.atom.args) {
+      KBT_ASSIGN_OR_RETURN(SlotRef r, ResolveRef(slots, t));
+      ref.args.push_back(r);
+    }
+    out.negatives.push_back(std::move(ref));
+  }
+  for (const Constraint& c : rule.constraints) {
+    CompiledConstraint cc;
+    cc.negated = c.negated;
+    KBT_ASSIGN_OR_RETURN(cc.lhs, ResolveRef(slots, c.lhs));
+    KBT_ASSIGN_OR_RETURN(cc.rhs, ResolveRef(slots, c.rhs));
+    out.constraints.push_back(cc);
+  }
+  out.head_pred = rule.head.predicate;
+  out.head_arity = rule.head.args.size();
+  out.head.reserve(rule.head.args.size());
+  for (const Term& t : rule.head.args) {
+    KBT_ASSIGN_OR_RETURN(SlotRef r, ResolveRef(slots, t));
+    out.head.push_back(r);
+  }
+  out.num_slots = slots.size();
+  return out;
+}
+
+/// Executes one compiled rule against the store. Scratch buffers are owned by
+/// the runner and reused across rounds: the join loop performs no per-tuple
+/// heap allocation — rows are TupleViews into the relations' flat buffers and
+/// derived heads are appended to a flat Relation::Builder.
+class RuleRunner {
+ public:
+  RuleRunner(CompiledRule compiled,
+             const std::unordered_map<Symbol, StoredRel>* store,
+             IndexCache* indexes, EvalStats* stats)
+      : compiled_(std::move(compiled)),
+        indexes_(indexes),
+        stats_(stats),
+        slots_(compiled_.num_slots),
+        out_(compiled_.head_arity) {
+    size_t max_arity = compiled_.head_arity;
+    key_bufs_.reserve(compiled_.positives.size());
+    // Store entries are created up front and never erased, so StoredRel
+    // addresses are stable for the whole evaluation (node-based map): resolve
+    // each literal's slot once here instead of per join step.
+    for (const CompiledLiteral& l : compiled_.positives) {
+      max_arity = std::max(max_arity, l.arity);
+      key_bufs_.emplace_back(l.key_positions.size());
+      pos_rels_.push_back(&store->at(l.pred));
+    }
+    for (const CompiledAtomRef& n : compiled_.negatives) {
+      max_arity = std::max(max_arity, n.args.size());
+      neg_rels_.push_back(&store->at(n.pred));
+    }
+    scratch_.resize(max_arity);
+  }
+
+  Symbol head_pred() const { return compiled_.head_pred; }
+  const Rule& rule() const { return *compiled_.rule; }
+
+  /// Runs the join. When `delta` is set, the positive literal at
+  /// `delta_position` is instantiated from `delta` instead of the stored
+  /// relation (semi-naive differentiation). Derived tuples not already in
+  /// `current_head` are collected; Take() returns them deduplicated.
+  Status Run(const Relation* delta, size_t delta_position,
+             const Relation* current_head) {
+    delta_ = delta;
+    delta_position_ = delta_position;
+    current_head_ = current_head;
+    if (stats_ != nullptr) ++stats_->rule_evaluations;
+    return Recurse(0);
+  }
+
+  /// Returns the derived head tuples accumulated since the last Take.
+  Relation Take() { return out_.Build(); }
+
+ private:
+  const Relation& RelationAt(size_t i) const {
+    if (delta_ != nullptr && i == delta_position_) return *delta_;
+    return pos_rels_[i]->rel;
+  }
+
+  Status Recurse(size_t i) {
+    if (i == compiled_.positives.size()) return Finish();
+    const CompiledLiteral& lit = compiled_.positives[i];
+    const Relation& rel = RelationAt(i);
+
+    if (lit.key_positions.empty() || rel.size() <= 1 || !lit.indexable) {
+      // No bound arguments, a trivially small relation, or key positions
+      // beyond the index mask width: scan.
+      for (size_t r = 0; r < rel.size(); ++r) {
+        KBT_RETURN_IF_ERROR(TryRow(i, lit, rel[r], /*check_keys=*/true));
       }
-      env->PopTo(mark);
+      return Status::OK();
+    }
+
+    // Compute the probe key from constants and already-bound slots. Each
+    // literal owns its buffer: the key must survive the recursive calls made
+    // while iterating this literal's matches.
+    Value* key = key_bufs_[i].data();
+    for (size_t k = 0; k < lit.key_refs.size(); ++k) {
+      const SlotRef& ref = lit.key_refs[k];
+      key[k] = ref.is_const ? ref.value : slots_[ref.slot];
+    }
+
+    if (lit.key_positions.size() == lit.arity && lit.binds.empty() &&
+        lit.checks.empty()) {
+      // Fully bound literal: a membership test. Key positions are argument
+      // positions 0..arity-1 in order, so the key is the row itself.
+      if (rel.Contains(TupleView(key, lit.arity))) {
+        return Recurse(i + 1);
+      }
+      return Status::OK();
+    }
+
+    // Probe the hash index on the bound positions.
+    uint64_t version = (delta_ == nullptr || i != delta_position_)
+                           ? pos_rels_[i]->version
+                           : delta_version_;
+    const HashIndex& index = IndexFor(i, lit, rel, version);
+    auto bucket =
+        index.buckets.find(HashIndex::HashKey(key, lit.key_positions.size()));
+    if (bucket == index.buckets.end()) return Status::OK();
+    for (uint32_t r : bucket->second) {
+      TupleView row = rel[r];
+      bool match = true;
+      for (size_t k = 0; k < lit.key_positions.size(); ++k) {
+        if (row[lit.key_positions[k]] != key[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;  // Bucket hash collision.
+      KBT_RETURN_IF_ERROR(TryRow(i, lit, row, /*check_keys=*/false));
     }
     return Status::OK();
   }
 
-  StatusOr<Value> Resolve(const Term& t, Env* env) const {
-    if (t.is_constant()) return t.symbol;
-    Value v;
-    if (!env->Lookup(t.symbol, &v)) {
-      return Status::InvalidArgument("unsafe rule: unbound variable " +
-                                     kbt::NameOf(t.symbol));
-    }
-    return v;
+  const HashIndex& IndexFor(size_t i, const CompiledLiteral& lit,
+                            const Relation& rel, uint64_t version) {
+    bool is_delta = delta_ != nullptr && i == delta_position_;
+    // Delta indexes live in the same cache under the predicate symbol with the
+    // high bit of the mask set; their version is bumped per Run by the driver.
+    uint64_t mask = lit.key_mask | (is_delta ? (uint64_t{1} << 63) : 0);
+    return indexes_->For(lit.pred, rel, version, mask, lit.key_positions);
   }
 
-  Status Finish(Env* env) {
-    for (const Constraint& c : rule_.constraints) {
-      KBT_ASSIGN_OR_RETURN(Value lhs, Resolve(c.lhs, env));
-      KBT_ASSIGN_OR_RETURN(Value rhs, Resolve(c.rhs, env));
-      if ((lhs == rhs) == c.negated) return Status::OK();
-    }
-    for (const Literal* l : negatives_) {
-      KBT_ASSIGN_OR_RETURN(const Relation* rel, RelationOf(l->atom.predicate));
-      std::vector<Value> values;
-      values.reserve(l->atom.args.size());
-      for (const Term& t : l->atom.args) {
-        KBT_ASSIGN_OR_RETURN(Value v, Resolve(t, env));
-        values.push_back(v);
+  Status TryRow(size_t i, const CompiledLiteral& lit, TupleView row,
+                bool check_keys) {
+    if (check_keys) {
+      for (size_t k = 0; k < lit.key_positions.size(); ++k) {
+        const SlotRef& ref = lit.key_refs[k];
+        Value expected = ref.is_const ? ref.value : slots_[ref.slot];
+        if (row[lit.key_positions[k]] != expected) return Status::OK();
       }
-      if (rel->Contains(Tuple(std::move(values)))) return Status::OK();
     }
-    std::vector<Value> head;
-    head.reserve(rule_.head.args.size());
-    for (const Term& t : rule_.head.args) {
-      KBT_ASSIGN_OR_RETURN(Value v, Resolve(t, env));
-      head.push_back(v);
+    for (const auto& [pos, slot] : lit.binds) slots_[slot] = row[pos];
+    for (const auto& [pos, slot] : lit.checks) {
+      if (row[pos] != slots_[slot]) return Status::OK();
     }
-    out_->emplace_back(std::move(head));
+    return Recurse(i + 1);
+  }
+
+  Value Resolve(const SlotRef& ref) const {
+    return ref.is_const ? ref.value : slots_[ref.slot];
+  }
+
+  Status Finish() {
+    for (const CompiledConstraint& c : compiled_.constraints) {
+      if ((Resolve(c.lhs) == Resolve(c.rhs)) == c.negated) return Status::OK();
+    }
+    for (size_t j = 0; j < compiled_.negatives.size(); ++j) {
+      const CompiledAtomRef& n = compiled_.negatives[j];
+      for (size_t k = 0; k < n.args.size(); ++k) {
+        scratch_[k] = Resolve(n.args[k]);
+      }
+      if (neg_rels_[j]->rel.Contains(TupleView(scratch_.data(), n.args.size()))) {
+        return Status::OK();
+      }
+    }
+    if (compiled_.head_arity == 0) {
+      if (current_head_ == nullptr || current_head_->empty()) {
+        out_.Append(TupleView());
+      }
+      return Status::OK();
+    }
+    Value* row = out_.AppendRow();
+    for (size_t k = 0; k < compiled_.head_arity; ++k) {
+      row[k] = Resolve(compiled_.head[k]);
+    }
+    if (current_head_ != nullptr &&
+        current_head_->Contains(TupleView(row, compiled_.head_arity))) {
+      out_.DropLastRow();  // Already derived in an earlier round.
+    }
     return Status::OK();
   }
 
-  const Rule& rule_;
-  const std::map<Symbol, Relation>& relations_;
+ public:
+  /// Version stamp for the delta relation currently passed to Run; the driver
+  /// bumps this whenever the delta object changes.
+  uint64_t delta_version_ = 0;
+
+ private:
+  CompiledRule compiled_;
+  IndexCache* indexes_;
   EvalStats* stats_;
-  std::vector<const Literal*> positives_;
-  std::vector<const Literal*> negatives_;
+  std::vector<const StoredRel*> pos_rels_;  // Parallel to compiled_.positives.
+  std::vector<const StoredRel*> neg_rels_;  // Parallel to compiled_.negatives.
+  std::vector<Value> slots_;
+  std::vector<std::vector<Value>> key_bufs_;  // One probe-key buffer per literal.
+  std::vector<Value> scratch_;  // Negative-literal membership buffer (Finish only).
+  Relation::Builder out_;
   const Relation* delta_ = nullptr;
   size_t delta_position_ = 0;
-  std::vector<Tuple>* out_ = nullptr;
+  const Relation* current_head_ = nullptr;
 };
 
 }  // namespace
@@ -208,26 +458,35 @@ StatusOr<Database> Evaluate(const Program& program, const Database& edb,
   // Output schema: EDB relations first, then unseen IDB predicates.
   KBT_ASSIGN_OR_RETURN(Schema out_schema, edb.schema().Union(program_schema));
 
-  // Working relation store.
-  std::map<Symbol, Relation> store;
+  // Working relation store with version stamps for index invalidation.
+  std::unordered_map<Symbol, StoredRel> store;
+  std::unordered_map<Symbol, size_t> arities;
+  store.reserve(out_schema.size());
   for (const RelationDecl& d : out_schema.decls()) {
     std::optional<size_t> pos = edb.schema().PositionOf(d.symbol);
     store.emplace(d.symbol,
-                  pos ? edb.relation_at(*pos) : Relation(d.arity));
+                  StoredRel{pos ? edb.relation_at(*pos) : Relation(d.arity), 0});
+    arities.emplace(d.symbol, d.arity);
   }
+  auto update_head = [&store](Symbol pred, const Relation& fresh) {
+    StoredRel& s = store.at(pred);
+    s.rel = s.rel.Union(fresh);
+    ++s.version;
+  };
 
-  std::vector<Symbol> idb = program.HeadPredicates();
+  IndexCache indexes;
+  uint64_t delta_stamp = 0;
+
   for (size_t stratum = 0; stratum < strata.size(); ++stratum) {
-    const std::vector<Symbol>& stratum_preds = strata[stratum];
-    auto in_stratum = [&](Symbol p) {
-      return std::find(stratum_preds.begin(), stratum_preds.end(), p) !=
-             stratum_preds.end();
-    };
-    std::vector<const Rule*> rules;
+    std::unordered_set<Symbol> stratum_preds(strata[stratum].begin(),
+                                             strata[stratum].end());
+    std::vector<RuleRunner> runners;
     for (const Rule& r : program.rules) {
-      if (in_stratum(r.head.predicate)) rules.push_back(&r);
+      if (stratum_preds.count(r.head.predicate) == 0) continue;
+      KBT_ASSIGN_OR_RETURN(CompiledRule compiled, Compile(r, arities));
+      runners.emplace_back(std::move(compiled), &store, &indexes, stats);
     }
-    if (rules.empty()) continue;
+    if (runners.empty()) continue;
 
     if (!options.use_seminaive) {
       // Naive: re-derive everything until no growth.
@@ -235,15 +494,13 @@ StatusOr<Database> Evaluate(const Program& program, const Database& edb,
       while (grew) {
         grew = false;
         if (stats != nullptr) ++stats->rounds;
-        for (const Rule* r : rules) {
-          std::vector<Tuple> derived;
-          RuleRunner runner(*r, store, stats);
-          KBT_RETURN_IF_ERROR(runner.Run(nullptr, 0, &derived));
-          Relation& head = store.at(r->head.predicate);
-          Relation fresh = Relation(head.arity(), std::move(derived)).Difference(head);
+        for (RuleRunner& runner : runners) {
+          const Relation& head = store.at(runner.head_pred()).rel;
+          KBT_RETURN_IF_ERROR(runner.Run(nullptr, 0, &head));
+          Relation fresh = runner.Take();
           if (!fresh.empty()) {
             if (stats != nullptr) stats->derived_tuples += fresh.size();
-            head = head.Union(fresh);
+            update_head(runner.head_pred(), fresh);
             grew = true;
           }
         }
@@ -254,43 +511,40 @@ StatusOr<Database> Evaluate(const Program& program, const Database& edb,
     // Semi-naive. Round 0 evaluates every rule in full (this seeds facts and
     // captures contributions of lower strata); afterwards only rules with a
     // recursive positive literal re-fire, instantiated through the deltas.
-    std::map<Symbol, Relation> delta;
+    std::unordered_map<Symbol, Relation> delta;
     if (stats != nullptr) ++stats->rounds;
-    for (const Rule* r : rules) {
-      std::vector<Tuple> derived;
-      RuleRunner runner(*r, store, stats);
-      KBT_RETURN_IF_ERROR(runner.Run(nullptr, 0, &derived));
-      Relation& head = store.at(r->head.predicate);
-      Relation fresh = Relation(head.arity(), std::move(derived)).Difference(head);
+    for (RuleRunner& runner : runners) {
+      const Relation& head = store.at(runner.head_pred()).rel;
+      KBT_RETURN_IF_ERROR(runner.Run(nullptr, 0, &head));
+      Relation fresh = runner.Take();
       if (!fresh.empty()) {
         if (stats != nullptr) stats->derived_tuples += fresh.size();
-        head = head.Union(fresh);
-        auto [it, inserted] = delta.emplace(r->head.predicate, fresh);
+        update_head(runner.head_pred(), fresh);
+        auto [it, inserted] = delta.emplace(runner.head_pred(), fresh);
         if (!inserted) it->second = it->second.Union(fresh);
       }
     }
     while (!delta.empty()) {
       if (stats != nullptr) ++stats->rounds;
-      std::map<Symbol, Relation> next_delta;
-      for (const Rule* r : rules) {
+      std::unordered_map<Symbol, Relation> next_delta;
+      for (RuleRunner& runner : runners) {
         // One pass per recursive positive literal, fed by that literal's delta.
         size_t positive_index = 0;
-        for (const Literal& l : r->body) {
+        for (const Literal& l : runner.rule().body) {
           if (l.negated) continue;
           size_t this_index = positive_index++;
           auto dit = delta.find(l.atom.predicate);
-          if (dit == delta.end() || !in_stratum(l.atom.predicate)) continue;
-          std::vector<Tuple> derived;
-          RuleRunner runner(*r, store, stats);
-          KBT_RETURN_IF_ERROR(runner.Run(&dit->second, this_index, &derived));
-          if (derived.empty()) continue;
-          Relation& head = store.at(r->head.predicate);
-          Relation fresh =
-              Relation(head.arity(), std::move(derived)).Difference(head);
+          if (dit == delta.end() || stratum_preds.count(l.atom.predicate) == 0) {
+            continue;
+          }
+          const Relation& head = store.at(runner.head_pred()).rel;
+          runner.delta_version_ = ++delta_stamp;
+          KBT_RETURN_IF_ERROR(runner.Run(&dit->second, this_index, &head));
+          Relation fresh = runner.Take();
           if (fresh.empty()) continue;
           if (stats != nullptr) stats->derived_tuples += fresh.size();
-          head = head.Union(fresh);
-          auto [it, inserted] = next_delta.emplace(r->head.predicate, fresh);
+          update_head(runner.head_pred(), fresh);
+          auto [it, inserted] = next_delta.emplace(runner.head_pred(), fresh);
           if (!inserted) it->second = it->second.Union(fresh);
         }
       }
@@ -302,7 +556,7 @@ StatusOr<Database> Evaluate(const Program& program, const Database& edb,
   std::vector<Relation> out_relations;
   out_relations.reserve(out_schema.size());
   for (const RelationDecl& d : out_schema.decls()) {
-    out_relations.push_back(store.at(d.symbol));
+    out_relations.push_back(std::move(store.at(d.symbol).rel));
   }
   return Database::Create(std::move(out_schema), std::move(out_relations));
 }

@@ -32,13 +32,13 @@ class Checker {
           return Status::InvalidArgument("arity mismatch for relation " +
                                          NameOf(f->relation()));
         }
-        std::vector<Value> values;
-        values.reserve(f->terms().size());
+        scratch_.clear();
+        scratch_.reserve(f->terms().size());
         for (const Term& t : f->terms()) {
           KBT_ASSIGN_OR_RETURN(Value v, Resolve(t));
-          values.push_back(v);
+          scratch_.push_back(v);
         }
-        return r.Contains(Tuple(std::move(values)));
+        return r.Contains(TupleView(scratch_.data(), scratch_.size()));
       }
       case FormulaKind::kEquals: {
         KBT_ASSIGN_OR_RETURN(Value lhs, Resolve(f->terms()[0]));
@@ -113,6 +113,7 @@ class Checker {
   const Database& db_;
   const std::vector<Value>& domain_;
   std::unordered_map<Symbol, Value> env_;
+  std::vector<Value> scratch_;  // Atom-argument buffer; no alloc per atom check.
 };
 
 }  // namespace
@@ -155,23 +156,25 @@ StatusOr<Relation> EvaluateQuery(const Database& db, const Formula& f,
   if (!free.empty()) {
     return Status::InvalidArgument("EvaluateQuery: free variables not covered");
   }
-  Relation out(vars.size());
-  std::vector<Tuple> rows;
+  Relation::Builder rows(vars.size());
   // Enumerate |domain|^|vars| assignments; fine for the moderate arities the
   // examples and Theorem 5.1 benchmarks use. (An empty variable list checks the
   // sentence itself: the 0-ary answer is {()} or {}.)
   std::vector<size_t> idx(vars.size(), 0);
+  std::vector<Value> values(vars.size());
   bool empty_domain = domain.empty() && !vars.empty();
-  if (empty_domain) return out;
+  if (empty_domain) return Relation(vars.size());
+  // One checker for the whole enumeration: Bind overwrites the previous
+  // assignment and quantifier cases save/restore their variable, so no state
+  // leaks between iterations.
+  Checker checker(db, domain);
   while (true) {
-    Checker checker(db, domain);
-    std::vector<Value> values(vars.size());
     for (size_t i = 0; i < vars.size(); ++i) {
       values[i] = domain[idx[i]];
       checker.Bind(vars[i], values[i]);
     }
     KBT_ASSIGN_OR_RETURN(bool v, checker.Check(f));
-    if (v) rows.emplace_back(std::move(values));
+    if (v) rows.Append(TupleView(values.data(), values.size()));
     // Advance the odometer.
     size_t k = 0;
     while (k < idx.size()) {
@@ -182,7 +185,7 @@ StatusOr<Relation> EvaluateQuery(const Database& db, const Formula& f,
     if (k == idx.size()) break;
     if (vars.empty()) break;
   }
-  return Relation(vars.size(), std::move(rows));
+  return rows.Build();
 }
 
 }  // namespace kbt

@@ -29,9 +29,33 @@ struct GroundAtom {
   std::string ToString() const { return NameOf(relation) + tuple.ToString(); }
 };
 
+/// A non-owning (relation, tuple view) probe key for AtomIndex lookups that
+/// avoids materializing a GroundAtom on the hot grounding path.
+struct GroundAtomRef {
+  Symbol relation;
+  TupleView tuple;
+};
+
 struct GroundAtomHash {
+  using is_transparent = void;
   size_t operator()(const GroundAtom& a) const {
     return HashCombine(a.tuple.Hash(), a.relation);
+  }
+  size_t operator()(const GroundAtomRef& a) const {
+    return HashCombine(a.tuple.Hash(), a.relation);
+  }
+};
+
+struct GroundAtomEq {
+  using is_transparent = void;
+  bool operator()(const GroundAtom& a, const GroundAtom& b) const {
+    return a.relation == b.relation && a.tuple == b.tuple;
+  }
+  bool operator()(const GroundAtomRef& a, const GroundAtom& b) const {
+    return a.relation == b.relation && a.tuple == TupleView(b.tuple);
+  }
+  bool operator()(const GroundAtom& a, const GroundAtomRef& b) const {
+    return (*this)(b, a);
   }
 };
 
@@ -48,6 +72,14 @@ class AtomIndex {
     return id;
   }
 
+  /// Id of the atom `relation(values...)`, interning it on first use. Existing
+  /// atoms are found without constructing an owning GroundAtom.
+  int IdOf(Symbol relation, TupleView values) {
+    auto it = index_.find(GroundAtomRef{relation, values});
+    if (it != index_.end()) return it->second;
+    return IdOf(GroundAtom{relation, values.ToTuple()});
+  }
+
   /// Returns the id of `atom` if interned, else -1.
   int Find(const GroundAtom& atom) const {
     auto it = index_.find(atom);
@@ -61,7 +93,7 @@ class AtomIndex {
   size_t size() const { return atoms_.size(); }
 
  private:
-  std::unordered_map<GroundAtom, int, GroundAtomHash> index_;
+  std::unordered_map<GroundAtom, int, GroundAtomHash, GroundAtomEq> index_;
   std::vector<GroundAtom> atoms_;
 };
 

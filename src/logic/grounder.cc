@@ -26,14 +26,15 @@ class GrounderImpl {
       case FormulaKind::kFalse:
         return out_->circuit.FalseNode();
       case FormulaKind::kAtom: {
-        std::vector<Value> values;
-        values.reserve(f->terms().size());
+        scratch_.clear();
+        scratch_.reserve(f->terms().size());
         for (const Term& t : f->terms()) {
           KBT_ASSIGN_OR_RETURN(Value v, Resolve(t));
-          values.push_back(v);
+          scratch_.push_back(v);
         }
-        GroundAtom atom{f->relation(), Tuple(std::move(values))};
-        return out_->circuit.VarNode(out_->atoms.IdOf(atom));
+        int id = out_->atoms.IdOf(f->relation(),
+                                  TupleView(scratch_.data(), scratch_.size()));
+        return out_->circuit.VarNode(id);
       }
       case FormulaKind::kEquals: {
         KBT_ASSIGN_OR_RETURN(Value lhs, Resolve(f->terms()[0]));
@@ -107,6 +108,7 @@ class GrounderImpl {
   const GrounderOptions& options_;
   Grounding* out_;
   std::unordered_map<Symbol, Value> env_;
+  std::vector<Value> scratch_;  // Atom-argument buffer; no alloc per atom.
 };
 
 }  // namespace

@@ -42,6 +42,11 @@ StatusOr<Relation> Database::RelationFor(std::string_view name) const {
   return RelationFor(Name(name));
 }
 
+const Relation* Database::FindRelation(Symbol symbol) const {
+  std::optional<size_t> pos = schema_.PositionOf(symbol);
+  return pos ? &relations_[*pos] : nullptr;
+}
+
 StatusOr<Database> Database::WithRelation(Symbol symbol, Relation relation) const {
   std::optional<size_t> pos = schema_.PositionOf(symbol);
   if (!pos) {

@@ -42,6 +42,10 @@ class Database {
   /// Relation for an (interned) name; fails with kNotFound when undeclared.
   StatusOr<Relation> RelationFor(std::string_view name) const;
 
+  /// Borrowed relation for `symbol`, or nullptr when undeclared. The hot-path
+  /// variant of RelationFor: no Status machinery, no relation copy.
+  const Relation* FindRelation(Symbol symbol) const;
+
   /// Returns a copy with the relation for `symbol` replaced. Fails when the symbol is
   /// undeclared or the arity mismatches.
   StatusOr<Database> WithRelation(Symbol symbol, Relation relation) const;

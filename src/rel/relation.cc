@@ -2,104 +2,299 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 
 #include "base/hash.h"
 
 namespace kbt {
 
-Relation::Relation(size_t arity, std::vector<Tuple> tuples)
-    : arity_(arity), tuples_(std::move(tuples)) {
-  for (const Tuple& t : tuples_) {
-    assert(t.arity() == arity_ && "tuple arity mismatch");
-    (void)t;
+namespace {
+
+/// True when the flat buffer of `rows` rows of width `arity` is already strictly
+/// row-sorted (sorted with no duplicates).
+bool IsStrictlySorted(const Value* data, size_t rows, size_t arity) {
+  for (size_t r = 1; r < rows; ++r) {
+    if (CompareValues(data + (r - 1) * arity, data + r * arity, arity) >= 0) {
+      return false;
+    }
   }
-  std::sort(tuples_.begin(), tuples_.end());
-  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+  return true;
 }
 
-bool Relation::Contains(const Tuple& t) const {
-  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}  // namespace
+
+void Relation::Builder::Append(TupleView t) {
+  assert(t.arity() == arity_ && "tuple arity mismatch");
+  data_.insert(data_.end(), t.begin(), t.end());
+  ++rows_;
 }
 
-Relation Relation::WithTuple(const Tuple& t) const {
+Value* Relation::Builder::AppendRow() {
+  assert(arity_ > 0 && "AppendRow requires positive arity");
+  data_.resize(data_.size() + arity_);
+  ++rows_;
+  return data_.data() + data_.size() - arity_;
+}
+
+void Relation::Builder::DropLastRow() {
+  assert(rows_ > 0);
+  data_.resize(data_.size() - arity_);
+  --rows_;
+}
+
+Relation Relation::Builder::Build() {
+  size_t arity = arity_;
+  size_t rows = rows_;
+  std::vector<Value> data = std::move(data_);
+  data_.clear();
+  rows_ = 0;
+  if (arity == 0) {
+    return Relation(0, rows > 0 ? 1 : 0, {});
+  }
+  if (IsStrictlySorted(data.data(), rows, arity)) {
+    return Relation(arity, rows, std::move(data));
+  }
+  // Sort row ids, then write rows out in order, skipping adjacent duplicates.
+  // Row ids are 32-bit: 2^32 rows of even arity 1 would need 16 GiB of values,
+  // far past any workload here (limit is debug-asserted, not checked in
+  // release builds).
+  assert(rows < UINT32_MAX && "relation exceeds 2^32 rows");
+  std::vector<uint32_t> order(rows);
+  std::iota(order.begin(), order.end(), 0u);
+  const Value* d = data.data();
+  std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+    return CompareValues(d + size_t{x} * arity, d + size_t{y} * arity, arity) < 0;
+  });
+  std::vector<Value> out;
+  out.reserve(data.size());
+  const Value* prev = nullptr;
+  for (uint32_t r : order) {
+    const Value* row = d + size_t{r} * arity;
+    if (prev != nullptr && CompareValues(prev, row, arity) == 0) continue;
+    out.insert(out.end(), row, row + arity);
+    prev = row;
+  }
+  size_t unique_rows = out.size() / arity;
+  return Relation(arity, unique_rows, std::move(out));
+}
+
+Relation::Relation(size_t arity, const std::vector<Tuple>& tuples) : arity_(arity) {
+  Builder b(arity);
+  b.Reserve(tuples.size());
+  for (const Tuple& t : tuples) b.Append(t);
+  *this = b.Build();
+}
+
+size_t Relation::LowerBoundRow(TupleView t) const {
+  size_t lo = 0, hi = rows_;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (CompareValues(data_.data() + mid * arity_, t.data(), arity_) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool Relation::Contains(TupleView t) const {
   assert(t.arity() == arity_);
-  if (Contains(t)) return *this;
-  std::vector<Tuple> tuples = tuples_;
-  tuples.insert(std::upper_bound(tuples.begin(), tuples.end(), t), t);
-  Relation out(arity_);
-  out.tuples_ = std::move(tuples);
-  return out;
+  if (arity_ == 0) return rows_ > 0;
+  size_t r = LowerBoundRow(t);
+  return r < rows_ &&
+         CompareValues(data_.data() + r * arity_, t.data(), arity_) == 0;
 }
 
-Relation Relation::WithoutTuple(const Tuple& t) const {
-  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
-  if (it == tuples_.end() || *it != t) return *this;
-  Relation out(arity_);
-  out.tuples_.reserve(tuples_.size() - 1);
-  out.tuples_.insert(out.tuples_.end(), tuples_.begin(), it);
-  out.tuples_.insert(out.tuples_.end(), it + 1, tuples_.end());
-  return out;
+Relation Relation::WithTuple(TupleView t) const {
+  assert(t.arity() == arity_);
+  if (arity_ == 0) return rows_ > 0 ? *this : Relation(0, 1, {});
+  size_t r = LowerBoundRow(t);
+  if (r < rows_ &&
+      CompareValues(data_.data() + r * arity_, t.data(), arity_) == 0) {
+    return *this;
+  }
+  std::vector<Value> data;
+  data.reserve(data_.size() + arity_);
+  data.insert(data.end(), data_.begin(), data_.begin() + r * arity_);
+  data.insert(data.end(), t.begin(), t.end());
+  data.insert(data.end(), data_.begin() + r * arity_, data_.end());
+  return Relation(arity_, rows_ + 1, std::move(data));
+}
+
+Relation Relation::WithoutTuple(TupleView t) const {
+  assert(t.arity() == arity_);
+  if (arity_ == 0) return rows_ > 0 ? Relation(0) : *this;
+  size_t r = LowerBoundRow(t);
+  if (r == rows_ ||
+      CompareValues(data_.data() + r * arity_, t.data(), arity_) != 0) {
+    return *this;
+  }
+  std::vector<Value> data;
+  data.reserve(data_.size() - arity_);
+  data.insert(data.end(), data_.begin(), data_.begin() + r * arity_);
+  data.insert(data.end(), data_.begin() + (r + 1) * arity_, data_.end());
+  return Relation(arity_, rows_ - 1, std::move(data));
 }
 
 Relation Relation::Union(const Relation& other) const {
   assert(arity_ == other.arity_);
-  Relation out(arity_);
-  out.tuples_.reserve(tuples_.size() + other.tuples_.size());
-  std::set_union(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
-                 other.tuples_.end(), std::back_inserter(out.tuples_));
-  return out;
+  if (arity_ == 0) {
+    return Relation(0, (rows_ > 0 || other.rows_ > 0) ? 1 : 0, {});
+  }
+  if (other.rows_ == 0) return *this;
+  if (rows_ == 0) return other;
+  std::vector<Value> out;
+  out.reserve(data_.size() + other.data_.size());
+  const Value* a = data_.data();
+  const Value* ae = a + data_.size();
+  const Value* b = other.data_.data();
+  const Value* be = b + other.data_.size();
+  while (a != ae && b != be) {
+    int c = CompareValues(a, b, arity_);
+    if (c <= 0) {
+      out.insert(out.end(), a, a + arity_);
+      a += arity_;
+      if (c == 0) b += arity_;
+    } else {
+      out.insert(out.end(), b, b + arity_);
+      b += arity_;
+    }
+  }
+  out.insert(out.end(), a, ae);
+  out.insert(out.end(), b, be);
+  size_t out_rows = out.size() / arity_;
+  return Relation(arity_, out_rows, std::move(out));
 }
 
 Relation Relation::Intersect(const Relation& other) const {
   assert(arity_ == other.arity_);
-  Relation out(arity_);
-  std::set_intersection(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
-                        other.tuples_.end(), std::back_inserter(out.tuples_));
-  return out;
+  if (arity_ == 0) {
+    return Relation(0, (rows_ > 0 && other.rows_ > 0) ? 1 : 0, {});
+  }
+  std::vector<Value> out;
+  const Value* a = data_.data();
+  const Value* ae = a + data_.size();
+  const Value* b = other.data_.data();
+  const Value* be = b + other.data_.size();
+  while (a != ae && b != be) {
+    int c = CompareValues(a, b, arity_);
+    if (c < 0) {
+      a += arity_;
+    } else if (c > 0) {
+      b += arity_;
+    } else {
+      out.insert(out.end(), a, a + arity_);
+      a += arity_;
+      b += arity_;
+    }
+  }
+  size_t out_rows = out.size() / arity_;
+  return Relation(arity_, out_rows, std::move(out));
 }
 
 Relation Relation::Difference(const Relation& other) const {
   assert(arity_ == other.arity_);
-  Relation out(arity_);
-  std::set_difference(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
-                      other.tuples_.end(), std::back_inserter(out.tuples_));
-  return out;
+  if (arity_ == 0) {
+    return Relation(0, (rows_ > 0 && other.rows_ == 0) ? 1 : 0, {});
+  }
+  if (other.rows_ == 0 || rows_ == 0) return *this;
+  std::vector<Value> out;
+  out.reserve(data_.size());
+  const Value* a = data_.data();
+  const Value* ae = a + data_.size();
+  const Value* b = other.data_.data();
+  const Value* be = b + other.data_.size();
+  while (a != ae && b != be) {
+    int c = CompareValues(a, b, arity_);
+    if (c < 0) {
+      out.insert(out.end(), a, a + arity_);
+      a += arity_;
+    } else if (c > 0) {
+      b += arity_;
+    } else {
+      a += arity_;
+      b += arity_;
+    }
+  }
+  out.insert(out.end(), a, ae);
+  size_t out_rows = out.size() / arity_;
+  return Relation(arity_, out_rows, std::move(out));
 }
 
 Relation Relation::SymmetricDifference(const Relation& other) const {
   assert(arity_ == other.arity_);
-  Relation out(arity_);
-  std::set_symmetric_difference(tuples_.begin(), tuples_.end(),
-                                other.tuples_.begin(), other.tuples_.end(),
-                                std::back_inserter(out.tuples_));
-  return out;
+  if (arity_ == 0) {
+    return Relation(0, ((rows_ > 0) != (other.rows_ > 0)) ? 1 : 0, {});
+  }
+  std::vector<Value> out;
+  out.reserve(data_.size() + other.data_.size());
+  const Value* a = data_.data();
+  const Value* ae = a + data_.size();
+  const Value* b = other.data_.data();
+  const Value* be = b + other.data_.size();
+  while (a != ae && b != be) {
+    int c = CompareValues(a, b, arity_);
+    if (c < 0) {
+      out.insert(out.end(), a, a + arity_);
+      a += arity_;
+    } else if (c > 0) {
+      out.insert(out.end(), b, b + arity_);
+      b += arity_;
+    } else {
+      a += arity_;
+      b += arity_;
+    }
+  }
+  out.insert(out.end(), a, ae);
+  out.insert(out.end(), b, be);
+  size_t out_rows = out.size() / arity_;
+  return Relation(arity_, out_rows, std::move(out));
 }
 
 bool Relation::IsSubsetOf(const Relation& other) const {
   assert(arity_ == other.arity_);
-  return std::includes(other.tuples_.begin(), other.tuples_.end(), tuples_.begin(),
-                       tuples_.end());
+  if (arity_ == 0) return rows_ == 0 || other.rows_ > 0;
+  if (rows_ > other.rows_) return false;
+  const Value* a = data_.data();
+  const Value* ae = a + data_.size();
+  const Value* b = other.data_.data();
+  const Value* be = b + other.data_.size();
+  while (a != ae) {
+    if (b == be) return false;
+    int c = CompareValues(a, b, arity_);
+    if (c < 0) return false;  // Row of `this` missing from `other`.
+    b += arity_;
+    if (c == 0) a += arity_;
+  }
+  return true;
 }
 
 void Relation::CollectValues(std::vector<Value>* out) const {
-  for (const Tuple& t : tuples_) {
-    out->insert(out->end(), t.values().begin(), t.values().end());
-  }
+  out->insert(out->end(), data_.begin(), data_.end());
 }
 
 std::string Relation::ToString() const {
   std::string out = "{";
-  for (size_t i = 0; i < tuples_.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += tuples_[i].ToString();
+  for (size_t r = 0; r < rows_; ++r) {
+    if (r > 0) out += ", ";
+    out += (*this)[r].ToString();
   }
   out += "}";
   return out;
 }
 
+bool operator<(const Relation& a, const Relation& b) {
+  if (a.arity_ != b.arity_) return a.arity_ < b.arity_;
+  auto cmp = std::lexicographical_compare_three_way(
+      a.data_.begin(), a.data_.end(), b.data_.begin(), b.data_.end());
+  if (cmp != 0) return cmp < 0;
+  return a.rows_ < b.rows_;  // Distinguishes arity-0 relations.
+}
+
 size_t Relation::Hash() const {
   size_t seed = HashCombine(0x51ab5f1e, arity_);
-  for (const Tuple& t : tuples_) seed = HashCombine(seed, t.Hash());
+  for (size_t r = 0; r < rows_; ++r) seed = HashCombine(seed, (*this)[r].Hash());
   return seed;
 }
 

@@ -4,11 +4,17 @@
 /// \file
 /// Finite relations: sorted duplicate-free sets of same-arity tuples.
 ///
-/// A relation r_i in the paper is a finite subset of A^α(i). The representation here
-/// is a sorted vector, which makes the set operations the paper leans on — union,
-/// intersection, difference and the symmetric difference Δ of Definition 2.1 — linear
-/// merges, and subset tests linear scans.
+/// A relation r_i in the paper is a finite subset of A^α(i). The representation is
+/// a single flat `std::vector<Value>` with an arity stride — row r occupies
+/// [r*arity, (r+1)*arity) — kept row-sorted and duplicate-free. Iteration yields
+/// non-owning TupleViews into that buffer, so the set operations the paper leans
+/// on — union, intersection, difference and the symmetric difference Δ of
+/// Definition 2.1 — are cache-friendly stride-aware merges with no per-tuple heap
+/// traffic. Bulk construction goes through Relation::Builder, which appends rows
+/// into one buffer and sorts + dedups once at Build time.
 
+#include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -19,32 +25,114 @@ namespace kbt {
 /// An immutable-after-construction finite relation of fixed arity.
 class Relation {
  public:
+  /// Accumulates rows into a flat buffer; sorts and deduplicates once on Build.
+  class Builder {
+   public:
+    explicit Builder(size_t arity) : arity_(arity) {}
+
+    /// Pre-allocates space for `rows` additional rows.
+    void Reserve(size_t rows) { data_.reserve(data_.size() + rows * arity_); }
+
+    /// Appends one row; `t.arity()` must equal the builder arity.
+    void Append(TupleView t);
+    /// Appends one row from an explicit value list.
+    void Append(std::initializer_list<Value> values) {
+      Append(TupleView(values.begin(), values.size()));
+    }
+
+    /// Appends an uninitialized row and returns the pointer to fill with
+    /// exactly `arity` values before the next Builder call. Arity must be > 0.
+    Value* AppendRow();
+
+    /// Drops the most recently appended row (e.g. a candidate that failed a
+    /// post-fill check). Must follow an append.
+    void DropLastRow();
+
+    size_t arity() const { return arity_; }
+    /// Rows appended so far (before dedup).
+    size_t rows() const { return rows_; }
+
+    /// Finalizes: sorts rows, removes duplicates, and returns the relation.
+    /// The builder is left empty.
+    Relation Build();
+
+   private:
+    size_t arity_;
+    size_t rows_ = 0;
+    std::vector<Value> data_;
+  };
+
+  /// Forward iterator over rows, yielding TupleViews into the flat buffer.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = TupleView;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const TupleView*;
+    using reference = TupleView;
+
+    const_iterator() = default;
+    const_iterator(const Value* base, size_t arity, size_t row)
+        : base_(base), arity_(arity), row_(row) {}
+
+    TupleView operator*() const {
+      return TupleView(base_ + row_ * arity_, arity_);
+    }
+    const_iterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator out = *this;
+      ++row_;
+      return out;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.row_ == b.row_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.row_ != b.row_;
+    }
+
+   private:
+    const Value* base_ = nullptr;
+    size_t arity_ = 0;
+    size_t row_ = 0;
+  };
+
   /// Empty relation of the given arity.
   explicit Relation(size_t arity = 0) : arity_(arity) {}
 
   /// Relation from tuples; deduplicates and sorts. All tuples must have `arity`
   /// components (asserted).
-  Relation(size_t arity, std::vector<Tuple> tuples);
+  Relation(size_t arity, const std::vector<Tuple>& tuples);
 
   /// Number of components of every tuple.
   size_t arity() const { return arity_; }
   /// Number of tuples.
-  size_t size() const { return tuples_.size(); }
+  size_t size() const { return rows_; }
   /// True iff the relation holds no tuples.
-  bool empty() const { return tuples_.empty(); }
-  /// Sorted tuple storage.
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  bool empty() const { return rows_ == 0; }
+  /// The flat row-major storage (size() * arity() values, row-sorted).
+  const std::vector<Value>& flat() const { return data_; }
 
-  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
-  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+  /// View of row `r` (< size()); rows are in ascending lexicographic order.
+  TupleView operator[](size_t r) const {
+    return TupleView(data_.data() + r * arity_, arity_);
+  }
+  /// View of the first row; the relation must be non-empty.
+  TupleView front() const { return (*this)[0]; }
 
-  /// Membership test (binary search, O(log n) tuple comparisons).
-  bool Contains(const Tuple& t) const;
+  const_iterator begin() const { return const_iterator(data_.data(), arity_, 0); }
+  const_iterator end() const { return const_iterator(data_.data(), arity_, rows_); }
+
+  /// Membership test (binary search over rows, O(log n) row comparisons).
+  bool Contains(TupleView t) const;
 
   /// Returns this relation with `t` inserted (no-op if present).
-  Relation WithTuple(const Tuple& t) const;
+  Relation WithTuple(TupleView t) const;
   /// Returns this relation with `t` removed (no-op if absent).
-  Relation WithoutTuple(const Tuple& t) const;
+  Relation WithoutTuple(TupleView t) const;
 
   /// Set union; arities must agree.
   Relation Union(const Relation& other) const;
@@ -65,21 +153,26 @@ class Relation {
   std::string ToString() const;
 
   friend bool operator==(const Relation& a, const Relation& b) {
-    return a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
+    return a.arity_ == b.arity_ && a.rows_ == b.rows_ && a.data_ == b.data_;
   }
   friend bool operator!=(const Relation& a, const Relation& b) { return !(a == b); }
-  /// Arbitrary total order (arity, then lexicographic tuples); used for canonical
+  /// Arbitrary total order (arity, then lexicographic rows); used for canonical
   /// knowledgebase ordering.
-  friend bool operator<(const Relation& a, const Relation& b) {
-    if (a.arity_ != b.arity_) return a.arity_ < b.arity_;
-    return a.tuples_ < b.tuples_;
-  }
+  friend bool operator<(const Relation& a, const Relation& b);
 
   size_t Hash() const;
 
  private:
+  /// Adopts an already sorted, deduplicated flat buffer.
+  Relation(size_t arity, size_t rows, std::vector<Value> data)
+      : arity_(arity), rows_(rows), data_(std::move(data)) {}
+
+  /// Row index of the first row not less than `t`.
+  size_t LowerBoundRow(TupleView t) const;
+
   size_t arity_;
-  std::vector<Tuple> tuples_;  // Sorted, unique.
+  size_t rows_ = 0;
+  std::vector<Value> data_;  // Row-major, row-sorted, unique.
 };
 
 }  // namespace kbt

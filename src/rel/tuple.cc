@@ -21,11 +21,11 @@ Tuple Tuple::Project(const std::vector<size_t>& indices) const {
   return Tuple(std::move(values));
 }
 
-std::string Tuple::ToString() const {
+std::string TupleView::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  for (size_t i = 0; i < arity_; ++i) {
     if (i > 0) out += ", ";
-    out += NameOf(values_[i]);
+    out += NameOf(data_[i]);
   }
   out += ")";
   return out;

@@ -9,6 +9,11 @@
 /// Components are interned Symbols (see base/interner.h). Arity 0 is supported: the
 /// empty tuple is the single inhabitant, used by the paper's zero-ary relations
 /// (e.g. R4 in Example 3 and r0 in Theorem 4.9).
+///
+/// Two representations exist. `TupleView` is a non-owning (pointer, arity) pair
+/// into a flat value buffer — the working currency of the relation layer and the
+/// Datalog evaluator, which never allocate per tuple. `Tuple` owns its components
+/// and survives as a convenience type at API edges (parsers, tests, ground atoms).
 
 #include <cstdint>
 #include <initializer_list>
@@ -23,7 +28,61 @@ namespace kbt {
 /// An element of the domain A: an interned constant symbol.
 using Value = Symbol;
 
-/// An immutable ground tuple over the domain.
+/// Three-way lexicographic comparison of two rows of `arity` values.
+inline int CompareValues(const Value* a, const Value* b, size_t arity) {
+  for (size_t i = 0; i < arity; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+class Tuple;
+
+/// A non-owning view of one ground tuple: a pointer into a flat value buffer plus
+/// an arity. Trivially copyable; valid only while the underlying buffer lives.
+class TupleView {
+ public:
+  TupleView() = default;
+  TupleView(const Value* data, size_t arity) : data_(data), arity_(arity) {}
+  /// Implicit view of an owning Tuple (defined below).
+  TupleView(const Tuple& t);  // NOLINT(google-explicit-constructor)
+
+  /// Number of components.
+  size_t arity() const { return arity_; }
+  /// Component access; `i` must be < arity().
+  Value operator[](size_t i) const { return data_[i]; }
+  /// Underlying contiguous values.
+  const Value* data() const { return data_; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + arity_; }
+
+  /// Copies the viewed components into an owning Tuple.
+  Tuple ToTuple() const;
+
+  /// Renders as "(a1, a2)" using the process-wide interner.
+  std::string ToString() const;
+
+  friend bool operator==(TupleView a, TupleView b) {
+    return a.arity_ == b.arity_ && CompareValues(a.data_, b.data_, a.arity_) == 0;
+  }
+  friend bool operator!=(TupleView a, TupleView b) { return !(a == b); }
+  /// Lexicographic order; shorter tuples precede longer ones on a shared prefix.
+  friend bool operator<(TupleView a, TupleView b) {
+    size_t common = a.arity_ < b.arity_ ? a.arity_ : b.arity_;
+    int c = CompareValues(a.data_, b.data_, common);
+    if (c != 0) return c < 0;
+    return a.arity_ < b.arity_;
+  }
+
+  /// Hash over components; agrees with Tuple::Hash on equal contents.
+  size_t Hash() const { return HashRange(begin(), end()); }
+
+ private:
+  const Value* data_ = nullptr;
+  size_t arity_ = 0;
+};
+
+/// An immutable owning ground tuple over the domain.
 class Tuple {
  public:
   /// The empty (zero-ary) tuple.
@@ -42,12 +101,14 @@ class Tuple {
   Value operator[](size_t i) const { return values_[i]; }
   /// Underlying values.
   const std::vector<Value>& values() const { return values_; }
+  /// Non-owning view of this tuple.
+  TupleView view() const { return TupleView(values_.data(), values_.size()); }
 
   /// Projects onto the given component indices (each < arity()); duplicates allowed.
   Tuple Project(const std::vector<size_t>& indices) const;
 
   /// Renders as "(a1, a2)" using the process-wide interner.
-  std::string ToString() const;
+  std::string ToString() const { return view().ToString(); }
 
   friend bool operator==(const Tuple& a, const Tuple& b) {
     return a.values_ == b.values_;
@@ -67,8 +128,19 @@ class Tuple {
   std::vector<Value> values_;
 };
 
+inline TupleView::TupleView(const Tuple& t)
+    : data_(t.values().data()), arity_(t.arity()) {}
+
+inline Tuple TupleView::ToTuple() const {
+  return Tuple(std::vector<Value>(begin(), end()));
+}
+
 struct TupleHash {
   size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+struct TupleViewHash {
+  size_t operator()(TupleView t) const { return t.Hash(); }
 };
 
 }  // namespace kbt

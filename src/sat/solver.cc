@@ -25,9 +25,9 @@ bool Solver::AddClause(std::vector<Lit> lits) {
   assert(DecisionLevel() == 0 && "AddClause only between Solve calls");
   std::sort(lits.begin(), lits.end());
   lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
-  // Drop tautologies; remove false literals; detect satisfied clauses.
-  std::vector<Lit> out;
-  out.reserve(lits.size());
+  // Drop tautologies; remove false literals; detect satisfied clauses. The
+  // surviving literals are compacted in place — no extra allocation per clause.
+  size_t keep = 0;
   for (size_t i = 0; i < lits.size(); ++i) {
     Lit l = lits[i];
     if (i + 1 < lits.size() && lits[i + 1] == Negate(l) && VarOf(lits[i + 1]) == VarOf(l)) {
@@ -36,18 +36,20 @@ bool Solver::AddClause(std::vector<Lit> lits) {
     LBool v = ValueOf(l);
     if (v == LBool::kTrue) return true;  // Satisfied at top level.
     if (v == LBool::kFalse) continue;    // Falsified at top level: drop literal.
-    out.push_back(l);
+    lits[keep++] = l;
   }
-  if (out.empty()) {
+  lits.resize(keep);
+  if (lits.empty()) {
     ok_ = false;
     return false;
   }
-  if (out.size() == 1) {
-    Enqueue(out[0], kNoClause);
+  if (lits.size() == 1) {
+    Enqueue(lits[0], kNoClause);
     if (Propagate() != kNoClause) ok_ = false;
     return ok_;
   }
-  clauses_.push_back(Clause{std::move(out), false});
+  if (clauses_.empty()) clauses_.reserve(256);
+  clauses_.push_back(Clause{std::move(lits), false});
   Attach(static_cast<ClauseRef>(clauses_.size() - 1));
   return true;
 }

@@ -75,7 +75,7 @@ TEST_P(LatticeLawsTest, GlbIsGreatestLowerBound) {
   // tuple wherever possible.
   for (size_t i = 0; i < glb.size(); ++i) {
     if (glb.relation_at(i).empty()) continue;
-    Tuple t = glb.relation_at(i).tuples().front();
+    Tuple t = glb.relation_at(i).front().ToTuple();
     Relation smaller = glb.relation_at(i).WithoutTuple(t);
     EXPECT_TRUE(smaller.IsSubsetOf(glb.relation_at(i)));
   }

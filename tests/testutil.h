@@ -41,7 +41,7 @@ inline Relation EdgeRelation(const Graph& g) {
 /// Decodes a binary relation over vertex names back into edge pairs.
 inline std::set<std::pair<int, int>> DecodeEdges(const Relation& r) {
   std::set<std::pair<int, int>> out;
-  for (const Tuple& t : r) {
+  for (TupleView t : r) {
     std::string a = NameOf(t[0]);
     std::string b = NameOf(t[1]);
     out.insert({std::stoi(a.substr(1)), std::stoi(b.substr(1))});

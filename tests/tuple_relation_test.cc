@@ -40,7 +40,7 @@ TEST(RelationTest, ConstructionSortsAndDedups) {
   EXPECT_TRUE(r.Contains(Tuple::Of({"a", "b"})));
   EXPECT_TRUE(r.Contains(Tuple::Of({"b", "c"})));
   EXPECT_FALSE(r.Contains(Tuple::Of({"c", "b"})));
-  EXPECT_TRUE(std::is_sorted(r.tuples().begin(), r.tuples().end()));
+  EXPECT_TRUE(std::is_sorted(r.begin(), r.end()));
 }
 
 TEST(RelationTest, WithAndWithoutTuple) {
