@@ -6,6 +6,7 @@
 /// graphs, chain graphs, and knowledgebase construction. Seeds are fixed so every
 /// run measures the same instances.
 
+#include <chrono>
 #include <cstdio>
 #include <random>
 #include <set>
@@ -15,6 +16,24 @@
 #include "core/kbt.h"
 
 namespace kbt::bench {
+
+/// Runs `op` repeatedly for at least `min_wall_ms` and returns ms per op. One
+/// warmup call touches caches and interner state before timing starts.
+template <typename Fn>
+double MeasureMs(Fn&& op, double min_wall_ms = 300.0) {
+  using Clock = std::chrono::steady_clock;
+  op();
+  size_t iters = 0;
+  auto start = Clock::now();
+  double elapsed_ms = 0.0;
+  do {
+    op();
+    ++iters;
+    elapsed_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  } while (elapsed_ms < min_wall_ms);
+  return elapsed_ms / static_cast<double>(iters);
+}
 
 // ---------------------------------------------------------------------------
 // Machine-readable benchmark records (BENCH_datalog.json). Kept dependency-free

@@ -8,7 +8,6 @@
 ///
 /// Usage: json_bench_datalog [output.json]   (default: BENCH_datalog.json)
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -17,26 +16,6 @@
 
 namespace kbt::bench {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-constexpr double kMinWallMs = 300.0;  // Per-workload measurement budget.
-
-/// Runs `op` repeatedly for at least kMinWallMs and returns ms per op.
-template <typename Fn>
-double MeasureMs(Fn&& op) {
-  // One warmup to touch caches and interner state.
-  op();
-  size_t iters = 0;
-  auto start = Clock::now();
-  double elapsed_ms = 0.0;
-  do {
-    op();
-    ++iters;
-    elapsed_ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-  } while (elapsed_ms < kMinWallMs);
-  return elapsed_ms / static_cast<double>(iters);
-}
 
 BenchRecord Record(const std::string& name, int n, double ms_per_op,
                    size_t rounds, size_t derived) {

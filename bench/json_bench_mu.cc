@@ -1,0 +1,217 @@
+/// \file
+/// Machine-readable benchmark harness for the μ/SAT path: grounding → Tseitin →
+/// CDCL minimal-model enumeration (the co-NP core of Theorem 4.2), plus raw
+/// solver workloads in the style of bench_sat_reduction. Writes BENCH_mu.json so
+/// every PR that touches the solver, the circuit layer, or the Tseitin encoder
+/// leaves a diffable perf trajectory next to BENCH_datalog.json.
+///
+/// Usage: json_bench_mu [output.json]   (default: BENCH_mu.json)
+
+#include <array>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sat/solver.h"
+
+namespace kbt::bench {
+namespace {
+
+/// One measured μ/SAT workload. Solver counters come from the last run.
+struct MuBenchRecord {
+  std::string name;
+  int n = 0;
+  double ms_per_op = 0.0;
+  double ops_per_sec = 0.0;
+  uint64_t solve_calls = 0;
+  uint64_t conflicts = 0;
+  size_t minimal_models = 0;
+};
+
+bool WriteMuBenchJson(const std::string& path,
+                      const std::vector<MuBenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fprintf(f, "{\n  \"benchmarks\": [\n") >= 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const MuBenchRecord& r = records[i];
+    ok = std::fprintf(
+             f,
+             "    {\"name\": \"%s\", \"n\": %d, \"ms_per_op\": %.4f, "
+             "\"ops_per_sec\": %.3f, \"solve_calls\": %llu, "
+             "\"conflicts\": %llu, \"minimal_models\": %zu}%s\n",
+             r.name.c_str(), r.n, r.ms_per_op, r.ops_per_sec,
+             static_cast<unsigned long long>(r.solve_calls),
+             static_cast<unsigned long long>(r.conflicts), r.minimal_models,
+             i + 1 < records.size() ? "," : "") >= 0 &&
+         ok;
+  }
+  ok = std::fprintf(f, "  ]\n}\n") >= 0 && ok;
+  return std::fclose(f) == 0 && ok;
+}
+
+MuBenchRecord Record(const std::string& name, int n, double ms,
+                     const MuStats& stats) {
+  MuBenchRecord r;
+  r.name = name;
+  r.n = n;
+  r.ms_per_op = ms;
+  r.ops_per_sec = ms > 0 ? 1000.0 / ms : 0.0;
+  r.solve_calls = stats.sat_solve_calls;
+  r.conflicts = stats.sat_conflicts;
+  r.minimal_models = stats.minimal_models;
+  return r;
+}
+
+/// μ through the full grounding → Tseitin → CDCL enumeration pipeline.
+MuBenchRecord MuWorkload(const std::string& name, const std::string& sentence,
+                         int n, double degree, uint64_t seed) {
+  Knowledgebase kb = GraphKb("R", RandomEdges(n, degree, seed));
+  Formula phi = *ParseFormula(sentence);
+  MuOptions options;
+  options.strategy = MuStrategy::kSat;
+  MuStats stats;
+  double ms = MeasureMs([&] {
+    stats = MuStats();
+    auto out = Mu(phi, kb.databases()[0], options, &stats);
+    if (!out.ok()) std::abort();
+  });
+  return Record(name, n, ms, stats);
+}
+
+/// φ_k = ∀x1..xk ((R(x1,x2) ∧ ... ∧ R(x_{k-1},x_k)) → S(x1,xk)): the
+/// bench_expression_complexity shape, exponential grounding in k.
+MuBenchRecord MuPathDepth(int depth) {
+  std::vector<Symbol> vars;
+  for (int i = 1; i <= depth; ++i) vars.push_back(Name("x" + std::to_string(i)));
+  std::vector<Formula> body;
+  for (int i = 0; i + 1 < depth; ++i) {
+    body.push_back(Atom("R", {Term::Var(vars[static_cast<size_t>(i)]),
+                              Term::Var(vars[static_cast<size_t>(i + 1)])}));
+  }
+  Formula head = Atom("S", {Term::Var(vars.front()), Term::Var(vars.back())});
+  Formula phi = Forall(vars, Implies(And(std::move(body)), head));
+  Knowledgebase kb = GraphKb("R", RandomEdges(5, 2.0, 31));
+  MuOptions options;
+  options.strategy = MuStrategy::kSat;
+  MuStats stats;
+  double ms = MeasureMs([&] {
+    stats = MuStats();
+    auto out = Mu(phi, kb.databases()[0], options, &stats);
+    if (!out.ok()) std::abort();
+  });
+  return Record("mu_path_depth", depth, ms, stats);
+}
+
+/// Raw CDCL on random 3CNF at the given clause/variable ratio (the
+/// bench_sat_reduction direct-solver workload, scaled up to stress the clause
+/// store rather than the grounding).
+MuBenchRecord DirectCdcl(const std::string& name, int num_vars, double ratio,
+                         uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> var(0, num_vars - 1);
+  std::bernoulli_distribution sign(0.5);
+  int num_clauses = static_cast<int>(ratio * num_vars);
+  std::vector<std::array<sat::Lit, 3>> clauses;
+  clauses.reserve(static_cast<size_t>(num_clauses));
+  for (int c = 0; c < num_clauses; ++c) {
+    clauses.push_back({sat::MkLit(var(rng), sign(rng)),
+                       sat::MkLit(var(rng), sign(rng)),
+                       sat::MkLit(var(rng), sign(rng))});
+  }
+  uint64_t conflicts = 0;
+  double ms = MeasureMs([&] {
+    sat::Solver solver;
+    for (int i = 0; i < num_vars; ++i) solver.NewVar();
+    for (const auto& clause : clauses) {
+      solver.AddClause({clause[0], clause[1], clause[2]});
+    }
+    auto result = solver.Solve();
+    static_cast<void>(result);
+    conflicts = solver.stats().conflicts;
+  });
+  MuStats stats;
+  stats.sat_solve_calls = 1;
+  stats.sat_conflicts = conflicts;
+  return Record(name, num_vars, ms, stats);
+}
+
+/// Pigeonhole PHP(n+1, n): resolution-hard UNSAT, heavy on conflict analysis,
+/// clause learning and the learned-clause store.
+MuBenchRecord Pigeonhole(int holes) {
+  uint64_t conflicts = 0;
+  double ms = MeasureMs([&] {
+    sat::Solver s;
+    int pigeons = holes + 1;
+    std::vector<std::vector<sat::Var>> grid(
+        static_cast<size_t>(pigeons), std::vector<sat::Var>(static_cast<size_t>(holes)));
+    for (auto& row : grid) {
+      for (auto& v : row) v = s.NewVar();
+    }
+    for (int p = 0; p < pigeons; ++p) {
+      std::vector<sat::Lit> some;
+      for (int h = 0; h < holes; ++h) {
+        some.push_back(sat::MkLit(grid[static_cast<size_t>(p)][static_cast<size_t>(h)]));
+      }
+      s.AddClause(some);
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int p1 = 0; p1 < pigeons; ++p1) {
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+          s.AddClause({sat::MkLit(grid[static_cast<size_t>(p1)][static_cast<size_t>(h)], true),
+                       sat::MkLit(grid[static_cast<size_t>(p2)][static_cast<size_t>(h)], true)});
+        }
+      }
+    }
+    auto result = s.Solve();
+    static_cast<void>(result);
+    conflicts = s.stats().conflicts;
+  });
+  MuStats stats;
+  stats.sat_solve_calls = 1;
+  stats.sat_conflicts = conflicts;
+  return Record("sat_pigeonhole", holes, ms, stats);
+}
+
+int Main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_mu.json";
+  std::vector<MuBenchRecord> records;
+  // μ pipeline workloads (grounding + incremental Tseitin + enumeration).
+  for (int n : {8, 32}) {
+    records.push_back(
+        MuWorkload("mu_copy_insert", "forall x, y: R(x, y) -> S(x, y)", n, 3.0, 17));
+  }
+  for (int n : {16, 64}) {
+    records.push_back(MuWorkload("mu_vertex_drop", "forall y: !R(n0, y)", n, 4.0, 23));
+  }
+  for (int n : {16, 64}) {
+    records.push_back(MuWorkload(
+        "mu_choice", "R(z1, z2) | R(z3, z4) | R(z5, z6)", n, 3.0, 29));
+  }
+  for (int depth : {3, 4, 5}) records.push_back(MuPathDepth(depth));
+  // Raw solver workloads (clause arena, watchers, learned-clause store).
+  records.push_back(DirectCdcl("sat_random3_easy", 120, 3.0, 67));
+  records.push_back(DirectCdcl("sat_random3_hard", 60, 4.2, 67));
+  records.push_back(Pigeonhole(6));
+  if (!WriteMuBenchJson(path, records)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  for (const MuBenchRecord& r : records) {
+    std::printf(
+        "%-24s n=%-4d %10.4f ms/op %12.2f ops/s  solves=%llu conflicts=%llu "
+        "models=%zu\n",
+        r.name.c_str(), r.n, r.ms_per_op, r.ops_per_sec,
+        static_cast<unsigned long long>(r.solve_calls),
+        static_cast<unsigned long long>(r.conflicts), r.minimal_models);
+  }
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kbt::bench
+
+int main(int argc, char** argv) { return kbt::bench::Main(argc, argv); }

@@ -15,6 +15,18 @@ inline size_t HashCombine(size_t seed, size_t value) {
   return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
 }
 
+/// Final avalanche (murmur3 fmix64). HashCombine output over near-sequential
+/// inputs (dense ids, interned symbols) is itself near-sequential; open-addressed
+/// tables with linear probing need this finalizer to avoid primary clustering.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
 /// Hashes a range of hashable elements into one value.
 template <typename It>
 size_t HashRange(It first, It last, size_t seed = 0xcbf29ce484222325ULL) {

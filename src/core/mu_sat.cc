@@ -26,6 +26,10 @@ struct FoundModel {
   std::vector<int> true_new;     ///< Mentioned new atoms set to true.
 };
 
+/// The CDCL enumeration engine. One solver and one incremental Tseitin encoder
+/// live for the entire run: the minimization descent pushes activation-guarded
+/// constraints and the enumeration pushes blocking clauses into the same clause
+/// arena, and nothing is ever ground or encoded twice.
 class SatEnumerator {
  public:
   SatEnumerator(const Database& db, const UpdateContext& ctx,
@@ -43,12 +47,16 @@ class SatEnumerator {
       return Knowledgebase(ctx_.schema);  // No models at all.
     }
 
+    // The encoder lives for the whole enumeration (this method): every descent
+    // constraint and blocking clause below goes into the same solver, and the
+    // grounding is encoded exactly once.
     sat::TseitinEncoder encoder(&g.circuit, &solver_);
     encoder.Assert(g.root);
     mentioned_ = g.circuit.CollectVars(g.root);
     stats_->ground_atoms = mentioned_.size();
     atom_var_.resize(g.atoms.size(), -1);
     default_value_.resize(g.atoms.size(), 0);
+    value_.resize(g.atoms.size(), 0);
     for (int atom_id : mentioned_) {
       atom_var_[atom_id] = encoder.VarForAtom(atom_id);
       const GroundAtom& atom = g.atoms.AtomOf(atom_id);
@@ -66,7 +74,7 @@ class SatEnumerator {
 
     std::vector<FoundModel> minimal;
     while (true) {
-      if (Solve({}) == SolveResult::kUnsat) break;
+      if (Solve(no_assumptions_) == SolveResult::kUnsat) break;
       KBT_ASSIGN_OR_RETURN(FoundModel candidate, Descend());
       // The descent fixpoint is minimal unless a previously reported minimal model
       // (now blocked, hence invisible) lies strictly below it.
@@ -112,6 +120,7 @@ class SatEnumerator {
   /// own assignment is excluded. Returns true when the whole space is now blocked
   /// (the candidate was the global minimum), letting the caller stop immediately.
   bool BlockAbove(const FoundModel& candidate, bool strong) {
+    std::vector<Lit>& clause = clause_scratch_;
     if (!strong) {
       auto candidate_value = [&](int a) {
         if (std::binary_search(candidate.flipped_old.begin(),
@@ -124,16 +133,17 @@ class SatEnumerator {
         }
         return default_value_[a] != 0;  // New atoms default to false.
       };
-      std::vector<Lit> clause;
+      clause.clear();
       clause.reserve(mentioned_.size());
       for (int a : mentioned_) {
         clause.push_back(MkLit(atom_var_[a], candidate_value(a)));
       }
       if (clause.empty()) return true;  // Single possible assignment.
-      solver_.AddClause(std::move(clause));
+      solver_.AddClause(clause);
       return false;
     }
-    std::vector<Lit> core;
+    std::vector<Lit>& core = core_scratch_;
+    core.clear();
     for (int a : candidate.flipped_old) core.push_back(KeepLit(a));
     // (a) Forbid strict flip supersets.
     for (int b : old_atoms_) {
@@ -141,17 +151,17 @@ class SatEnumerator {
                              candidate.flipped_old.end(), b)) {
         continue;
       }
-      std::vector<Lit> clause = core;
+      clause.assign(core.begin(), core.end());
       clause.push_back(KeepLit(b));
-      solver_.AddClause(std::move(clause));
+      solver_.AddClause(clause);
     }
     // (b) The cone clause.
-    std::vector<Lit> cone = core;
+    clause.assign(core.begin(), core.end());
     for (int n : candidate.true_new) {
-      cone.push_back(MkLit(atom_var_[n], /*negated=*/true));
+      clause.push_back(MkLit(atom_var_[n], /*negated=*/true));
     }
-    if (cone.empty()) return true;  // Candidate is the global minimum.
-    solver_.AddClause(std::move(cone));
+    if (clause.empty()) return true;  // Candidate is the global minimum.
+    solver_.AddClause(clause);
     return false;
   }
 
@@ -171,49 +181,64 @@ class SatEnumerator {
     return r;
   }
 
+  void SnapshotModel() {
+    for (int a : mentioned_) {
+      value_[static_cast<size_t>(a)] = ModelValueOf(a) ? 1 : 0;
+    }
+  }
+
   /// Two-stage greedy descent from the solver's current model to a ≤_db fixpoint.
+  /// Each refinement step adds one activation-guarded clause (retired afterwards
+  /// by asserting ¬act) to the live solver — no re-grounding, no re-encoding, and
+  /// no per-step containers beyond the reused scratch buffers.
   StatusOr<FoundModel> Descend() {
-    // Snapshot the model.
-    std::vector<bool> value(atoms_->size(), false);
-    for (int a : mentioned_) value[static_cast<size_t>(a)] = ModelValueOf(a);
-    auto val = [&](int a) { return value[static_cast<size_t>(a)]; };
+    SnapshotModel();
+    auto val = [&](int a) { return value_[static_cast<size_t>(a)] != 0; };
+
+    std::vector<int>& deviating = deviating_scratch_;
+    std::vector<Lit>& guard = clause_scratch_;
+    std::vector<Lit>& assumptions = assumptions_scratch_;
 
     // Stage 1: shrink the old-atom flip set until no model has a strictly smaller
     // one. Pinning every unflipped atom keeps Δ(M') ⊆ Δ(M) componentwise; the
     // activation-guarded clause forces at least one flip to revert.
     while (true) {
-      std::vector<int> flipped;
+      deviating.clear();
       for (int a : old_atoms_) {
-        if (val(a) != default_value_[a]) flipped.push_back(a);
+        if (val(a) != (default_value_[a] != 0)) deviating.push_back(a);
       }
-      if (flipped.empty()) break;
+      if (deviating.empty()) break;
       Var act = solver_.NewVar();
-      std::vector<Lit> guard{MkLit(act, true)};
-      for (int a : flipped) guard.push_back(KeepLit(a));
-      solver_.AddClause(std::move(guard));
-      std::vector<Lit> assumptions{MkLit(act)};
+      guard.clear();
+      guard.push_back(MkLit(act, true));
+      for (int a : deviating) guard.push_back(KeepLit(a));
+      solver_.AddClause(guard);
+      assumptions.clear();
+      assumptions.push_back(MkLit(act));
       for (int a : old_atoms_) {
-        if (val(a) == default_value_[a]) assumptions.push_back(KeepLit(a));
+        if (val(a) == (default_value_[a] != 0)) assumptions.push_back(KeepLit(a));
       }
       SolveResult r = Solve(assumptions);
       solver_.AddClause({MkLit(act, true)});  // Retire the guard.
       if (r == SolveResult::kUnsat) break;
-      for (int a : mentioned_) value[static_cast<size_t>(a)] = ModelValueOf(a);
+      SnapshotModel();
     }
 
     // Stage 2: with the Δ-vector fixed (old atoms fully pinned), shrink the
     // true set of new atoms.
     while (true) {
-      std::vector<int> true_new;
+      deviating.clear();
       for (int a : new_atoms_) {
-        if (val(a)) true_new.push_back(a);
+        if (val(a)) deviating.push_back(a);
       }
-      if (true_new.empty()) break;
+      if (deviating.empty()) break;
       Var act = solver_.NewVar();
-      std::vector<Lit> guard{MkLit(act, true)};
-      for (int a : true_new) guard.push_back(ValueLit(a, false));
-      solver_.AddClause(std::move(guard));
-      std::vector<Lit> assumptions{MkLit(act)};
+      guard.clear();
+      guard.push_back(MkLit(act, true));
+      for (int a : deviating) guard.push_back(ValueLit(a, false));
+      solver_.AddClause(guard);
+      assumptions.clear();
+      assumptions.push_back(MkLit(act));
       for (int a : old_atoms_) assumptions.push_back(ValueLit(a, val(a)));
       for (int a : new_atoms_) {
         if (!val(a)) assumptions.push_back(ValueLit(a, false));
@@ -221,12 +246,12 @@ class SatEnumerator {
       SolveResult r = Solve(assumptions);
       solver_.AddClause({MkLit(act, true)});
       if (r == SolveResult::kUnsat) break;
-      for (int a : mentioned_) value[static_cast<size_t>(a)] = ModelValueOf(a);
+      SnapshotModel();
     }
 
     FoundModel out;
     for (int a : old_atoms_) {
-      if (val(a) != default_value_[a]) out.flipped_old.push_back(a);
+      if (val(a) != (default_value_[a] != 0)) out.flipped_old.push_back(a);
     }
     for (int a : new_atoms_) {
       if (val(a)) out.true_new.push_back(a);
@@ -249,6 +274,15 @@ class SatEnumerator {
   /// Dense per-atom-id tables (ground atom ids are dense by construction).
   std::vector<Var> atom_var_;
   std::vector<int8_t> default_value_;
+  std::vector<int8_t> value_;  ///< Current model snapshot, per atom id.
+
+  // Reused scratch buffers: the descend-and-block loop allocates nothing per
+  // iteration beyond what the solver arena itself grows.
+  std::vector<int> deviating_scratch_;
+  std::vector<Lit> clause_scratch_;
+  std::vector<Lit> core_scratch_;
+  std::vector<Lit> assumptions_scratch_;
+  const std::vector<Lit> no_assumptions_;
 };
 
 }  // namespace

@@ -22,31 +22,50 @@ using kbt::Value;
 
 namespace {
 
-/// Hash-index over one relation: buckets of row ids keyed by the hash of the
-/// values at a fixed set of key positions. Probes verify candidate rows against
-/// the key values, so bucket collisions only cost a few comparisons.
+/// Hash-index over one relation: power-of-two bucket heads chained through a
+/// per-row next array, keyed by the hash of the values at a fixed set of key
+/// positions. Probes verify candidate rows against the key values, so bucket
+/// collisions only cost a few comparisons. Build reuses the flat head/next
+/// buffers, so re-indexing a fresh relation (the semi-naive delta every round)
+/// allocates nothing once the buffers have grown to size.
 struct HashIndex {
+  static constexpr uint32_t kEnd = 0xFFFFFFFFu;
+
   std::vector<size_t> positions;
-  std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+  std::vector<uint32_t> heads;  ///< Bucket heads (power-of-two size).
+  std::vector<uint32_t> next;   ///< next[r] chains rows within a bucket.
 
   static size_t HashKey(const Value* values, size_t count) {
     return kbt::TupleViewHash{}(TupleView(values, count));
   }
 
-  void Build(const Relation& rel, std::vector<size_t> key_positions) {
+  void Build(const Relation& rel, const std::vector<size_t>& key_positions) {
     // Row ids are 32-bit (debug-asserted; see Relation::Builder::Build).
     assert(rel.size() < UINT32_MAX && "relation exceeds 32-bit row ids");
-    positions = std::move(key_positions);
-    buckets.clear();
-    buckets.reserve(rel.size());
-    std::vector<Value> key(positions.size());
+    positions.assign(key_positions.begin(), key_positions.end());
+    size_t capacity = 4;
+    while (capacity < rel.size() * 2) capacity *= 2;
+    heads.assign(capacity, kEnd);
+    next.resize(rel.size());
+    size_t mask = capacity - 1;
+    key_scratch_.resize(positions.size());
+    Value* key = key_scratch_.data();
     for (size_t r = 0; r < rel.size(); ++r) {
       TupleView row = rel[r];
       for (size_t i = 0; i < positions.size(); ++i) key[i] = row[positions[i]];
-      buckets[HashKey(key.data(), key.size())].push_back(
-          static_cast<uint32_t>(r));
+      size_t slot = HashKey(key, positions.size()) & mask;
+      next[r] = heads[slot];
+      heads[slot] = static_cast<uint32_t>(r);
     }
   }
+
+  /// First row id of the bucket for `key`, or kEnd. Follow with next[].
+  uint32_t Head(const Value* key) const {
+    return heads[HashKey(key, positions.size()) & (heads.size() - 1)];
+  }
+
+ private:
+  std::vector<Value> key_scratch_;  ///< Build-time key buffer.
 };
 
 /// A relation plus a version stamp so cached indexes notice updates.
@@ -56,9 +75,11 @@ struct StoredRel {
 };
 
 /// Caches hash indexes per (relation identity, key-position mask), invalidated
-/// by version stamps. Masks cover argument positions 0..62 (bit 63 marks delta
-/// indexes); a literal with a bound position ≥ 63 is marked non-indexable at
-/// compile time and handled by the scan path, never by this cache.
+/// by version stamps. Masks cover argument positions 0..63; a literal with a
+/// bound position ≥ 64 is marked non-indexable at compile time and handled by
+/// the scan path, never by this cache. Stored relations only — semi-naive
+/// deltas use each runner's own scratch index (they change every round, so
+/// caching them only churned this map).
 class IndexCache {
  public:
   const HashIndex& For(Symbol pred, const Relation& rel, uint64_t version,
@@ -113,9 +134,8 @@ struct CompiledLiteral {
   std::vector<size_t> key_positions;
   std::vector<SlotRef> key_refs;  // Parallel to key_positions.
   uint64_t key_mask = 0;
-  /// False when a key position does not fit the 63-bit mask (bit 63 is the
-  /// delta-index discriminator): such literals use the scan path so distinct
-  /// position sets can never alias one cached index.
+  /// False when a key position does not fit the 64-bit mask: such literals use
+  /// the scan path so distinct position sets can never alias one cached index.
   bool indexable = true;
   std::vector<std::pair<size_t, uint16_t>> binds;   // position → slot to write.
   std::vector<std::pair<size_t, uint16_t>> checks;  // position → slot to equal.
@@ -191,7 +211,7 @@ StatusOr<CompiledRule> Compile(const Rule& rule,
       if (t.is_constant()) {
         cl.key_positions.push_back(pos);
         cl.key_refs.push_back(SlotRef{true, t.symbol, 0});
-        if (pos < 63) {
+        if (pos < 64) {
           cl.key_mask |= uint64_t{1} << pos;
         } else {
           cl.indexable = false;
@@ -209,7 +229,7 @@ StatusOr<CompiledRule> Compile(const Rule& rule,
       } else {
         cl.key_positions.push_back(pos);
         cl.key_refs.push_back(SlotRef{false, 0, slot});
-        if (pos < 63) {
+        if (pos < 64) {
           cl.key_mask |= uint64_t{1} << pos;
         } else {
           cl.indexable = false;
@@ -299,6 +319,7 @@ class RuleRunner {
     delta_ = delta;
     delta_position_ = delta_position;
     current_head_ = current_head;
+    delta_index_valid_ = false;  // New delta contents: rebuild on first probe.
     if (stats_ != nullptr) ++stats_->rule_evaluations;
     return Recurse(0);
   }
@@ -346,14 +367,8 @@ class RuleRunner {
     }
 
     // Probe the hash index on the bound positions.
-    uint64_t version = (delta_ == nullptr || i != delta_position_)
-                           ? pos_rels_[i]->version
-                           : delta_version_;
-    const HashIndex& index = IndexFor(i, lit, rel, version);
-    auto bucket =
-        index.buckets.find(HashIndex::HashKey(key, lit.key_positions.size()));
-    if (bucket == index.buckets.end()) return Status::OK();
-    for (uint32_t r : bucket->second) {
+    const HashIndex& index = IndexFor(i, lit, rel);
+    for (uint32_t r = index.Head(key); r != HashIndex::kEnd; r = index.next[r]) {
       TupleView row = rel[r];
       bool match = true;
       for (size_t k = 0; k < lit.key_positions.size(); ++k) {
@@ -369,12 +384,20 @@ class RuleRunner {
   }
 
   const HashIndex& IndexFor(size_t i, const CompiledLiteral& lit,
-                            const Relation& rel, uint64_t version) {
-    bool is_delta = delta_ != nullptr && i == delta_position_;
-    // Delta indexes live in the same cache under the predicate symbol with the
-    // high bit of the mask set; their version is bumped per Run by the driver.
-    uint64_t mask = lit.key_mask | (is_delta ? (uint64_t{1} << 63) : 0);
-    return indexes_->For(lit.pred, rel, version, mask, lit.key_positions);
+                            const Relation& rel) {
+    if (delta_ != nullptr && i == delta_position_) {
+      // The delta relation changes every semi-naive round; indexing it through
+      // the shared cache churned one entry per (rule, round). Each runner
+      // instead owns a scratch index whose flat buffers are reused across
+      // rounds — Build allocates nothing once they have grown.
+      if (!delta_index_valid_) {
+        delta_index_.Build(rel, lit.key_positions);
+        delta_index_valid_ = true;
+      }
+      return delta_index_;
+    }
+    return indexes_->For(lit.pred, rel, pos_rels_[i]->version, lit.key_mask,
+                         lit.key_positions);
   }
 
   Status TryRow(size_t i, const CompiledLiteral& lit, TupleView row,
@@ -427,11 +450,6 @@ class RuleRunner {
     return Status::OK();
   }
 
- public:
-  /// Version stamp for the delta relation currently passed to Run; the driver
-  /// bumps this whenever the delta object changes.
-  uint64_t delta_version_ = 0;
-
  private:
   CompiledRule compiled_;
   IndexCache* indexes_;
@@ -445,6 +463,9 @@ class RuleRunner {
   const Relation* delta_ = nullptr;
   size_t delta_position_ = 0;
   const Relation* current_head_ = nullptr;
+  /// Per-rule scratch index over the current delta relation (see IndexFor).
+  HashIndex delta_index_;
+  bool delta_index_valid_ = false;
 };
 
 }  // namespace
@@ -475,7 +496,6 @@ StatusOr<Database> Evaluate(const Program& program, const Database& edb,
   };
 
   IndexCache indexes;
-  uint64_t delta_stamp = 0;
 
   for (size_t stratum = 0; stratum < strata.size(); ++stratum) {
     std::unordered_set<Symbol> stratum_preds(strata[stratum].begin(),
@@ -538,7 +558,6 @@ StatusOr<Database> Evaluate(const Program& program, const Database& edb,
             continue;
           }
           const Relation& head = store.at(runner.head_pred()).rel;
-          runner.delta_version_ = ++delta_stamp;
           KBT_RETURN_IF_ERROR(runner.Run(&dit->second, this_index, &head));
           Relation fresh = runner.Take();
           if (fresh.empty()) continue;

@@ -1,7 +1,7 @@
 #include "eval/model_check.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "logic/analysis.h"
 
@@ -77,42 +77,49 @@ class Checker {
       case FormulaKind::kForall: {
         bool universal = f->kind() == FormulaKind::kForall;
         Symbol var = f->variable();
-        auto saved = env_.find(var);
-        std::optional<Value> outer;
-        if (saved != env_.end()) outer = saved->second;
+        // Push a binding frame; Resolve scans from the back, so the new frame
+        // shadows any outer binding of the same name until popped.
+        env_.emplace_back(var, Value{});
+        size_t frame = env_.size() - 1;
         StatusOr<bool> result = universal;
         for (Value v : domain_) {
-          env_[var] = v;
+          env_[frame].second = v;
           result = Check(f->children()[0]);
           if (!result.ok()) break;
           if (*result != universal) break;  // Short-circuit.
         }
-        if (outer) {
-          env_[var] = *outer;
-        } else {
-          env_.erase(var);
-        }
+        env_.pop_back();
         return result;
       }
     }
     return Status::Internal("unknown formula kind");
   }
 
-  void Bind(Symbol var, Value value) { env_[var] = value; }
+  void Bind(Symbol var, Value value) {
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (it->first == var) {
+        it->second = value;
+        return;
+      }
+    }
+    env_.emplace_back(var, value);
+  }
 
  private:
   StatusOr<Value> Resolve(const Term& t) {
     if (t.is_constant()) return t.symbol;
-    auto it = env_.find(t.symbol);
-    if (it == env_.end()) {
-      return Status::InvalidArgument("unbound variable: " + NameOf(t.symbol));
+    // Reverse linear scan of the binding stack: the environment is only ever a
+    // handful of quantifier frames deep, and the flat layout beats hashing on
+    // the per-atom hot path. The innermost (latest) binding wins.
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (it->first == t.symbol) return it->second;
     }
-    return it->second;
+    return Status::InvalidArgument("unbound variable: " + NameOf(t.symbol));
   }
 
   const Database& db_;
   const std::vector<Value>& domain_;
-  std::unordered_map<Symbol, Value> env_;
+  std::vector<std::pair<Symbol, Value>> env_;  ///< Flat binding stack.
   std::vector<Value> scratch_;  // Atom-argument buffer; no alloc per atom check.
 };
 

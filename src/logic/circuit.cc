@@ -6,131 +6,203 @@
 namespace kbt {
 
 Circuit::Circuit() {
-  nodes_.push_back(Node{NodeKind::kConst, 0, {}});  // id 0: false
-  nodes_.push_back(Node{NodeKind::kConst, 1, {}});  // id 1: true
+  table_.assign(256, kEmptySlot);
+  table_mask_ = table_.size() - 1;
+  nodes_.push_back(NodeData{NodeKind::kConst, 0, 0, 0});  // id 0: false
+  nodes_.push_back(NodeData{NodeKind::kConst, 1, 0, 0});  // id 1: true
+  hashes_.push_back(0);  // Constants are never looked up through the table.
+  hashes_.push_back(0);
 }
 
-int Circuit::Intern(Node node) {
-  NodeKey key{node.kind, node.var, node.children};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+uint64_t Circuit::NodeHash(NodeKind kind, int var, std::span<const int> children) {
+  uint64_t seed = HashCombine(static_cast<size_t>(kind) * 0x9e3779b97f4a7c15ULL,
+                              static_cast<size_t>(var));
+  for (int c : children) seed = HashCombine(seed, static_cast<size_t>(c));
+  return Mix64(seed);
+}
+
+bool Circuit::NodeEquals(int id, NodeKind kind, int var,
+                         std::span<const int> children) const {
+  const NodeData& n = nodes_[static_cast<size_t>(id)];
+  if (n.kind != kind || n.var != var || n.child_count != children.size()) {
+    return false;
+  }
+  return std::equal(children.begin(), children.end(),
+                    child_arena_.data() + n.child_begin);
+}
+
+void Circuit::GrowTable() {
+  std::vector<int32_t> grown(table_.size() * 2, kEmptySlot);
+  size_t mask = grown.size() - 1;
+  for (int32_t id : table_) {
+    if (id == kEmptySlot) continue;
+    size_t slot = hashes_[static_cast<size_t>(id)] & mask;
+    while (grown[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    grown[slot] = id;
+  }
+  table_ = std::move(grown);
+  table_mask_ = mask;
+}
+
+int Circuit::Intern(NodeKind kind, int var, std::span<const int> children) {
+  uint64_t hash = NodeHash(kind, var, children);
+  size_t slot = hash & table_mask_;
+  while (table_[slot] != kEmptySlot) {
+    int32_t id = table_[slot];
+    if (hashes_[static_cast<size_t>(id)] == hash &&
+        NodeEquals(id, kind, var, children)) {
+      return id;
+    }
+    slot = (slot + 1) & table_mask_;
+  }
   int id = static_cast<int>(nodes_.size());
-  nodes_.push_back(std::move(node));
-  cache_.emplace(std::move(key), id);
+  NodeData n;
+  n.kind = kind;
+  n.var = var;
+  n.child_begin = static_cast<uint32_t>(child_arena_.size());
+  n.child_count = static_cast<uint32_t>(children.size());
+  child_arena_.insert(child_arena_.end(), children.begin(), children.end());
+  nodes_.push_back(n);
+  hashes_.push_back(hash);
+  table_[slot] = static_cast<int32_t>(id);
+  // Keep the load factor below ~0.7 (constants never enter the table).
+  if ((nodes_.size() * 10) > (table_.size() * 7)) GrowTable();
   return id;
 }
 
 int Circuit::VarNode(int var_id) {
-  auto it = var_nodes_.find(var_id);
-  if (it != var_nodes_.end()) return it->second;
-  int id = Intern(Node{NodeKind::kVar, var_id, {}});
-  var_nodes_.emplace(var_id, id);
+  assert(var_id >= 0);
+  size_t idx = static_cast<size_t>(var_id);
+  if (idx >= var_nodes_.size()) var_nodes_.resize(idx + 1, -1);
+  if (var_nodes_[idx] >= 0) return var_nodes_[idx];
+  int id = Intern(NodeKind::kVar, var_id, {});
+  var_nodes_[idx] = id;
   return id;
 }
 
 int Circuit::NotNode(int child) {
   if (child == FalseNode()) return TrueNode();
   if (child == TrueNode()) return FalseNode();
-  const Node& n = node(child);
-  if (n.kind == NodeKind::kNot) return n.children[0];
-  return Intern(Node{NodeKind::kNot, 0, {child}});
+  const NodeData& n = nodes_[static_cast<size_t>(child)];
+  if (n.kind == NodeKind::kNot) return child_arena_[n.child_begin];
+  int c = child;
+  return Intern(NodeKind::kNot, 0, std::span<const int>(&c, 1));
+}
+
+int Circuit::GateNode(NodeKind kind, const std::vector<int>& children,
+                      int absorbing_const, int identity_const) {
+  // Nested gate calls always complete before the enclosing call starts its own
+  // body, so one scratch buffer suffices (no recursion through here).
+  std::vector<int>& flat = gate_scratch_;
+  flat.clear();
+  for (int c : children) {
+    if (c == identity_const) continue;
+    if (c == absorbing_const) return absorbing_const;
+    const NodeData& n = nodes_[static_cast<size_t>(c)];
+    if (n.kind == kind) {
+      flat.insert(flat.end(), child_arena_.begin() + n.child_begin,
+                  child_arena_.begin() + n.child_begin + n.child_count);
+    } else {
+      flat.push_back(c);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  // x ∧ ¬x → false; x ∨ ¬x → true.
+  for (int c : flat) {
+    const NodeData& n = nodes_[static_cast<size_t>(c)];
+    if (n.kind == NodeKind::kNot &&
+        std::binary_search(flat.begin(), flat.end(),
+                           child_arena_[n.child_begin])) {
+      return absorbing_const;
+    }
+  }
+  if (flat.empty()) return identity_const;
+  if (flat.size() == 1) return flat[0];
+  return Intern(kind, 0, flat);
 }
 
 int Circuit::AndNode(std::vector<int> children) {
-  std::vector<int> flat;
-  for (int c : children) {
-    if (c == TrueNode()) continue;
-    if (c == FalseNode()) return FalseNode();
-    if (node(c).kind == NodeKind::kAnd) {
-      const std::vector<int>& sub = node(c).children;
-      flat.insert(flat.end(), sub.begin(), sub.end());
-    } else {
-      flat.push_back(c);
-    }
-  }
-  std::sort(flat.begin(), flat.end());
-  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
-  // x ∧ ¬x → false.
-  for (int c : flat) {
-    const Node& n = node(c);
-    if (n.kind == NodeKind::kNot &&
-        std::binary_search(flat.begin(), flat.end(), n.children[0])) {
-      return FalseNode();
-    }
-  }
-  if (flat.empty()) return TrueNode();
-  if (flat.size() == 1) return flat[0];
-  return Intern(Node{NodeKind::kAnd, 0, std::move(flat)});
+  return GateNode(NodeKind::kAnd, children, FalseNode(), TrueNode());
 }
 
 int Circuit::OrNode(std::vector<int> children) {
-  std::vector<int> flat;
-  for (int c : children) {
-    if (c == FalseNode()) continue;
-    if (c == TrueNode()) return TrueNode();
-    if (node(c).kind == NodeKind::kOr) {
-      const std::vector<int>& sub = node(c).children;
-      flat.insert(flat.end(), sub.begin(), sub.end());
-    } else {
-      flat.push_back(c);
-    }
-  }
-  std::sort(flat.begin(), flat.end());
-  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
-  // x ∨ ¬x → true.
-  for (int c : flat) {
-    const Node& n = node(c);
-    if (n.kind == NodeKind::kNot &&
-        std::binary_search(flat.begin(), flat.end(), n.children[0])) {
-      return TrueNode();
-    }
-  }
-  if (flat.empty()) return FalseNode();
-  if (flat.size() == 1) return flat[0];
-  return Intern(Node{NodeKind::kOr, 0, std::move(flat)});
+  return GateNode(NodeKind::kOr, children, TrueNode(), FalseNode());
 }
 
 bool Circuit::Evaluate(int root, const std::function<bool(int)>& var_value) const {
-  std::unordered_map<int, bool> memo;
-  // Explicit stack to avoid deep recursion on wide/deep circuits.
-  std::function<bool(int)> eval = [&](int id) -> bool {
-    auto it = memo.find(id);
-    if (it != memo.end()) return it->second;
-    const Node& n = node(id);
-    bool result = false;
+  // Iterative DFS with a dense memo (0 = unknown, 1 = false, 2 = true): no
+  // recursion and no hash-map allocation on the hot path. Each gate frame keeps
+  // a child cursor so a revisit resumes where the last scan stopped — wide
+  // quantifier-expansion gates stay O(children), not O(children²).
+  std::vector<int8_t> memo(nodes_.size(), 0);
+  struct Frame {
+    int id;
+    uint32_t next_child;
+  };
+  std::vector<Frame> stack{{root, 0}};
+  while (!stack.empty()) {
+    int id = stack.back().id;
+    size_t idx = static_cast<size_t>(id);
+    if (memo[idx] != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const NodeData& n = nodes_[idx];
     switch (n.kind) {
       case NodeKind::kConst:
-        result = (n.var == 1);
+        memo[idx] = n.var == 1 ? 2 : 1;
+        stack.pop_back();
         break;
       case NodeKind::kVar:
-        result = var_value(n.var);
+        memo[idx] = var_value(n.var) ? 2 : 1;
+        stack.pop_back();
         break;
-      case NodeKind::kNot:
-        result = !eval(n.children[0]);
+      case NodeKind::kNot: {
+        int c = child_arena_[n.child_begin];
+        int8_t cv = memo[static_cast<size_t>(c)];
+        if (cv == 0) {
+          stack.push_back({c, 0});
+        } else {
+          memo[idx] = cv == 2 ? 1 : 2;
+          stack.pop_back();
+        }
         break;
+      }
       case NodeKind::kAnd:
-        result = true;
-        for (int c : n.children) {
-          if (!eval(c)) {
-            result = false;
+      case NodeKind::kOr: {
+        // And: a false child is decisive; Or: a true child is (short-circuit).
+        int8_t decisive = n.kind == NodeKind::kAnd ? 1 : 2;
+        bool decided = false;
+        int pending = -1;
+        uint32_t i = stack.back().next_child;
+        for (; i < n.child_count; ++i) {
+          int c = child_arena_[n.child_begin + i];
+          int8_t cv = memo[static_cast<size_t>(c)];
+          if (cv == decisive) {
+            decided = true;
+            break;
+          }
+          if (cv == 0) {
+            pending = c;  // Cursor stays here; re-read after the child resolves.
             break;
           }
         }
-        break;
-      case NodeKind::kOr:
-        result = false;
-        for (int c : n.children) {
-          if (eval(c)) {
-            result = true;
-            break;
-          }
+        stack.back().next_child = i;
+        if (decided) {
+          memo[idx] = decisive;
+          stack.pop_back();
+        } else if (pending >= 0) {
+          stack.push_back({pending, 0});
+        } else {
+          memo[idx] = decisive == 1 ? 2 : 1;  // All children neutral.
+          stack.pop_back();
         }
         break;
+      }
     }
-    memo.emplace(id, result);
-    return result;
-  };
-  return eval(root);
+  }
+  return memo[static_cast<size_t>(root)] == 2;
 }
 
 std::vector<int> Circuit::CollectVars(int root) const {
@@ -142,9 +214,11 @@ std::vector<int> Circuit::CollectVars(int root) const {
     stack.pop_back();
     if (seen[static_cast<size_t>(id)]) continue;
     seen[static_cast<size_t>(id)] = true;
-    const Node& n = node(id);
+    const NodeData& n = nodes_[static_cast<size_t>(id)];
     if (n.kind == NodeKind::kVar) out.push_back(n.var);
-    for (int c : n.children) stack.push_back(c);
+    for (uint32_t i = 0; i < n.child_count; ++i) {
+      stack.push_back(child_arena_[n.child_begin + i]);
+    }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -152,7 +226,7 @@ std::vector<int> Circuit::CollectVars(int root) const {
 }
 
 std::string Circuit::ToString(int root) const {
-  const Node& n = node(root);
+  Node n = node(root);
   switch (n.kind) {
     case NodeKind::kConst:
       return n.var == 1 ? "true" : "false";
@@ -163,7 +237,10 @@ std::string Circuit::ToString(int root) const {
     case NodeKind::kAnd:
     case NodeKind::kOr: {
       std::string out = n.kind == NodeKind::kAnd ? "(and" : "(or";
-      for (int c : n.children) {
+      // Copy the child range first: the span into child_arena_ stays valid (no
+      // interning here), but recursion re-reads nodes_, so keep it simple.
+      std::vector<int> children(n.children.begin(), n.children.end());
+      for (int c : children) {
         out += " ";
         out += ToString(c);
       }

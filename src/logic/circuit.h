@@ -2,18 +2,26 @@
 #define KBT_LOGIC_CIRCUIT_H_
 
 /// \file
-/// Hash-consed boolean circuits (AND/OR/NOT/VAR/CONST DAGs).
+/// Hash-consed boolean circuits (AND/OR/NOT/VAR/CONST DAGs) over a flat node
+/// arena.
 ///
 /// The grounder lowers a first-order sentence over a finite domain into a circuit
 /// whose variables are ground-atom ids; the Tseitin encoder then lowers the circuit
 /// to CNF. Hash-consing keeps repeated subformulas (ubiquitous after quantifier
 /// expansion) shared, and constructors fold constants, flatten nested same-kind
 /// gates, and collapse double negation.
+///
+/// Storage is arena-based: node records live in one contiguous array and the child
+/// lists of n-ary And/Or gates are ranges of a single shared child buffer, so
+/// building and walking a million-node grounding performs no per-node heap
+/// allocation. The hash-consing table is open-addressed (linear probing over a
+/// power-of-two id table) — no `unordered_map` node allocation on the grounding
+/// hot path.
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "base/hash.h"
@@ -26,12 +34,17 @@ class Circuit {
  public:
   enum class NodeKind : uint8_t { kConst, kVar, kNot, kAnd, kOr };
 
+  /// A read-only view of one node. `children` points into the circuit's shared
+  /// child buffer: the view stays valid until the next node is created, so read
+  /// what you need before interning further nodes (walks that only inspect an
+  /// already-built circuit — Tseitin encoding, evaluation, printing — are safe
+  /// throughout).
   struct Node {
     NodeKind kind;
     /// kVar: external variable id. kConst: 0 or 1.
     int var = 0;
     /// kNot: one child; kAnd/kOr: two or more children (sorted, deduplicated).
-    std::vector<int> children;
+    std::span<const int> children;
   };
 
   Circuit();
@@ -40,7 +53,8 @@ class Circuit {
   int FalseNode() const { return 0; }
   int TrueNode() const { return 1; }
 
-  /// Variable node for external variable `var_id` (hash-consed).
+  /// Variable node for external variable `var_id` (hash-consed; ids are expected
+  /// to be small and dense, as produced by AtomIndex).
   int VarNode(int var_id);
 
   /// Negation; folds constants and double negation.
@@ -60,7 +74,13 @@ class Circuit {
     return AndNode({ImpliesNode(a, b), ImpliesNode(b, a)});
   }
 
-  const Node& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  /// View of node `id` (see the Node lifetime note above).
+  Node node(int id) const {
+    const NodeData& n = nodes_[static_cast<size_t>(id)];
+    return Node{n.kind, n.var,
+                std::span<const int>(child_arena_.data() + n.child_begin,
+                                     n.child_count)};
+  }
   /// Total number of nodes (monotone over the circuit's lifetime).
   size_t size() const { return nodes_.size(); }
 
@@ -74,27 +94,37 @@ class Circuit {
   std::string ToString(int root) const;
 
  private:
-  int Intern(Node node);
-
-  struct NodeKey {
+  /// Flat node record: children live in child_arena_[child_begin, +child_count).
+  struct NodeData {
     NodeKind kind;
-    int var;
-    std::vector<int> children;
-    friend bool operator==(const NodeKey& a, const NodeKey& b) {
-      return a.kind == b.kind && a.var == b.var && a.children == b.children;
-    }
-  };
-  struct NodeKeyHash {
-    size_t operator()(const NodeKey& k) const {
-      size_t seed = HashCombine(static_cast<size_t>(k.kind), k.var);
-      for (int c : k.children) seed = HashCombine(seed, static_cast<size_t>(c));
-      return seed;
-    }
+    int32_t var = 0;
+    uint32_t child_begin = 0;
+    uint32_t child_count = 0;
   };
 
-  std::vector<Node> nodes_;
-  std::unordered_map<NodeKey, int, NodeKeyHash> cache_;
-  std::unordered_map<int, int> var_nodes_;
+  static uint64_t NodeHash(NodeKind kind, int var, std::span<const int> children);
+  bool NodeEquals(int id, NodeKind kind, int var,
+                  std::span<const int> children) const;
+  /// Returns the id of the structurally identical node, interning a new one if
+  /// absent. `children` is copied into the shared child buffer on insert.
+  int Intern(NodeKind kind, int var, std::span<const int> children);
+  void GrowTable();
+  /// Shared gate-simplification body for AndNode/OrNode.
+  int GateNode(NodeKind kind, const std::vector<int>& children,
+               int absorbing_const, int identity_const);
+
+  std::vector<NodeData> nodes_;
+  std::vector<int> child_arena_;
+  std::vector<uint64_t> hashes_;  ///< Parallel to nodes_ (rehash without recompute).
+  /// Open-addressed hash-cons table: node ids, kEmptySlot when free. Power-of-two
+  /// size, linear probing, grown at ~70% load.
+  std::vector<int32_t> table_;
+  size_t table_mask_ = 0;
+  /// Dense var-id → node-id map (ground atom ids are dense by construction).
+  std::vector<int> var_nodes_;
+  std::vector<int> gate_scratch_;  ///< Flatten/dedup buffer for GateNode.
+
+  static constexpr int32_t kEmptySlot = -1;
 };
 
 }  // namespace kbt

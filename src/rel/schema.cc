@@ -1,5 +1,7 @@
 #include "rel/schema.h"
 
+#include "base/hash.h"
+
 namespace kbt {
 
 StatusOr<Schema> Schema::Of(
@@ -20,9 +22,35 @@ StatusOr<Schema> Schema::FromDecls(std::vector<RelationDecl> decls) {
   return schema;
 }
 
-std::optional<size_t> Schema::PositionOf(Symbol symbol) const {
+void Schema::InsertIndexEntry(Symbol symbol, size_t position) {
+  size_t mask = index_.size() - 1;
+  size_t slot = Mix64(symbol) & mask;
+  while (index_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+  index_[slot] = static_cast<uint32_t>(position);
+}
+
+void Schema::RebuildIndex() {
+  size_t capacity = 16;
+  while (capacity < decls_.size() * 2) capacity *= 2;
+  index_.assign(capacity, kEmptySlot);
   for (size_t i = 0; i < decls_.size(); ++i) {
-    if (decls_[i].symbol == symbol) return i;
+    InsertIndexEntry(decls_[i].symbol, i);
+  }
+}
+
+std::optional<size_t> Schema::PositionOf(Symbol symbol) const {
+  if (decls_.size() <= kLinearScanMax) {
+    for (size_t i = 0; i < decls_.size(); ++i) {
+      if (decls_[i].symbol == symbol) return i;
+    }
+    return std::nullopt;
+  }
+  size_t mask = index_.size() - 1;
+  size_t slot = Mix64(symbol) & mask;
+  while (index_[slot] != kEmptySlot) {
+    size_t pos = index_[slot];
+    if (decls_[pos].symbol == symbol) return pos;
+    slot = (slot + 1) & mask;
   }
   return std::nullopt;
 }
@@ -63,6 +91,13 @@ Status Schema::Append(RelationDecl decl) {
                                    NameOf(decl.symbol));
   }
   decls_.push_back(decl);
+  if (decls_.size() > kLinearScanMax) {
+    if (index_.size() < decls_.size() * 2) {
+      RebuildIndex();  // First time past the fast path, or table at 50% load.
+    } else {
+      InsertIndexEntry(decl.symbol, decls_.size() - 1);
+    }
+  }
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 /// by symbol. "σ(db2) dominates σ(db1)" (σ(db1) ⊆ σ(db2)) becomes
 /// `schema2.Includes(schema1)`.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -49,7 +50,10 @@ class Schema {
   const std::vector<RelationDecl>& decls() const { return decls_; }
   const RelationDecl& decl(size_t position) const { return decls_[position]; }
 
-  /// Position of `symbol`, if declared.
+  /// Position of `symbol`, if declared. Small schemas (≤ 8 relations) use a
+  /// linear scan over the declaration array; larger ones probe an inline
+  /// open-addressed symbol → position table, so the lookup stays O(1) at
+  /// production relation counts.
   std::optional<size_t> PositionOf(Symbol symbol) const;
   /// True iff `symbol` is declared.
   bool Contains(Symbol symbol) const { return PositionOf(symbol).has_value(); }
@@ -76,7 +80,20 @@ class Schema {
   friend bool operator!=(const Schema& a, const Schema& b) { return !(a == b); }
 
  private:
+  /// Largest schema still served by the linear-scan fast path (typical paper
+  /// examples fit; the hashed table only kicks in beyond it).
+  static constexpr size_t kLinearScanMax = 8;
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  /// Rebuilds index_ to cover all of decls_ (power-of-two size, ≤50% load).
+  void RebuildIndex();
+  /// Linear-probe insert of one symbol→position entry into index_.
+  void InsertIndexEntry(Symbol symbol, size_t position);
+
   std::vector<RelationDecl> decls_;
+  /// Open-addressed symbol → position table; empty while the schema fits the
+  /// linear-scan fast path. Derived from decls_ (not part of equality).
+  std::vector<uint32_t> index_;
 };
 
 }  // namespace kbt

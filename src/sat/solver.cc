@@ -5,6 +5,13 @@
 
 namespace kbt::sat {
 
+// Header layout (see solver.h): size << 3 | forward << 2 | deleted << 1 | learned.
+namespace {
+constexpr uint32_t kHdrLearned = 0x1;
+constexpr uint32_t kHdrDeleted = 0x2;
+constexpr uint32_t kHdrForward = 0x4;
+}  // namespace
+
 Var Solver::NewVar() {
   Var v = num_vars();
   values_.push_back(LBool::kUndef);
@@ -20,45 +27,61 @@ Var Solver::NewVar() {
   return v;
 }
 
-bool Solver::AddClause(std::vector<Lit> lits) {
+ClauseRef Solver::AllocClause(std::span<const Lit> lits, bool learned) {
+  assert(lits.size() >= 2);
+  ClauseRef cref = static_cast<ClauseRef>(arena_.size());
+  uint32_t size = static_cast<uint32_t>(lits.size());
+  arena_.push_back((size << 3) | (learned ? kHdrLearned : 0));
+  if (learned) {
+    arena_.push_back(clause_act_inc_);  // Initial activity.
+    learned_.push_back(cref);
+  } else {
+    ++num_problem_clauses_;
+  }
+  for (Lit l : lits) arena_.push_back(static_cast<uint32_t>(l));
+  return cref;
+}
+
+bool Solver::AddClause(std::span<const Lit> lits) {
   if (!ok_) return false;
   assert(DecisionLevel() == 0 && "AddClause only between Solve calls");
-  std::sort(lits.begin(), lits.end());
-  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  add_tmp_.assign(lits.begin(), lits.end());
+  std::sort(add_tmp_.begin(), add_tmp_.end());
+  add_tmp_.erase(std::unique(add_tmp_.begin(), add_tmp_.end()), add_tmp_.end());
   // Drop tautologies; remove false literals; detect satisfied clauses. The
-  // surviving literals are compacted in place — no extra allocation per clause.
+  // surviving literals are compacted in place — no allocation per clause.
   size_t keep = 0;
-  for (size_t i = 0; i < lits.size(); ++i) {
-    Lit l = lits[i];
-    if (i + 1 < lits.size() && lits[i + 1] == Negate(l) && VarOf(lits[i + 1]) == VarOf(l)) {
+  for (size_t i = 0; i < add_tmp_.size(); ++i) {
+    Lit l = add_tmp_[i];
+    if (i + 1 < add_tmp_.size() && add_tmp_[i + 1] == Negate(l) &&
+        VarOf(add_tmp_[i + 1]) == VarOf(l)) {
       return true;  // l and ¬l adjacent after sorting: tautology.
     }
     LBool v = ValueOf(l);
     if (v == LBool::kTrue) return true;  // Satisfied at top level.
     if (v == LBool::kFalse) continue;    // Falsified at top level: drop literal.
-    lits[keep++] = l;
+    add_tmp_[keep++] = l;
   }
-  lits.resize(keep);
-  if (lits.empty()) {
+  add_tmp_.resize(keep);
+  if (add_tmp_.empty()) {
     ok_ = false;
     return false;
   }
-  if (lits.size() == 1) {
-    Enqueue(lits[0], kNoClause);
+  if (add_tmp_.size() == 1) {
+    Enqueue(add_tmp_[0], kNoClause);
     if (Propagate() != kNoClause) ok_ = false;
     return ok_;
   }
-  if (clauses_.empty()) clauses_.reserve(256);
-  clauses_.push_back(Clause{std::move(lits), false});
-  Attach(static_cast<ClauseRef>(clauses_.size() - 1));
+  if (arena_.empty()) arena_.reserve(1024);
+  Attach(AllocClause(add_tmp_, /*learned=*/false));
   return true;
 }
 
 void Solver::Attach(ClauseRef cref) {
-  const Clause& c = clauses_[static_cast<size_t>(cref)];
-  assert(c.lits.size() >= 2);
-  watches_[static_cast<size_t>(Negate(c.lits[0]))].push_back(cref);
-  watches_[static_cast<size_t>(Negate(c.lits[1]))].push_back(cref);
+  const Lit* lits = LitsOf(cref);
+  assert(SizeOf(cref) >= 2);
+  watches_[static_cast<size_t>(Negate(lits[0]))].push_back({cref, lits[1]});
+  watches_[static_cast<size_t>(Negate(lits[1]))].push_back({cref, lits[0]});
 }
 
 void Solver::Enqueue(Lit l, ClauseRef reason) {
@@ -70,37 +93,46 @@ void Solver::Enqueue(Lit l, ClauseRef reason) {
   trail_.push_back(l);
 }
 
-Solver::ClauseRef Solver::Propagate() {
+ClauseRef Solver::Propagate() {
   while (propagate_head_ < trail_.size()) {
     Lit p = trail_[propagate_head_++];
     ++stats_.propagations;
-    std::vector<ClauseRef>& watch_list = watches_[static_cast<size_t>(p)];
+    std::vector<Watcher>& watch_list = watches_[static_cast<size_t>(p)];
     size_t keep = 0;
     for (size_t i = 0; i < watch_list.size(); ++i) {
-      ClauseRef cref = watch_list[i];
-      Clause& c = clauses_[static_cast<size_t>(cref)];
+      Watcher w = watch_list[i];
+      // Blocker fast path: a cached literal from the clause; if it is already
+      // true the clause is satisfied without touching the arena.
+      if (ValueOf(w.blocker) == LBool::kTrue) {
+        watch_list[keep++] = w;
+        continue;
+      }
+      ClauseRef cref = w.cref;
+      Lit* lits = LitsOf(cref);
+      uint32_t size = SizeOf(cref);
       Lit false_lit = Negate(p);
       // Normalize: the falsified watched literal goes to slot 1.
-      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      assert(c.lits[1] == false_lit);
-      if (ValueOf(c.lits[0]) == LBool::kTrue) {
-        watch_list[keep++] = cref;  // Clause satisfied; keep watching.
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      assert(lits[1] == false_lit);
+      Lit first = lits[0];
+      if (first != w.blocker && ValueOf(first) == LBool::kTrue) {
+        watch_list[keep++] = {cref, first};  // Satisfied; refresh the blocker.
         continue;
       }
       // Look for a replacement watch.
       bool moved = false;
-      for (size_t j = 2; j < c.lits.size(); ++j) {
-        if (ValueOf(c.lits[j]) != LBool::kFalse) {
-          std::swap(c.lits[1], c.lits[j]);
-          watches_[static_cast<size_t>(Negate(c.lits[1]))].push_back(cref);
+      for (uint32_t j = 2; j < size; ++j) {
+        if (ValueOf(lits[j]) != LBool::kFalse) {
+          std::swap(lits[1], lits[j]);
+          watches_[static_cast<size_t>(Negate(lits[1]))].push_back({cref, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // No replacement: unit or conflicting.
-      watch_list[keep++] = cref;
-      if (ValueOf(c.lits[0]) == LBool::kFalse) {
+      watch_list[keep++] = {cref, first};
+      if (ValueOf(first) == LBool::kFalse) {
         // Conflict. Keep the remaining watchers, restore list, report.
         for (size_t j = i + 1; j < watch_list.size(); ++j) {
           watch_list[keep++] = watch_list[j];
@@ -109,7 +141,7 @@ Solver::ClauseRef Solver::Propagate() {
         propagate_head_ = trail_.size();
         return cref;
       }
-      Enqueue(c.lits[0], cref);
+      Enqueue(first, cref);
     }
     watch_list.resize(keep);
   }
@@ -144,7 +176,25 @@ void Solver::BumpVar(Var v) {
   std::push_heap(order_heap_.begin(), order_heap_.end());
 }
 
-void Solver::DecayActivities() { var_inc_ /= 0.95; }
+void Solver::BumpClause(ClauseRef cref) {
+  if (!IsLearned(cref)) return;
+  uint32_t& a = ActivityOf(cref);
+  a += clause_act_inc_;
+  if (a > (uint32_t{1} << 30)) {
+    // Rescale every learned activity and the increment; relative order (and
+    // the recency weighting) is preserved.
+    for (ClauseRef c : learned_) ActivityOf(c) >>= 16;
+    clause_act_inc_ = std::max(clause_act_inc_ >> 16, uint32_t{16});
+  }
+}
+
+void Solver::DecayActivities() {
+  var_inc_ /= 0.95;
+  // Growing the increment ~1.5% per conflict decays older clause bumps
+  // geometrically (MiniSat-style), so ReduceDb ranks by recent usefulness
+  // rather than lifetime bump count.
+  clause_act_inc_ += clause_act_inc_ >> 6;
+}
 
 void Solver::Analyze(ClauseRef confl, std::vector<Lit>* learned, int* bt_level) {
   learned->clear();
@@ -157,11 +207,13 @@ void Solver::Analyze(ClauseRef confl, std::vector<Lit>* learned, int* bt_level) 
   ClauseRef reason = confl;
   do {
     assert(reason != kNoClause);
-    const Clause& c = clauses_[static_cast<size_t>(reason)];
+    BumpClause(reason);  // Useful clauses survive DB reduction longer.
+    const Lit* lits = LitsOf(reason);
+    uint32_t size = SizeOf(reason);
     // On the first pass p == -1 and all literals are examined; afterwards the
-    // asserting literal at c.lits[0] equals p and is skipped.
-    for (size_t j = (p == -1 ? 0 : 1); j < c.lits.size(); ++j) {
-      Lit q = c.lits[j];
+    // asserting literal at lits[0] equals p and is skipped.
+    for (uint32_t j = (p == -1 ? 0 : 1); j < size; ++j) {
+      Lit q = lits[j];
       Var v = VarOf(q);
       if (seen_[static_cast<size_t>(v)] || levels_[static_cast<size_t>(v)] == 0) {
         continue;
@@ -216,6 +268,84 @@ Var Solver::PickBranchVar() {
   return -1;
 }
 
+bool Solver::IsReason(ClauseRef cref) const {
+  // While a clause is some variable's reason, its asserting literal sits in
+  // slot 0 (Propagate never displaces a true watched literal).
+  Lit l0 = LitsOf(cref)[0];
+  return ValueOf(l0) == LBool::kTrue &&
+         reasons_[static_cast<size_t>(VarOf(l0))] == cref;
+}
+
+void Solver::ReduceDb() {
+  assert(DecisionLevel() == 0);
+  ++stats_.db_reductions;
+  // Low-activity learned clauses go first. stable_sort keeps deletion
+  // deterministic across platforms when activities tie.
+  std::stable_sort(learned_.begin(), learned_.end(),
+                   [this](ClauseRef a, ClauseRef b) {
+                     return ActivityOf(a) < ActivityOf(b);
+                   });
+  size_t target = learned_.size() / 2;
+  size_t removed = 0;
+  for (ClauseRef cref : learned_) {
+    if (removed >= target) break;
+    if (SizeOf(cref) <= 2) continue;  // Binary clauses are cheap; keep them.
+    if (IsReason(cref)) continue;     // Reasons of assigned vars must survive.
+    arena_[cref] |= kHdrDeleted;
+    wasted_words_ += 2 + SizeOf(cref);
+    ++removed;
+  }
+  stats_.learned_deleted += removed;
+  if (removed > 0) GarbageCollect();
+}
+
+void Solver::GarbageCollect() {
+  std::vector<uint32_t> fresh;
+  fresh.reserve(arena_.size() - wasted_words_);
+  // Pass 1: copy surviving clauses; leave a forwarding header in the old arena.
+  size_t off = 0;
+  while (off < arena_.size()) {
+    uint32_t header = arena_[off];
+    assert((header & kHdrForward) == 0);
+    uint32_t size = header >> 3;
+    size_t span = 1 + ((header & kHdrLearned) ? 1 : 0) + size;
+    if ((header & kHdrDeleted) == 0) {
+      uint32_t noff = static_cast<uint32_t>(fresh.size());
+      fresh.insert(fresh.end(), arena_.begin() + static_cast<ptrdiff_t>(off),
+                   arena_.begin() + static_cast<ptrdiff_t>(off + span));
+      arena_[off] = (noff << 3) | kHdrForward;
+    }
+    off += span;
+  }
+  // Pass 2: remap watchers (dropping deleted clauses), reasons and the learned
+  // list through the forwarding headers.
+  auto forward = [this](ClauseRef cref) -> ClauseRef {
+    uint32_t header = arena_[cref];
+    return (header & kHdrForward) ? (header >> 3) : kNoClause;
+  };
+  for (auto& watch_list : watches_) {
+    size_t keep = 0;
+    for (const Watcher& w : watch_list) {
+      ClauseRef nref = forward(w.cref);
+      if (nref != kNoClause) watch_list[keep++] = {nref, w.blocker};
+    }
+    watch_list.resize(keep);
+  }
+  for (ClauseRef& r : reasons_) {
+    if (r == kNoClause) continue;
+    r = forward(r);
+    assert(r != kNoClause && "a reason clause was deleted");
+  }
+  size_t keep = 0;
+  for (ClauseRef cref : learned_) {
+    ClauseRef nref = forward(cref);
+    if (nref != kNoClause) learned_[keep++] = nref;
+  }
+  learned_.resize(keep);
+  arena_ = std::move(fresh);
+  wasted_words_ = 0;
+}
+
 int Solver::LubyUnit(int i) {
   // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
   int k = 1;
@@ -241,7 +371,7 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
   uint64_t conflict_budget =
       100 * static_cast<uint64_t>(LubyUnit(restart_count));
   uint64_t conflicts_here = 0;
-  std::vector<Lit> learned;
+  std::vector<Lit>& learned = learned_tmp_;
 
   while (true) {
     ClauseRef confl = Propagate();
@@ -268,9 +398,8 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
         }
         if (ValueOf(learned[0]) == LBool::kUndef) Enqueue(learned[0], kNoClause);
       } else {
-        clauses_.push_back(Clause{learned, true});
+        ClauseRef cref = AllocClause(learned, /*learned=*/true);
         ++stats_.learned_clauses;
-        ClauseRef cref = static_cast<ClauseRef>(clauses_.size() - 1);
         Attach(cref);
         Enqueue(learned[0], cref);
       }
@@ -279,12 +408,17 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
     }
 
     if (conflicts_here >= conflict_budget) {
-      // Restart.
+      // Restart; reduce the learned DB at the root if it has outgrown its
+      // budget, so descend-and-block runs do not accumulate clauses unboundedly.
       ++stats_.restarts;
       ++restart_count;
       conflict_budget = 100 * static_cast<uint64_t>(LubyUnit(restart_count));
       conflicts_here = 0;
       CancelUntil(0);
+      if (learned_.size() >= reduce_limit_) {
+        ReduceDb();
+        reduce_limit_ += reduce_limit_ / 2;
+      }
       continue;
     }
 

@@ -2,25 +2,35 @@
 #define KBT_SAT_SOLVER_H_
 
 /// \file
-/// A from-scratch CDCL SAT solver.
+/// A from-scratch CDCL SAT solver over a flat clause arena.
 ///
 /// The knowledgebase update operator μ (eq. 9) needs to enumerate Winslett-minimal
 /// models of a grounded sentence — a co-NP-hard task (Theorem 4.2). The engine in
 /// core/mu_sat.cc drives this solver through a descend-and-block loop; the solver
 /// itself is a conventional conflict-driven clause-learning design:
 ///
-///   * two-watched-literal propagation,
+///   * two-watched-literal propagation with blocker literals,
 ///   * first-UIP conflict analysis with learned clauses,
 ///   * VSIDS-style variable activities with phase saving,
 ///   * Luby restarts,
+///   * learned-clause database reduction with arena garbage collection,
 ///   * solving under assumptions (for the minimization descent), and
 ///   * incremental clause addition between Solve() calls (for blocking clauses and
 ///     activation-literal-guarded constraints).
+///
+/// Every clause — problem and learned — lives in one contiguous `uint32_t` arena
+/// addressed by `ClauseRef` offsets; there is no per-clause heap allocation. A
+/// clause is laid out as a header word (size, learned flag), an activity word for
+/// learned clauses, then the literals. Long descend-and-block runs stay bounded:
+/// when the learned store outgrows its budget the low-activity half is dropped
+/// and the arena is compacted in place.
 ///
 /// No exceptions, no dependencies; deterministic given the same sequence of calls.
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -42,6 +52,10 @@ enum class SolveResult { kSat, kUnsat };
 /// Truth value of a variable or literal: kUndef until assigned.
 enum class LBool : int8_t { kFalse = -1, kUndef = 0, kTrue = 1 };
 
+/// Offset of a clause in the solver's arena (index of its header word).
+using ClauseRef = uint32_t;
+inline constexpr ClauseRef kNoClause = 0xFFFFFFFFu;
+
 /// The CDCL solver. Create variables with NewVar, add clauses, then Solve —
 /// possibly repeatedly, with further clauses and different assumptions in between.
 class Solver {
@@ -59,8 +73,15 @@ class Solver {
   /// Adds a clause (a disjunction of literals over existing variables).
   /// Tautologies are silently dropped; duplicate literals are merged; the empty
   /// clause makes the solver permanently unsatisfiable. Returns false iff the
-  /// solver is already known unsatisfiable after this call.
-  bool AddClause(std::vector<Lit> lits);
+  /// solver is already known unsatisfiable after this call. The literals are
+  /// copied into the arena; the caller's buffer is not retained.
+  bool AddClause(std::span<const Lit> lits);
+  bool AddClause(std::initializer_list<Lit> lits) {
+    return AddClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+  bool AddClause(const std::vector<Lit>& lits) {
+    return AddClause(std::span<const Lit>(lits.data(), lits.size()));
+  }
 
   /// Solves the current formula under the given assumption literals. Further
   /// clauses may be added afterwards and Solve called again.
@@ -82,6 +103,21 @@ class Solver {
   /// assumptions involved).
   bool inconsistent() const { return !ok_; }
 
+  /// Number of clauses currently in the arena (problem + learned; units are
+  /// propagated at the root level and never stored).
+  size_t num_clauses() const { return num_problem_clauses_ + learned_.size(); }
+  /// Number of stored problem (non-learned) clauses.
+  size_t num_problem_clauses() const { return num_problem_clauses_; }
+  /// Number of learned clauses currently retained.
+  size_t num_learned_clauses() const { return learned_.size(); }
+
+  /// Learned-clause budget before the next DB reduction (grows geometrically
+  /// afterwards). Lower it to bound memory on long descend-and-block runs — or
+  /// in tests, to exercise reduction on small instances.
+  void SetReduceLimit(size_t limit) { reduce_limit_ = limit; }
+  /// Arena words in use (headers + activities + literals).
+  size_t arena_words() const { return arena_.size() - wasted_words_; }
+
   /// Cumulative search statistics.
   struct Stats {
     uint64_t conflicts = 0;
@@ -90,16 +126,37 @@ class Solver {
     uint64_t restarts = 0;
     uint64_t learned_clauses = 0;
     uint64_t solve_calls = 0;
+    uint64_t db_reductions = 0;      ///< Learned-DB reduction passes.
+    uint64_t learned_deleted = 0;    ///< Learned clauses dropped by reduction.
   };
   const Stats& stats() const { return stats_; }
 
  private:
-  struct Clause {
-    std::vector<Lit> lits;
-    bool learnt = false;
+  // Arena clause layout, starting at the ClauseRef offset:
+  //   word 0          — header: (size << 3) | forward << 2 | deleted << 1 | learned
+  //   word 1          — activity (learned clauses only)
+  //   next `size`     — the literals
+  // During garbage collection the header of a surviving clause is overwritten
+  // with (new_offset << 3) | forward so watcher lists and reason pointers can be
+  // remapped in one pass.
+  uint32_t SizeOf(ClauseRef c) const { return arena_[c] >> 3; }
+  bool IsLearned(ClauseRef c) const { return (arena_[c] & 0x1) != 0; }
+  uint32_t LitsOffset(ClauseRef c) const { return c + 1 + (IsLearned(c) ? 1 : 0); }
+  Lit* LitsOf(ClauseRef c) {
+    return reinterpret_cast<Lit*>(arena_.data() + LitsOffset(c));
+  }
+  const Lit* LitsOf(ClauseRef c) const {
+    return reinterpret_cast<const Lit*>(arena_.data() + LitsOffset(c));
+  }
+  uint32_t& ActivityOf(ClauseRef c) { return arena_[c + 1]; }
+
+  /// A watch-list entry: the clause plus a cached "blocker" literal from the
+  /// clause. If the blocker is already true the clause is satisfied and the
+  /// arena is never touched — the common case during propagation.
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
   };
-  using ClauseRef = int;
-  static constexpr ClauseRef kNoClause = -1;
 
   LBool ValueOf(Lit l) const {
     LBool v = values_[static_cast<size_t>(VarOf(l))];
@@ -108,6 +165,7 @@ class Solver {
     return is_true ? LBool::kTrue : LBool::kFalse;
   }
 
+  ClauseRef AllocClause(std::span<const Lit> lits, bool learned);
   void Enqueue(Lit l, ClauseRef reason);
   ClauseRef Propagate();
   void Attach(ClauseRef cref);
@@ -116,14 +174,34 @@ class Solver {
   void NewDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
   void Analyze(ClauseRef confl, std::vector<Lit>* learned, int* bt_level);
   void BumpVar(Var v);
+  void BumpClause(ClauseRef cref);
   void DecayActivities();
   Var PickBranchVar();
+  /// True when `cref` is the reason of a currently assigned variable (such
+  /// clauses must survive DB reduction).
+  bool IsReason(ClauseRef cref) const;
+  /// Drops the low-activity half of the learned clauses and compacts the arena.
+  /// Must be called at decision level 0.
+  void ReduceDb();
+  /// Compacts the arena in place, dropping deleted clauses and remapping watcher
+  /// lists, reason pointers and the learned list.
+  void GarbageCollect();
   static int LubyUnit(int i);
 
   bool ok_ = true;
-  std::vector<Clause> clauses_;
-  /// watches_[lit] = clauses to inspect when `lit` becomes true (they watch ¬lit).
-  std::vector<std::vector<ClauseRef>> watches_;
+  /// The clause arena. All clauses, problem and learned, live here.
+  std::vector<uint32_t> arena_;
+  size_t wasted_words_ = 0;        ///< Words occupied by deleted clauses.
+  size_t num_problem_clauses_ = 0;
+  std::vector<ClauseRef> learned_;  ///< Refs of retained learned clauses.
+  /// Learned-clause budget before the next ReduceDb; grows geometrically.
+  size_t reduce_limit_ = 2048;
+  /// Per-bump clause activity increment; grows ~1.5% per conflict so earlier
+  /// bumps decay geometrically relative to recent ones.
+  uint32_t clause_act_inc_ = 16;
+
+  /// watches_[lit] = watchers to inspect when `lit` becomes true (they watch ¬lit).
+  std::vector<std::vector<Watcher>> watches_;
   std::vector<LBool> values_;
   std::vector<int> levels_;
   std::vector<ClauseRef> reasons_;
@@ -138,6 +216,8 @@ class Solver {
 
   std::vector<int8_t> model_;
   std::vector<int8_t> seen_;  // Scratch for Analyze.
+  std::vector<Lit> add_tmp_;  // Scratch for AddClause (sort/dedup buffer).
+  std::vector<Lit> learned_tmp_;  // Scratch for the learned clause in Solve.
 
   Stats stats_;
 };

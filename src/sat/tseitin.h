@@ -2,15 +2,21 @@
 #define KBT_SAT_TSEITIN_H_
 
 /// \file
-/// Tseitin transformation: boolean circuits to CNF.
+/// Tseitin transformation: boolean circuits to CNF, incrementally.
 ///
 /// Every circuit node gets a solver literal; gate semantics are encoded with full
 /// (both-direction) clauses, so the CNF models restricted to the atom variables are
 /// exactly the circuit's satisfying assignments — a bijection the minimal-model
 /// enumeration in core/mu_sat.cc relies on (auxiliary gate variables are functionally
 /// determined by the atom variables).
+///
+/// The encoder is incremental: node → literal and atom → variable maps are dense
+/// tables that persist across calls, so encoding a root, growing the circuit, and
+/// encoding again only emits clauses for the nodes not seen before. The μ engine
+/// keeps one encoder and one solver alive for an entire minimization descent and
+/// model enumeration; nothing is ever re-encoded.
 
-#include <unordered_map>
+#include <vector>
 
 #include "logic/circuit.h"
 #include "sat/solver.h"
@@ -21,12 +27,15 @@ namespace kbt::sat {
 /// atom ids) map to dedicated solver variables, created on demand.
 class TseitinEncoder {
  public:
-  /// Both `circuit` and `solver` must outlive the encoder.
+  /// Both `circuit` and `solver` must outlive the encoder. The circuit may keep
+  /// growing after construction; the encoder picks up new nodes on the next
+  /// LitFor/Assert call.
   TseitinEncoder(const Circuit* circuit, Solver* solver)
       : circuit_(circuit), solver_(solver) {}
 
-  /// Returns a literal equivalent to circuit node `node_id`, adding gate clauses as
-  /// needed (idempotent per node).
+  /// Returns a literal equivalent to circuit node `node_id`, adding gate clauses
+  /// as needed. Idempotent per node across calls: already-encoded subcircuits
+  /// contribute no new clauses.
   Lit LitFor(int node_id);
 
   /// Solver variable for circuit/external variable `var_id` (a ground-atom id),
@@ -36,15 +45,26 @@ class TseitinEncoder {
   /// Asserts that node `node_id` is true (adds its literal as a unit clause).
   void Assert(int node_id);
 
-  /// The atom-id → solver-var map built so far.
-  const std::unordered_map<int, Var>& atom_vars() const { return atom_vars_; }
+  /// Number of circuit nodes encoded so far.
+  size_t encoded_nodes() const { return encoded_nodes_; }
 
  private:
+  static constexpr Lit kUnencoded = -1;
+  static constexpr Var kNoVar = -1;
+
   const Circuit* circuit_;
   Solver* solver_;
-  std::unordered_map<int, Lit> node_lits_;
-  std::unordered_map<int, Var> atom_vars_;
-  Var const_true_ = -1;
+  /// Dense node-id → literal table (kUnencoded until encoded). Grown lazily to
+  /// the circuit's current size, preserving earlier entries — the incremental
+  /// core.
+  std::vector<Lit> lit_of_;
+  /// Dense atom-id → solver-var table (kNoVar until created).
+  std::vector<Var> var_of_atom_;
+  size_t encoded_nodes_ = 0;
+  Var const_true_ = kNoVar;
+
+  std::vector<int> dfs_;          ///< Explicit DFS stack (no recursion).
+  std::vector<Lit> clause_tmp_;   ///< Gate-clause scratch buffer.
 };
 
 }  // namespace kbt::sat

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "core/engine.h"
 #include "core/mu.h"
 #include "core/winslett_order.h"
 #include "eval/model_check.h"
+#include "logic/circuit.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
+#include "sat/solver.h"
+#include "sat/tseitin.h"
 #include "testutil.h"
 
 namespace kbt {
@@ -95,6 +99,116 @@ TEST_P(MuSoundnessTest, ModelsSatisfyAndAreMutuallyMinimal) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MuSoundnessTest, ::testing::Range(0, 15));
+
+/// Builds a random circuit over `num_vars` external variables.
+int RandomCircuitRoot(Circuit* c, int num_vars, std::mt19937_64* rng) {
+  std::vector<int> pool;
+  for (int v = 0; v < num_vars; ++v) pool.push_back(c->VarNode(v));
+  std::uniform_int_distribution<int> op(0, 3);
+  std::uniform_int_distribution<size_t> pick(0, 1000);
+  for (int step = 0; step < 14; ++step) {
+    int a = pool[pick(*rng) % pool.size()];
+    int b = pool[pick(*rng) % pool.size()];
+    switch (op(*rng)) {
+      case 0:
+        pool.push_back(c->AndNode({a, b}));
+        break;
+      case 1:
+        pool.push_back(c->OrNode({a, b}));
+        break;
+      case 2:
+        pool.push_back(c->NotNode(a));
+        break;
+      default:
+        pool.push_back(c->IffNode(a, b));
+        break;
+    }
+  }
+  return pool.back();
+}
+
+/// The incremental-vs-fresh property behind the μ engine's enumeration loop:
+/// enumerating all models of a circuit with ONE solver + incremental Tseitin
+/// encoder and accumulated blocking clauses must produce exactly the models
+/// found by re-encoding from scratch (fresh solver per step, all previous
+/// blocking clauses re-added), and exactly the assignments the circuit itself
+/// accepts.
+class IncrementalEnumerationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalEnumerationTest, MatchesFreshSolverEnumeration) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) * 1442695040888963407ULL + 5);
+  constexpr int kVars = 6;
+  for (int trial = 0; trial < 5; ++trial) {
+    Circuit circuit;
+    int root = RandomCircuitRoot(&circuit, kVars, &rng);
+    std::vector<int> vars = circuit.CollectVars(root);
+
+    // Reference: brute force over the mentioned variables.
+    std::vector<uint32_t> expected;
+    for (uint32_t mask = 0; mask < (uint32_t{1} << kVars); ++mask) {
+      auto value = [&](int v) { return ((mask >> v) & 1) != 0; };
+      uint32_t mentioned = 0;
+      for (int v : vars) mentioned |= (value(v) ? 1u : 0u) << v;
+      if (mentioned != mask) continue;  // Canonical: unmentioned vars false.
+      if (circuit.Evaluate(root, value)) expected.push_back(mask);
+    }
+    std::sort(expected.begin(), expected.end());
+
+    // Incremental: one solver, one encoder, blocking clauses pushed as found.
+    std::vector<uint32_t> incremental;
+    {
+      sat::Solver solver;
+      sat::TseitinEncoder encoder(&circuit, &solver);
+      encoder.Assert(root);
+      while (solver.Solve() == sat::SolveResult::kSat) {
+        uint32_t mask = 0;
+        std::vector<sat::Lit> block;
+        for (int v : vars) {
+          bool value = solver.ModelValue(encoder.VarForAtom(v));
+          if (value) mask |= 1u << v;
+          block.push_back(sat::MkLit(encoder.VarForAtom(v), value));
+        }
+        incremental.push_back(mask);
+        if (block.empty()) break;  // Circuit is constant-true over no vars.
+        solver.AddClause(block);
+      }
+    }
+    std::sort(incremental.begin(), incremental.end());
+    EXPECT_EQ(incremental, expected) << "incremental enumeration, trial " << trial;
+
+    // Fresh: re-encode from scratch each step, re-adding all previous blocks.
+    std::vector<uint32_t> fresh;
+    std::vector<uint32_t> blocked_masks;
+    while (true) {
+      sat::Solver solver;
+      sat::TseitinEncoder encoder(&circuit, &solver);
+      encoder.Assert(root);
+      bool exhausted = false;
+      for (uint32_t m : blocked_masks) {
+        std::vector<sat::Lit> block;
+        for (int v : vars) {
+          block.push_back(sat::MkLit(encoder.VarForAtom(v), ((m >> v) & 1) != 0));
+        }
+        if (block.empty()) {
+          exhausted = true;
+          break;
+        }
+        solver.AddClause(block);
+      }
+      if (exhausted || solver.Solve() == sat::SolveResult::kUnsat) break;
+      uint32_t mask = 0;
+      for (int v : vars) {
+        if (solver.ModelValue(encoder.VarForAtom(v))) mask |= 1u << v;
+      }
+      fresh.push_back(mask);
+      blocked_masks.push_back(mask);
+    }
+    std::sort(fresh.begin(), fresh.end());
+    EXPECT_EQ(fresh, expected) << "fresh-solver enumeration, trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEnumerationTest, ::testing::Range(0, 10));
 
 TEST(MuFastPathCrosscheckTest, DatalogMatchesGeneralEngines) {
   // Transitive closure sentences on small random graphs: the Theorem 4.8 fast

@@ -198,6 +198,110 @@ TEST_P(Random3SatTest, AgreesWithBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Random3SatTest, ::testing::Range(0, 20));
 
+TEST(SatSolverTest, ClauseArenaGrowsUnderPropagation) {
+  // Interleave clause addition (arena growth and reallocation) with solving and
+  // unit propagation: a long implication spine a_0 → a_1 → ... → a_n plus side
+  // clauses. Every intermediate Solve must propagate through clauses that moved
+  // when the arena reallocated.
+  Solver s;
+  constexpr int kChain = 2000;
+  std::vector<Var> v;
+  for (int i = 0; i < kChain; ++i) {
+    v.push_back(s.NewVar());
+    s.SetPhase(v.back(), false);  // Interim models leave the chain all-false.
+  }
+  for (int i = 0; i + 1 < kChain; ++i) {
+    s.AddClause({MkLit(v[static_cast<size_t>(i)], true),
+                 MkLit(v[static_cast<size_t>(i + 1)])});
+    // Ternary filler so clause sizes vary across the arena.
+    if (i + 2 < kChain) {
+      s.AddClause({MkLit(v[static_cast<size_t>(i)], true),
+                   MkLit(v[static_cast<size_t>(i + 1)], true),
+                   MkLit(v[static_cast<size_t>(i + 2)])});
+    }
+    if (i % 500 == 0) {
+      ASSERT_EQ(s.Solve(), SolveResult::kSat);
+    }
+  }
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_FALSE(s.ModelValue(v[kChain - 1]));
+  EXPECT_GT(s.num_problem_clauses(), 3000u);
+  EXPECT_GT(s.arena_words(), 10000u);
+  // Assert the chain root: the unit cascades through every stored implication
+  // at the root level, walking the whole (repeatedly reallocated) arena.
+  s.AddClause({MkLit(v[0])});
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  for (int j = 0; j < kChain; ++j) {
+    ASSERT_TRUE(s.ModelValue(v[static_cast<size_t>(j)])) << "chain " << j;
+  }
+}
+
+TEST(SatSolverTest, DbReductionKeepsReasonsAndCorrectness) {
+  // Level-0 trail literals with clause reasons must survive reduction: seed a
+  // few root implications, then force reductions with a tiny learned budget on
+  // a resolution-hard instance. Debug builds additionally assert inside the
+  // garbage collector that no reason clause is deleted.
+  Solver s;
+  Var r0 = s.NewVar(), r1 = s.NewVar();
+  // Store the binary first (both vars unassigned, so it is attached rather
+  // than simplified away), then assert r0: propagation enqueues r1 at the root
+  // with the stored clause as its reason.
+  s.AddClause({MkLit(r0, true), MkLit(r1)});
+  s.AddClause({MkLit(r0)});
+  ASSERT_EQ(s.num_problem_clauses(), 1u);
+  std::vector<std::vector<Var>> grid;
+  AddPigeonhole(&s, 7, 6, &grid);
+  s.SetReduceLimit(64);
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().db_reductions, 0u);
+  EXPECT_GT(s.stats().learned_deleted, 0u);
+}
+
+TEST(SatSolverTest, DbReductionPreservesSatAnswers) {
+  // Random satisfiable-leaning instances solved with an aggressive reduction
+  // budget must still agree with brute force, and returned models must check.
+  std::mt19937_64 rng(20260729);
+  constexpr int kVars = 10;
+  std::uniform_int_distribution<int> var(0, kVars - 1);
+  std::bernoulli_distribution sign(0.5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Solver s;
+    s.SetReduceLimit(16);
+    for (int i = 0; i < kVars; ++i) s.NewVar();
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < 45; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) clause.push_back(MkLit(var(rng), sign(rng)));
+      clauses.push_back(clause);
+      s.AddClause(clause);
+    }
+    bool expected = BruteForceSat(kVars, clauses);
+    SolveResult got = s.Solve();
+    EXPECT_EQ(got == SolveResult::kSat, expected) << "trial=" << trial;
+    if (got == SolveResult::kSat) {
+      for (const auto& c : clauses) {
+        bool sat = false;
+        for (Lit l : c) sat |= (s.ModelValue(VarOf(l)) != IsNegated(l));
+        EXPECT_TRUE(sat);
+      }
+    }
+  }
+}
+
+TEST(SatSolverTest, ClauseCountersTrackArenaContents) {
+  Solver s;
+  Var a = s.NewVar(), b = s.NewVar(), c = s.NewVar();
+  EXPECT_EQ(s.num_clauses(), 0u);
+  s.AddClause({MkLit(a), MkLit(b)});
+  s.AddClause({MkLit(a, true), MkLit(b), MkLit(c)});
+  EXPECT_EQ(s.num_problem_clauses(), 2u);
+  s.AddClause({MkLit(c)});  // Unit: enqueued at the root, never stored.
+  EXPECT_EQ(s.num_problem_clauses(), 2u);
+  EXPECT_EQ(s.num_learned_clauses(), 0u);
+  // Header + lits per clause: (1 + 2) + (1 + 3).
+  EXPECT_EQ(s.arena_words(), 7u);
+}
+
 TEST(SatSolverTest, StatsAreTracked) {
   Solver s;
   std::vector<std::vector<Var>> grid;

@@ -75,6 +75,77 @@ TEST(TseitinTest, SharedSubcircuitEncodedOnce) {
   CheckEquivalence(c, f);
 }
 
+TEST(TseitinTest, IncrementalEncodingOnlyEmitsNewNodes) {
+  Circuit c;
+  Solver solver;
+  TseitinEncoder encoder(&c, &solver);
+  int v0 = c.VarNode(0), v1 = c.VarNode(1);
+  int band = c.AndNode({v0, v1});
+  Lit and_lit = encoder.LitFor(band);
+  size_t clauses_after_and = solver.num_clauses();
+  size_t nodes_after_and = encoder.encoded_nodes();
+  EXPECT_EQ(nodes_after_and, 3u);  // v0, v1, and.
+
+  // Re-encoding the same node is free.
+  EXPECT_EQ(encoder.LitFor(band), and_lit);
+  EXPECT_EQ(solver.num_clauses(), clauses_after_and);
+  EXPECT_EQ(encoder.encoded_nodes(), nodes_after_and);
+
+  // Grow the circuit; encoding the new root reuses the shared subcircuit and
+  // only emits clauses for the two new nodes (v2 adds none, the or-gate adds
+  // one short clause per child plus the long clause).
+  int v2 = c.VarNode(2);
+  int bor = c.OrNode({band, v2});
+  encoder.LitFor(bor);
+  EXPECT_EQ(encoder.encoded_nodes(), nodes_after_and + 2);
+  EXPECT_EQ(solver.num_clauses(), clauses_after_and + 3);
+}
+
+TEST(TseitinTest, IncrementalEncodingStaysEquivalentAfterGrowth) {
+  // One encoder, one solver, a circuit grown in three waves: after each wave
+  // the asserted conjunction must have exactly the models of the circuit.
+  Circuit c;
+  Solver solver;
+  TseitinEncoder encoder(&c, &solver);
+  int v0 = c.VarNode(0), v1 = c.VarNode(1);
+  int wave1 = c.OrNode({v0, v1});
+  encoder.Assert(wave1);
+  int v2 = c.VarNode(2);
+  int wave2 = c.OrNode({c.NotNode(v0), v2});
+  encoder.Assert(wave2);
+  int wave3 = c.IffNode(v1, v2);
+  encoder.Assert(wave3);
+  int conjunction = c.AndNode({wave1, wave2, wave3});
+  std::vector<int> vars = c.CollectVars(conjunction);
+  ASSERT_EQ(vars.size(), 3u);
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    auto value = [&](int v) { return ((mask >> v) & 1) != 0; };
+    std::vector<Lit> assumptions;
+    for (int v : vars) {
+      assumptions.push_back(MkLit(encoder.VarForAtom(v), !value(v)));
+    }
+    EXPECT_EQ(solver.Solve(assumptions) == SolveResult::kSat,
+              c.Evaluate(conjunction, value))
+        << "mask=" << mask;
+  }
+}
+
+TEST(TseitinTest, DeepCircuitEncodesWithoutRecursion) {
+  // A 40k-deep strictly alternating and/or spine (alternation prevents the
+  // same-kind flattening rewrite) would overflow the stack under a recursive
+  // encoder; the iterative one must handle it.
+  Circuit c;
+  Solver solver;
+  TseitinEncoder encoder(&c, &solver);
+  int node = c.VarNode(0);
+  for (int i = 1; i < 40'000; ++i) {
+    node = (i % 2 == 0) ? c.AndNode({node, c.VarNode(i % 7)})
+                        : c.OrNode({node, c.VarNode((i + 3) % 7)});
+  }
+  encoder.Assert(node);
+  EXPECT_EQ(solver.Solve(), SolveResult::kSat);
+}
+
 TEST(TseitinTest, RandomCircuitsAgreeWithEvaluation) {
   std::mt19937_64 rng(20260610);
   for (int trial = 0; trial < 30; ++trial) {
