@@ -1,0 +1,230 @@
+/// \file
+/// Machine-readable benchmark harness for the τ executor: the world-parallel
+/// fan-out over exec/ (per-worker solver pools, domain-keyed grounding cache,
+/// hash-based union). Each workload is measured four ways —
+///
+///   * pr2     — the pre-executor loop (fresh μ per world, repeated pairwise
+///               UnionWith), reconstructed here as the baseline,
+///   * t1      — Tau with threads=1 (sequential executor: solver reuse +
+///               grounding cache + one-pass hash union),
+///   * t1_nocache — threads=1 with the grounding cache disabled,
+///   * t2/t4   — Tau with 2 and 4 worker threads,
+///
+/// and written to BENCH_tau.json so τ changes leave a diffable perf trajectory
+/// next to BENCH_datalog.json and BENCH_mu.json. speedup_vs_pr2 is the headline
+/// number; cache hit counters separate grounding reuse from thread scaling
+/// (on a single-core host the former is the entire win).
+///
+/// Usage: json_bench_tau [output.json]   (default: BENCH_tau.json)
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace kbt::bench {
+namespace {
+
+struct TauBenchRecord {
+  std::string name;
+  int worlds = 0;
+  int threads = 1;
+  double ms_per_op = 0.0;
+  double ops_per_sec = 0.0;
+  double speedup_vs_pr2 = 1.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  size_t output_databases = 0;
+};
+
+bool WriteTauBenchJson(const std::string& path,
+                       const std::vector<TauBenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fprintf(f, "{\n  \"benchmarks\": [\n") >= 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const TauBenchRecord& r = records[i];
+    ok = std::fprintf(
+             f,
+             "    {\"name\": \"%s\", \"worlds\": %d, \"threads\": %d, "
+             "\"ms_per_op\": %.4f, \"ops_per_sec\": %.3f, "
+             "\"speedup_vs_pr2\": %.2f, \"cache_hits\": %llu, "
+             "\"cache_misses\": %llu, \"output_databases\": %zu}%s\n",
+             r.name.c_str(), r.worlds, r.threads, r.ms_per_op, r.ops_per_sec,
+             r.speedup_vs_pr2, static_cast<unsigned long long>(r.cache_hits),
+             static_cast<unsigned long long>(r.cache_misses),
+             r.output_databases, i + 1 < records.size() ? "," : "") >= 0 &&
+         ok;
+  }
+  ok = std::fprintf(f, "  ]\n}\n") >= 0 && ok;
+  return std::fclose(f) == 0 && ok;
+}
+
+/// The pre-executor τ loop, kept as the measurement baseline: a fresh μ per
+/// world (no shared grounding, no solver reuse) and repeated pairwise union
+/// (each step re-sorting the accumulated result).
+Knowledgebase TauPr2Baseline(const Formula& sentence, const Knowledgebase& kb,
+                             const MuOptions& options) {
+  Knowledgebase result;
+  bool first = true;
+  for (const Database& db : kb) {
+    Knowledgebase models = *Mu(sentence, db, options);
+    if (first) {
+      result = std::move(models);
+      first = false;
+    } else {
+      result = *result.UnionWith(models);
+    }
+  }
+  return result;
+}
+
+/// All 2^n S-colorings of an even cycle over E — the Theorem 5.1 construction
+/// measured by bench_second_order. Every world shares one active domain.
+Knowledgebase AllColorings(int n) {
+  Relation::Builder edges(2);
+  for (int i = 0; i < n; ++i) {
+    edges.Append({Name(V(i)), Name(V((i + 1) % n))});
+    edges.Append({Name(V((i + 1) % n)), Name(V(i))});
+  }
+  Database db = *Database::Create(*Schema::Of({{"E", 2}}), {edges.Build()});
+  std::vector<Value> domain = db.ActiveDomain();
+  Schema extended = *db.schema().Union(*Schema::Of({{"S", 1}}));
+  std::vector<Database> worlds;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << domain.size()); ++mask) {
+    Relation::Builder s(1);
+    for (size_t i = 0; i < domain.size(); ++i) {
+      if ((mask >> i) & 1) s.Append({domain[i]});
+    }
+    Database world = *db.ExtendTo(extended);
+    world = *world.WithRelation("S", s.Build());
+    worlds.push_back(std::move(world));
+  }
+  return *Knowledgebase::FromDatabases(std::move(worlds));
+}
+
+/// W random worlds over {Dom/1, R/2} with Dom pinning one shared active
+/// domain, so the grounding cache collapses W groundings into one.
+Knowledgebase RandomWorlds(int num_worlds, int domain_size, uint64_t seed) {
+  Schema schema = *Schema::Of({{"Dom", 1}, {"R", 2}});
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(0.35);
+  Relation::Builder dom(1);
+  for (int i = 0; i < domain_size; ++i) dom.Append({Name(V(i))});
+  Relation dom_rel = dom.Build();
+  std::vector<Database> worlds;
+  for (int w = 0; w < num_worlds; ++w) {
+    Relation::Builder r(2);
+    for (int i = 0; i < domain_size; ++i) {
+      for (int j = 0; j < domain_size; ++j) {
+        if (coin(rng)) r.Append({Name(V(i)), Name(V(j))});
+      }
+    }
+    worlds.push_back(*Database::Create(schema, {dom_rel, r.Build()}));
+  }
+  return *Knowledgebase::FromDatabases(std::move(worlds));
+}
+
+/// Measures one (workload, sentence) pair across the execution modes and
+/// appends the records.
+void MeasureWorkload(const std::string& name, const Formula& sentence,
+                     const Knowledgebase& kb, std::vector<TauBenchRecord>* out) {
+  MuOptions mu;
+  double pr2_ms = MeasureMs([&] {
+    Knowledgebase r = TauPr2Baseline(sentence, kb, mu);
+    static_cast<void>(r);
+  });
+  {
+    TauBenchRecord r;
+    r.name = name + "_pr2";
+    r.worlds = static_cast<int>(kb.size());
+    r.threads = 1;
+    r.ms_per_op = pr2_ms;
+    r.ops_per_sec = pr2_ms > 0 ? 1000.0 / pr2_ms : 0.0;
+    r.output_databases = TauPr2Baseline(sentence, kb, mu).size();
+    out->push_back(r);
+  }
+
+  struct Mode {
+    const char* suffix;
+    size_t threads;
+    bool cache;
+  };
+  const Mode modes[] = {
+      {"_t1_nocache", 1, false},
+      {"_t1", 1, true},
+      {"_t2", 2, true},
+      {"_t4", 4, true},
+  };
+  for (const Mode& mode : modes) {
+    TauOptions options;
+    options.mu = mu;
+    options.threads = mode.threads;
+    options.use_ground_cache = mode.cache;
+    TauStats stats;
+    double ms = MeasureMs([&] {
+      stats = TauStats();
+      auto r = Tau(sentence, kb, options, &stats);
+      if (!r.ok()) std::abort();
+    });
+    TauBenchRecord r;
+    r.name = name + mode.suffix;
+    r.worlds = static_cast<int>(kb.size());
+    r.threads = static_cast<int>(stats.threads_used);
+    r.ms_per_op = ms;
+    r.ops_per_sec = ms > 0 ? 1000.0 / ms : 0.0;
+    r.speedup_vs_pr2 = ms > 0 ? pr2_ms / ms : 0.0;
+    r.cache_hits = stats.ground_cache_hits;
+    r.cache_misses = stats.ground_cache_misses;
+    r.output_databases = stats.output_databases;
+    out->push_back(r);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_tau.json";
+  std::vector<TauBenchRecord> records;
+
+  // The bench_second_order construction: 2^n same-domain worlds, μ resolved by
+  // the auto dispatcher (definitional here), union-dominated at large n.
+  Formula bipartite = *ParseSentence(
+      "(forall x, y: E(x, y) -> !(S(x) <-> S(y))) -> Ans()");
+  MeasureWorkload("tau_colorings_n6", bipartite, AllColorings(6), &records);
+  MeasureWorkload("tau_colorings_n8", bipartite, AllColorings(8), &records);
+
+  // SAT-strategy μ per world (head is a conjunction — no fast path applies):
+  // grounding cache + per-worker solver reuse carry this one.
+  Formula orient = *ParseSentence(
+      "forall x, y: (R(x, y) & !R(y, x)) -> (S(x, y) & !S(y, x))");
+  MeasureWorkload("tau_sat_orient_w8", orient, RandomWorlds(8, 4, 101), &records);
+  MeasureWorkload("tau_sat_orient_w32", orient, RandomWorlds(32, 4, 103),
+                  &records);
+
+  // Ground insert over many worlds: the Theorem 4.7 reference path, one shared
+  // grounding for the whole fan-out.
+  Formula ground_insert = *ParseSentence("R(n0, n1) & !R(n1, n0)");
+  MeasureWorkload("tau_ground_insert_w32", ground_insert, RandomWorlds(32, 4, 107),
+                  &records);
+
+  if (!WriteTauBenchJson(path, records)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  for (const TauBenchRecord& r : records) {
+    std::printf(
+        "%-28s worlds=%-5d threads=%d %10.4f ms/op %8.2fx vs pr2  "
+        "cache %llu/%llu  out=%zu\n",
+        r.name.c_str(), r.worlds, r.threads, r.ms_per_op, r.speedup_vs_pr2,
+        static_cast<unsigned long long>(r.cache_hits),
+        static_cast<unsigned long long>(r.cache_misses), r.output_databases);
+  }
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kbt::bench
+
+int main(int argc, char** argv) { return kbt::bench::Main(argc, argv); }

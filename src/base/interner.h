@@ -13,11 +13,11 @@
 /// class itself is reusable for isolated universes in tests.
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace kbt {
 
@@ -47,7 +47,10 @@ class Interner {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, Symbol> index_;
-  std::vector<std::string> names_;
+  /// Deque, not vector: NameOf hands out references that must survive
+  /// concurrent interning from executor workers (deque never relocates
+  /// existing elements on growth).
+  std::deque<std::string> names_;
 };
 
 /// The process-wide interner used by all kbt value and relation names.

@@ -11,7 +11,11 @@ StatusOr<Knowledgebase> Engine::Apply(std::string_view expression,
 StatusOr<Knowledgebase> Engine::Apply(const Pipeline& pipeline,
                                       const Knowledgebase& kb) {
   last_trace_ = PipelineStats();
-  return pipeline.Apply(kb, options_.mu, options_.trace ? &last_trace_ : nullptr);
+  TauOptions tau_options;
+  tau_options.mu = options_.mu;
+  tau_options.threads = options_.tau_threads;
+  tau_options.use_ground_cache = options_.tau_ground_cache;
+  return pipeline.Apply(kb, tau_options, options_.trace ? &last_trace_ : nullptr);
 }
 
 StatusOr<Knowledgebase> Engine::Insert(std::string_view sentence,

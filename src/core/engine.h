@@ -18,6 +18,11 @@ namespace kbt {
 
 struct EngineOptions {
   MuOptions mu;
+  /// Worker threads for τ's world fan-out (see TauOptions::threads):
+  /// 1 = sequential, 0 = one per hardware thread.
+  size_t tau_threads = 1;
+  /// Share groundings across same-domain worlds in τ.
+  bool tau_ground_cache = true;
   /// Collect per-step traces into Engine::last_trace().
   bool trace = false;
 };

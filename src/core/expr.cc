@@ -85,6 +85,14 @@ Pipeline& Pipeline::Filter(std::string_view sentence_text) {
 StatusOr<Knowledgebase> Pipeline::Apply(const Knowledgebase& kb,
                                         const MuOptions& options,
                                         PipelineStats* stats) const {
+  TauOptions tau_options;
+  tau_options.mu = options;
+  return Apply(kb, tau_options, stats);
+}
+
+StatusOr<Knowledgebase> Pipeline::Apply(const Knowledgebase& kb,
+                                        const TauOptions& options,
+                                        PipelineStats* stats) const {
   KBT_RETURN_IF_ERROR(deferred_error_);
   Knowledgebase current = kb;
   for (const TransformStep& step : steps_) {

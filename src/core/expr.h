@@ -87,7 +87,12 @@ class Pipeline {
 
   const std::vector<TransformStep>& steps() const { return steps_; }
 
-  /// Applies every step in order.
+  /// Applies every step in order. τ steps run on the exec/ subsystem when
+  /// options.threads > 1 (see core/tau.h).
+  StatusOr<Knowledgebase> Apply(const Knowledgebase& kb, const TauOptions& options,
+                                PipelineStats* stats = nullptr) const;
+
+  /// Sequential-default convenience overload (μ options only).
   StatusOr<Knowledgebase> Apply(const Knowledgebase& kb,
                                 const MuOptions& options = MuOptions(),
                                 PipelineStats* stats = nullptr) const;

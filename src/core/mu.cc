@@ -1,6 +1,7 @@
 #include "core/mu.h"
 
 #include "core/mu_internal.h"
+#include "exec/ground_cache.h"
 #include "logic/analysis.h"
 
 namespace kbt {
@@ -36,6 +37,23 @@ void MuStats::MergeFrom(const MuStats& other) {
 
 StatusOr<Knowledgebase> Mu(const Formula& sentence, const Database& db,
                            const MuOptions& options, MuStats* stats) {
+  return internal::MuExec(sentence, db, options, stats, internal::MuExecContext());
+}
+
+namespace internal {
+
+StatusOr<std::shared_ptr<const exec::CachedGrounding>> ObtainGrounding(
+    const MuExecContext& exec, const Formula& sentence,
+    const std::vector<Value>& domain, const GrounderOptions& options) {
+  if (exec.ground_cache != nullptr) {
+    return exec.ground_cache->GetOrGround(sentence, domain, options);
+  }
+  return exec::MakeCachedGrounding(sentence, domain, options);
+}
+
+StatusOr<Knowledgebase> MuExec(const Formula& sentence, const Database& db,
+                               const MuOptions& options, MuStats* stats,
+                               const MuExecContext& exec) {
   KBT_ASSIGN_OR_RETURN(UpdateContext ctx, MakeUpdateContext(sentence, db));
   MuStats local;
   MuStats* out = stats != nullptr ? stats : &local;
@@ -43,10 +61,10 @@ StatusOr<Knowledgebase> Mu(const Formula& sentence, const Database& db,
   switch (options.strategy) {
     case MuStrategy::kReference:
       out->used = MuStrategy::kReference;
-      return internal::MuReference(sentence, db, ctx, options, out);
+      return internal::MuReference(sentence, db, ctx, options, out, exec);
     case MuStrategy::kSat:
       out->used = MuStrategy::kSat;
-      return internal::MuSat(sentence, db, ctx, options, out);
+      return internal::MuSat(sentence, db, ctx, options, out, exec);
     case MuStrategy::kDatalog: {
       KBT_ASSIGN_OR_RETURN(auto plan, internal::PlanDatalog(sentence, db));
       if (!plan) {
@@ -73,7 +91,7 @@ StatusOr<Knowledgebase> Mu(const Formula& sentence, const Database& db,
     // Theorem 4.7: ground updates touch at most |φ| atoms — reference enumeration
     // is polynomial in the database. Very wide ground sentences still go to SAT.
     StatusOr<Knowledgebase> result =
-        internal::MuReference(sentence, db, ctx, options, out);
+        internal::MuReference(sentence, db, ctx, options, out, exec);
     if (result.ok() || result.status().code() != StatusCode::kResourceExhausted) {
       out->used = MuStrategy::kReference;
       return result;
@@ -94,7 +112,9 @@ StatusOr<Knowledgebase> Mu(const Formula& sentence, const Database& db,
     }
   }
   out->used = MuStrategy::kSat;
-  return internal::MuSat(sentence, db, ctx, options, out);
+  return internal::MuSat(sentence, db, ctx, options, out, exec);
 }
+
+}  // namespace internal
 
 }  // namespace kbt

@@ -5,6 +5,7 @@
 /// Internal interfaces between the μ dispatcher and its strategies. Not part of the
 /// public API.
 
+#include <memory>
 #include <optional>
 
 #include "core/mu.h"
@@ -12,19 +13,55 @@
 #include "datalog/ast.h"
 #include "logic/circuit.h"
 #include "logic/ground_atom.h"
+#include "logic/grounder.h"
+
+namespace kbt::exec {
+struct CachedGrounding;
+class GroundingCache;
+}  // namespace kbt::exec
+
+namespace kbt::sat {
+class Solver;
+}  // namespace kbt::sat
 
 namespace kbt::internal {
+
+/// Resources the τ executor threads through μ: a grounding cache shared by all
+/// worlds of one τ call (keyed by active domain) and a per-worker solver that
+/// is Reset and reused across worlds instead of constructed per call. Both are
+/// optional; plain Mu() passes neither. The struct is copied freely — it only
+/// borrows.
+struct MuExecContext {
+  exec::GroundingCache* ground_cache = nullptr;
+  sat::Solver* solver = nullptr;
+};
+
+/// The strategy dispatcher behind Mu(), with executor resources. Mu() forwards
+/// here with an empty context; the τ executor calls it directly.
+StatusOr<Knowledgebase> MuExec(const Formula& sentence, const Database& db,
+                               const MuOptions& options, MuStats* stats,
+                               const MuExecContext& exec);
+
+/// Grounds `sentence` over `domain` through the executor's cache when present,
+/// or locally (wrapped in the same immutable CachedGrounding shape) otherwise.
+/// Both grounding strategies go through this, so the cached mentioned-variable
+/// set is always borrowed, never re-collected or copied per world.
+StatusOr<std::shared_ptr<const exec::CachedGrounding>> ObtainGrounding(
+    const MuExecContext& exec, const Formula& sentence,
+    const std::vector<Value>& domain, const GrounderOptions& options);
 
 /// Reference (specification) enumeration. Fails with kResourceExhausted when more
 /// than options.max_reference_atoms ground atoms are mentioned.
 StatusOr<Knowledgebase> MuReference(const Formula& sentence, const Database& db,
                                     const UpdateContext& ctx, const MuOptions& options,
-                                    MuStats* stats);
+                                    MuStats* stats,
+                                    const MuExecContext& exec = MuExecContext());
 
 /// CDCL-based minimal-model enumeration.
 StatusOr<Knowledgebase> MuSat(const Formula& sentence, const Database& db,
                               const UpdateContext& ctx, const MuOptions& options,
-                              MuStats* stats);
+                              MuStats* stats,
+                              const MuExecContext& exec = MuExecContext());
 
 /// Datalog fast path plan: the extracted program (all head predicates new w.r.t.
 /// σ(db)). nullopt when φ is not of this shape.

@@ -2,9 +2,11 @@
 #include <bit>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "core/mu_internal.h"
 #include "core/winslett_order.h"
+#include "exec/ground_cache.h"
 #include "logic/grounder.h"
 
 namespace kbt::internal {
@@ -78,12 +80,16 @@ struct MaskContext {
 
 StatusOr<Knowledgebase> MuReference(const Formula& sentence, const Database& db,
                                     const UpdateContext& ctx, const MuOptions& options,
-                                    MuStats* stats) {
+                                    MuStats* stats, const MuExecContext& exec) {
   GrounderOptions gopts;
   gopts.max_nodes = options.max_ground_nodes;
-  KBT_ASSIGN_OR_RETURN(Grounding g, GroundSentence(sentence, ctx.domain, gopts));
+  // Same-domain worlds share one grounding (the circuit is read-only here);
+  // ground updates over a τ fan-out hit this path via kAuto.
+  KBT_ASSIGN_OR_RETURN(std::shared_ptr<const exec::CachedGrounding> shared,
+                       ObtainGrounding(exec, sentence, ctx.domain, gopts));
+  const Grounding& g = shared->grounding;
+  const std::vector<int>& vars = shared->mentioned;
   stats->ground_nodes = g.circuit.size();
-  std::vector<int> vars = g.circuit.CollectVars(g.root);
   stats->ground_atoms = vars.size();
 
   if (vars.size() > options.max_reference_atoms || vars.size() > 62) {

@@ -1,8 +1,10 @@
 #include <algorithm>
 #include <functional>
+#include <memory>
 
 #include "core/mu_internal.h"
 #include "core/winslett_order.h"
+#include "exec/ground_cache.h"
 #include "logic/grounder.h"
 #include "sat/solver.h"
 #include "sat/tseitin.h"
@@ -33,33 +35,49 @@ struct FoundModel {
 class SatEnumerator {
  public:
   SatEnumerator(const Database& db, const UpdateContext& ctx,
-                const MuOptions& options, MuStats* stats)
-      : db_(db), ctx_(ctx), options_(options), stats_(stats) {}
+                const MuOptions& options, MuStats* stats,
+                const MuExecContext& exec)
+      : db_(db), ctx_(ctx), options_(options), stats_(stats), exec_(exec) {}
 
   StatusOr<Knowledgebase> Run(const Formula& sentence) {
     GrounderOptions gopts;
     gopts.max_nodes = options_.max_ground_nodes;
-    KBT_ASSIGN_OR_RETURN(Grounding g, GroundSentence(sentence, ctx_.domain, gopts));
-    stats_->ground_nodes = g.circuit.size();
-    atoms_ = &g.atoms;
+    // The grounding depends only on (φ, domain): with a cache, worlds sharing
+    // an active domain reuse one immutable circuit (and its mentioned-var
+    // set, borrowed below) and only the per-world defaults are recomputed.
+    KBT_ASSIGN_OR_RETURN(std::shared_ptr<const exec::CachedGrounding> shared,
+                         ObtainGrounding(exec_, sentence, ctx_.domain, gopts));
+    const Grounding* g = &shared->grounding;
+    mentioned_ = &shared->mentioned;
+    stats_->ground_nodes = g->circuit.size();
+    atoms_ = &g->atoms;
 
-    if (g.root == g.circuit.FalseNode()) {
+    if (g->root == g->circuit.FalseNode()) {
       return Knowledgebase(ctx_.schema);  // No models at all.
+    }
+
+    // A worker-pool solver is reused across worlds: Reset keeps its allocated
+    // arena and watcher capacity but restores fresh-solver behavior, so the
+    // enumeration below is bit-identical to one over a new Solver.
+    if (exec_.solver != nullptr) {
+      exec_.solver->Reset();
+      solver_ = exec_.solver;
+    } else {
+      solver_ = &own_solver_;
     }
 
     // The encoder lives for the whole enumeration (this method): every descent
     // constraint and blocking clause below goes into the same solver, and the
     // grounding is encoded exactly once.
-    sat::TseitinEncoder encoder(&g.circuit, &solver_);
-    encoder.Assert(g.root);
-    mentioned_ = g.circuit.CollectVars(g.root);
-    stats_->ground_atoms = mentioned_.size();
-    atom_var_.resize(g.atoms.size(), -1);
-    default_value_.resize(g.atoms.size(), 0);
-    value_.resize(g.atoms.size(), 0);
-    for (int atom_id : mentioned_) {
+    sat::TseitinEncoder encoder(&g->circuit, solver_);
+    encoder.Assert(g->root);
+    stats_->ground_atoms = mentioned_->size();
+    atom_var_.resize(g->atoms.size(), -1);
+    default_value_.resize(g->atoms.size(), 0);
+    value_.resize(g->atoms.size(), 0);
+    for (int atom_id : *mentioned_) {
       atom_var_[atom_id] = encoder.VarForAtom(atom_id);
-      const GroundAtom& atom = g.atoms.AtomOf(atom_id);
+      const GroundAtom& atom = g->atoms.AtomOf(atom_id);
       bool is_old = IsOldAtom(atom, db_);
       const Relation* r = ctx_.extended_base.FindRelation(atom.relation);
       if (r == nullptr) {
@@ -69,7 +87,7 @@ class SatEnumerator {
       default_value_[atom_id] = is_old && r->Contains(atom.tuple);
       (is_old ? old_atoms_ : new_atoms_).push_back(atom_id);
       // Branch toward the default first: first models start near the minimum.
-      solver_.SetPhase(atom_var_[atom_id], default_value_[atom_id]);
+      solver_->SetPhase(atom_var_[atom_id], default_value_[atom_id]);
     }
 
     std::vector<FoundModel> minimal;
@@ -134,12 +152,12 @@ class SatEnumerator {
         return default_value_[a] != 0;  // New atoms default to false.
       };
       clause.clear();
-      clause.reserve(mentioned_.size());
-      for (int a : mentioned_) {
+      clause.reserve(mentioned_->size());
+      for (int a : *mentioned_) {
         clause.push_back(MkLit(atom_var_[a], candidate_value(a)));
       }
       if (clause.empty()) return true;  // Single possible assignment.
-      solver_.AddClause(clause);
+      solver_->AddClause(clause);
       return false;
     }
     std::vector<Lit>& core = core_scratch_;
@@ -153,7 +171,7 @@ class SatEnumerator {
       }
       clause.assign(core.begin(), core.end());
       clause.push_back(KeepLit(b));
-      solver_.AddClause(clause);
+      solver_->AddClause(clause);
     }
     // (b) The cone clause.
     clause.assign(core.begin(), core.end());
@@ -161,7 +179,7 @@ class SatEnumerator {
       clause.push_back(MkLit(atom_var_[n], /*negated=*/true));
     }
     if (clause.empty()) return true;  // Candidate is the global minimum.
-    solver_.AddClause(clause);
+    solver_->AddClause(clause);
     return false;
   }
 
@@ -170,19 +188,19 @@ class SatEnumerator {
   /// Literal asserting atom `a` equals `value`.
   Lit ValueLit(int a, bool value) { return MkLit(atom_var_[a], !value); }
 
-  bool ModelValueOf(int a) { return solver_.ModelValue(atom_var_[a]); }
+  bool ModelValueOf(int a) { return solver_->ModelValue(atom_var_[a]); }
 
   SolveResult Solve(const std::vector<Lit>& assumptions) {
-    SolveResult r = solver_.Solve(assumptions);
-    stats_->sat_solve_calls = solver_.stats().solve_calls;
-    stats_->sat_conflicts = solver_.stats().conflicts;
-    stats_->sat_decisions = solver_.stats().decisions;
+    SolveResult r = solver_->Solve(assumptions);
+    stats_->sat_solve_calls = solver_->stats().solve_calls;
+    stats_->sat_conflicts = solver_->stats().conflicts;
+    stats_->sat_decisions = solver_->stats().decisions;
     if (r == SolveResult::kSat) ++stats_->candidates_examined;
     return r;
   }
 
   void SnapshotModel() {
-    for (int a : mentioned_) {
+    for (int a : *mentioned_) {
       value_[static_cast<size_t>(a)] = ModelValueOf(a) ? 1 : 0;
     }
   }
@@ -208,18 +226,18 @@ class SatEnumerator {
         if (val(a) != (default_value_[a] != 0)) deviating.push_back(a);
       }
       if (deviating.empty()) break;
-      Var act = solver_.NewVar();
+      Var act = solver_->NewVar();
       guard.clear();
       guard.push_back(MkLit(act, true));
       for (int a : deviating) guard.push_back(KeepLit(a));
-      solver_.AddClause(guard);
+      solver_->AddClause(guard);
       assumptions.clear();
       assumptions.push_back(MkLit(act));
       for (int a : old_atoms_) {
         if (val(a) == (default_value_[a] != 0)) assumptions.push_back(KeepLit(a));
       }
       SolveResult r = Solve(assumptions);
-      solver_.AddClause({MkLit(act, true)});  // Retire the guard.
+      solver_->AddClause({MkLit(act, true)});  // Retire the guard.
       if (r == SolveResult::kUnsat) break;
       SnapshotModel();
     }
@@ -232,11 +250,11 @@ class SatEnumerator {
         if (val(a)) deviating.push_back(a);
       }
       if (deviating.empty()) break;
-      Var act = solver_.NewVar();
+      Var act = solver_->NewVar();
       guard.clear();
       guard.push_back(MkLit(act, true));
       for (int a : deviating) guard.push_back(ValueLit(a, false));
-      solver_.AddClause(guard);
+      solver_->AddClause(guard);
       assumptions.clear();
       assumptions.push_back(MkLit(act));
       for (int a : old_atoms_) assumptions.push_back(ValueLit(a, val(a)));
@@ -244,7 +262,7 @@ class SatEnumerator {
         if (!val(a)) assumptions.push_back(ValueLit(a, false));
       }
       SolveResult r = Solve(assumptions);
-      solver_.AddClause({MkLit(act, true)});
+      solver_->AddClause({MkLit(act, true)});
       if (r == SolveResult::kUnsat) break;
       SnapshotModel();
     }
@@ -257,7 +275,7 @@ class SatEnumerator {
       if (val(a)) out.true_new.push_back(a);
     }
     KBT_ASSIGN_OR_RETURN(out.database,
-                         MaterializeModel(ctx_, *atoms_, mentioned_, val));
+                         MaterializeModel(ctx_, *atoms_, *mentioned_, val));
     return out;
   }
 
@@ -265,10 +283,15 @@ class SatEnumerator {
   const UpdateContext& ctx_;
   const MuOptions& options_;
   MuStats* stats_;
+  const MuExecContext& exec_;
 
-  Solver solver_;
+  /// Fallback solver when the executor supplies none.
+  Solver own_solver_;
+  /// The solver in use: exec_.solver (reset) or &own_solver_.
+  Solver* solver_ = nullptr;
   const AtomIndex* atoms_ = nullptr;
-  std::vector<int> mentioned_;
+  /// Borrowed from the CachedGrounding held alive by Run.
+  const std::vector<int>* mentioned_ = nullptr;
   std::vector<int> old_atoms_;
   std::vector<int> new_atoms_;
   /// Dense per-atom-id tables (ground atom ids are dense by construction).
@@ -289,8 +312,8 @@ class SatEnumerator {
 
 StatusOr<Knowledgebase> MuSat(const Formula& sentence, const Database& db,
                               const UpdateContext& ctx, const MuOptions& options,
-                              MuStats* stats) {
-  SatEnumerator enumerator(db, ctx, options, stats);
+                              MuStats* stats, const MuExecContext& exec) {
+  SatEnumerator enumerator(db, ctx, options, stats, exec);
   return enumerator.Run(sentence);
 }
 

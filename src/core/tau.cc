@@ -1,11 +1,41 @@
 #include "core/tau.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/mu_internal.h"
+#include "exec/ground_cache.h"
+#include "exec/pool.h"
 #include "logic/analysis.h"
+#include "sat/solver.h"
 
 namespace kbt {
 
+namespace {
+
+/// Merges per-world outcomes into the final kb and stats. On failure the
+/// lowest-indexed recorded error wins; with threads=1 that is exactly the old
+/// sequential first-failure behavior, with threads>1 it is the first failure
+/// the executor observed (later worlds are skipped, not run-and-discarded).
+StatusOr<Knowledgebase> FinishTau(std::vector<Status> statuses,
+                                  std::vector<Knowledgebase> results,
+                                  std::vector<MuStats> world_stats,
+                                  TauStats* out) {
+  for (const Status& s : statuses) KBT_RETURN_IF_ERROR(s);
+  for (const MuStats& s : world_stats) out->mu.MergeFrom(s);
+  KBT_ASSIGN_OR_RETURN(Knowledgebase merged,
+                       Knowledgebase::UnionAll(std::move(results)));
+  out->output_databases = merged.size();
+  return merged;
+}
+
+}  // namespace
+
 StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
-                            const MuOptions& options, TauStats* stats) {
+                            const TauOptions& options, TauStats* stats) {
   TauStats local;
   TauStats* out = stats != nullptr ? stats : &local;
   out->input_databases = kb.size();
@@ -18,21 +48,78 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     return Knowledgebase(ctx.schema);
   }
 
-  Knowledgebase result;
-  bool first = true;
-  for (const Database& db : kb) {
-    MuStats mu_stats;
-    KBT_ASSIGN_OR_RETURN(Knowledgebase models, Mu(sentence, db, options, &mu_stats));
-    out->mu.MergeFrom(mu_stats);
-    if (first) {
-      result = std::move(models);
-      first = false;
+  const std::vector<Database>& worlds = kb.databases();
+  // One cache per τ call: the sentence is fixed, so the key is the active
+  // domain alone. Worlds with equal domains ground once.
+  exec::GroundingCache cache;
+  internal::MuExecContext base_exec;
+  if (options.use_ground_cache) base_exec.ground_cache = &cache;
+
+  std::vector<Status> statuses(worlds.size());
+  std::vector<Knowledgebase> results(worlds.size());
+  std::vector<MuStats> world_stats(worlds.size());
+
+  // After the first failure no further world starts a μ computation — the
+  // error is going to be returned anyway, so the remaining work would be
+  // discarded.
+  std::atomic<bool> failed{false};
+  auto run_world = [&](size_t i, internal::MuExecContext exec) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    StatusOr<Knowledgebase> r =
+        internal::MuExec(sentence, worlds[i], options.mu, &world_stats[i], exec);
+    if (r.ok()) {
+      results[i] = std::move(*r);
     } else {
-      KBT_ASSIGN_OR_RETURN(result, result.UnionWith(models));
+      statuses[i] = r.status();
+      failed.store(true, std::memory_order_relaxed);
     }
+  };
+
+  size_t threads = options.threads != 0
+                       ? options.threads
+                       : std::max<size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, worlds.size());
+
+  if (threads <= 1) {
+    // Sequential path: same per-world calls, same merge — the parallel path is
+    // bit-identical because results land in per-world slots either way.
+    sat::Solver solver;
+    internal::MuExecContext exec = base_exec;
+    exec.solver = &solver;
+    for (size_t i = 0; i < worlds.size() && !failed.load(std::memory_order_relaxed);
+         ++i) {
+      run_world(i, exec);
+    }
+    out->threads_used = 1;
+  } else {
+    // Each worker owns a Solver reused (via Reset) across every world it
+    // executes — the PR 2 incremental machinery instantiated per thread.
+    std::vector<std::unique_ptr<sat::Solver>> solvers;
+    solvers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      solvers.push_back(std::make_unique<sat::Solver>());
+    }
+    exec::ThreadPool pool(threads);
+    pool.ParallelFor(worlds.size(), [&](size_t i, size_t worker) {
+      internal::MuExecContext exec = base_exec;
+      exec.solver = solvers[worker].get();
+      run_world(i, exec);
+    });
+    out->threads_used = threads;
   }
-  out->output_databases = result.size();
-  return result;
+
+  exec::GroundingCache::Stats cache_stats = cache.stats();
+  out->ground_cache_hits = cache_stats.hits;
+  out->ground_cache_misses = cache_stats.misses;
+  return FinishTau(std::move(statuses), std::move(results),
+                   std::move(world_stats), out);
+}
+
+StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
+                            const MuOptions& options, TauStats* stats) {
+  TauOptions tau_options;
+  tau_options.mu = options;
+  return Tau(sentence, kb, tau_options, stats);
 }
 
 }  // namespace kbt

@@ -7,6 +7,13 @@
 /// μ(φ, db), and unioning the results. Theorem 2.1 shows τ satisfies the
 /// Katsuno–Mendelzon update postulates; tests/tau_postulates_test.cc re-verifies
 /// them on randomized inputs against this implementation.
+///
+/// The member updates are independent, so τ runs on the exec/ subsystem: worlds
+/// are partitioned into stealable chunks over a work-stealing thread pool, each
+/// worker owns a reusable Solver, and worlds with identical active domains share
+/// one grounded circuit through a domain-keyed cache. threads = 1 (the default)
+/// is the plain sequential loop; every thread count produces the same canonical
+/// Knowledgebase bit for bit (tests/tau_parallel_test.cc).
 
 #include "base/status.h"
 #include "core/mu.h"
@@ -14,17 +21,39 @@
 
 namespace kbt {
 
+struct TauOptions {
+  /// Options for the per-world μ calls.
+  MuOptions mu;
+  /// Worker threads for the world fan-out. 1 = sequential in the calling
+  /// thread; 0 = one per hardware thread.
+  size_t threads = 1;
+  /// Share groundings across worlds with identical active domains (both the
+  /// sequential and the parallel path benefit).
+  bool use_ground_cache = true;
+};
+
 struct TauStats {
   /// Sizes before and after.
   size_t input_databases = 0;
   size_t output_databases = 0;
-  /// Aggregated μ counters.
+  /// Aggregated μ counters (merged in world order, independent of execution
+  /// interleaving).
   MuStats mu;
+  /// Worker threads actually used (1 for the sequential path).
+  size_t threads_used = 1;
+  /// Domain-keyed grounding cache counters (0/0 when the cache is off or no
+  /// world took a grounding strategy).
+  uint64_t ground_cache_hits = 0;
+  uint64_t ground_cache_misses = 0;
 };
 
 /// Computes τ_φ(kb). All members of `kb` share a schema, so every μ call works over
 /// the same extended schema s = σ(kb) ∪ σ(φ) and the union is well-formed. An empty
 /// kb stays empty (over s).
+StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
+                            const TauOptions& options, TauStats* stats = nullptr);
+
+/// Sequential-default convenience overload (μ options only).
 StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
                             const MuOptions& options = MuOptions(),
                             TauStats* stats = nullptr);

@@ -1,0 +1,88 @@
+#ifndef KBT_EXEC_GROUND_CACHE_H_
+#define KBT_EXEC_GROUND_CACHE_H_
+
+/// \file
+/// A domain-keyed cache of groundings, shared across the worlds of one τ call.
+///
+/// Grounding a sentence φ over an active domain B is a pure function of (φ, B) —
+/// the member database contributes only B (its values plus φ's constants) and the
+/// per-atom default values. Worlds of a knowledgebase frequently share B exactly
+/// (the 2^n-world constructions of Theorem 5.1 all do), so τ grounds once per
+/// distinct domain and each world re-derives only its defaults and phase hints.
+/// The cached Grounding (circuit + atom table + the root's mentioned variables)
+/// is immutable after construction and read concurrently by all workers.
+///
+/// One cache instance serves one sentence: the key is the domain alone. The τ
+/// executor creates a fresh cache per call.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/grounder.h"
+
+namespace kbt::exec {
+
+/// An immutable grounding plus the precomputed mentioned-variable set
+/// (CollectVars of the root) every strategy needs right after grounding.
+struct CachedGrounding {
+  Grounding grounding;
+  std::vector<int> mentioned;  ///< Sorted external var ids reachable from root.
+};
+
+/// Grounds `sentence` over `domain` and wraps the result in the immutable
+/// CachedGrounding shape (mentioned vars precomputed). The single constructor
+/// for cache entries and for uncached per-call groundings alike, so both paths
+/// precompute the same fields.
+StatusOr<std::shared_ptr<const CachedGrounding>> MakeCachedGrounding(
+    const Formula& sentence, const std::vector<Value>& domain,
+    const GrounderOptions& options);
+
+class GroundingCache {
+ public:
+  GroundingCache() = default;
+  GroundingCache(const GroundingCache&) = delete;
+  GroundingCache& operator=(const GroundingCache&) = delete;
+
+  /// Returns the grounding of `sentence` over `domain`, computing it on first
+  /// use. Concurrent callers with the same domain block until the one grounding
+  /// completes (grounding twice would waste exactly the work the cache exists
+  /// to save). `sentence` must be the same formula on every call — the cache
+  /// key deliberately omits it.
+  StatusOr<std::shared_ptr<const CachedGrounding>> GetOrGround(
+      const Formula& sentence, const std::vector<Value>& domain,
+      const GrounderOptions& options);
+
+  struct Stats {
+    uint64_t hits = 0;    ///< Lookups served by an existing entry.
+    uint64_t misses = 0;  ///< Lookups that created (and ground) an entry.
+  };
+  Stats stats() const;
+
+  /// Number of distinct domains seen.
+  size_t entries() const;
+
+ private:
+  struct DomainHash {
+    size_t operator()(const std::vector<Value>& domain) const;
+  };
+  /// One per distinct domain. The entry mutex serializes the single grounding;
+  /// `done` flips exactly once, after which value/status are immutable.
+  struct Entry {
+    std::mutex mu;
+    bool done = false;
+    Status status;
+    std::shared_ptr<const CachedGrounding> value;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::vector<Value>, std::shared_ptr<Entry>, DomainHash> map_;
+  Stats stats_;
+};
+
+}  // namespace kbt::exec
+
+#endif  // KBT_EXEC_GROUND_CACHE_H_

@@ -1,0 +1,110 @@
+#include "exec/pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace kbt::exec {
+
+ThreadPool::ThreadPool(size_t workers) {
+  size_t n = std::max<size_t>(1, workers);
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<TaskQueue>());
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Enqueue(size_t q, Task task) {
+  {
+    // The increment happens before the task is visible in any queue, so a
+    // thief's decrement after a successful pop can never underflow the
+    // counter. The lock pairs the increment with the cv wait predicate: a
+    // worker checking the predicate either sees the new count or has not yet
+    // started waiting, so no wakeup is lost. A worker that sees the count
+    // before the push lands merely retries its scan once.
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queues_[q % queues_.size()]->PushBottom(std::move(task));
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Submit(Task task) {
+  Enqueue(next_queue_.fetch_add(1, std::memory_order_relaxed), std::move(task));
+}
+
+bool ThreadPool::TryGet(size_t id, Task* out) {
+  if (queues_[id]->PopBottom(out)) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  size_t n = queues_.size();
+  for (size_t k = 1; k < n; ++k) {
+    if (queues_[(id + k) % n]->StealTop(out)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
+  Task task;
+  while (true) {
+    if (TryGet(id, &task)) {
+      task(id);
+      task = nullptr;  // Release captures before parking.
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    // Drain semantics: exit only once stopped AND no task remains unclaimed.
+    if (stop_ && pending_.load(std::memory_order_relaxed) == 0) return;
+    work_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_ && pending_.load(std::memory_order_relaxed) == 0) return;
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t index, size_t worker)>& body) {
+  if (n == 0) return;
+  size_t num_workers = queues_.size();
+  // More chunks than workers, so a worker finishing its share early can steal
+  // the tail of a slow sibling's; capped at n so chunks are never empty.
+  size_t chunks = std::min(n, num_workers * 4);
+
+  struct ForState {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining;
+  };
+  auto state = std::make_shared<ForState>();
+  state->remaining = chunks;
+
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t begin = n * c / chunks;
+    size_t end = n * (c + 1) / chunks;
+    Enqueue(c, [state, begin, end, &body](size_t worker) {
+      for (size_t i = begin; i < end; ++i) body(i, worker);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->remaining == 0) state->done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+}
+
+}  // namespace kbt::exec

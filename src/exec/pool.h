@@ -1,0 +1,84 @@
+#ifndef KBT_EXEC_POOL_H_
+#define KBT_EXEC_POOL_H_
+
+/// \file
+/// A work-stealing thread pool for world-parallel τ execution.
+///
+/// Design: one TaskQueue per worker. A worker services its own queue bottom-first
+/// and, when empty, steals the oldest task from a sibling queue; blocked workers
+/// park on a condition variable until work arrives or the pool stops. External
+/// submissions round-robin across the queues, and ParallelFor partitions an index
+/// range into more chunks than workers so stealing can rebalance skewed work
+/// (worlds whose μ call is expensive next to trivial siblings).
+///
+/// Tasks receive the id of the worker that runs them, so callers can maintain
+/// per-worker resource pools (one Solver + encoder + scratch per worker, the
+/// PR 2 incremental machinery instantiated per thread instead of per process).
+///
+/// The pool makes no fairness or ordering promises; τ's determinism comes from
+/// writing results into per-world slots, not from execution order.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/task.h"
+
+namespace kbt::exec {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (at least one).
+  explicit ThreadPool(size_t workers);
+
+  /// Stops and joins. Pending submitted tasks are drained first, so every task
+  /// submitted before destruction runs exactly once.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t workers() const { return threads_.size(); }
+
+  /// Enqueues a standalone task (round-robin across worker queues).
+  void Submit(Task task);
+
+  /// Runs body(index, worker) for every index in [0, n), blocking until all
+  /// have completed. Indices are partitioned into contiguous chunks (several
+  /// per worker) that idle workers steal. `body` must not call back into
+  /// ParallelFor on the same pool.
+  void ParallelFor(size_t n, const std::function<void(size_t index, size_t worker)>& body);
+
+  /// Number of tasks executed by a worker other than the one whose queue they
+  /// were pushed to (monotone; for tests and instrumentation).
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerLoop(size_t id);
+  /// Pops a task from `id`'s queue, or steals one. Decrements pending_ on
+  /// success.
+  bool TryGet(size_t id, Task* out);
+  /// Publishes a task to queue `q` and wakes a worker.
+  void Enqueue(size_t q, Task task);
+
+  std::vector<std::unique_ptr<TaskQueue>> queues_;  // One per worker.
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  /// Tasks pushed but not yet picked up. Guarded by mu_ for the cv protocol
+  /// (atomic so TryGet can decrement without the lock).
+  std::atomic<size_t> pending_{0};
+  bool stop_ = false;  // Guarded by mu_.
+
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace kbt::exec
+
+#endif  // KBT_EXEC_POOL_H_

@@ -1,0 +1,73 @@
+#ifndef KBT_EXEC_TASK_H_
+#define KBT_EXEC_TASK_H_
+
+/// \file
+/// Units of work for the executor and the per-worker queues they wait in.
+///
+/// τ_φ(kb) replaces every member database with μ(φ, db) — the members are
+/// independent, so the natural execution model is a fixed set of workers pulling
+/// world-chunks from queues. A task is invoked with the id of the worker that
+/// ultimately runs it (not the one it was submitted to), so tasks can index
+/// per-worker resource pools (solver, encoder, scratch buffers) even after being
+/// stolen.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+namespace kbt::exec {
+
+/// A unit of work. The argument is the id of the worker executing the task —
+/// stable for the task's whole run, so it can be used to index per-worker
+/// resources owned outside the pool.
+using Task = std::function<void(size_t worker)>;
+
+/// A work-stealing deque of tasks: the owning worker pushes and pops at the
+/// bottom (LIFO, keeping its cache warm), thieves steal from the top (FIFO,
+/// taking the oldest — and for parallel-for chunks, largest-remaining — work).
+/// Mutex-guarded: contention is per-queue, not global, and the executor's unit
+/// of work (a μ call) dwarfs the lock cost by orders of magnitude.
+class TaskQueue {
+ public:
+  TaskQueue() = default;
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  void PushBottom(Task task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+
+  /// Owner pop: newest task first. Returns false when empty.
+  bool PopBottom(Task* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    *out = std::move(tasks_.back());
+    tasks_.pop_back();
+    return true;
+  }
+
+  /// Thief pop: oldest task first. Returns false when empty.
+  bool StealTop(Task* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    *out = std::move(tasks_.front());
+    tasks_.pop_front();
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Task> tasks_;
+};
+
+}  // namespace kbt::exec
+
+#endif  // KBT_EXEC_TASK_H_

@@ -1,13 +1,37 @@
 #include "rel/knowledgebase.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace kbt {
 
 void Knowledgebase::Canonicalize() {
+  // Hash-based dedup first (Database::Hash buckets, equality only within a
+  // bucket), then one sort of the survivors for the canonical order. For the
+  // τ merge over many near-identical worlds this drops duplicates in O(n)
+  // expected instead of feeding them all into the sort.
+  if (databases_.size() > 1) {
+    std::unordered_map<size_t, std::vector<size_t>> buckets;
+    buckets.reserve(databases_.size());
+    size_t keep = 0;
+    for (size_t i = 0; i < databases_.size(); ++i) {
+      size_t h = databases_[i].Hash();
+      std::vector<size_t>& bucket = buckets[h];
+      bool duplicate = false;
+      for (size_t j : bucket) {
+        if (databases_[j] == databases_[i]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      if (keep != i) databases_[keep] = std::move(databases_[i]);
+      bucket.push_back(keep);
+      ++keep;
+    }
+    databases_.resize(keep);
+  }
   std::sort(databases_.begin(), databases_.end());
-  databases_.erase(std::unique(databases_.begin(), databases_.end()),
-                   databases_.end());
 }
 
 StatusOr<Knowledgebase> Knowledgebase::FromDatabases(std::vector<Database> databases) {
@@ -58,6 +82,33 @@ StatusOr<Knowledgebase> Knowledgebase::UnionWith(const Knowledgebase& other) con
   Knowledgebase out = *this;
   out.databases_.insert(out.databases_.end(), other.databases_.begin(),
                         other.databases_.end());
+  out.Canonicalize();
+  return out;
+}
+
+StatusOr<Knowledgebase> Knowledgebase::UnionAll(std::vector<Knowledgebase> parts) {
+  Knowledgebase out;
+  if (parts.empty()) return out;
+  // Adopt the first non-default schema (all μ results of one τ call share the
+  // extended schema, even the empty ones), falling back to the first part's.
+  out.schema_ = parts.front().schema_;
+  for (const Knowledgebase& part : parts) {
+    if (part.schema_.size() != 0) {
+      out.schema_ = part.schema_;
+      break;
+    }
+  }
+  size_t total = 0;
+  for (const Knowledgebase& part : parts) total += part.size();
+  out.databases_.reserve(total);
+  for (Knowledgebase& part : parts) {
+    if (part.empty()) continue;
+    if (part.schema_ != out.schema_) {
+      return Status::InvalidArgument("knowledgebase union: schema mismatch");
+    }
+    std::move(part.databases_.begin(), part.databases_.end(),
+              std::back_inserter(out.databases_));
+  }
   out.Canonicalize();
   return out;
 }

@@ -52,6 +52,14 @@ class Knowledgebase {
   /// postulate (viii): τ_φ(kb1 ∪ kb2) = τ_φ(kb1) ∪ τ_φ(kb2).
   StatusOr<Knowledgebase> UnionWith(const Knowledgebase& other) const;
 
+  /// Union of many same-schema knowledgebases in one pass: members are moved,
+  /// deduplicated through Database::Hash, and sorted once — τ's merge step over
+  /// per-world μ results, O(total · log(unique)) instead of the O(parts²)
+  /// repeated pairwise union. Parts that are empty (including default-schema
+  /// empties) contribute nothing; an all-empty input yields an empty kb over
+  /// the first part's schema.
+  static StatusOr<Knowledgebase> UnionAll(std::vector<Knowledgebase> parts);
+
   /// The paper's ⊓: componentwise intersection of all members, as a singleton kb.
   /// ⊓ of an empty kb is the empty kb.
   Knowledgebase Glb() const;

@@ -20,11 +20,39 @@ Var Solver::NewVar() {
   activity_.push_back(0.0);
   saved_phase_.push_back(0);
   seen_.push_back(0);
-  watches_.emplace_back();
-  watches_.emplace_back();
+  // After Reset the watch lists persist (cleared, capacity kept); only grow
+  // the outer vector past the high-water mark.
+  if (watches_.size() < values_.size() * 2) {
+    watches_.emplace_back();
+    watches_.emplace_back();
+  }
   order_heap_.push_back({0.0, v});
   std::push_heap(order_heap_.begin(), order_heap_.end());
   return v;
+}
+
+void Solver::Reset() {
+  ok_ = true;
+  arena_.clear();
+  wasted_words_ = 0;
+  num_problem_clauses_ = 0;
+  learned_.clear();
+  reduce_limit_ = 2048;
+  clause_act_inc_ = 16;
+  for (std::vector<Watcher>& wl : watches_) wl.clear();
+  values_.clear();
+  levels_.clear();
+  reasons_.clear();
+  trail_.clear();
+  trail_lim_.clear();
+  propagate_head_ = 0;
+  activity_.clear();
+  var_inc_ = 1.0;
+  order_heap_.clear();
+  saved_phase_.clear();
+  model_.clear();
+  seen_.clear();
+  stats_ = Stats();
 }
 
 ClauseRef Solver::AllocClause(std::span<const Lit> lits, bool learned) {
@@ -241,6 +269,23 @@ void Solver::Analyze(ClauseRef confl, std::vector<Lit>* learned, int* bt_level) 
   } while (counter > 0);
   (*learned)[0] = Negate(p);
 
+  // Learned-clause minimization by self-subsumption: a literal whose reason's
+  // other literals are all already in the clause (or level 0) is resolved away
+  // without adding anything. Removed literals keep their seen_ mark for the
+  // rest of the loop, which closes the check transitively — a literal may be
+  // judged redundant through other removed literals (Sörensson–Biere local
+  // minimization).
+  size_t kept = 1;
+  for (size_t i = 1; i < learned->size(); ++i) {
+    Lit q = (*learned)[i];
+    if (LitRedundant(q)) {
+      ++stats_.minimized_literals;
+    } else {
+      (*learned)[kept++] = q;
+    }
+  }
+  learned->resize(kept);
+
   // Backtrack level: second-highest level in the learned clause.
   if (learned->size() == 1) {
     *bt_level = 0;
@@ -256,6 +301,21 @@ void Solver::Analyze(ClauseRef confl, std::vector<Lit>* learned, int* bt_level) 
     *bt_level = levels_[static_cast<size_t>(VarOf((*learned)[1]))];
   }
   for (Var v : to_clear) seen_[static_cast<size_t>(v)] = 0;
+}
+
+bool Solver::LitRedundant(Lit q) const {
+  ClauseRef reason = reasons_[static_cast<size_t>(VarOf(q))];
+  if (reason == kNoClause) return false;  // Decision or assumption.
+  const Lit* lits = LitsOf(reason);
+  uint32_t size = SizeOf(reason);
+  for (uint32_t j = 0; j < size; ++j) {
+    Var v = VarOf(lits[j]);
+    if (v == VarOf(q)) continue;  // The propagated literal itself.
+    if (!seen_[static_cast<size_t>(v)] && levels_[static_cast<size_t>(v)] != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 Var Solver::PickBranchVar() {

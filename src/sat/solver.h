@@ -67,6 +67,13 @@ class Solver {
   /// Creates a fresh variable and returns it.
   Var NewVar();
 
+  /// Returns the solver to its freshly-constructed state while keeping the
+  /// allocated capacity of the clause arena, watcher lists and per-variable
+  /// tables. The τ executor's per-worker solver pools reuse one Solver across
+  /// many worlds: given the same sequence of NewVar/AddClause/Solve calls, a
+  /// reset solver behaves bit-identically to a fresh one.
+  void Reset();
+
   /// Number of variables created.
   int num_vars() const { return static_cast<int>(values_.size()); }
 
@@ -128,6 +135,8 @@ class Solver {
     uint64_t solve_calls = 0;
     uint64_t db_reductions = 0;      ///< Learned-DB reduction passes.
     uint64_t learned_deleted = 0;    ///< Learned clauses dropped by reduction.
+    uint64_t minimized_literals = 0; ///< Literals shrunk from learned clauses
+                                     ///< by self-subsumption in Analyze.
   };
   const Stats& stats() const { return stats_; }
 
@@ -173,6 +182,10 @@ class Solver {
   int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
   void NewDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
   void Analyze(ClauseRef confl, std::vector<Lit>* learned, int* bt_level);
+  /// True when `q` can be dropped from the learned clause because its reason's
+  /// other literals are all already in the clause (seen) or fixed at level 0 —
+  /// one self-subsumption resolution step that only shrinks the clause.
+  bool LitRedundant(Lit q) const;
   void BumpVar(Var v);
   void BumpClause(ClauseRef cref);
   void DecayActivities();

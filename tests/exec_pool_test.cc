@@ -1,0 +1,150 @@
+/// \file
+/// Tests for the exec/ work-stealing thread pool: queue semantics, start/stop
+/// drain guarantees, ParallelFor coverage under stress, and worker-id validity
+/// (the contract the per-worker solver pools in τ rely on).
+
+#include "exec/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "exec/task.h"
+
+namespace kbt::exec {
+namespace {
+
+TEST(TaskQueueTest, OwnerPopsLifoThievesStealFifo) {
+  TaskQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    q.PushBottom([&order, i](size_t) { order.push_back(i); });
+  }
+  EXPECT_EQ(q.size(), 3u);
+
+  Task t;
+  ASSERT_TRUE(q.StealTop(&t));
+  t(0);  // Oldest task first for thieves.
+  ASSERT_TRUE(q.PopBottom(&t));
+  t(0);  // Newest task first for the owner.
+  ASSERT_TRUE(q.PopBottom(&t));
+  t(0);
+  EXPECT_FALSE(q.PopBottom(&t));
+  EXPECT_FALSE(q.StealTop(&t));
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(ThreadPoolTest, StartStopEmpty) {
+  // Pools with no work must start and join cleanly, repeatedly.
+  for (int i = 0; i < 10; ++i) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 1u);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(5, [&](size_t, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&ran](size_t) { ++ran; });
+    }
+    // Destructor must run every submitted task exactly once before joining.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i, size_t worker) {
+    ASSERT_LT(worker, pool.workers());
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int ran = 0;
+  pool.ParallelFor(0, [&](size_t, size_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  pool.ParallelFor(1, [&](size_t i, size_t) {
+    EXPECT_EQ(i, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(64, [&](size_t i, size_t) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, StealStressSkewedDurations) {
+  // Chunks land in fixed queues; skewed task durations force idle workers to
+  // steal. On a single-core host stealing still occurs via preemption, so only
+  // coverage is asserted deterministically; steals() is exercised, not pinned.
+  ThreadPool pool(4);
+  constexpr size_t kN = 256;
+  std::vector<std::atomic<int>> counts(kN);
+  std::atomic<uint64_t> slow_done{0};
+  pool.ParallelFor(kN, [&](size_t i, size_t) {
+    if (i % 64 == 0) {
+      // One slow item per chunk-group pins a worker.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++slow_done;
+    }
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(slow_done.load(), 4u);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+  // Monotone counter is readable and sane.
+  EXPECT_GE(pool.steals(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitAndParallelForInterleaved) {
+  std::atomic<int> submitted_ran{0};
+  {
+    ThreadPool pool(2);
+    for (int round = 0; round < 10; ++round) {
+      for (int i = 0; i < 5; ++i) {
+        pool.Submit([&submitted_ran](size_t) { ++submitted_ran; });
+      }
+      std::atomic<int> loop_ran{0};
+      pool.ParallelFor(50, [&](size_t, size_t) { ++loop_ran; });
+      EXPECT_EQ(loop_ran.load(), 50);
+    }
+  }
+  // Every submitted task ran by the time the destructor joined.
+  EXPECT_EQ(submitted_ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace kbt::exec

@@ -1,0 +1,121 @@
+/// \file
+/// Tests for the domain-keyed grounding cache: hit/miss accounting, value
+/// sharing (one grounding per distinct domain), agreement with a direct
+/// GroundSentence call, error caching, and concurrent access through the pool.
+
+#include "exec/ground_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "exec/pool.h"
+#include "logic/parser.h"
+
+namespace kbt::exec {
+namespace {
+
+std::vector<Value> Domain(std::initializer_list<std::string_view> names) {
+  std::vector<Value> out;
+  for (std::string_view n : names) out.push_back(Name(n));
+  return out;
+}
+
+TEST(GroundCacheTest, HitMissAccounting) {
+  Formula phi = *ParseSentence("forall x: R(x) -> S(x)");
+  GroundingCache cache;
+  GrounderOptions opts;
+
+  auto a1 = cache.GetOrGround(phi, Domain({"a", "b"}), opts);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  auto a2 = cache.GetOrGround(phi, Domain({"a", "b"}), opts);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Same domain → the same shared grounding, not an equal copy.
+  EXPECT_EQ(a1->get(), a2->get());
+
+  auto b = cache.GetOrGround(phi, Domain({"a", "c"}), opts);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_NE(a1->get(), b->get());
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(GroundCacheTest, MatchesDirectGrounding) {
+  Formula phi = *ParseSentence("forall x, y: R(x, y) -> (S(x) | S(y))");
+  std::vector<Value> domain = Domain({"a", "b", "c"});
+  GroundingCache cache;
+  GrounderOptions opts;
+
+  auto cached = cache.GetOrGround(phi, domain, opts);
+  ASSERT_TRUE(cached.ok());
+  StatusOr<Grounding> direct = GroundSentence(phi, domain, opts);
+  ASSERT_TRUE(direct.ok());
+
+  // Grounding is deterministic in (φ, domain): identical circuit shape, root
+  // and atom table, and the cached mentioned set is CollectVars of the root.
+  EXPECT_EQ((*cached)->grounding.circuit.size(), direct->circuit.size());
+  EXPECT_EQ((*cached)->grounding.root, direct->root);
+  EXPECT_EQ((*cached)->grounding.atoms.size(), direct->atoms.size());
+  EXPECT_EQ((*cached)->mentioned, direct->circuit.CollectVars(direct->root));
+  for (size_t i = 0; i < direct->atoms.size(); ++i) {
+    EXPECT_EQ((*cached)->grounding.atoms.AtomOf(static_cast<int>(i)),
+              direct->atoms.AtomOf(static_cast<int>(i)));
+  }
+}
+
+TEST(GroundCacheTest, BudgetErrorIsCachedPerDomain) {
+  // A quantifier-deep sentence over a 3-value domain blows a tiny node budget.
+  Formula phi = *ParseSentence(
+      "forall x, y, z: (R(x, y) & R(y, z)) -> (R(x, z) | S(x))");
+  GroundingCache cache;
+  GrounderOptions opts;
+  opts.max_nodes = 4;
+
+  auto r1 = cache.GetOrGround(phi, Domain({"a", "b", "c"}), opts);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kResourceExhausted);
+  // The error is remembered: a repeat lookup is a hit, not a re-grounding.
+  auto r2 = cache.GetOrGround(phi, Domain({"a", "b", "c"}), opts);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(GroundCacheTest, ConcurrentLookupsGroundOnce) {
+  Formula phi = *ParseSentence("forall x, y: R(x, y) -> S(y, x)");
+  GroundingCache cache;
+  GrounderOptions opts;
+  std::vector<Value> domain = Domain({"a", "b", "c", "d"});
+
+  constexpr size_t kLookups = 64;
+  std::vector<std::shared_ptr<const CachedGrounding>> seen(kLookups);
+  std::atomic<int> failures{0};
+  {
+    ThreadPool pool(4);
+    pool.ParallelFor(kLookups, [&](size_t i, size_t) {
+      auto r = cache.GetOrGround(phi, domain, opts);
+      if (r.ok()) {
+        seen[i] = *r;
+      } else {
+        ++failures;
+      }
+    });
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, kLookups - 1);
+  for (size_t i = 1; i < kLookups; ++i) {
+    EXPECT_EQ(seen[i].get(), seen[0].get());
+  }
+}
+
+}  // namespace
+}  // namespace kbt::exec

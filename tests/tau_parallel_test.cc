@@ -1,0 +1,185 @@
+/// \file
+/// The τ executor's determinism contract: for every knowledgebase and sentence,
+/// Tau with threads=N and any cache setting returns a Knowledgebase *equal* to
+/// the sequential result — same canonical member list, bit for bit. Verified on
+/// randomized inputs across strategies (auto dispatch and forced SAT), plus
+/// deterministic error propagation and stats sanity.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/kbt.h"
+#include "testutil.h"
+
+namespace kbt {
+namespace {
+
+using testutil::RandomDatabase;
+using testutil::RandomSentenceGenerator;
+using testutil::TestSchema;
+
+/// A random kb with more members than testutil's default (τ fan-out wants
+/// enough worlds to split into chunks).
+Knowledgebase RandomWideKb(std::mt19937_64* rng, int min_members,
+                           int max_members) {
+  std::uniform_int_distribution<int> count(min_members, max_members);
+  std::vector<Database> dbs;
+  int k = count(*rng);
+  for (int i = 0; i < k; ++i) dbs.push_back(RandomDatabase(rng));
+  return *Knowledgebase::FromDatabases(std::move(dbs));
+}
+
+TEST(TauParallelTest, MatchesSequentialOnRandomInputsAutoStrategy) {
+  std::mt19937_64 rng(2024);
+  RandomSentenceGenerator gen(&rng, /*new_relation_prob=*/0.3);
+  int compared = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    Knowledgebase kb = RandomWideKb(&rng, 4, 9);
+    Formula phi = gen.Generate(3);
+
+    TauOptions seq;
+    seq.threads = 1;
+    TauStats seq_stats;
+    StatusOr<Knowledgebase> expected = Tau(phi, kb, seq, &seq_stats);
+
+    for (size_t threads : {2u, 4u}) {
+      TauOptions par;
+      par.threads = threads;
+      TauStats par_stats;
+      StatusOr<Knowledgebase> got = Tau(phi, kb, par, &par_stats);
+      ASSERT_EQ(expected.ok(), got.ok())
+          << "iter " << iter << " threads " << threads;
+      if (!expected.ok()) {
+        // Success/failure is scheduling-independent; the specific code is not
+        // when different worlds fail differently (the executor reports the
+        // first failure it observed and skips the rest).
+        continue;
+      }
+      EXPECT_EQ(*expected, *got) << "iter " << iter << " threads " << threads;
+      EXPECT_EQ(seq_stats.output_databases, par_stats.output_databases);
+      // μ counters merge in world order: identical regardless of scheduling.
+      EXPECT_EQ(seq_stats.mu.minimal_models, par_stats.mu.minimal_models);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0);
+}
+
+TEST(TauParallelTest, MatchesSequentialForcedSatWithAndWithoutCache) {
+  std::mt19937_64 rng(77);
+  RandomSentenceGenerator gen(&rng, /*new_relation_prob=*/0.4);
+  for (int iter = 0; iter < 20; ++iter) {
+    Knowledgebase kb = RandomWideKb(&rng, 3, 6);
+    Formula phi = gen.Generate(2);
+
+    TauOptions seq_nocache;
+    seq_nocache.mu.strategy = MuStrategy::kSat;
+    seq_nocache.threads = 1;
+    seq_nocache.use_ground_cache = false;
+    StatusOr<Knowledgebase> expected = Tau(phi, kb, seq_nocache);
+
+    for (bool cache : {false, true}) {
+      TauOptions par;
+      par.mu.strategy = MuStrategy::kSat;
+      par.threads = 4;
+      par.use_ground_cache = cache;
+      StatusOr<Knowledgebase> got = Tau(phi, kb, par);
+      ASSERT_EQ(expected.ok(), got.ok()) << "iter " << iter << " cache " << cache;
+      if (expected.ok()) {
+        EXPECT_EQ(*expected, *got) << "iter " << iter << " cache " << cache;
+      }
+    }
+  }
+}
+
+TEST(TauParallelTest, SharedDomainWorldsHitTheCache) {
+  // testutil worlds all pin Dom = {a, b, c}, so their active domains coincide
+  // whenever the sentence adds no new constants: one miss, size-1 hits.
+  std::mt19937_64 rng(5);
+  std::vector<Database> dbs;
+  for (int i = 0; i < 6; ++i) dbs.push_back(RandomDatabase(&rng));
+  Knowledgebase kb = *Knowledgebase::FromDatabases(std::move(dbs));
+  size_t worlds = kb.size();
+
+  Formula phi = *ParseSentence("forall x: (P(x) & !Q(x, x)) -> (N(x) & P(x))");
+  TauOptions options;
+  options.mu.strategy = MuStrategy::kSat;
+  options.threads = 2;
+  TauStats stats;
+  StatusOr<Knowledgebase> result = Tau(phi, kb, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(stats.ground_cache_misses, 1u);
+  EXPECT_EQ(stats.ground_cache_hits, worlds - 1);
+  EXPECT_EQ(stats.threads_used, 2u);
+
+  // And the cached run agrees with the uncached sequential one.
+  TauOptions plain;
+  plain.mu.strategy = MuStrategy::kSat;
+  plain.use_ground_cache = false;
+  StatusOr<Knowledgebase> expected = Tau(phi, kb, plain);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(*expected, *result);
+}
+
+TEST(TauParallelTest, ErrorPropagationIsDeterministic) {
+  // A tiny grounding budget fails every world; parallel and sequential must
+  // report the same code (the lowest-indexed world's error).
+  std::mt19937_64 rng(11);
+  std::vector<Database> dbs;
+  for (int i = 0; i < 5; ++i) dbs.push_back(RandomDatabase(&rng));
+  Knowledgebase kb = *Knowledgebase::FromDatabases(std::move(dbs));
+
+  Formula phi = *ParseSentence(
+      "forall x, y, z: (Q(x, y) & Q(y, z)) -> (Q(x, z) | P(x))");
+  for (size_t threads : {1u, 4u}) {
+    TauOptions options;
+    options.mu.strategy = MuStrategy::kSat;
+    options.mu.max_ground_nodes = 2;
+    options.threads = threads;
+    StatusOr<Knowledgebase> result = Tau(phi, kb, options);
+    ASSERT_FALSE(result.ok()) << "threads " << threads;
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(TauParallelTest, ThreadsCappedByWorldCountAndZeroMeansAuto) {
+  std::mt19937_64 rng(3);
+  Knowledgebase kb = *Knowledgebase::FromDatabases(
+      {RandomDatabase(&rng), RandomDatabase(&rng)});
+  Formula phi = *ParseSentence("P(a) | Q(a, b)");
+
+  TauOptions options;
+  options.threads = 16;  // More threads than worlds: capped at kb.size().
+  TauStats stats;
+  StatusOr<Knowledgebase> result = Tau(phi, kb, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(stats.threads_used, kb.size());
+
+  options.threads = 0;  // Auto: hardware concurrency, still capped and valid.
+  TauStats auto_stats;
+  StatusOr<Knowledgebase> auto_result = Tau(phi, kb, options, &auto_stats);
+  ASSERT_TRUE(auto_result.ok()) << auto_result.status();
+  EXPECT_GE(auto_stats.threads_used, 1u);
+  EXPECT_EQ(*result, *auto_result);
+}
+
+TEST(TauParallelTest, PipelineAndEnginePlumbThreadCount) {
+  std::mt19937_64 rng(9);
+  std::vector<Database> dbs;
+  for (int i = 0; i < 4; ++i) dbs.push_back(RandomDatabase(&rng));
+  Knowledgebase kb = *Knowledgebase::FromDatabases(std::move(dbs));
+
+  Engine sequential;
+  Engine parallel;
+  parallel.options().tau_threads = 4;
+  const char* expr = "tau{ forall x: P(x) -> N(x) } >> pi[N]";
+  StatusOr<Knowledgebase> seq = sequential.Apply(expr, kb);
+  StatusOr<Knowledgebase> par = parallel.Apply(expr, kb);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  ASSERT_TRUE(par.ok()) << par.status();
+  EXPECT_EQ(*seq, *par);
+}
+
+}  // namespace
+}  // namespace kbt
