@@ -1,21 +1,25 @@
 /// \file
 /// Machine-readable benchmark harness for the τ executor: the world-parallel
-/// fan-out over exec/ (per-worker solver pools, domain-keyed grounding cache,
-/// hash-based union). Each workload is measured four ways —
+/// fan-out over exec/ (per-worker solver pools, domain-keyed grounding and
+/// frozen-CNF-prefix caches, hash-based union). Each workload is measured —
 ///
 ///   * pr2     — the pre-executor loop (fresh μ per world, repeated pairwise
 ///               UnionWith), reconstructed here as the baseline,
-///   * t1      — Tau with threads=1 (sequential executor: solver reuse +
-///               grounding cache + one-pass hash union),
-///   * t1_nocache — threads=1 with the grounding cache disabled,
-///   * t2/t4   — Tau with 2 and 4 worker threads,
+///   * t1_nocache  — threads=1, all domain-keyed sharing off (per-world
+///                   grounding AND per-world Tseitin encoding),
+///   * t1_noprefix — threads=1 with the grounding cache but no prefix
+///                   sharing (the PR 3 configuration),
+///   * t1      — threads=1, grounding cache + frozen-CNF-prefix solver forks,
+///   * t2/t4   — Tau with 2 and 4 worker threads (all sharing on),
 ///
-/// and written to BENCH_tau.json so τ changes leave a diffable perf trajectory
-/// next to BENCH_datalog.json and BENCH_mu.json. speedup_vs_pr2 is the headline
-/// number; cache hit counters separate grounding reuse from thread scaling
-/// (on a single-core host the former is the entire win).
+/// and tagged with `rev` so rows can be appended to BENCH_tau.json next to
+/// earlier revisions' rows — the perf trajectory stays diffable across PRs.
+/// speedup_vs_pr2 is the headline number; the cache and prefix hit counters
+/// separate grounding reuse, encoding reuse and thread scaling (on a
+/// single-core host the first two are the entire win).
 ///
-/// Usage: json_bench_tau [output.json]   (default: BENCH_tau.json)
+/// Usage: json_bench_tau [output.json]   (default: BENCH_tau.json; when the
+/// file should keep older revisions, write elsewhere and append by hand.)
 
 #include <cstdio>
 #include <random>
@@ -27,6 +31,10 @@
 namespace kbt::bench {
 namespace {
 
+/// Revision tag stamped on every row this harness writes. Bump per PR so rows
+/// from different revisions coexist in BENCH_tau.json.
+constexpr const char* kRev = "pr4";
+
 struct TauBenchRecord {
   std::string name;
   int worlds = 0;
@@ -36,6 +44,8 @@ struct TauBenchRecord {
   double speedup_vs_pr2 = 1.0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t prefix_hits = 0;
+  uint64_t prefix_misses = 0;
   size_t output_databases = 0;
 };
 
@@ -48,13 +58,18 @@ bool WriteTauBenchJson(const std::string& path,
     const TauBenchRecord& r = records[i];
     ok = std::fprintf(
              f,
-             "    {\"name\": \"%s\", \"worlds\": %d, \"threads\": %d, "
+             "    {\"name\": \"%s\", \"rev\": \"%s\", \"worlds\": %d, "
+             "\"threads\": %d, "
              "\"ms_per_op\": %.4f, \"ops_per_sec\": %.3f, "
              "\"speedup_vs_pr2\": %.2f, \"cache_hits\": %llu, "
-             "\"cache_misses\": %llu, \"output_databases\": %zu}%s\n",
-             r.name.c_str(), r.worlds, r.threads, r.ms_per_op, r.ops_per_sec,
-             r.speedup_vs_pr2, static_cast<unsigned long long>(r.cache_hits),
+             "\"cache_misses\": %llu, \"prefix_hits\": %llu, "
+             "\"prefix_misses\": %llu, \"output_databases\": %zu}%s\n",
+             r.name.c_str(), kRev, r.worlds, r.threads, r.ms_per_op,
+             r.ops_per_sec, r.speedup_vs_pr2,
+             static_cast<unsigned long long>(r.cache_hits),
              static_cast<unsigned long long>(r.cache_misses),
+             static_cast<unsigned long long>(r.prefix_hits),
+             static_cast<unsigned long long>(r.prefix_misses),
              r.output_databases, i + 1 < records.size() ? "," : "") >= 0 &&
          ok;
   }
@@ -127,6 +142,39 @@ Knowledgebase RandomWorlds(int num_worlds, int domain_size, uint64_t seed) {
   return *Knowledgebase::FromDatabases(std::move(worlds));
 }
 
+/// The prefix-sharing sweet spot: many worlds over one shared active domain,
+/// each differing from a base world by only a few R tuples. Per world, τ's SAT
+/// path re-derives just the defaults and the (small) model deltas; grounding,
+/// Tseitin encoding and strategy planning are all shared.
+Knowledgebase DeltaWorlds(int num_worlds, int domain_size, int flips,
+                          uint64_t seed) {
+  Schema schema = *Schema::Of({{"Dom", 1}, {"R", 2}});
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(0.35);
+  std::uniform_int_distribution<int> pick(0, domain_size - 1);
+  Relation::Builder dom(1);
+  for (int i = 0; i < domain_size; ++i) dom.Append({Name(V(i))});
+  Relation dom_rel = dom.Build();
+  Relation::Builder base_b(2);
+  for (int i = 0; i < domain_size; ++i) {
+    for (int j = 0; j < domain_size; ++j) {
+      if (coin(rng)) base_b.Append({Name(V(i)), Name(V(j))});
+    }
+  }
+  Relation base = base_b.Build();
+  std::vector<Database> worlds;
+  for (int w = 0; w < num_worlds; ++w) {
+    Relation r = base;
+    for (int f = 0; f < flips; ++f) {
+      Value t[2] = {Name(V(pick(rng))), Name(V(pick(rng)))};
+      TupleView tuple(t, 2);
+      r = r.Contains(tuple) ? r.WithoutTuple(tuple) : r.WithTuple(tuple);
+    }
+    worlds.push_back(*Database::Create(schema, {dom_rel, std::move(r)}));
+  }
+  return *Knowledgebase::FromDatabases(std::move(worlds));
+}
+
 /// Measures one (workload, sentence) pair across the execution modes and
 /// appends the records.
 void MeasureWorkload(const std::string& name, const Formula& sentence,
@@ -151,18 +199,21 @@ void MeasureWorkload(const std::string& name, const Formula& sentence,
     const char* suffix;
     size_t threads;
     bool cache;
+    bool prefix;
   };
   const Mode modes[] = {
-      {"_t1_nocache", 1, false},
-      {"_t1", 1, true},
-      {"_t2", 2, true},
-      {"_t4", 4, true},
+      {"_t1_nocache", 1, false, false},
+      {"_t1_noprefix", 1, true, false},
+      {"_t1", 1, true, true},
+      {"_t2", 2, true, true},
+      {"_t4", 4, true, true},
   };
   for (const Mode& mode : modes) {
     TauOptions options;
     options.mu = mu;
     options.threads = mode.threads;
     options.use_ground_cache = mode.cache;
+    options.use_cnf_prefix = mode.prefix;
     TauStats stats;
     double ms = MeasureMs([&] {
       stats = TauStats();
@@ -178,6 +229,8 @@ void MeasureWorkload(const std::string& name, const Formula& sentence,
     r.speedup_vs_pr2 = ms > 0 ? pr2_ms / ms : 0.0;
     r.cache_hits = stats.ground_cache_hits;
     r.cache_misses = stats.ground_cache_misses;
+    r.prefix_hits = stats.cnf_cache_hits;
+    r.prefix_misses = stats.cnf_cache_misses;
     r.output_databases = stats.output_databases;
     out->push_back(r);
   }
@@ -208,6 +261,13 @@ int Main(int argc, char** argv) {
   MeasureWorkload("tau_ground_insert_w32", ground_insert, RandomWorlds(32, 4, 107),
                   &records);
 
+  // Many worlds, few deltas: 64 worlds over a 6-value domain differing from
+  // one base by ≤2 tuples — the prefix-sharing sweet spot. The frozen prefix
+  // amortizes the (domain²-sized) encoding across all worlds; per-world cost
+  // is the defaults pass plus the (tiny) enumeration.
+  MeasureWorkload("tau_sat_delta_w64", orient, DeltaWorlds(64, 6, 2, 113),
+                  &records);
+
   if (!WriteTauBenchJson(path, records)) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return 1;
@@ -215,10 +275,12 @@ int Main(int argc, char** argv) {
   for (const TauBenchRecord& r : records) {
     std::printf(
         "%-28s worlds=%-5d threads=%d %10.4f ms/op %8.2fx vs pr2  "
-        "cache %llu/%llu  out=%zu\n",
+        "cache %llu/%llu  prefix %llu/%llu  out=%zu\n",
         r.name.c_str(), r.worlds, r.threads, r.ms_per_op, r.speedup_vs_pr2,
         static_cast<unsigned long long>(r.cache_hits),
-        static_cast<unsigned long long>(r.cache_misses), r.output_databases);
+        static_cast<unsigned long long>(r.cache_misses),
+        static_cast<unsigned long long>(r.prefix_hits),
+        static_cast<unsigned long long>(r.prefix_misses), r.output_databases);
   }
   std::printf("wrote %s\n", path);
   return 0;

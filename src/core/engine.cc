@@ -1,6 +1,23 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <thread>
+
+#include "exec/pool.h"
+
 namespace kbt {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+Engine::~Engine() = default;
+
+exec::ThreadPool* Engine::PoolFor(size_t threads) {
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->workers() != threads) {
+    pool_ = std::make_unique<exec::ThreadPool>(threads);
+  }
+  return pool_.get();
+}
 
 StatusOr<Knowledgebase> Engine::Apply(std::string_view expression,
                                       const Knowledgebase& kb) {
@@ -15,6 +32,13 @@ StatusOr<Knowledgebase> Engine::Apply(const Pipeline& pipeline,
   tau_options.mu = options_.mu;
   tau_options.threads = options_.tau_threads;
   tau_options.use_ground_cache = options_.tau_ground_cache;
+  tau_options.use_cnf_prefix = options_.tau_cnf_prefix;
+  // Serving-style reuse: lend the lazily-started persistent pool to every τ
+  // step instead of letting each call spawn (and join) its own workers.
+  size_t resolved = options_.tau_threads != 0
+                        ? options_.tau_threads
+                        : std::max<size_t>(1, std::thread::hardware_concurrency());
+  tau_options.pool = PoolFor(resolved);
   return pipeline.Apply(kb, tau_options, options_.trace ? &last_trace_ : nullptr);
 }
 

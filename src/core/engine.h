@@ -6,6 +6,7 @@
 /// options object, plus helpers for building databases and knowledgebases from
 /// string literals. Examples and benchmarks go through this API.
 
+#include <memory>
 #include <string_view>
 
 #include "base/status.h"
@@ -13,6 +14,10 @@
 #include "core/expr_parser.h"
 #include "core/mu.h"
 #include "rel/knowledgebase.h"
+
+namespace kbt::exec {
+class ThreadPool;
+}  // namespace kbt::exec
 
 namespace kbt {
 
@@ -23,15 +28,26 @@ struct EngineOptions {
   size_t tau_threads = 1;
   /// Share groundings across same-domain worlds in τ.
   bool tau_ground_cache = true;
+  /// Share frozen CNF prefixes (fork per-world solvers) across same-domain
+  /// worlds in τ (see TauOptions::use_cnf_prefix).
+  bool tau_cnf_prefix = true;
   /// Collect per-step traces into Engine::last_trace().
   bool trace = false;
 };
 
 /// High-level entry point: owns options, parses expressions, applies them.
+/// When tau_threads resolves to more than one worker, the engine starts one
+/// persistent exec::ThreadPool on the first such Apply (restarted only when
+/// the setting changes) and lends it to every τ step — a serving loop calling
+/// Apply repeatedly pays the thread spawn once, not per call. The workers
+/// park idle when a step runs sequentially (e.g. singleton kbs). Engine is
+/// single-caller like before; the pool's workers are internal.
 class Engine {
  public:
-  explicit Engine(EngineOptions options = EngineOptions())
-      : options_(std::move(options)) {}
+  explicit Engine(EngineOptions options = EngineOptions());
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Parses and applies a transformation expression to `kb`.
   StatusOr<Knowledgebase> Apply(std::string_view expression,
@@ -50,8 +66,13 @@ class Engine {
   const PipelineStats& last_trace() const { return last_trace_; }
 
  private:
+  /// The persistent pool for the current tau_threads setting (started on first
+  /// need, restarted if the setting changes), or nullptr when sequential.
+  exec::ThreadPool* PoolFor(size_t threads);
+
   EngineOptions options_;
   PipelineStats last_trace_;
+  std::unique_ptr<exec::ThreadPool> pool_;
 };
 
 /// Builds a relation of the given arity from tuples of constant names, e.g.

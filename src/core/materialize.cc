@@ -1,0 +1,146 @@
+/// \file
+/// Model materialization: turning (atom id → truth value) assignments into
+/// databases over the update context's schema.
+///
+/// Two implementations of one function. MaterializeModel is the specification:
+/// group deviations in a map, rebuild each touched relation via
+/// Union/Difference. ModelMaterializer is the enumeration-loop form: the
+/// per-model work is reduced to one sorted-merge per touched relation by
+/// hoisting everything that depends only on (ctx, grounding) — relation
+/// positions, tuple order, base membership — into one precomputation per μ
+/// call. τ over many worlds multiplies the saving by worlds × models.
+
+#include <algorithm>
+#include <map>
+
+#include "core/mu_internal.h"
+
+namespace kbt::internal {
+
+StatusOr<Database> MaterializeModel(
+    const UpdateContext& ctx, const AtomIndex& atoms,
+    const std::vector<int>& mentioned_atom_ids,
+    const std::function<bool(int)>& atom_value) {
+  // Group deviations per relation, then rebuild each touched relation once.
+  std::map<Symbol, std::pair<std::vector<Tuple>, std::vector<Tuple>>> edits;
+  for (int id : mentioned_atom_ids) {
+    const GroundAtom& atom = atoms.AtomOf(id);
+    const Relation* current = ctx.extended_base.FindRelation(atom.relation);
+    if (current == nullptr) {
+      return Status::NotFound("relation not in schema: " + NameOf(atom.relation));
+    }
+    bool present = current->Contains(atom.tuple);
+    bool wanted = atom_value(id);
+    if (present == wanted) continue;
+    auto& [adds, removes] = edits[atom.relation];
+    (wanted ? adds : removes).push_back(atom.tuple);
+  }
+  Database out = ctx.extended_base;
+  for (auto& [symbol, add_remove] : edits) {
+    KBT_ASSIGN_OR_RETURN(Relation r, out.RelationFor(symbol));
+    Relation adds(r.arity(), std::move(add_remove.first));
+    Relation removes(r.arity(), std::move(add_remove.second));
+    KBT_ASSIGN_OR_RETURN(out, out.WithRelation(symbol,
+                                               r.Union(adds).Difference(removes)));
+  }
+  return out;
+}
+
+StatusOr<ModelMaterializer> ModelMaterializer::Make(
+    const UpdateContext& ctx, const AtomIndex& atoms,
+    const std::vector<int>& mentioned_atom_ids) {
+  ModelMaterializer m;
+  m.ctx_ = &ctx;
+  // One flat entry list sorted by (schema position, tuple); groups are the
+  // runs. Grounding visits relations in clusters and emits tuples in near
+  // order, so the sort's branch behavior is benign; no per-bucket containers.
+  struct KeyedEntry {
+    size_t pos;
+    AtomEntry entry;
+  };
+  std::vector<KeyedEntry> keyed;
+  keyed.reserve(mentioned_atom_ids.size());
+  for (int id : mentioned_atom_ids) {
+    const GroundAtom& atom = atoms.AtomOf(id);
+    std::optional<size_t> pos = ctx.schema.PositionOf(atom.relation);
+    if (!pos) {
+      return Status::NotFound("relation not in schema: " + NameOf(atom.relation));
+    }
+    const Relation& base = ctx.extended_base.relation_at(*pos);
+    // The TupleView borrows the AtomIndex's owning tuple — stable for the
+    // materializer's lifetime because the grounding is immutable once built.
+    TupleView t(atom.tuple);
+    keyed.push_back(KeyedEntry{*pos, AtomEntry{id, t, base.Contains(t)}});
+  }
+  // Sorting by tuple within a relation makes each model's add/remove
+  // subsequences sorted, so Materialize merges in one pass. Mentioned atoms
+  // are distinct, so the order is total (ties impossible within one relation).
+  std::sort(keyed.begin(), keyed.end(),
+            [](const KeyedEntry& a, const KeyedEntry& b) {
+              if (a.pos != b.pos) return a.pos < b.pos;
+              return a.entry.tuple < b.entry.tuple;
+            });
+  for (size_t i = 0; i < keyed.size();) {
+    size_t j = i;
+    Group group;
+    group.schema_pos = keyed[i].pos;
+    while (j < keyed.size() && keyed[j].pos == keyed[i].pos) ++j;
+    group.entries.reserve(j - i);
+    for (size_t k = i; k < j; ++k) group.entries.push_back(keyed[k].entry);
+    m.groups_.push_back(std::move(group));
+    i = j;
+  }
+  return m;
+}
+
+StatusOr<Database> ModelMaterializer::Materialize(
+    const std::function<bool(int)>& atom_value) const {
+  Database out = ctx_->extended_base;
+  for (const Group& group : groups_) {
+    adds_.clear();
+    removes_.clear();
+    for (const AtomEntry& entry : group.entries) {
+      bool wanted = atom_value(entry.id);
+      if (wanted == entry.present) continue;
+      (wanted ? adds_ : removes_).push_back(entry.tuple);
+    }
+    if (adds_.empty() && removes_.empty()) continue;
+    const Relation& base = ctx_->extended_base.relation_at(group.schema_pos);
+    size_t arity = base.arity();
+    if (arity == 0) {
+      // A nullary relation has one possible tuple, so at most one delta: an
+      // add makes it hold, a remove empties it.
+      Relation r(0);
+      if (!adds_.empty()) r = r.WithTuple(TupleView());
+      out.ReplaceRelation(group.schema_pos, std::move(r));
+      continue;
+    }
+    // One pass: (base ∪ adds) \ removes. adds are absent from base and removes
+    // are present in it by construction, and both lists are sorted.
+    Relation::Builder b(arity);
+    b.Reserve(base.size() + adds_.size());
+    const Value* row = base.flat().data();
+    const Value* end = row + base.flat().size();
+    size_t ai = 0, ri = 0;
+    while (row != end || ai < adds_.size()) {
+      bool take_add =
+          ai < adds_.size() &&
+          (row == end || CompareValues(adds_[ai].data(), row, arity) < 0);
+      if (take_add) {
+        b.Append(adds_[ai++]);
+        continue;
+      }
+      if (ri < removes_.size() &&
+          CompareValues(removes_[ri].data(), row, arity) == 0) {
+        ++ri;  // Drop this base row.
+      } else {
+        b.Append(TupleView(row, arity));
+      }
+      row += arity;
+    }
+    out.ReplaceRelation(group.schema_pos, b.Build());
+  }
+  return out;
+}
+
+}  // namespace kbt::internal

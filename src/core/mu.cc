@@ -51,6 +51,23 @@ StatusOr<std::shared_ptr<const exec::CachedGrounding>> ObtainGrounding(
   return exec::MakeCachedGrounding(sentence, domain, options);
 }
 
+StatusOr<TauStrategyPlan> PlanTauStrategies(const Formula& sentence,
+                                            const Database& probe) {
+  TauStrategyPlan plan;
+  plan.sentence_is_ground = IsGround(sentence);
+  KBT_ASSIGN_OR_RETURN(auto datalog, PlanDatalog(sentence, probe));
+  if (datalog) {
+    plan.datalog = std::make_shared<const DatalogPlan>(std::move(*datalog));
+    return plan;  // Mirrors kAuto: Datalog wins before definitional is tried.
+  }
+  KBT_ASSIGN_OR_RETURN(auto definitional, PlanDefinitional(sentence, probe));
+  if (definitional) {
+    plan.definitional =
+        std::make_shared<const DefinitionalPlan>(std::move(*definitional));
+  }
+  return plan;
+}
+
 StatusOr<Knowledgebase> MuExec(const Formula& sentence, const Database& db,
                                const MuOptions& options, MuStats* stats,
                                const MuExecContext& exec) {
@@ -86,7 +103,32 @@ StatusOr<Knowledgebase> MuExec(const Formula& sentence, const Database& db,
       break;
   }
 
-  // Automatic dispatch, cheapest applicable first.
+  // Automatic dispatch, cheapest applicable first. With a τ-provided plan the
+  // shape analysis (ground check, Datalog extraction, definitional parse) was
+  // resolved once per τ call — it depends only on (φ, schema), and all worlds
+  // share a schema — so each world goes straight to its strategy.
+  if (exec.plan != nullptr) {
+    const TauStrategyPlan& plan = *exec.plan;
+    if (plan.sentence_is_ground) {
+      StatusOr<Knowledgebase> result =
+          internal::MuReference(sentence, db, ctx, options, out, exec);
+      if (result.ok() ||
+          result.status().code() != StatusCode::kResourceExhausted) {
+        out->used = MuStrategy::kReference;
+        return result;
+      }
+    }
+    if (plan.datalog != nullptr) {
+      out->used = MuStrategy::kDatalog;
+      return internal::MuDatalog(*plan.datalog, db, ctx, options, out);
+    }
+    if (plan.definitional != nullptr) {
+      out->used = MuStrategy::kDefinitional;
+      return internal::MuDefinitional(*plan.definitional, db, ctx, options, out);
+    }
+    out->used = MuStrategy::kSat;
+    return internal::MuSat(sentence, db, ctx, options, out, exec);
+  }
   if (IsGround(sentence)) {
     // Theorem 4.7: ground updates touch at most |φ| atoms — reference enumeration
     // is polynomial in the database. Very wide ground sentences still go to SAT.

@@ -17,6 +17,8 @@
 
 namespace kbt::exec {
 struct CachedGrounding;
+struct FrozenCnf;
+class CnfCache;
 class GroundingCache;
 }  // namespace kbt::exec
 
@@ -26,15 +28,44 @@ class Solver;
 
 namespace kbt::internal {
 
-/// Resources the τ executor threads through μ: a grounding cache shared by all
-/// worlds of one τ call (keyed by active domain) and a per-worker solver that
-/// is Reset and reused across worlds instead of constructed per call. Both are
-/// optional; plain Mu() passes neither. The struct is copied freely — it only
+struct DatalogPlan;
+struct DefinitionalPlan;
+
+/// kAuto strategy dispatch, resolved once per τ call. PlanDatalog and
+/// PlanDefinitional read the database only through its schema, and all members
+/// of a knowledgebase share one schema — so τ plans against any one world and
+/// every other world reuses the result instead of re-deriving it (the per-world
+/// re-planning PR 3 left behind). Built by PlanTauStrategies; only consulted
+/// when MuOptions::strategy == kAuto.
+struct TauStrategyPlan {
+  /// IsGround(φ): try the Theorem 4.7 reference path first (its
+  /// kResourceExhausted fallback to SAT stays per-world — it depends on the
+  /// grounding size, not on the plan).
+  bool sentence_is_ground = false;
+  /// Engaged when the Datalog fast path applies to (φ, schema).
+  std::shared_ptr<const DatalogPlan> datalog;
+  /// Engaged when the definitional fast path applies to (φ, schema).
+  std::shared_ptr<const DefinitionalPlan> definitional;
+};
+
+/// Resources the τ executor threads through μ: caches shared by all worlds of
+/// one τ call (grounding and frozen-CNF-prefix, both keyed by active domain),
+/// a per-worker solver that is Reset/forked and reused across worlds instead
+/// of constructed per call, and the once-per-call strategy plan. All are
+/// optional; plain Mu() passes none. The struct is copied freely — it only
 /// borrows.
 struct MuExecContext {
   exec::GroundingCache* ground_cache = nullptr;
+  exec::CnfCache* cnf_cache = nullptr;
   sat::Solver* solver = nullptr;
+  const TauStrategyPlan* plan = nullptr;
 };
+
+/// Resolves the kAuto dispatch of `sentence` against the schema of `probe`
+/// (any member of the τ call's knowledgebase — the planners only read the
+/// schema).
+StatusOr<TauStrategyPlan> PlanTauStrategies(const Formula& sentence,
+                                            const Database& probe);
 
 /// The strategy dispatcher behind Mu(), with executor resources. Mu() forwards
 /// here with an empty context; the τ executor calls it directly.
@@ -99,11 +130,61 @@ inline bool IsOldAtom(const GroundAtom& atom, const Database& db) {
 
 /// Shared helper: turns an (atom id → truth value) assignment into a database over
 /// ctx.schema, starting from ctx.extended_base and deviating only on the listed
-/// atoms.
+/// atoms. The specification-shaped path: per call it groups deviations in a map
+/// and rebuilds each touched relation through Union/Difference. Kept as the
+/// reference ModelMaterializer is property-tested against; enumeration loops use
+/// the materializer.
 StatusOr<Database> MaterializeModel(
     const UpdateContext& ctx, const AtomIndex& atoms,
     const std::vector<int>& mentioned_atom_ids,
     const std::function<bool(int)>& atom_value);
+
+/// Delta-encoded model materialization for enumeration loops that build many
+/// databases against one base. Construction (once per μ call) groups the
+/// mentioned atoms by relation, sorts each group in tuple order and precomputes
+/// each atom's presence in ctx.extended_base; Materialize (once per enumerated
+/// model) then applies the per-model deltas with a single three-way merge per
+/// touched relation — no per-model map, no membership probes, and no
+/// Union+Difference double rebuild (core/mu_internal.h:103's follow-up in
+/// ROADMAP). Borrows ctx and atoms; both must outlive the materializer.
+class ModelMaterializer {
+ public:
+  /// Fails with kNotFound when a mentioned atom's relation is not in
+  /// ctx.schema (the same check MaterializeModel performs per call).
+  static StatusOr<ModelMaterializer> Make(
+      const UpdateContext& ctx, const AtomIndex& atoms,
+      const std::vector<int>& mentioned_atom_ids);
+
+  /// Builds the database in which every mentioned atom id holds iff
+  /// `atom_value(id)`, all other facts matching ctx.extended_base. Equivalent
+  /// to MaterializeModel over the same inputs (property-tested).
+  StatusOr<Database> Materialize(const std::function<bool(int)>& atom_value) const;
+
+ private:
+  ModelMaterializer() = default;
+
+  /// One mentioned atom: its id, a view of its ground tuple (borrowed from the
+  /// AtomIndex) and whether the base relation already contains it.
+  struct AtomEntry {
+    int id;
+    TupleView tuple;
+    bool present;
+  };
+  /// All mentioned atoms of one relation, sorted by tuple so the per-model
+  /// add/remove lists come out sorted for free.
+  struct Group {
+    size_t schema_pos;
+    std::vector<AtomEntry> entries;
+  };
+
+  const UpdateContext* ctx_ = nullptr;
+  std::vector<Group> groups_;
+  /// Scratch for Materialize (adds/removes of the group being merged); mutable
+  /// so Materialize stays const for callers — a materializer is used by one
+  /// world's enumeration thread, never shared.
+  mutable std::vector<TupleView> adds_;
+  mutable std::vector<TupleView> removes_;
+};
 
 }  // namespace kbt::internal
 

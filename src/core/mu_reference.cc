@@ -11,35 +11,6 @@
 
 namespace kbt::internal {
 
-StatusOr<Database> MaterializeModel(
-    const UpdateContext& ctx, const AtomIndex& atoms,
-    const std::vector<int>& mentioned_atom_ids,
-    const std::function<bool(int)>& atom_value) {
-  // Group deviations per relation, then rebuild each touched relation once.
-  std::map<Symbol, std::pair<std::vector<Tuple>, std::vector<Tuple>>> edits;
-  for (int id : mentioned_atom_ids) {
-    const GroundAtom& atom = atoms.AtomOf(id);
-    const Relation* current = ctx.extended_base.FindRelation(atom.relation);
-    if (current == nullptr) {
-      return Status::NotFound("relation not in schema: " + NameOf(atom.relation));
-    }
-    bool present = current->Contains(atom.tuple);
-    bool wanted = atom_value(id);
-    if (present == wanted) continue;
-    auto& [adds, removes] = edits[atom.relation];
-    (wanted ? adds : removes).push_back(atom.tuple);
-  }
-  Database out = ctx.extended_base;
-  for (auto& [symbol, add_remove] : edits) {
-    KBT_ASSIGN_OR_RETURN(Relation r, out.RelationFor(symbol));
-    Relation adds(r.arity(), std::move(add_remove.first));
-    Relation removes(r.arity(), std::move(add_remove.second));
-    KBT_ASSIGN_OR_RETURN(out, out.WithRelation(symbol,
-                                               r.Union(adds).Difference(removes)));
-  }
-  return out;
-}
-
 namespace {
 
 /// Per-relation bitmasks over the mentioned atoms, for fast Winslett comparison
@@ -195,16 +166,20 @@ StatusOr<Knowledgebase> MuReference(const Formula& sentence, const Database& db,
 
   stats->minimal_models = minimal_masks.size();
   if (minimal_masks.empty()) return Knowledgebase(ctx.schema);
+  // Delta materialization: one precomputation (groups, tuple order, base
+  // membership), then one merge pass per minimal model. The dense id → bit
+  // table replaces the per-atom linear scan over `vars`.
+  KBT_ASSIGN_OR_RETURN(ModelMaterializer materializer,
+                       ModelMaterializer::Make(ctx, g.atoms, vars));
+  std::vector<int> bit_of(g.atoms.size(), -1);
+  for (size_t i = 0; i < k; ++i) bit_of[static_cast<size_t>(vars[i])] = static_cast<int>(i);
   std::vector<Database> minimal;
   minimal.reserve(minimal_masks.size());
   for (uint64_t m : minimal_masks) {
-    KBT_ASSIGN_OR_RETURN(
-        Database model, MaterializeModel(ctx, g.atoms, vars, [&](int id) {
-          for (size_t i = 0; i < k; ++i) {
-            if (vars[i] == id) return ((m >> i) & 1) != 0;
-          }
-          return false;
-        }));
+    KBT_ASSIGN_OR_RETURN(Database model, materializer.Materialize([&](int id) {
+                           int bit = bit_of[static_cast<size_t>(id)];
+                           return bit >= 0 && ((m >> bit) & 1) != 0;
+                         }));
     minimal.push_back(std::move(model));
   }
   return Knowledgebase::FromDatabases(std::move(minimal));

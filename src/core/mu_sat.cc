@@ -1,9 +1,11 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "core/mu_internal.h"
 #include "core/winslett_order.h"
+#include "exec/cnf_cache.h"
 #include "exec/ground_cache.h"
 #include "logic/grounder.h"
 #include "sat/solver.h"
@@ -42,11 +44,21 @@ class SatEnumerator {
   StatusOr<Knowledgebase> Run(const Formula& sentence) {
     GrounderOptions gopts;
     gopts.max_nodes = options_.max_ground_nodes;
-    // The grounding depends only on (φ, domain): with a cache, worlds sharing
-    // an active domain reuse one immutable circuit (and its mentioned-var
-    // set, borrowed below) and only the per-world defaults are recomputed.
-    KBT_ASSIGN_OR_RETURN(std::shared_ptr<const exec::CachedGrounding> shared,
-                         ObtainGrounding(exec_, sentence, ctx_.domain, gopts));
+    // The grounding — and, with a CnfCache, the whole Tseitin encoding — is a
+    // pure function of (φ, domain): worlds sharing an active domain reuse one
+    // immutable circuit (and its mentioned-var set, borrowed below) plus one
+    // frozen encoded prefix, and only the per-world defaults are recomputed.
+    std::shared_ptr<const exec::CachedGrounding> shared;
+    std::shared_ptr<const exec::FrozenCnf> frozen;
+    if (exec_.cnf_cache != nullptr) {
+      KBT_ASSIGN_OR_RETURN(frozen,
+                           exec_.cnf_cache->GetOrBuild(sentence, ctx_.domain,
+                                                       gopts, exec_.ground_cache));
+      shared = frozen->grounding;
+    } else {
+      KBT_ASSIGN_OR_RETURN(shared,
+                           ObtainGrounding(exec_, sentence, ctx_.domain, gopts));
+    }
     const Grounding* g = &shared->grounding;
     mentioned_ = &shared->mentioned;
     stats_->ground_nodes = g->circuit.size();
@@ -56,27 +68,46 @@ class SatEnumerator {
       return Knowledgebase(ctx_.schema);  // No models at all.
     }
 
-    // A worker-pool solver is reused across worlds: Reset keeps its allocated
-    // arena and watcher capacity but restores fresh-solver behavior, so the
-    // enumeration below is bit-identical to one over a new Solver.
+    // A worker-pool solver is reused across worlds: Reset (or the frozen-fork
+    // overwrite below) keeps its allocated arena and watcher capacity but
+    // restores the exact target state, so the enumeration below is
+    // bit-identical to one over a new Solver.
     if (exec_.solver != nullptr) {
-      exec_.solver->Reset();
       solver_ = exec_.solver;
     } else {
       solver_ = &own_solver_;
     }
 
-    // The encoder lives for the whole enumeration (this method): every descent
-    // constraint and blocking clause below goes into the same solver, and the
-    // grounding is encoded exactly once.
-    sat::TseitinEncoder encoder(&g->circuit, solver_);
-    encoder.Assert(g->root);
     stats_->ground_atoms = mentioned_->size();
     atom_var_.resize(g->atoms.size(), -1);
+    const std::vector<sat::Lit>* node_lits = nullptr;
+    std::vector<sat::Lit> own_node_lits;
+    if (frozen != nullptr) {
+      // Fork from the shared prefix: bulk-copy the encoded solver state and
+      // the atom → var table instead of replaying the Tseitin clauses. The
+      // snapshot was taken at exactly the point the encoder below would reach,
+      // so everything layered on top (phases, descent guards, blocking
+      // clauses) behaves identically.
+      solver_->InitFromFrozen(frozen->prefix);
+      std::copy(frozen->atom_var.begin(), frozen->atom_var.end(),
+                atom_var_.begin());
+      node_lits = &frozen->node_lit;
+    } else {
+      if (exec_.solver != nullptr) solver_->Reset();
+      // The encoder's work all happens here — after this block the descent and
+      // enumeration only add plain clauses to the live solver — so only its
+      // node-literal table (for phase seeding) outlives the block.
+      sat::TseitinEncoder encoder(&g->circuit, solver_);
+      encoder.Assert(g->root);
+      for (int atom_id : *mentioned_) {
+        atom_var_[atom_id] = encoder.VarForAtom(atom_id);
+      }
+      own_node_lits = encoder.node_lits();
+      node_lits = &own_node_lits;
+    }
     default_value_.resize(g->atoms.size(), 0);
     value_.resize(g->atoms.size(), 0);
     for (int atom_id : *mentioned_) {
-      atom_var_[atom_id] = encoder.VarForAtom(atom_id);
       const GroundAtom& atom = g->atoms.AtomOf(atom_id);
       bool is_old = IsOldAtom(atom, db_);
       const Relation* r = ctx_.extended_base.FindRelation(atom.relation);
@@ -86,12 +117,38 @@ class SatEnumerator {
       }
       default_value_[atom_id] = is_old && r->Contains(atom.tuple);
       (is_old ? old_atoms_ : new_atoms_).push_back(atom_id);
-      // Branch toward the default first: first models start near the minimum.
-      solver_->SetPhase(atom_var_[atom_id], default_value_[atom_id]);
     }
+
+    // Branch toward the default world first — atoms *and* Tseitin gates. The
+    // gate phases are each node's value under the default assignment, so the
+    // first probe's decisions on gate variables steer the same direction as
+    // the atoms below them instead of forcing arbitrary subcircuit values;
+    // first models start near the Winslett minimum and descents are short.
+    // One circuit evaluation per world; later solves re-seed only the atoms
+    // (SeedDefaultPhases), gates then following their saved model phases.
+    g->circuit.EvaluateAllInto(g->root,
+                               [&](int atom_id) {
+                                 return default_value_[static_cast<size_t>(
+                                            atom_id)] != 0;
+                               },
+                               &node_value_scratch_);
+    for (size_t id = 0; id < node_lits->size(); ++id) {
+      sat::Lit lit = (*node_lits)[id];
+      int8_t value = node_value_scratch_[id];
+      if (lit == sat::TseitinEncoder::kUnencoded || value == 0) continue;
+      solver_->SetPhase(sat::VarOf(lit), (value == 2) != sat::IsNegated(lit));
+    }
+
+    // Delta materialization: group/sort/membership precomputed once here, one
+    // merge pass per enumerated model in Descend.
+    KBT_ASSIGN_OR_RETURN(materializer_,
+                         ModelMaterializer::Make(ctx_, *atoms_, *mentioned_));
 
     std::vector<FoundModel> minimal;
     while (true) {
+      // Each enumeration probe starts from the default phases too: the next
+      // unblocked model found is near-minimal, keeping its descent short.
+      SeedDefaultPhases();
       if (Solve(no_assumptions_) == SolveResult::kUnsat) break;
       KBT_ASSIGN_OR_RETURN(FoundModel candidate, Descend());
       // The descent fixpoint is minimal unless a previously reported minimal model
@@ -205,6 +262,22 @@ class SatEnumerator {
     }
   }
 
+  /// Re-seeds every mentioned atom's branching phase toward its default value.
+  /// Phase saving drags later solves toward the previous model; before each
+  /// descent/enumeration solve we point the search back at the Winslett
+  /// minimum instead, so one refinement step reverts many deviations at once
+  /// rather than one per solve. Gate variables keep their saved phases — after
+  /// the first model those are consistent gate values, and re-biasing them
+  /// toward the (φ-violating) default world was measured to lengthen probes.
+  /// Which fixpoint a descent reaches may differ, but μ enumerates *all*
+  /// minimal models either way — the result set (and hence τ) is unchanged,
+  /// only the number of solver calls drops.
+  void SeedDefaultPhases() {
+    for (int a : *mentioned_) {
+      solver_->SetPhase(atom_var_[a], default_value_[a]);
+    }
+  }
+
   /// Two-stage greedy descent from the solver's current model to a ≤_db fixpoint.
   /// Each refinement step adds one activation-guarded clause (retired afterwards
   /// by asserting ¬act) to the live solver — no re-grounding, no re-encoding, and
@@ -236,6 +309,7 @@ class SatEnumerator {
       for (int a : old_atoms_) {
         if (val(a) == (default_value_[a] != 0)) assumptions.push_back(KeepLit(a));
       }
+      SeedDefaultPhases();
       SolveResult r = Solve(assumptions);
       solver_->AddClause({MkLit(act, true)});  // Retire the guard.
       if (r == SolveResult::kUnsat) break;
@@ -261,6 +335,7 @@ class SatEnumerator {
       for (int a : new_atoms_) {
         if (!val(a)) assumptions.push_back(ValueLit(a, false));
       }
+      SeedDefaultPhases();
       SolveResult r = Solve(assumptions);
       solver_->AddClause({MkLit(act, true)});
       if (r == SolveResult::kUnsat) break;
@@ -274,8 +349,7 @@ class SatEnumerator {
     for (int a : new_atoms_) {
       if (val(a)) out.true_new.push_back(a);
     }
-    KBT_ASSIGN_OR_RETURN(out.database,
-                         MaterializeModel(ctx_, *atoms_, *mentioned_, val));
+    KBT_ASSIGN_OR_RETURN(out.database, materializer_->Materialize(val));
     return out;
   }
 
@@ -292,12 +366,17 @@ class SatEnumerator {
   const AtomIndex* atoms_ = nullptr;
   /// Borrowed from the CachedGrounding held alive by Run.
   const std::vector<int>* mentioned_ = nullptr;
+  /// Built once per Run; turns descent fixpoints into databases by delta.
+  std::optional<ModelMaterializer> materializer_;
   std::vector<int> old_atoms_;
   std::vector<int> new_atoms_;
   /// Dense per-atom-id tables (ground atom ids are dense by construction).
   std::vector<Var> atom_var_;
   std::vector<int8_t> default_value_;
   std::vector<int8_t> value_;  ///< Current model snapshot, per atom id.
+
+  /// Scratch for the default-world circuit evaluation (gate phase seeding).
+  std::vector<int8_t> node_value_scratch_;
 
   // Reused scratch buffers: the descend-and-block loop allocates nothing per
   // iteration beyond what the solver arena itself grows.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/mu_internal.h"
+#include "exec/cnf_cache.h"
 #include "exec/ground_cache.h"
 #include "exec/pool.h"
 #include "logic/analysis.h"
@@ -49,11 +50,28 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
   }
 
   const std::vector<Database>& worlds = kb.databases();
-  // One cache per τ call: the sentence is fixed, so the key is the active
-  // domain alone. Worlds with equal domains ground once.
+  // One cache pair per τ call: the sentence is fixed, so the key is the active
+  // domain alone. Worlds with equal domains ground once (GroundingCache) and,
+  // on the SAT path, Tseitin-encode once (CnfCache — per-world solvers fork
+  // from the frozen prefix).
   exec::GroundingCache cache;
+  exec::CnfCache cnf_cache;
   internal::MuExecContext base_exec;
   if (options.use_ground_cache) base_exec.ground_cache = &cache;
+  // Freezing and forking only pays for itself when a prefix is reused: a
+  // singleton kb would encode once either way but add a snapshot copy, so the
+  // prefix path needs at least two worlds.
+  if (options.use_cnf_prefix && worlds.size() > 1) {
+    base_exec.cnf_cache = &cnf_cache;
+  }
+
+  // Strategy planning depends only on (φ, schema) and all worlds share one
+  // schema: resolve the kAuto dispatch once here instead of once per world.
+  internal::TauStrategyPlan plan;
+  if (options.mu.strategy == MuStrategy::kAuto) {
+    KBT_ASSIGN_OR_RETURN(plan, internal::PlanTauStrategies(sentence, worlds[0]));
+    base_exec.plan = &plan;
+  }
 
   std::vector<Status> statuses(worlds.size());
   std::vector<Knowledgebase> results(worlds.size());
@@ -92,25 +110,37 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     }
     out->threads_used = 1;
   } else {
-    // Each worker owns a Solver reused (via Reset) across every world it
-    // executes — the PR 2 incremental machinery instantiated per thread.
+    // Each worker owns a Solver reused (via Reset or a frozen-prefix fork)
+    // across every world it executes — the PR 2 incremental machinery
+    // instantiated per thread. The pool is the caller's persistent one when
+    // provided (a serving loop re-entering Pipeline::Apply should not respawn
+    // threads per call), otherwise spawned for this call.
+    exec::ThreadPool* pool = options.pool;
+    std::unique_ptr<exec::ThreadPool> own_pool;
+    if (pool == nullptr) {
+      own_pool = std::make_unique<exec::ThreadPool>(threads);
+      pool = own_pool.get();
+    }
+    size_t workers = pool->workers();
     std::vector<std::unique_ptr<sat::Solver>> solvers;
-    solvers.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
+    solvers.reserve(workers);
+    for (size_t t = 0; t < workers; ++t) {
       solvers.push_back(std::make_unique<sat::Solver>());
     }
-    exec::ThreadPool pool(threads);
-    pool.ParallelFor(worlds.size(), [&](size_t i, size_t worker) {
+    pool->ParallelFor(worlds.size(), [&](size_t i, size_t worker) {
       internal::MuExecContext exec = base_exec;
       exec.solver = solvers[worker].get();
       run_world(i, exec);
     });
-    out->threads_used = threads;
+    out->threads_used = std::min(workers, worlds.size());
   }
 
   exec::GroundingCache::Stats cache_stats = cache.stats();
   out->ground_cache_hits = cache_stats.hits;
   out->ground_cache_misses = cache_stats.misses;
+  exec::CnfCache::Stats cnf_stats = cnf_cache.stats();
+  out->cnf_cache_hits = cnf_stats.hits;
+  out->cnf_cache_misses = cnf_stats.misses;
   return FinishTau(std::move(statuses), std::move(results),
                    std::move(world_stats), out);
 }

@@ -19,6 +19,10 @@
 #include "core/mu.h"
 #include "rel/knowledgebase.h"
 
+namespace kbt::exec {
+class ThreadPool;
+}  // namespace kbt::exec
+
 namespace kbt {
 
 struct TauOptions {
@@ -30,6 +34,16 @@ struct TauOptions {
   /// Share groundings across worlds with identical active domains (both the
   /// sequential and the parallel path benefit).
   bool use_ground_cache = true;
+  /// Share the frozen Tseitin-encoded CNF prefix across same-domain worlds on
+  /// the SAT path: encode once, fork per-world solvers from the snapshot
+  /// instead of replaying AddClause (see exec/cnf_cache.h). Results are
+  /// bit-identical either way.
+  bool use_cnf_prefix = true;
+  /// Borrowed persistent worker pool. When set (and the resolved thread count
+  /// is > 1), τ fans out on this pool instead of spawning one per call — the
+  /// serving-loop configuration Engine sets up; see EngineOptions. Must outlive
+  /// the call; per-call worker state is still τ's own.
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct TauStats {
@@ -45,6 +59,11 @@ struct TauStats {
   /// world took a grounding strategy).
   uint64_t ground_cache_hits = 0;
   uint64_t ground_cache_misses = 0;
+  /// Frozen-CNF-prefix cache counters (0/0 when prefix sharing is off or no
+  /// world took the SAT strategy). A hit is one world's Tseitin encoding
+  /// replaced by a bulk solver fork.
+  uint64_t cnf_cache_hits = 0;
+  uint64_t cnf_cache_misses = 0;
 };
 
 /// Computes τ_φ(kb). All members of `kb` share a schema, so every μ call works over

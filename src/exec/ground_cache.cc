@@ -1,15 +1,6 @@
 #include "exec/ground_cache.h"
 
-#include "base/hash.h"
-
 namespace kbt::exec {
-
-size_t GroundingCache::DomainHash::operator()(
-    const std::vector<Value>& domain) const {
-  size_t seed = 0x517cc1b7;
-  for (Value v : domain) seed = HashCombine(seed, v);
-  return static_cast<size_t>(Mix64(seed));
-}
 
 StatusOr<std::shared_ptr<const CachedGrounding>> MakeCachedGrounding(
     const Formula& sentence, const std::vector<Value>& domain,
@@ -20,48 +11,6 @@ StatusOr<std::shared_ptr<const CachedGrounding>> MakeCachedGrounding(
   cached->mentioned =
       cached->grounding.circuit.CollectVars(cached->grounding.root);
   return std::shared_ptr<const CachedGrounding>(std::move(cached));
-}
-
-StatusOr<std::shared_ptr<const CachedGrounding>> GroundingCache::GetOrGround(
-    const Formula& sentence, const std::vector<Value>& domain,
-    const GrounderOptions& options) {
-  std::shared_ptr<Entry> entry;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::shared_ptr<Entry>& slot = map_[domain];
-    if (slot == nullptr) {
-      slot = std::make_shared<Entry>();
-      ++stats_.misses;
-    } else {
-      ++stats_.hits;
-    }
-    entry = slot;
-  }
-  // The first thread to take the entry lock grounds; latecomers wait on the
-  // same lock and find the result. The map lock is never held while grounding.
-  std::lock_guard<std::mutex> entry_lock(entry->mu);
-  if (!entry->done) {
-    StatusOr<std::shared_ptr<const CachedGrounding>> ground =
-        MakeCachedGrounding(sentence, domain, options);
-    if (ground.ok()) {
-      entry->value = std::move(*ground);
-    } else {
-      entry->status = ground.status();
-    }
-    entry->done = true;
-  }
-  if (!entry->status.ok()) return entry->status;
-  return entry->value;
-}
-
-GroundingCache::Stats GroundingCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
-
-size_t GroundingCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
 }
 
 }  // namespace kbt::exec

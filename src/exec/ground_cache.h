@@ -12,16 +12,16 @@
 /// The cached Grounding (circuit + atom table + the root's mentioned variables)
 /// is immutable after construction and read concurrently by all workers.
 ///
-/// One cache instance serves one sentence: the key is the domain alone. The τ
-/// executor creates a fresh cache per call.
+/// Keying, exactly-once computation and error caching live in
+/// exec/once_cache.h (shared with CnfCache); this wrapper supplies the value
+/// type and the grounding build.
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
+#include "exec/once_cache.h"
 #include "logic/grounder.h"
 
 namespace kbt::exec {
@@ -43,9 +43,7 @@ StatusOr<std::shared_ptr<const CachedGrounding>> MakeCachedGrounding(
 
 class GroundingCache {
  public:
-  GroundingCache() = default;
-  GroundingCache(const GroundingCache&) = delete;
-  GroundingCache& operator=(const GroundingCache&) = delete;
+  using Stats = DomainKeyedOnceCache<CachedGrounding>::Stats;
 
   /// Returns the grounding of `sentence` over `domain`, computing it on first
   /// use. Concurrent callers with the same domain block until the one grounding
@@ -54,33 +52,18 @@ class GroundingCache {
   /// key deliberately omits it.
   StatusOr<std::shared_ptr<const CachedGrounding>> GetOrGround(
       const Formula& sentence, const std::vector<Value>& domain,
-      const GrounderOptions& options);
+      const GrounderOptions& options) {
+    return cache_.GetOrCompute(domain, [&] {
+      return MakeCachedGrounding(sentence, domain, options);
+    });
+  }
 
-  struct Stats {
-    uint64_t hits = 0;    ///< Lookups served by an existing entry.
-    uint64_t misses = 0;  ///< Lookups that created (and ground) an entry.
-  };
-  Stats stats() const;
-
+  Stats stats() const { return cache_.stats(); }
   /// Number of distinct domains seen.
-  size_t entries() const;
+  size_t entries() const { return cache_.entries(); }
 
  private:
-  struct DomainHash {
-    size_t operator()(const std::vector<Value>& domain) const;
-  };
-  /// One per distinct domain. The entry mutex serializes the single grounding;
-  /// `done` flips exactly once, after which value/status are immutable.
-  struct Entry {
-    std::mutex mu;
-    bool done = false;
-    Status status;
-    std::shared_ptr<const CachedGrounding> value;
-  };
-
-  mutable std::mutex mu_;
-  std::unordered_map<std::vector<Value>, std::shared_ptr<Entry>, DomainHash> map_;
-  Stats stats_;
+  DomainKeyedOnceCache<CachedGrounding> cache_;
 };
 
 }  // namespace kbt::exec

@@ -1,0 +1,114 @@
+#ifndef KBT_EXEC_ONCE_CACHE_H_
+#define KBT_EXEC_ONCE_CACHE_H_
+
+/// \file
+/// The domain-keyed exactly-once cache shared by GroundingCache and CnfCache.
+///
+/// Both caches follow the same concurrency discipline: entries are created
+/// under a map lock but computed outside it, with a per-entry mutex giving
+/// exactly-once computation — concurrent lookups of one domain block until
+/// the single computation finishes rather than recomputing redundantly, and
+/// errors are cached like values. This header is the one implementation of
+/// that discipline; the concrete caches supply only the value type and the
+/// build function.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/status.h"
+#include "rel/tuple.h"
+
+namespace kbt::exec {
+
+/// Exactly-once cache from an active domain (sorted `std::vector<Value>`) to
+/// a shared immutable `V`. One cache instance serves one sentence — the
+/// sentence is deliberately not part of the key; callers create a fresh cache
+/// per τ call.
+template <typename V>
+class DomainKeyedOnceCache {
+ public:
+  DomainKeyedOnceCache() = default;
+  DomainKeyedOnceCache(const DomainKeyedOnceCache&) = delete;
+  DomainKeyedOnceCache& operator=(const DomainKeyedOnceCache&) = delete;
+
+  struct Stats {
+    uint64_t hits = 0;    ///< Lookups served by an existing entry.
+    uint64_t misses = 0;  ///< Lookups that created (and computed) an entry.
+  };
+
+  /// Returns the cached value for `domain`, computing it via `build` on first
+  /// use. `build` is `StatusOr<std::shared_ptr<const V>>()`; a failed build is
+  /// cached too (repeat lookups return the same status without recomputing).
+  template <typename BuildFn>
+  StatusOr<std::shared_ptr<const V>> GetOrCompute(
+      const std::vector<Value>& domain, BuildFn&& build) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::shared_ptr<Entry>& slot = map_[domain];
+      if (slot == nullptr) {
+        slot = std::make_shared<Entry>();
+        ++stats_.misses;
+      } else {
+        ++stats_.hits;
+      }
+      entry = slot;
+    }
+    // The first thread to take the entry lock computes; latecomers wait on
+    // the same lock and find the result. The map lock is never held while
+    // computing.
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (!entry->done) {
+      StatusOr<std::shared_ptr<const V>> built = build();
+      if (built.ok()) {
+        entry->value = std::move(*built);
+      } else {
+        entry->status = built.status();
+      }
+      entry->done = true;
+    }
+    if (!entry->status.ok()) return entry->status;
+    return entry->value;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// Number of distinct domains seen.
+  size_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct DomainHash {
+    size_t operator()(const std::vector<Value>& domain) const {
+      size_t seed = 0x517cc1b7;
+      for (Value v : domain) seed = HashCombine(seed, v);
+      return static_cast<size_t>(Mix64(seed));
+    }
+  };
+  /// One per distinct domain. The entry mutex serializes the single
+  /// computation; `done` flips exactly once, after which value/status are
+  /// immutable.
+  struct Entry {
+    std::mutex mu;
+    bool done = false;
+    Status status;
+    std::shared_ptr<const V> value;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::vector<Value>, std::shared_ptr<Entry>, DomainHash> map_;
+  Stats stats_;
+};
+
+}  // namespace kbt::exec
+
+#endif  // KBT_EXEC_ONCE_CACHE_H_

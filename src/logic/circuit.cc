@@ -205,6 +205,78 @@ bool Circuit::Evaluate(int root, const std::function<bool(int)>& var_value) cons
   return memo[static_cast<size_t>(root)] == 2;
 }
 
+void Circuit::EvaluateAllInto(int root, const std::function<bool(int)>& var_value,
+                              std::vector<int8_t>* memo) const {
+  // Same DFS as Evaluate, but gates never short-circuit: every reachable node
+  // gets a value, which is what phase seeding needs (the Tseitin encoder gave
+  // every reachable node a literal).
+  memo->assign(nodes_.size(), 0);
+  struct Frame {
+    int id;
+    uint32_t next_child;
+    /// Whether a decisive child (false for And, true for Or) was seen among
+    /// children already scanned. Lives in the frame: the scan suspends and
+    /// resumes across child evaluations, and the cursor never re-reads
+    /// children it already passed.
+    bool saw_decisive;
+  };
+  std::vector<Frame> stack{{root, 0, false}};
+  while (!stack.empty()) {
+    int id = stack.back().id;
+    size_t idx = static_cast<size_t>(id);
+    if ((*memo)[idx] != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const NodeData& n = nodes_[idx];
+    switch (n.kind) {
+      case NodeKind::kConst:
+        (*memo)[idx] = n.var == 1 ? 2 : 1;
+        stack.pop_back();
+        break;
+      case NodeKind::kVar:
+        (*memo)[idx] = var_value(n.var) ? 2 : 1;
+        stack.pop_back();
+        break;
+      case NodeKind::kNot: {
+        int c = child_arena_[n.child_begin];
+        int8_t cv = (*memo)[static_cast<size_t>(c)];
+        if (cv == 0) {
+          stack.push_back({c, 0, false});
+        } else {
+          (*memo)[idx] = cv == 2 ? 1 : 2;
+          stack.pop_back();
+        }
+        break;
+      }
+      case NodeKind::kAnd:
+      case NodeKind::kOr: {
+        int8_t decisive = n.kind == NodeKind::kAnd ? 1 : 2;
+        int pending = -1;
+        uint32_t i = stack.back().next_child;
+        for (; i < n.child_count; ++i) {
+          int c = child_arena_[n.child_begin + i];
+          int8_t cv = (*memo)[static_cast<size_t>(c)];
+          if (cv == 0) {
+            pending = c;  // Cursor stays here; re-read after the child resolves.
+            break;
+          }
+          if (cv == decisive) stack.back().saw_decisive = true;  // No skip.
+        }
+        stack.back().next_child = i;
+        if (pending >= 0) {
+          stack.push_back({pending, 0, false});
+        } else {
+          (*memo)[idx] =
+              stack.back().saw_decisive ? decisive : (decisive == 1 ? 2 : 1);
+          stack.pop_back();
+        }
+        break;
+      }
+    }
+  }
+}
+
 std::vector<int> Circuit::CollectVars(int root) const {
   std::vector<int> out;
   std::vector<int> stack{root};

@@ -87,6 +87,15 @@ class Circuit {
   /// Evaluates the subcircuit rooted at `root` under `var_value` (memoized).
   bool Evaluate(int root, const std::function<bool(int)>& var_value) const;
 
+  /// Evaluates *every* node reachable from `root` under `var_value` — no
+  /// gate short-circuiting — into `memo` (resized to size(); 0 = unreached,
+  /// 1 = false, 2 = true). The SAT enumerator uses this to seed branching
+  /// phases for the Tseitin gate variables with their value under a world's
+  /// default assignment, so the first model search walks toward the nearest
+  /// candidate instead of wandering through unconstrained gate decisions.
+  void EvaluateAllInto(int root, const std::function<bool(int)>& var_value,
+                       std::vector<int8_t>* memo) const;
+
   /// External variable ids reachable from `root`, sorted and deduplicated.
   std::vector<int> CollectVars(int root) const;
 

@@ -65,6 +65,12 @@ StatusOr<Database> Database::WithRelation(std::string_view name,
   return WithRelation(Name(name), std::move(relation));
 }
 
+void Database::ReplaceRelation(size_t pos, Relation relation) {
+  assert(pos < relations_.size());
+  assert(relation.arity() == schema_.decl(pos).arity);
+  relations_[pos] = std::move(relation);
+}
+
 StatusOr<Database> Database::ExtendTo(const Schema& super) const {
   if (!super.Includes(schema_)) {
     return Status::InvalidArgument("ExtendTo: target schema does not dominate σ(db)");

@@ -51,6 +51,12 @@ class Database {
   StatusOr<Database> WithRelation(Symbol symbol, Relation relation) const;
   StatusOr<Database> WithRelation(std::string_view name, Relation relation) const;
 
+  /// Replaces the relation at schema position `pos` in place (arity must match;
+  /// asserted). The bulk-edit primitive behind delta model materialization: a
+  /// caller that already copied a base database swaps the few touched relations
+  /// without paying WithRelation's whole-database copy per swap.
+  void ReplaceRelation(size_t pos, Relation relation);
+
   /// Embeds this database into `super` (which must include σ(db)); relations absent
   /// here are empty in the result — the convention used when μ compares candidates
   /// over σ(db) ∪ σ(φ) against db.

@@ -26,9 +26,43 @@ Var Solver::NewVar() {
     watches_.emplace_back();
     watches_.emplace_back();
   }
-  order_heap_.push_back({0.0, v});
-  std::push_heap(order_heap_.begin(), order_heap_.end());
+  heap_pos_.push_back(-1);
+  HeapInsert(v);
   return v;
+}
+
+void Solver::HeapSwap(size_t i, size_t j) {
+  std::swap(heap_[i], heap_[j]);
+  heap_pos_[static_cast<size_t>(heap_[i].var)] = static_cast<int>(i);
+  heap_pos_[static_cast<size_t>(heap_[j].var)] = static_cast<int>(j);
+}
+
+void Solver::HeapSiftUp(size_t i) {
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!(heap_[parent] < heap_[i])) break;
+    HeapSwap(parent, i);
+    i = parent;
+  }
+}
+
+void Solver::HeapSiftDown(size_t i) {
+  for (;;) {
+    size_t best = i;
+    size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < heap_.size() && heap_[best] < heap_[l]) best = l;
+    if (r < heap_.size() && heap_[best] < heap_[r]) best = r;
+    if (best == i) return;
+    HeapSwap(i, best);
+    i = best;
+  }
+}
+
+void Solver::HeapInsert(Var v) {
+  if (heap_pos_[static_cast<size_t>(v)] >= 0) return;  // Already queued.
+  heap_pos_[static_cast<size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(HeapNode{activity_[static_cast<size_t>(v)], v});
+  HeapSiftUp(heap_.size() - 1);
 }
 
 void Solver::Reset() {
@@ -48,26 +82,122 @@ void Solver::Reset() {
   propagate_head_ = 0;
   activity_.clear();
   var_inc_ = 1.0;
-  order_heap_.clear();
+  heap_.clear();
+  heap_pos_.clear();
   saved_phase_.clear();
   model_.clear();
   seen_.clear();
+  level_seen_.clear();
+  level_seen_clear_.clear();
   stats_ = Stats();
 }
 
-ClauseRef Solver::AllocClause(std::span<const Lit> lits, bool learned) {
+void Solver::Freeze(Frozen* out) const {
+  assert(DecisionLevel() == 0 && "Freeze only between Solve calls");
+  out->ok = ok_;
+  out->arena = arena_;
+  out->wasted_words = wasted_words_;
+  out->num_problem_clauses = num_problem_clauses_;
+  out->learned = learned_;
+  out->reduce_limit = reduce_limit_;
+  out->clause_act_inc = clause_act_inc_;
+  // Flatten the watch lists: one contiguous Watcher buffer plus offsets, so
+  // InitFromFrozen restores each list with a bulk assign instead of growing
+  // per-entry. Only the lists of live variables are meaningful.
+  size_t lists = values_.size() * 2;
+  out->watch_begin.clear();
+  out->watch_begin.reserve(lists + 1);
+  out->watch_data.clear();
+  for (size_t i = 0; i < lists; ++i) {
+    out->watch_begin.push_back(static_cast<uint32_t>(out->watch_data.size()));
+    out->watch_data.insert(out->watch_data.end(), watches_[i].begin(),
+                           watches_[i].end());
+  }
+  out->watch_begin.push_back(static_cast<uint32_t>(out->watch_data.size()));
+  out->values = values_;
+  out->levels = levels_;
+  out->reasons = reasons_;
+  out->trail = trail_;
+  out->propagate_head = propagate_head_;
+  out->activity = activity_;
+  out->var_inc = var_inc_;
+  out->heap = heap_;
+  out->heap_pos = heap_pos_;
+  out->saved_phase = saved_phase_;
+  out->model = model_;
+  out->frozen_stats = stats_;
+}
+
+void Solver::InitFromFrozen(const Frozen& frozen) {
+  ok_ = frozen.ok;
+  arena_.assign(frozen.arena.begin(), frozen.arena.end());
+  wasted_words_ = frozen.wasted_words;
+  num_problem_clauses_ = frozen.num_problem_clauses;
+  learned_.assign(frozen.learned.begin(), frozen.learned.end());
+  reduce_limit_ = frozen.reduce_limit;
+  clause_act_inc_ = frozen.clause_act_inc;
+  // A default-constructed Frozen (never frozen into — e.g. the cached prefix
+  // of a ⊥-rooted grounding) has an empty offset table, not the one-sentinel
+  // table Freeze writes; treat it as zero lists rather than underflowing.
+  size_t lists = frozen.watch_begin.empty() ? 0 : frozen.watch_begin.size() - 1;
+  if (watches_.size() < lists) watches_.resize(lists);
+  for (size_t i = 0; i < lists; ++i) {
+    watches_[i].assign(frozen.watch_data.begin() + frozen.watch_begin[i],
+                       frozen.watch_data.begin() + frozen.watch_begin[i + 1]);
+  }
+  // A reused worker solver may carry lists beyond the frozen variable count;
+  // NewVar only appends past the high-water mark, so clear the tail.
+  for (size_t i = lists; i < watches_.size(); ++i) watches_[i].clear();
+  values_.assign(frozen.values.begin(), frozen.values.end());
+  levels_.assign(frozen.levels.begin(), frozen.levels.end());
+  reasons_.assign(frozen.reasons.begin(), frozen.reasons.end());
+  trail_.assign(frozen.trail.begin(), frozen.trail.end());
+  trail_lim_.clear();
+  propagate_head_ = frozen.propagate_head;
+  activity_.assign(frozen.activity.begin(), frozen.activity.end());
+  var_inc_ = frozen.var_inc;
+  heap_.assign(frozen.heap.begin(), frozen.heap.end());
+  heap_pos_.assign(frozen.heap_pos.begin(), frozen.heap_pos.end());
+  saved_phase_.assign(frozen.saved_phase.begin(), frozen.saved_phase.end());
+  model_.assign(frozen.model.begin(), frozen.model.end());
+  seen_.assign(frozen.values.size(), 0);
+  level_seen_clear_.clear();
+  stats_ = frozen.frozen_stats;
+}
+
+ClauseRef Solver::AllocClause(std::span<const Lit> lits, bool learned,
+                              uint32_t lbd) {
   assert(lits.size() >= 2);
   ClauseRef cref = static_cast<ClauseRef>(arena_.size());
   uint32_t size = static_cast<uint32_t>(lits.size());
   arena_.push_back((size << 3) | (learned ? kHdrLearned : 0));
   if (learned) {
     arena_.push_back(clause_act_inc_);  // Initial activity.
+    arena_.push_back(lbd);
     learned_.push_back(cref);
   } else {
     ++num_problem_clauses_;
   }
   for (Lit l : lits) arena_.push_back(static_cast<uint32_t>(l));
   return cref;
+}
+
+uint32_t Solver::ComputeLbd(std::span<const Lit> lits) {
+  if (level_seen_.size() < trail_lim_.size() + 1) {
+    level_seen_.resize(trail_lim_.size() + 1, 0);
+  }
+  uint32_t lbd = 0;
+  for (Lit l : lits) {
+    int level = levels_[static_cast<size_t>(VarOf(l))];
+    if (!level_seen_[static_cast<size_t>(level)]) {
+      level_seen_[static_cast<size_t>(level)] = 1;
+      level_seen_clear_.push_back(level);
+      ++lbd;
+    }
+  }
+  for (int level : level_seen_clear_) level_seen_[static_cast<size_t>(level)] = 0;
+  level_seen_clear_.clear();
+  return lbd;
 }
 
 bool Solver::AddClause(std::span<const Lit> lits) {
@@ -185,8 +315,7 @@ void Solver::CancelUntil(int level) {
         values_[static_cast<size_t>(v)] == LBool::kTrue ? 1 : -1;
     values_[static_cast<size_t>(v)] = LBool::kUndef;
     reasons_[static_cast<size_t>(v)] = kNoClause;
-    order_heap_.push_back({activity_[static_cast<size_t>(v)], v});
-    std::push_heap(order_heap_.begin(), order_heap_.end());
+    HeapInsert(v);
   }
   trail_.resize(static_cast<size_t>(target));
   trail_lim_.resize(static_cast<size_t>(level));
@@ -197,11 +326,18 @@ void Solver::BumpVar(Var v) {
   double& a = activity_[static_cast<size_t>(v)];
   a += var_inc_;
   if (a > 1e100) {
+    // Uniform rescale preserves relative order, so the heap stays valid; the
+    // cached node activities rescale along.
     for (double& x : activity_) x *= 1e-100;
+    for (HeapNode& n : heap_) n.activity *= 1e-100;
     var_inc_ *= 1e-100;
   }
-  order_heap_.push_back({activity_[static_cast<size_t>(v)], v});
-  std::push_heap(order_heap_.begin(), order_heap_.end());
+  // Activity only grows: the entry can only need to move toward the root.
+  int pos = heap_pos_[static_cast<size_t>(v)];
+  if (pos >= 0) {
+    heap_[static_cast<size_t>(pos)].activity = a;
+    HeapSiftUp(static_cast<size_t>(pos));
+  }
 }
 
 void Solver::BumpClause(ClauseRef cref) {
@@ -319,10 +455,15 @@ bool Solver::LitRedundant(Lit q) const {
 }
 
 Var Solver::PickBranchVar() {
-  while (!order_heap_.empty()) {
-    std::pop_heap(order_heap_.begin(), order_heap_.end());
-    Var v = order_heap_.back().second;
-    order_heap_.pop_back();
+  while (!heap_.empty()) {
+    Var v = heap_[0].var;
+    heap_pos_[static_cast<size_t>(v)] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_pos_[static_cast<size_t>(heap_[0].var)] = 0;
+      HeapSiftDown(0);
+    }
     if (values_[static_cast<size_t>(v)] == LBool::kUndef) return v;
   }
   return -1;
@@ -339,20 +480,24 @@ bool Solver::IsReason(ClauseRef cref) const {
 void Solver::ReduceDb() {
   assert(DecisionLevel() == 0);
   ++stats_.db_reductions;
-  // Low-activity learned clauses go first. stable_sort keeps deletion
-  // deterministic across platforms when activities tie.
+  // Worst clauses first: highest LBD, then lowest activity within a tier —
+  // glucose-style ranking, so victims are the clauses that span many decision
+  // levels AND have not recently been useful. stable_sort keeps deletion
+  // deterministic across platforms when both keys tie.
   std::stable_sort(learned_.begin(), learned_.end(),
                    [this](ClauseRef a, ClauseRef b) {
+                     if (LbdOf(a) != LbdOf(b)) return LbdOf(a) > LbdOf(b);
                      return ActivityOf(a) < ActivityOf(b);
                    });
   size_t target = learned_.size() / 2;
   size_t removed = 0;
   for (ClauseRef cref : learned_) {
     if (removed >= target) break;
+    if (LbdOf(cref) <= 2) continue;   // Glue clauses are kept unconditionally.
     if (SizeOf(cref) <= 2) continue;  // Binary clauses are cheap; keep them.
     if (IsReason(cref)) continue;     // Reasons of assigned vars must survive.
     arena_[cref] |= kHdrDeleted;
-    wasted_words_ += 2 + SizeOf(cref);
+    wasted_words_ += 3 + SizeOf(cref);
     ++removed;
   }
   stats_.learned_deleted += removed;
@@ -368,7 +513,7 @@ void Solver::GarbageCollect() {
     uint32_t header = arena_[off];
     assert((header & kHdrForward) == 0);
     uint32_t size = header >> 3;
-    size_t span = 1 + ((header & kHdrLearned) ? 1 : 0) + size;
+    size_t span = 1 + ((header & kHdrLearned) ? 2 : 0) + size;
     if ((header & kHdrDeleted) == 0) {
       uint32_t noff = static_cast<uint32_t>(fresh.size());
       fresh.insert(fresh.end(), arena_.begin() + static_cast<ptrdiff_t>(off),
@@ -450,6 +595,9 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
       // below reports kUnsat.
       int bt_level = 0;
       Analyze(confl, &learned, &bt_level);
+      // LBD must be read off levels_ before CancelUntil unassigns them.
+      uint32_t lbd = ComputeLbd(learned);
+      if (lbd <= 2) ++stats_.glue_clauses;
       CancelUntil(bt_level);
       if (learned.size() == 1) {
         if (ValueOf(learned[0]) == LBool::kFalse) {
@@ -458,7 +606,7 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
         }
         if (ValueOf(learned[0]) == LBool::kUndef) Enqueue(learned[0], kNoClause);
       } else {
-        ClauseRef cref = AllocClause(learned, /*learned=*/true);
+        ClauseRef cref = AllocClause(learned, /*learned=*/true, lbd);
         ++stats_.learned_clauses;
         Attach(cref);
         Enqueue(learned[0], cref);

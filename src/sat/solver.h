@@ -13,17 +13,21 @@
 ///   * first-UIP conflict analysis with learned clauses,
 ///   * VSIDS-style variable activities with phase saving,
 ///   * Luby restarts,
-///   * learned-clause database reduction with arena garbage collection,
-///   * solving under assumptions (for the minimization descent), and
+///   * LBD-aware learned-clause database reduction with arena garbage collection,
+///   * solving under assumptions (for the minimization descent),
 ///   * incremental clause addition between Solve() calls (for blocking clauses and
-///     activation-literal-guarded constraints).
+///     activation-literal-guarded constraints), and
+///   * forking from a frozen prefix (Freeze / InitFromFrozen): the encoded state
+///     of a shared CNF is snapshotted once and bulk-copied into per-world
+///     solvers instead of replaying AddClause per world (see exec/cnf_cache).
 ///
 /// Every clause — problem and learned — lives in one contiguous `uint32_t` arena
 /// addressed by `ClauseRef` offsets; there is no per-clause heap allocation. A
-/// clause is laid out as a header word (size, learned flag), an activity word for
-/// learned clauses, then the literals. Long descend-and-block runs stay bounded:
-/// when the learned store outgrows its budget the low-activity half is dropped
-/// and the arena is compacted in place.
+/// clause is laid out as a header word (size, learned flag), then for learned
+/// clauses an activity word and an LBD word, then the literals. Long
+/// descend-and-block runs stay bounded: when the learned store outgrows its
+/// budget, glue clauses (LBD ≤ 2) are kept and the rest is halved worst-first
+/// (highest LBD, then lowest activity), compacting the arena in place.
 ///
 /// No exceptions, no dependencies; deterministic given the same sequence of calls.
 
@@ -59,10 +63,104 @@ inline constexpr ClauseRef kNoClause = 0xFFFFFFFFu;
 /// The CDCL solver. Create variables with NewVar, add clauses, then Solve —
 /// possibly repeatedly, with further clauses and different assumptions in between.
 class Solver {
+ private:
+  /// A watch-list entry: the clause plus a cached "blocker" literal from the
+  /// clause. If the blocker is already true the clause is satisfied and the
+  /// arena is never touched — the common case during propagation. (Declared
+  /// up front so Frozen below can flatten watch lists.)
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  /// A branch-order heap node; see the heap comment further down. (Declared up
+  /// front so Frozen below can snapshot the heap.)
+  struct HeapNode {
+    double activity;
+    Var var;
+    friend bool operator<(const HeapNode& a, const HeapNode& b) {
+      return a.activity < b.activity ||
+             (a.activity == b.activity && a.var < b.var);
+    }
+  };
+
  public:
   Solver() = default;
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
+
+  /// Cumulative search statistics.
+  struct Stats {
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learned_clauses = 0;
+    uint64_t solve_calls = 0;
+    uint64_t db_reductions = 0;      ///< Learned-DB reduction passes.
+    uint64_t learned_deleted = 0;    ///< Learned clauses dropped by reduction.
+    uint64_t minimized_literals = 0; ///< Literals shrunk from learned clauses
+                                     ///< by self-subsumption in Analyze.
+    uint64_t glue_clauses = 0;       ///< Learned clauses born with LBD ≤ 2
+                                     ///< (kept unconditionally by ReduceDb).
+  };
+
+  /// An immutable snapshot of a solver at decision level 0 with no assumptions
+  /// outstanding: the clause arena, flattened watch lists, root-level trail and
+  /// per-variable tables, byte for byte. Taken once per shared CNF prefix and
+  /// bulk-copied into per-world solvers via InitFromFrozen — the "encode once,
+  /// fork many" primitive behind exec/cnf_cache. Opaque outside Solver except
+  /// for the size accessors.
+  class Frozen {
+   public:
+    Frozen() = default;
+
+    /// Number of variables in the frozen state.
+    int num_vars() const { return static_cast<int>(values.size()); }
+    /// Stored clauses (problem + learned) in the frozen state.
+    size_t num_clauses() const { return num_problem_clauses + learned.size(); }
+    /// Arena words occupied by the frozen state.
+    size_t arena_words() const { return arena.size(); }
+
+   private:
+    friend class Solver;
+    bool ok = true;
+    std::vector<uint32_t> arena;
+    size_t wasted_words = 0;
+    size_t num_problem_clauses = 0;
+    std::vector<ClauseRef> learned;
+    size_t reduce_limit = 0;
+    uint32_t clause_act_inc = 0;
+    /// Watch lists flattened into one buffer: list `i` is
+    /// watch_data[watch_begin[i], watch_begin[i + 1]).
+    std::vector<uint32_t> watch_begin;
+    std::vector<Watcher> watch_data;
+    std::vector<LBool> values;
+    std::vector<int> levels;
+    std::vector<ClauseRef> reasons;
+    std::vector<Lit> trail;
+    size_t propagate_head = 0;
+    std::vector<double> activity;
+    double var_inc = 1.0;
+    std::vector<HeapNode> heap;
+    std::vector<int> heap_pos;
+    std::vector<int8_t> saved_phase;
+    std::vector<int8_t> model;
+    Stats frozen_stats;
+  };
+
+  /// Snapshots the complete solver state into `out`. Must be called at decision
+  /// level 0 (i.e. between Solve calls); the snapshot is independent of this
+  /// solver and may be shared read-only across threads.
+  void Freeze(Frozen* out) const;
+
+  /// Replaces this solver's entire state with a copy of `frozen`, reusing the
+  /// allocated capacity of the arena, watcher lists and per-variable tables
+  /// (the fork analogue of Reset). Given the same subsequent sequence of
+  /// NewVar/AddClause/SetPhase/Solve calls, a forked solver behaves
+  /// bit-identically to the solver the snapshot was taken from — and hence to a
+  /// fresh solver that replayed the frozen prefix clause by clause.
+  void InitFromFrozen(const Frozen& frozen);
 
   /// Creates a fresh variable and returns it.
   Var NewVar();
@@ -125,32 +223,20 @@ class Solver {
   /// Arena words in use (headers + activities + literals).
   size_t arena_words() const { return arena_.size() - wasted_words_; }
 
-  /// Cumulative search statistics.
-  struct Stats {
-    uint64_t conflicts = 0;
-    uint64_t decisions = 0;
-    uint64_t propagations = 0;
-    uint64_t restarts = 0;
-    uint64_t learned_clauses = 0;
-    uint64_t solve_calls = 0;
-    uint64_t db_reductions = 0;      ///< Learned-DB reduction passes.
-    uint64_t learned_deleted = 0;    ///< Learned clauses dropped by reduction.
-    uint64_t minimized_literals = 0; ///< Literals shrunk from learned clauses
-                                     ///< by self-subsumption in Analyze.
-  };
   const Stats& stats() const { return stats_; }
 
  private:
   // Arena clause layout, starting at the ClauseRef offset:
   //   word 0          — header: (size << 3) | forward << 2 | deleted << 1 | learned
   //   word 1          — activity (learned clauses only)
+  //   word 2          — LBD: distinct decision levels at learn time (learned only)
   //   next `size`     — the literals
   // During garbage collection the header of a surviving clause is overwritten
   // with (new_offset << 3) | forward so watcher lists and reason pointers can be
   // remapped in one pass.
   uint32_t SizeOf(ClauseRef c) const { return arena_[c] >> 3; }
   bool IsLearned(ClauseRef c) const { return (arena_[c] & 0x1) != 0; }
-  uint32_t LitsOffset(ClauseRef c) const { return c + 1 + (IsLearned(c) ? 1 : 0); }
+  uint32_t LitsOffset(ClauseRef c) const { return c + 1 + (IsLearned(c) ? 2 : 0); }
   Lit* LitsOf(ClauseRef c) {
     return reinterpret_cast<Lit*>(arena_.data() + LitsOffset(c));
   }
@@ -158,14 +244,8 @@ class Solver {
     return reinterpret_cast<const Lit*>(arena_.data() + LitsOffset(c));
   }
   uint32_t& ActivityOf(ClauseRef c) { return arena_[c + 1]; }
-
-  /// A watch-list entry: the clause plus a cached "blocker" literal from the
-  /// clause. If the blocker is already true the clause is satisfied and the
-  /// arena is never touched — the common case during propagation.
-  struct Watcher {
-    ClauseRef cref;
-    Lit blocker;
-  };
+  uint32_t ActivityOf(ClauseRef c) const { return arena_[c + 1]; }
+  uint32_t LbdOf(ClauseRef c) const { return arena_[c + 2]; }
 
   LBool ValueOf(Lit l) const {
     LBool v = values_[static_cast<size_t>(VarOf(l))];
@@ -174,7 +254,10 @@ class Solver {
     return is_true ? LBool::kTrue : LBool::kFalse;
   }
 
-  ClauseRef AllocClause(std::span<const Lit> lits, bool learned);
+  ClauseRef AllocClause(std::span<const Lit> lits, bool learned, uint32_t lbd = 0);
+  /// Distinct decision levels among the literals (computed before backtracking,
+  /// while levels_ still reflects the conflict).
+  uint32_t ComputeLbd(std::span<const Lit> lits);
   void Enqueue(Lit l, ClauseRef reason);
   ClauseRef Propagate();
   void Attach(ClauseRef cref);
@@ -190,6 +273,20 @@ class Solver {
   void BumpClause(ClauseRef cref);
   void DecayActivities();
   Var PickBranchVar();
+  // Indexed binary max-heap of (activity, var) nodes (MiniSat-style): every
+  // variable is in the heap at most once (heap_pos_ tracks its slot, -1 =
+  // absent), bumps update the node's cached activity and sift it up in place,
+  // and backtracking re-inserts unassigned vars. The previous lazy heap pushed
+  // a fresh pair per bump and per unassignment; descend-and-block runs
+  // ballooned it with stale duplicates and PickBranchVar dominated μ's profile
+  // (≈half the runtime). The activity is cached inside the node so sifts
+  // compare contiguous memory instead of chasing activity_. Ties break toward
+  // the larger variable id — the order the lazy pair-heap popped — keeping the
+  // known-good branching trajectory; deterministic either way.
+  void HeapSwap(size_t i, size_t j);
+  void HeapSiftUp(size_t i);
+  void HeapSiftDown(size_t i);
+  void HeapInsert(Var v);
   /// True when `cref` is the reason of a currently assigned variable (such
   /// clauses must survive DB reduction).
   bool IsReason(ClauseRef cref) const;
@@ -224,13 +321,16 @@ class Solver {
 
   std::vector<double> activity_;
   double var_inc_ = 1.0;
-  std::vector<std::pair<double, Var>> order_heap_;  // Lazy max-heap by activity.
+  std::vector<HeapNode> heap_;  // Indexed max-heap of candidate branch vars.
+  std::vector<int> heap_pos_;   // Var → slot in heap_, -1 when absent.
   std::vector<int8_t> saved_phase_;
 
   std::vector<int8_t> model_;
   std::vector<int8_t> seen_;  // Scratch for Analyze.
   std::vector<Lit> add_tmp_;  // Scratch for AddClause (sort/dedup buffer).
   std::vector<Lit> learned_tmp_;  // Scratch for the learned clause in Solve.
+  std::vector<int8_t> level_seen_;  // Scratch for ComputeLbd (per-level marks).
+  std::vector<int> level_seen_clear_;  // Levels to unmark after ComputeLbd.
 
   Stats stats_;
 };

@@ -48,8 +48,14 @@ class TseitinEncoder {
   /// Number of circuit nodes encoded so far.
   size_t encoded_nodes() const { return encoded_nodes_; }
 
- private:
+  /// The dense node-id → literal table (kUnencoded = -1 for nodes not yet
+  /// encoded). Borrowed; valid until the next LitFor/Assert call. The μ
+  /// enumerator reads it to seed gate-variable phases from a model candidate.
+  const std::vector<Lit>& node_lits() const { return lit_of_; }
+
   static constexpr Lit kUnencoded = -1;
+
+ private:
   static constexpr Var kNoVar = -1;
 
   const Circuit* circuit_;

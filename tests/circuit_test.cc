@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 namespace kbt {
 namespace {
 
@@ -79,6 +81,73 @@ TEST(CircuitTest, ImpliesAndIffHelpers) {
   int iff = c.IffNode(v0, v1);
   EXPECT_TRUE(c.Evaluate(iff, [](int) { return false; }));
   EXPECT_FALSE(c.Evaluate(iff, [](int v) { return v == 1; }));
+}
+
+TEST(CircuitTest, EvaluateAllIntoMatchesEvaluateAndCoversAllNodes) {
+  // Regression: the DFS suspends mid-child-scan when a child is unevaluated;
+  // a decisive child seen *before* the suspension must still decide the gate
+  // (And(false, <unevaluated>) is false even after the scan resumes past it).
+  Circuit c;
+  int x = c.VarNode(0), y = c.VarNode(1);
+  int and_fx = c.AndNode({x, y});
+  int or_tx = c.OrNode({x, y});
+  std::vector<int8_t> memo;
+  auto x_false_y_true = [](int v) { return v == 1; };
+  c.EvaluateAllInto(and_fx, x_false_y_true, &memo);
+  EXPECT_EQ(memo[static_cast<size_t>(and_fx)], 1);  // false ∧ true = false.
+  c.EvaluateAllInto(or_tx, [](int v) { return v == 0; }, &memo);
+  EXPECT_EQ(memo[static_cast<size_t>(or_tx)], 2);  // true ∨ false = true.
+
+  // Property: on random circuits, every reachable node is valued, each gate's
+  // value is consistent with its children, and the root agrees with Evaluate.
+  std::mt19937_64 rng(4242);
+  std::uniform_int_distribution<int> var(0, 5);
+  std::uniform_int_distribution<int> op(0, 2);
+  for (int iter = 0; iter < 50; ++iter) {
+    Circuit rc;
+    std::vector<int> nodes;
+    for (int v = 0; v < 6; ++v) nodes.push_back(rc.VarNode(v));
+    for (int step = 0; step < 20; ++step) {
+      std::uniform_int_distribution<size_t> pick(0, nodes.size() - 1);
+      int a = nodes[pick(rng)], b = nodes[pick(rng)];
+      int kind = op(rng);
+      nodes.push_back(kind == 0   ? rc.AndNode({a, b})
+                      : kind == 1 ? rc.OrNode({a, b})
+                                  : rc.NotNode(a));
+    }
+    int root = nodes.back();
+    uint64_t mask = rng();
+    auto value = [&](int v) { return ((mask >> v) & 1) != 0; };
+    std::vector<int8_t> all;
+    rc.EvaluateAllInto(root, value, &all);
+    EXPECT_EQ(all[static_cast<size_t>(root)] == 2, rc.Evaluate(root, value));
+    for (size_t id = 0; id < rc.size(); ++id) {
+      if (all[id] == 0) continue;  // Unreachable from root.
+      Circuit::Node n = rc.node(static_cast<int>(id));
+      switch (n.kind) {
+        case Circuit::NodeKind::kAnd:
+        case Circuit::NodeKind::kOr: {
+          bool is_and = n.kind == Circuit::NodeKind::kAnd;
+          bool acc = is_and;
+          for (int child : n.children) {
+            ASSERT_NE(all[static_cast<size_t>(child)], 0);
+            bool cv = all[static_cast<size_t>(child)] == 2;
+            acc = is_and ? (acc && cv) : (acc || cv);
+          }
+          EXPECT_EQ(all[id] == 2, acc) << "node " << id << " iter " << iter;
+          break;
+        }
+        case Circuit::NodeKind::kNot:
+          EXPECT_EQ(all[id] == 2, all[static_cast<size_t>(n.children[0])] != 2);
+          break;
+        case Circuit::NodeKind::kVar:
+          EXPECT_EQ(all[id] == 2, value(n.var));
+          break;
+        case Circuit::NodeKind::kConst:
+          break;
+      }
+    }
+  }
 }
 
 }  // namespace

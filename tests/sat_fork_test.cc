@@ -1,0 +1,193 @@
+/// \file
+/// The Freeze / InitFromFrozen contract behind frozen-CNF-prefix sharing: a
+/// solver forked from a snapshot behaves bit-identically — same solve results,
+/// same models, same search statistics, same arena contents — to a solver that
+/// replayed the frozen prefix call by call. Property-tested on random
+/// instances, plus independence of multiple forks and capacity-reuse hygiene
+/// (forking into a dirty worker solver).
+
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace kbt::sat {
+namespace {
+
+/// A reproducible random instance: `clauses[i]` over vars [0, num_vars).
+struct RandomCnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+RandomCnf MakeRandomCnf(std::mt19937_64* rng, int num_vars, int num_clauses) {
+  RandomCnf cnf;
+  cnf.num_vars = num_vars;
+  std::uniform_int_distribution<int> var(0, num_vars - 1);
+  std::uniform_int_distribution<int> width(2, 4);
+  std::bernoulli_distribution sign(0.5);
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    int w = width(*rng);
+    for (int k = 0; k < w; ++k) clause.push_back(MkLit(var(*rng), sign(*rng)));
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+void AddAll(Solver* s, const RandomCnf& cnf) {
+  for (int i = 0; i < cnf.num_vars; ++i) s->NewVar();
+  for (const auto& c : cnf.clauses) s->AddClause(c);
+}
+
+/// Drives the post-prefix workload the τ enumerator exemplifies: phase hints,
+/// extra variables, guarded clauses, assumption solves, blocking clauses.
+/// Records every solve result and, when SAT, the full model.
+struct SuffixTrace {
+  std::vector<SolveResult> results;
+  std::vector<std::vector<bool>> models;
+};
+
+SuffixTrace DriveSuffix(Solver* s, const RandomCnf& suffix, uint64_t seed) {
+  SuffixTrace trace;
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(0.5);
+  int base_vars = s->num_vars();
+  for (int i = 0; i < base_vars; ++i) s->SetPhase(i, coin(rng));
+  AddAll(s, suffix);
+  auto record = [&](SolveResult r) {
+    trace.results.push_back(r);
+    if (r == SolveResult::kSat) {
+      std::vector<bool> model;
+      for (int v = 0; v < s->num_vars(); ++v) model.push_back(s->ModelValue(v));
+      trace.models.push_back(std::move(model));
+    }
+  };
+  record(s->Solve());
+  // An activation-guarded clause + assumption solve, as the descent does.
+  Var act = s->NewVar();
+  std::vector<Lit> guard{MkLit(act, true)};
+  for (int v = 0; v < 3 && v < base_vars; ++v) guard.push_back(MkLit(v, coin(rng)));
+  s->AddClause(guard);
+  record(s->Solve({MkLit(act)}));
+  s->AddClause({MkLit(act, true)});  // Retire the guard.
+  // A blocking-style clause over the first few variables, then a final solve.
+  std::vector<Lit> block;
+  for (int v = 0; v < 4 && v < base_vars; ++v) block.push_back(MkLit(v, coin(rng)));
+  if (!block.empty()) s->AddClause(block);
+  record(s->Solve());
+  return trace;
+}
+
+void ExpectSameStats(const Solver& a, const Solver& b) {
+  EXPECT_EQ(a.stats().conflicts, b.stats().conflicts);
+  EXPECT_EQ(a.stats().decisions, b.stats().decisions);
+  EXPECT_EQ(a.stats().propagations, b.stats().propagations);
+  EXPECT_EQ(a.stats().restarts, b.stats().restarts);
+  EXPECT_EQ(a.stats().learned_clauses, b.stats().learned_clauses);
+  EXPECT_EQ(a.stats().solve_calls, b.stats().solve_calls);
+  EXPECT_EQ(a.stats().minimized_literals, b.stats().minimized_literals);
+  EXPECT_EQ(a.stats().glue_clauses, b.stats().glue_clauses);
+}
+
+TEST(SatForkTest, ForkMatchesReplayedPrefixBitForBit) {
+  std::mt19937_64 rng(20260730);
+  for (int inst = 0; inst < 40; ++inst) {
+    RandomCnf prefix = MakeRandomCnf(&rng, 12, 30);
+    RandomCnf suffix = MakeRandomCnf(&rng, 12, 10);
+    suffix.num_vars = 0;  // Suffix clauses range over the prefix's variables.
+    uint64_t suffix_seed = rng();
+
+    // Reference: one solver replays prefix + suffix directly.
+    Solver fresh;
+    AddAll(&fresh, prefix);
+    SuffixTrace expected = DriveSuffix(&fresh, suffix, suffix_seed);
+
+    // Builder encodes the prefix once and freezes it.
+    Solver builder;
+    AddAll(&builder, prefix);
+    Solver::Frozen frozen;
+    builder.Freeze(&frozen);
+    EXPECT_EQ(frozen.num_vars(), 12);
+
+    // Fork into a dirty worker solver (capacity reuse must not leak state).
+    Solver worker;
+    for (int i = 0; i < 40; ++i) worker.NewVar();
+    for (int i = 0; i + 2 < 40; ++i) {
+      worker.AddClause({MkLit(i), MkLit(i + 1, true), MkLit(i + 2)});
+    }
+    EXPECT_EQ(worker.Solve(), SolveResult::kSat);
+    worker.InitFromFrozen(frozen);
+    EXPECT_EQ(worker.num_vars(), 12);
+    SuffixTrace got = DriveSuffix(&worker, suffix, suffix_seed);
+
+    ASSERT_EQ(expected.results, got.results) << "instance " << inst;
+    ASSERT_EQ(expected.models, got.models) << "instance " << inst;
+    ExpectSameStats(fresh, worker);
+    EXPECT_EQ(fresh.num_clauses(), worker.num_clauses()) << "instance " << inst;
+    EXPECT_EQ(fresh.arena_words(), worker.arena_words()) << "instance " << inst;
+  }
+}
+
+TEST(SatForkTest, MultipleForksAreIndependent) {
+  // Two forks of one snapshot diverge freely: clauses added to one are
+  // invisible to the other and to the snapshot source.
+  Solver builder;
+  Var a = builder.NewVar(), b = builder.NewVar();
+  builder.AddClause({MkLit(a), MkLit(b)});
+  Solver::Frozen frozen;
+  builder.Freeze(&frozen);
+
+  Solver f1, f2;
+  f1.InitFromFrozen(frozen);
+  f2.InitFromFrozen(frozen);
+  f1.AddClause({MkLit(a, true)});  // f1: forces b.
+  f2.AddClause({MkLit(b, true)});  // f2: forces a.
+  ASSERT_EQ(f1.Solve(), SolveResult::kSat);
+  ASSERT_EQ(f2.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(f1.ModelValue(b));
+  EXPECT_TRUE(f2.ModelValue(a));
+  // The source is untouched by either fork.
+  EXPECT_EQ(builder.num_clauses(), 1u);
+  ASSERT_EQ(builder.Solve(), SolveResult::kSat);
+}
+
+TEST(SatForkTest, FrozenCarriesRootLevelUnits) {
+  // Units propagated during AddClause live on the level-0 trail, not in the
+  // arena; the snapshot must carry them or forks would forget forced facts.
+  Solver builder;
+  Var a = builder.NewVar(), b = builder.NewVar(), c = builder.NewVar();
+  builder.AddClause({MkLit(a)});
+  builder.AddClause({MkLit(a, true), MkLit(b)});  // Propagates b at the root.
+  Solver::Frozen frozen;
+  builder.Freeze(&frozen);
+
+  Solver fork;
+  fork.InitFromFrozen(frozen);
+  fork.AddClause({MkLit(b, true), MkLit(c)});  // With b forced, c follows.
+  ASSERT_EQ(fork.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(fork.ModelValue(a));
+  EXPECT_TRUE(fork.ModelValue(b));
+  EXPECT_TRUE(fork.ModelValue(c));
+  // Asserting ¬a contradicts the frozen unit immediately.
+  EXPECT_FALSE(fork.AddClause({MkLit(a, true)}));
+  EXPECT_EQ(fork.Solve(), SolveResult::kUnsat);
+}
+
+TEST(SatForkTest, ForkOfInconsistentPrefixStaysUnsat) {
+  Solver builder;
+  Var a = builder.NewVar();
+  builder.AddClause({MkLit(a)});
+  EXPECT_FALSE(builder.AddClause({MkLit(a, true)}));
+  Solver::Frozen frozen;
+  builder.Freeze(&frozen);
+  Solver fork;
+  fork.InitFromFrozen(frozen);
+  EXPECT_TRUE(fork.inconsistent());
+  EXPECT_EQ(fork.Solve(), SolveResult::kUnsat);
+}
+
+}  // namespace
+}  // namespace kbt::sat

@@ -312,5 +312,56 @@ TEST(SatSolverTest, StatsAreTracked) {
   EXPECT_EQ(s.stats().solve_calls, 1u);
 }
 
+TEST(SatSolverTest, LbdReductionCountsGlueAndStaysCorrect) {
+  // LBD-aware reduction: glue clauses (LBD ≤ 2) are counted at learn time and
+  // survive every reduction pass, while high-LBD low-activity clauses go
+  // first. Observable contract: on a conflict-heavy UNSAT instance with an
+  // aggressive budget, reductions fire, deletions happen, glue clauses were
+  // learned — and the answer is still UNSAT.
+  Solver s;
+  std::vector<std::vector<Var>> grid;
+  AddPigeonhole(&s, 7, 6, &grid);
+  s.SetReduceLimit(32);
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().db_reductions, 0u);
+  EXPECT_GT(s.stats().learned_deleted, 0u);
+  EXPECT_GT(s.stats().glue_clauses, 0u);
+  // Glue is a subset of everything learned.
+  EXPECT_LE(s.stats().glue_clauses, s.stats().learned_clauses +
+                                        s.stats().conflicts /* unit learns */);
+}
+
+TEST(SatSolverTest, LbdReductionPreservesSatAnswersUnderTinyBudget) {
+  // The LBD ranking must only affect *which* learned clauses are dropped,
+  // never correctness: random instances with constant reductions still agree
+  // with brute force.
+  std::mt19937_64 rng(20260730);
+  constexpr int kVars = 10;
+  std::uniform_int_distribution<int> var(0, kVars - 1);
+  std::bernoulli_distribution sign(0.5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Solver s;
+    s.SetReduceLimit(8);
+    for (int i = 0; i < kVars; ++i) s.NewVar();
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < 44; ++c) {
+      std::vector<Lit> clause;
+      for (int k = 0; k < 3; ++k) clause.push_back(MkLit(var(rng), sign(rng)));
+      clauses.push_back(clause);
+      s.AddClause(clause);
+    }
+    bool expected = BruteForceSat(kVars, clauses);
+    SolveResult got = s.Solve();
+    EXPECT_EQ(got == SolveResult::kSat, expected) << "trial=" << trial;
+    if (got == SolveResult::kSat) {
+      for (const auto& c : clauses) {
+        bool sat = false;
+        for (Lit l : c) sat |= (s.ModelValue(VarOf(l)) != IsNegated(l));
+        EXPECT_TRUE(sat);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace kbt::sat

@@ -66,7 +66,12 @@ TEST(TauParallelTest, MatchesSequentialOnRandomInputsAutoStrategy) {
   EXPECT_GT(compared, 0);
 }
 
-TEST(TauParallelTest, MatchesSequentialForcedSatWithAndWithoutCache) {
+TEST(TauParallelTest, MatchesSequentialForcedSatAcrossCacheAndPrefixModes) {
+  // The bit-identity contract of prefix sharing: for every (kb, φ), τ with the
+  // frozen-CNF-prefix fork on or off — across thread counts and grounding
+  // cache settings — returns the same canonical knowledgebase as the plain
+  // sequential, cacheless run. Forked solvers replay the exact search of
+  // freshly encoded ones, so this holds bit for bit, not just set-equal.
   std::mt19937_64 rng(77);
   RandomSentenceGenerator gen(&rng, /*new_relation_prob=*/0.4);
   for (int iter = 0; iter < 20; ++iter) {
@@ -77,17 +82,27 @@ TEST(TauParallelTest, MatchesSequentialForcedSatWithAndWithoutCache) {
     seq_nocache.mu.strategy = MuStrategy::kSat;
     seq_nocache.threads = 1;
     seq_nocache.use_ground_cache = false;
+    seq_nocache.use_cnf_prefix = false;
     StatusOr<Knowledgebase> expected = Tau(phi, kb, seq_nocache);
 
-    for (bool cache : {false, true}) {
-      TauOptions par;
-      par.mu.strategy = MuStrategy::kSat;
-      par.threads = 4;
-      par.use_ground_cache = cache;
-      StatusOr<Knowledgebase> got = Tau(phi, kb, par);
-      ASSERT_EQ(expected.ok(), got.ok()) << "iter " << iter << " cache " << cache;
-      if (expected.ok()) {
-        EXPECT_EQ(*expected, *got) << "iter " << iter << " cache " << cache;
+    for (size_t threads : {1u, 4u}) {
+      for (bool cache : {false, true}) {
+        for (bool prefix : {false, true}) {
+          TauOptions par;
+          par.mu.strategy = MuStrategy::kSat;
+          par.threads = threads;
+          par.use_ground_cache = cache;
+          par.use_cnf_prefix = prefix;
+          StatusOr<Knowledgebase> got = Tau(phi, kb, par);
+          ASSERT_EQ(expected.ok(), got.ok())
+              << "iter " << iter << " threads " << threads << " cache " << cache
+              << " prefix " << prefix;
+          if (expected.ok()) {
+            EXPECT_EQ(*expected, *got)
+                << "iter " << iter << " threads " << threads << " cache "
+                << cache << " prefix " << prefix;
+          }
+        }
       }
     }
   }
@@ -95,7 +110,10 @@ TEST(TauParallelTest, MatchesSequentialForcedSatWithAndWithoutCache) {
 
 TEST(TauParallelTest, SharedDomainWorldsHitTheCache) {
   // testutil worlds all pin Dom = {a, b, c}, so their active domains coincide
-  // whenever the sentence adds no new constants: one miss, size-1 hits.
+  // whenever the sentence adds no new constants: one miss, size-1 hits. On the
+  // SAT path the worlds hit the frozen-CNF-prefix cache; the grounding cache
+  // behind it grounds exactly once (for the prefix build) and is never
+  // consulted again.
   std::mt19937_64 rng(5);
   std::vector<Database> dbs;
   for (int i = 0; i < 6; ++i) dbs.push_back(RandomDatabase(&rng));
@@ -109,14 +127,30 @@ TEST(TauParallelTest, SharedDomainWorldsHitTheCache) {
   TauStats stats;
   StatusOr<Knowledgebase> result = Tau(phi, kb, options, &stats);
   ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(stats.cnf_cache_misses, 1u);
+  EXPECT_EQ(stats.cnf_cache_hits, worlds - 1);
   EXPECT_EQ(stats.ground_cache_misses, 1u);
-  EXPECT_EQ(stats.ground_cache_hits, worlds - 1);
+  EXPECT_EQ(stats.ground_cache_hits, 0u);
   EXPECT_EQ(stats.threads_used, 2u);
+
+  // With prefix sharing off, the per-world encodings fall back to the shared
+  // grounding: size-1 grounding-cache hits instead.
+  TauOptions noprefix = options;
+  noprefix.use_cnf_prefix = false;
+  TauStats noprefix_stats;
+  StatusOr<Knowledgebase> noprefix_result = Tau(phi, kb, noprefix, &noprefix_stats);
+  ASSERT_TRUE(noprefix_result.ok()) << noprefix_result.status();
+  EXPECT_EQ(noprefix_stats.ground_cache_misses, 1u);
+  EXPECT_EQ(noprefix_stats.ground_cache_hits, worlds - 1);
+  EXPECT_EQ(noprefix_stats.cnf_cache_hits, 0u);
+  EXPECT_EQ(noprefix_stats.cnf_cache_misses, 0u);
+  EXPECT_EQ(*noprefix_result, *result);
 
   // And the cached run agrees with the uncached sequential one.
   TauOptions plain;
   plain.mu.strategy = MuStrategy::kSat;
   plain.use_ground_cache = false;
+  plain.use_cnf_prefix = false;
   StatusOr<Knowledgebase> expected = Tau(phi, kb, plain);
   ASSERT_TRUE(expected.ok());
   EXPECT_EQ(*expected, *result);
