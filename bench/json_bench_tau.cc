@@ -33,7 +33,7 @@ namespace {
 
 /// Revision tag stamped on every row this harness writes. Bump per PR so rows
 /// from different revisions coexist in BENCH_tau.json.
-constexpr const char* kRev = "pr4";
+constexpr const char* kRev = "pr5";
 
 struct TauBenchRecord {
   std::string name;
@@ -46,6 +46,8 @@ struct TauBenchRecord {
   uint64_t cache_misses = 0;
   uint64_t prefix_hits = 0;
   uint64_t prefix_misses = 0;
+  uint64_t reused_levels = 0;  ///< Assumption levels retained across descent
+                               ///< solves (sat::Solver trail saving, PR 5).
   size_t output_databases = 0;
 };
 
@@ -63,13 +65,15 @@ bool WriteTauBenchJson(const std::string& path,
              "\"ms_per_op\": %.4f, \"ops_per_sec\": %.3f, "
              "\"speedup_vs_pr2\": %.2f, \"cache_hits\": %llu, "
              "\"cache_misses\": %llu, \"prefix_hits\": %llu, "
-             "\"prefix_misses\": %llu, \"output_databases\": %zu}%s\n",
+             "\"prefix_misses\": %llu, \"reused_levels\": %llu, "
+             "\"output_databases\": %zu}%s\n",
              r.name.c_str(), kRev, r.worlds, r.threads, r.ms_per_op,
              r.ops_per_sec, r.speedup_vs_pr2,
              static_cast<unsigned long long>(r.cache_hits),
              static_cast<unsigned long long>(r.cache_misses),
              static_cast<unsigned long long>(r.prefix_hits),
              static_cast<unsigned long long>(r.prefix_misses),
+             static_cast<unsigned long long>(r.reused_levels),
              r.output_databases, i + 1 < records.size() ? "," : "") >= 0 &&
          ok;
   }
@@ -231,6 +235,7 @@ void MeasureWorkload(const std::string& name, const Formula& sentence,
     r.cache_misses = stats.ground_cache_misses;
     r.prefix_hits = stats.cnf_cache_hits;
     r.prefix_misses = stats.cnf_cache_misses;
+    r.reused_levels = stats.mu.sat_reused_levels;
     r.output_databases = stats.output_databases;
     out->push_back(r);
   }
@@ -275,12 +280,13 @@ int Main(int argc, char** argv) {
   for (const TauBenchRecord& r : records) {
     std::printf(
         "%-28s worlds=%-5d threads=%d %10.4f ms/op %8.2fx vs pr2  "
-        "cache %llu/%llu  prefix %llu/%llu  out=%zu\n",
+        "cache %llu/%llu  prefix %llu/%llu  reused=%llu  out=%zu\n",
         r.name.c_str(), r.worlds, r.threads, r.ms_per_op, r.speedup_vs_pr2,
         static_cast<unsigned long long>(r.cache_hits),
         static_cast<unsigned long long>(r.cache_misses),
         static_cast<unsigned long long>(r.prefix_hits),
-        static_cast<unsigned long long>(r.prefix_misses), r.output_databases);
+        static_cast<unsigned long long>(r.prefix_misses),
+        static_cast<unsigned long long>(r.reused_levels), r.output_databases);
   }
   std::printf("wrote %s\n", path);
   return 0;

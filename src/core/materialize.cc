@@ -46,50 +46,57 @@ StatusOr<Database> MaterializeModel(
   return out;
 }
 
-StatusOr<ModelMaterializer> ModelMaterializer::Make(
-    const UpdateContext& ctx, const AtomIndex& atoms,
-    const std::vector<int>& mentioned_atom_ids) {
-  ModelMaterializer m;
-  m.ctx_ = &ctx;
+Status ModelMaterializer::Rebuild(const UpdateContext& ctx,
+                                  const AtomIndex& atoms,
+                                  const std::vector<int>& mentioned_atom_ids) {
+  ctx_ = &ctx;
+  entries_.clear();
+  groups_.clear();
   // One flat entry list sorted by (schema position, tuple); groups are the
   // runs. Grounding visits relations in clusters and emits tuples in near
-  // order, so the sort's branch behavior is benign; no per-bucket containers.
-  struct KeyedEntry {
-    size_t pos;
-    AtomEntry entry;
-  };
-  std::vector<KeyedEntry> keyed;
-  keyed.reserve(mentioned_atom_ids.size());
+  // order, so the sort's branch behavior is benign; no per-bucket containers,
+  // and every buffer keeps its capacity across Rebuilds (a WorldScratch parks
+  // one materializer per worker for exactly this reason).
+  keyed_.clear();
+  keyed_.reserve(mentioned_atom_ids.size());
   for (int id : mentioned_atom_ids) {
     const GroundAtom& atom = atoms.AtomOf(id);
     std::optional<size_t> pos = ctx.schema.PositionOf(atom.relation);
     if (!pos) {
+      ctx_ = nullptr;  // Half-built state must not be Materialized.
       return Status::NotFound("relation not in schema: " + NameOf(atom.relation));
     }
     const Relation& base = ctx.extended_base.relation_at(*pos);
     // The TupleView borrows the AtomIndex's owning tuple — stable for the
     // materializer's lifetime because the grounding is immutable once built.
     TupleView t(atom.tuple);
-    keyed.push_back(KeyedEntry{*pos, AtomEntry{id, t, base.Contains(t)}});
+    keyed_.push_back({*pos, AtomEntry{id, t, base.Contains(t)}});
   }
   // Sorting by tuple within a relation makes each model's add/remove
   // subsequences sorted, so Materialize merges in one pass. Mentioned atoms
   // are distinct, so the order is total (ties impossible within one relation).
-  std::sort(keyed.begin(), keyed.end(),
-            [](const KeyedEntry& a, const KeyedEntry& b) {
-              if (a.pos != b.pos) return a.pos < b.pos;
-              return a.entry.tuple < b.entry.tuple;
+  std::sort(keyed_.begin(), keyed_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.tuple < b.second.tuple;
             });
-  for (size_t i = 0; i < keyed.size();) {
+  entries_.reserve(keyed_.size());
+  for (size_t i = 0; i < keyed_.size();) {
     size_t j = i;
-    Group group;
-    group.schema_pos = keyed[i].pos;
-    while (j < keyed.size() && keyed[j].pos == keyed[i].pos) ++j;
-    group.entries.reserve(j - i);
-    for (size_t k = i; k < j; ++k) group.entries.push_back(keyed[k].entry);
-    m.groups_.push_back(std::move(group));
+    while (j < keyed_.size() && keyed_[j].first == keyed_[i].first) ++j;
+    groups_.push_back(Group{keyed_[i].first, static_cast<uint32_t>(i),
+                            static_cast<uint32_t>(j)});
+    for (size_t k = i; k < j; ++k) entries_.push_back(keyed_[k].second);
     i = j;
   }
+  return Status::OK();
+}
+
+StatusOr<ModelMaterializer> ModelMaterializer::Make(
+    const UpdateContext& ctx, const AtomIndex& atoms,
+    const std::vector<int>& mentioned_atom_ids) {
+  ModelMaterializer m;
+  KBT_RETURN_IF_ERROR(m.Rebuild(ctx, atoms, mentioned_atom_ids));
   return m;
 }
 
@@ -99,7 +106,8 @@ StatusOr<Database> ModelMaterializer::Materialize(
   for (const Group& group : groups_) {
     adds_.clear();
     removes_.clear();
-    for (const AtomEntry& entry : group.entries) {
+    for (uint32_t e = group.begin; e < group.end; ++e) {
+      const AtomEntry& entry = entries_[e];
       bool wanted = atom_value(entry.id);
       if (wanted == entry.present) continue;
       (wanted ? adds_ : removes_).push_back(entry.tuple);

@@ -30,6 +30,8 @@ void MuStats::MergeFrom(const MuStats& other) {
   sat_solve_calls += other.sat_solve_calls;
   sat_conflicts += other.sat_conflicts;
   sat_decisions += other.sat_decisions;
+  sat_reused_levels += other.sat_reused_levels;
+  sat_saved_propagations += other.sat_saved_propagations;
   datalog_rounds += other.datalog_rounds;
   datalog_derived_tuples += other.datalog_derived_tuples;
   used = other.used;  // Last strategy wins; τ reports per-call anyway.

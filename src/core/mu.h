@@ -60,6 +60,13 @@ struct MuOptions {
   bool use_cone_blocking = true;
   /// Datalog strategy: semi-naive vs naive fixpoint (bench_ablation).
   bool use_seminaive = true;
+  /// SAT strategy: incremental solving under assumptions via trail saving
+  /// (sat::SolverOptions::reuse_assumption_trail) plus the descent's
+  /// prefix-stable assumption ordering and deferred guard retirement that
+  /// exploit it. Off reproduces the pre-reuse solver call sequence bit for bit
+  /// (the json_bench_mu `_noreuse` mode); either way μ returns the identical
+  /// minimal-model set (property-tested in tests/pipeline_fuzz_test.cc).
+  bool reuse_assumption_trail = true;
 };
 
 struct MuStats {
@@ -76,6 +83,10 @@ struct MuStats {
   uint64_t sat_solve_calls = 0;
   uint64_t sat_conflicts = 0;
   uint64_t sat_decisions = 0;
+  /// Assumption decision levels retained across descent solves, and the trail
+  /// literals those levels kept enqueued (0 with reuse_assumption_trail off).
+  uint64_t sat_reused_levels = 0;
+  uint64_t sat_saved_propagations = 0;
   /// Datalog statistics (datalog strategy only).
   size_t datalog_rounds = 0;
   size_t datalog_derived_tuples = 0;

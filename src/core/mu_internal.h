@@ -5,8 +5,10 @@
 /// Internal interfaces between the μ dispatcher and its strategies. Not part of the
 /// public API.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "core/mu.h"
 #include "core/universe.h"
@@ -20,6 +22,7 @@ struct CachedGrounding;
 struct FrozenCnf;
 class CnfCache;
 class GroundingCache;
+struct WorldScratch;
 }  // namespace kbt::exec
 
 namespace kbt::sat {
@@ -51,13 +54,14 @@ struct TauStrategyPlan {
 /// Resources the τ executor threads through μ: caches shared by all worlds of
 /// one τ call (grounding and frozen-CNF-prefix, both keyed by active domain),
 /// a per-worker solver that is Reset/forked and reused across worlds instead
-/// of constructed per call, and the once-per-call strategy plan. All are
-/// optional; plain Mu() passes none. The struct is copied freely — it only
-/// borrows.
+/// of constructed per call, a per-worker WorldScratch holding the enumerator's
+/// buffers, and the once-per-call strategy plan. All are optional; plain Mu()
+/// passes none. The struct is copied freely — it only borrows.
 struct MuExecContext {
   exec::GroundingCache* ground_cache = nullptr;
   exec::CnfCache* cnf_cache = nullptr;
   sat::Solver* solver = nullptr;
+  exec::WorldScratch* scratch = nullptr;
   const TauStrategyPlan* plan = nullptr;
 };
 
@@ -140,17 +144,29 @@ StatusOr<Database> MaterializeModel(
     const std::function<bool(int)>& atom_value);
 
 /// Delta-encoded model materialization for enumeration loops that build many
-/// databases against one base. Construction (once per μ call) groups the
-/// mentioned atoms by relation, sorts each group in tuple order and precomputes
-/// each atom's presence in ctx.extended_base; Materialize (once per enumerated
-/// model) then applies the per-model deltas with a single three-way merge per
-/// touched relation — no per-model map, no membership probes, and no
-/// Union+Difference double rebuild (core/mu_internal.h:103's follow-up in
-/// ROADMAP). Borrows ctx and atoms; both must outlive the materializer.
+/// databases against one base. Construction (once per μ call — lazily, on the
+/// second enumerated model, since a single-model run never amortizes it)
+/// groups the mentioned atoms by relation, sorts each group in tuple order and
+/// precomputes each atom's presence in ctx.extended_base; Materialize (once
+/// per enumerated model) then applies the per-model deltas with a single
+/// three-way merge per touched relation — no per-model map, no membership
+/// probes, and no Union+Difference double rebuild. All storage is flat, so a
+/// default-constructed materializer parked in a per-worker WorldScratch is
+/// Rebuilt in place world after world with warm buffers. Borrows the ctx and
+/// atoms passed to Rebuild; both must outlive the next Rebuild.
 class ModelMaterializer {
  public:
-  /// Fails with kNotFound when a mentioned atom's relation is not in
-  /// ctx.schema (the same check MaterializeModel performs per call).
+  ModelMaterializer() = default;
+
+  /// (Re)builds the precomputation for a new (ctx, atoms, mentioned) triple,
+  /// reusing this object's buffers. Fails with kNotFound when a mentioned
+  /// atom's relation is not in ctx.schema (the same check MaterializeModel
+  /// performs per call); the materializer is unusable until the next
+  /// successful Rebuild.
+  Status Rebuild(const UpdateContext& ctx, const AtomIndex& atoms,
+                 const std::vector<int>& mentioned_atom_ids);
+
+  /// Fresh-object convenience (tests and one-shot callers).
   static StatusOr<ModelMaterializer> Make(
       const UpdateContext& ctx, const AtomIndex& atoms,
       const std::vector<int>& mentioned_atom_ids);
@@ -161,8 +177,6 @@ class ModelMaterializer {
   StatusOr<Database> Materialize(const std::function<bool(int)>& atom_value) const;
 
  private:
-  ModelMaterializer() = default;
-
   /// One mentioned atom: its id, a view of its ground tuple (borrowed from the
   /// AtomIndex) and whether the base relation already contains it.
   struct AtomEntry {
@@ -170,15 +184,20 @@ class ModelMaterializer {
     TupleView tuple;
     bool present;
   };
-  /// All mentioned atoms of one relation, sorted by tuple so the per-model
-  /// add/remove lists come out sorted for free.
+  /// All mentioned atoms of one relation: entries_[begin, end), sorted by
+  /// tuple so the per-model add/remove lists come out sorted for free.
   struct Group {
     size_t schema_pos;
-    std::vector<AtomEntry> entries;
+    uint32_t begin;
+    uint32_t end;
   };
 
   const UpdateContext* ctx_ = nullptr;
+  /// Flat entry store + group runs over it (flat so Rebuild reuses capacity).
+  std::vector<AtomEntry> entries_;
   std::vector<Group> groups_;
+  /// Scratch for Rebuild's (schema position, entry) sort.
+  std::vector<std::pair<size_t, AtomEntry>> keyed_;
   /// Scratch for Materialize (adds/removes of the group being merged); mutable
   /// so Materialize stays const for callers — a materializer is used by one
   /// world's enumeration thread, never shared.

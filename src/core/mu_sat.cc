@@ -7,6 +7,7 @@
 #include "core/winslett_order.h"
 #include "exec/cnf_cache.h"
 #include "exec/ground_cache.h"
+#include "exec/scratch.h"
 #include "logic/grounder.h"
 #include "sat/solver.h"
 #include "sat/tseitin.h"
@@ -30,16 +31,31 @@ struct FoundModel {
   std::vector<int> true_new;     ///< Mentioned new atoms set to true.
 };
 
+/// The μ/SAT enumerator parks its materializer — and thereby the group/merge
+/// buffers inside it — in the per-worker WorldScratch between worlds.
+struct MaterializerSlot : exec::WorldScratch::Attachment {
+  ModelMaterializer materializer;
+};
+
 /// The CDCL enumeration engine. One solver and one incremental Tseitin encoder
 /// live for the entire run: the minimization descent pushes activation-guarded
 /// constraints and the enumeration pushes blocking clauses into the same clause
-/// arena, and nothing is ever ground or encoded twice.
+/// arena, and nothing is ever ground or encoded twice. Per-world tables and
+/// loop scratch live in a WorldScratch — the executor's per-worker pool when
+/// provided, a local one otherwise — so consecutive worlds on one worker reuse
+/// warm buffers instead of reallocating ~15 vectors per world.
 class SatEnumerator {
  public:
   SatEnumerator(const Database& db, const UpdateContext& ctx,
                 const MuOptions& options, MuStats* stats,
                 const MuExecContext& exec)
-      : db_(db), ctx_(ctx), options_(options), stats_(stats), exec_(exec) {}
+      : db_(db),
+        ctx_(ctx),
+        options_(options),
+        stats_(stats),
+        exec_(exec),
+        s_(exec.scratch != nullptr ? *exec.scratch : own_scratch_),
+        reuse_(options.reuse_assumption_trail) {}
 
   StatusOr<Knowledgebase> Run(const Formula& sentence) {
     GrounderOptions gopts;
@@ -77,9 +93,12 @@ class SatEnumerator {
     } else {
       solver_ = &own_solver_;
     }
+    sat::SolverOptions sopts;
+    sopts.reuse_assumption_trail = reuse_;
+    solver_->set_options(sopts);
 
     stats_->ground_atoms = mentioned_->size();
-    atom_var_.resize(g->atoms.size(), -1);
+    s_.atom_var.assign(g->atoms.size(), -1);
     const std::vector<sat::Lit>* node_lits = nullptr;
     std::vector<sat::Lit> own_node_lits;
     if (frozen != nullptr) {
@@ -90,7 +109,7 @@ class SatEnumerator {
       // clauses) behaves identically.
       solver_->InitFromFrozen(frozen->prefix);
       std::copy(frozen->atom_var.begin(), frozen->atom_var.end(),
-                atom_var_.begin());
+                s_.atom_var.begin());
       node_lits = &frozen->node_lit;
     } else {
       if (exec_.solver != nullptr) solver_->Reset();
@@ -100,13 +119,16 @@ class SatEnumerator {
       sat::TseitinEncoder encoder(&g->circuit, solver_);
       encoder.Assert(g->root);
       for (int atom_id : *mentioned_) {
-        atom_var_[atom_id] = encoder.VarForAtom(atom_id);
+        s_.atom_var[static_cast<size_t>(atom_id)] = encoder.VarForAtom(atom_id);
       }
       own_node_lits = encoder.node_lits();
       node_lits = &own_node_lits;
     }
-    default_value_.resize(g->atoms.size(), 0);
-    value_.resize(g->atoms.size(), 0);
+    s_.default_value.assign(g->atoms.size(), 0);
+    s_.value.assign(g->atoms.size(), 0);
+    s_.old_atoms.clear();
+    s_.new_atoms.clear();
+    s_.retired_acts.clear();
     for (int atom_id : *mentioned_) {
       const GroundAtom& atom = g->atoms.AtomOf(atom_id);
       bool is_old = IsOldAtom(atom, db_);
@@ -115,8 +137,9 @@ class SatEnumerator {
         return Status::NotFound("relation not in schema: " +
                                 NameOf(atom.relation));
       }
-      default_value_[atom_id] = is_old && r->Contains(atom.tuple);
-      (is_old ? old_atoms_ : new_atoms_).push_back(atom_id);
+      s_.default_value[static_cast<size_t>(atom_id)] =
+          is_old && r->Contains(atom.tuple);
+      (is_old ? s_.old_atoms : s_.new_atoms).push_back(atom_id);
     }
 
     // Branch toward the default world first — atoms *and* Tseitin gates. The
@@ -128,27 +151,36 @@ class SatEnumerator {
     // (SeedDefaultPhases), gates then following their saved model phases.
     g->circuit.EvaluateAllInto(g->root,
                                [&](int atom_id) {
-                                 return default_value_[static_cast<size_t>(
+                                 return s_.default_value[static_cast<size_t>(
                                             atom_id)] != 0;
                                },
-                               &node_value_scratch_);
+                               &s_.node_value);
     for (size_t id = 0; id < node_lits->size(); ++id) {
       sat::Lit lit = (*node_lits)[id];
-      int8_t value = node_value_scratch_[id];
+      int8_t value = s_.node_value[id];
       if (lit == sat::TseitinEncoder::kUnencoded || value == 0) continue;
       solver_->SetPhase(sat::VarOf(lit), (value == 2) != sat::IsNegated(lit));
     }
 
-    // Delta materialization: group/sort/membership precomputed once here, one
-    // merge pass per enumerated model in Descend.
-    KBT_ASSIGN_OR_RETURN(materializer_,
-                         ModelMaterializer::Make(ctx_, *atoms_, *mentioned_));
+    // Delta materialization is lazy: the first enumerated model goes through
+    // the specification-shaped MaterializeModel, and the group/tuple-order
+    // precomputation is only paid once a second model proves the run is a real
+    // enumeration. The materializer object itself persists in the worker
+    // scratch so its buffers stay warm across worlds.
+    auto* slot = dynamic_cast<MaterializerSlot*>(s_.attachment.get());
+    if (slot == nullptr) {
+      s_.attachment = std::make_unique<MaterializerSlot>();
+      slot = static_cast<MaterializerSlot*>(s_.attachment.get());
+    }
+    materializer_ = &slot->materializer;
+    models_built_ = 0;
 
     std::vector<FoundModel> minimal;
     while (true) {
       // Each enumeration probe starts from the default phases too: the next
       // unblocked model found is near-minimal, keeping its descent short.
       SeedDefaultPhases();
+      FlushRetiredGuards();
       if (Solve(no_assumptions_) == SolveResult::kUnsat) break;
       KBT_ASSIGN_OR_RETURN(FoundModel candidate, Descend());
       // The descent fixpoint is minimal unless a previously reported minimal model
@@ -195,33 +227,34 @@ class SatEnumerator {
   /// own assignment is excluded. Returns true when the whole space is now blocked
   /// (the candidate was the global minimum), letting the caller stop immediately.
   bool BlockAbove(const FoundModel& candidate, bool strong) {
-    std::vector<Lit>& clause = clause_scratch_;
+    std::vector<Lit>& clause = s_.clause_lits;
     if (!strong) {
       auto candidate_value = [&](int a) {
         if (std::binary_search(candidate.flipped_old.begin(),
                                candidate.flipped_old.end(), a)) {
-          return default_value_[a] == 0;
+          return s_.default_value[static_cast<size_t>(a)] == 0;
         }
         if (std::binary_search(candidate.true_new.begin(),
                                candidate.true_new.end(), a)) {
           return true;
         }
-        return default_value_[a] != 0;  // New atoms default to false.
+        // New atoms default to false.
+        return s_.default_value[static_cast<size_t>(a)] != 0;
       };
       clause.clear();
       clause.reserve(mentioned_->size());
       for (int a : *mentioned_) {
-        clause.push_back(MkLit(atom_var_[a], candidate_value(a)));
+        clause.push_back(MkLit(AtomVar(a), candidate_value(a)));
       }
       if (clause.empty()) return true;  // Single possible assignment.
       solver_->AddClause(clause);
       return false;
     }
-    std::vector<Lit>& core = core_scratch_;
+    std::vector<Lit>& core = s_.core_lits;
     core.clear();
     for (int a : candidate.flipped_old) core.push_back(KeepLit(a));
     // (a) Forbid strict flip supersets.
-    for (int b : old_atoms_) {
+    for (int b : s_.old_atoms) {
       if (std::binary_search(candidate.flipped_old.begin(),
                              candidate.flipped_old.end(), b)) {
         continue;
@@ -233,32 +266,37 @@ class SatEnumerator {
     // (b) The cone clause.
     clause.assign(core.begin(), core.end());
     for (int n : candidate.true_new) {
-      clause.push_back(MkLit(atom_var_[n], /*negated=*/true));
+      clause.push_back(MkLit(AtomVar(n), /*negated=*/true));
     }
     if (clause.empty()) return true;  // Candidate is the global minimum.
     solver_->AddClause(clause);
     return false;
   }
 
-  /// Literal asserting atom `a` has its default value.
-  Lit KeepLit(int a) { return MkLit(atom_var_[a], /*negated=*/!default_value_[a]); }
-  /// Literal asserting atom `a` equals `value`.
-  Lit ValueLit(int a, bool value) { return MkLit(atom_var_[a], !value); }
+  Var AtomVar(int a) { return s_.atom_var[static_cast<size_t>(a)]; }
+  bool DefaultOf(int a) { return s_.default_value[static_cast<size_t>(a)] != 0; }
 
-  bool ModelValueOf(int a) { return solver_->ModelValue(atom_var_[a]); }
+  /// Literal asserting atom `a` has its default value.
+  Lit KeepLit(int a) { return MkLit(AtomVar(a), /*negated=*/!DefaultOf(a)); }
+  /// Literal asserting atom `a` equals `value`.
+  Lit ValueLit(int a, bool value) { return MkLit(AtomVar(a), !value); }
+
+  bool ModelValueOf(int a) { return solver_->ModelValue(AtomVar(a)); }
 
   SolveResult Solve(const std::vector<Lit>& assumptions) {
     SolveResult r = solver_->Solve(assumptions);
     stats_->sat_solve_calls = solver_->stats().solve_calls;
     stats_->sat_conflicts = solver_->stats().conflicts;
     stats_->sat_decisions = solver_->stats().decisions;
+    stats_->sat_reused_levels = solver_->stats().reused_assumption_levels;
+    stats_->sat_saved_propagations = solver_->stats().saved_propagations;
     if (r == SolveResult::kSat) ++stats_->candidates_examined;
     return r;
   }
 
   void SnapshotModel() {
     for (int a : *mentioned_) {
-      value_[static_cast<size_t>(a)] = ModelValueOf(a) ? 1 : 0;
+      s_.value[static_cast<size_t>(a)] = ModelValueOf(a) ? 1 : 0;
     }
   }
 
@@ -271,32 +309,61 @@ class SatEnumerator {
   /// toward the (φ-violating) default world was measured to lengthen probes.
   /// Which fixpoint a descent reaches may differ, but μ enumerates *all*
   /// minimal models either way — the result set (and hence τ) is unchanged,
-  /// only the number of solver calls drops.
+  /// only the number of solver calls drops. (Phases of atoms assigned at
+  /// retained assumption levels are dead until those levels are undone.)
   void SeedDefaultPhases() {
     for (int a : *mentioned_) {
-      solver_->SetPhase(atom_var_[a], default_value_[a]);
+      solver_->SetPhase(AtomVar(a), DefaultOf(a));
     }
+  }
+
+  /// Retires a descent guard. Classic mode asserts ¬act immediately; a unit is
+  /// a root fact, though, and would surrender the whole retained assumption
+  /// trail, so reuse mode defers the unit until the next enumeration probe
+  /// (which starts from level 0 regardless) and meanwhile just biases the
+  /// activation variable false so the dead guard cannot force its keeps.
+  void RetireGuard(Var act) {
+    if (!reuse_) {
+      solver_->AddClause({MkLit(act, true)});
+      return;
+    }
+    s_.retired_acts.push_back(act);
+    solver_->SetPhase(act, false);
+  }
+
+  /// Flushes deferred guard retirements (no-op in classic mode).
+  void FlushRetiredGuards() {
+    for (Var act : s_.retired_acts) {
+      solver_->AddClause({MkLit(act, true)});
+    }
+    s_.retired_acts.clear();
   }
 
   /// Two-stage greedy descent from the solver's current model to a ≤_db fixpoint.
   /// Each refinement step adds one activation-guarded clause (retired afterwards
   /// by asserting ¬act) to the live solver — no re-grounding, no re-encoding, and
   /// no per-step containers beyond the reused scratch buffers.
+  ///
+  /// With assumption-trail reuse the per-step assumption vectors are ordered
+  /// canonically — atom pins in the stable old_atoms/new_atoms order first,
+  /// the (always-fresh) activation literal last — so consecutive solves share
+  /// a maximal assumption prefix and the solver re-enqueues only the delta:
+  /// stage 2 re-propagates its |old| pins exactly once across all its steps.
   StatusOr<FoundModel> Descend() {
     SnapshotModel();
-    auto val = [&](int a) { return value_[static_cast<size_t>(a)] != 0; };
+    auto val = [&](int a) { return s_.value[static_cast<size_t>(a)] != 0; };
 
-    std::vector<int>& deviating = deviating_scratch_;
-    std::vector<Lit>& guard = clause_scratch_;
-    std::vector<Lit>& assumptions = assumptions_scratch_;
+    std::vector<int>& deviating = s_.deviating;
+    std::vector<Lit>& guard = s_.clause_lits;
+    std::vector<Lit>& assumptions = s_.assumption_lits;
 
     // Stage 1: shrink the old-atom flip set until no model has a strictly smaller
     // one. Pinning every unflipped atom keeps Δ(M') ⊆ Δ(M) componentwise; the
     // activation-guarded clause forces at least one flip to revert.
     while (true) {
       deviating.clear();
-      for (int a : old_atoms_) {
-        if (val(a) != (default_value_[a] != 0)) deviating.push_back(a);
+      for (int a : s_.old_atoms) {
+        if (val(a) != DefaultOf(a)) deviating.push_back(a);
       }
       if (deviating.empty()) break;
       Var act = solver_->NewVar();
@@ -305,13 +372,20 @@ class SatEnumerator {
       for (int a : deviating) guard.push_back(KeepLit(a));
       solver_->AddClause(guard);
       assumptions.clear();
-      assumptions.push_back(MkLit(act));
-      for (int a : old_atoms_) {
-        if (val(a) == (default_value_[a] != 0)) assumptions.push_back(KeepLit(a));
+      if (reuse_) {
+        for (int a : s_.old_atoms) {
+          if (val(a) == DefaultOf(a)) assumptions.push_back(KeepLit(a));
+        }
+        assumptions.push_back(MkLit(act));
+      } else {
+        assumptions.push_back(MkLit(act));
+        for (int a : s_.old_atoms) {
+          if (val(a) == DefaultOf(a)) assumptions.push_back(KeepLit(a));
+        }
       }
       SeedDefaultPhases();
       SolveResult r = Solve(assumptions);
-      solver_->AddClause({MkLit(act, true)});  // Retire the guard.
+      RetireGuard(act);
       if (r == SolveResult::kUnsat) break;
       SnapshotModel();
     }
@@ -320,7 +394,7 @@ class SatEnumerator {
     // true set of new atoms.
     while (true) {
       deviating.clear();
-      for (int a : new_atoms_) {
+      for (int a : s_.new_atoms) {
         if (val(a)) deviating.push_back(a);
       }
       if (deviating.empty()) break;
@@ -330,26 +404,53 @@ class SatEnumerator {
       for (int a : deviating) guard.push_back(ValueLit(a, false));
       solver_->AddClause(guard);
       assumptions.clear();
-      assumptions.push_back(MkLit(act));
-      for (int a : old_atoms_) assumptions.push_back(ValueLit(a, val(a)));
-      for (int a : new_atoms_) {
-        if (!val(a)) assumptions.push_back(ValueLit(a, false));
+      if (reuse_) {
+        for (int a : s_.old_atoms) assumptions.push_back(ValueLit(a, val(a)));
+        for (int a : s_.new_atoms) {
+          if (!val(a)) assumptions.push_back(ValueLit(a, false));
+        }
+        assumptions.push_back(MkLit(act));
+      } else {
+        assumptions.push_back(MkLit(act));
+        for (int a : s_.old_atoms) assumptions.push_back(ValueLit(a, val(a)));
+        for (int a : s_.new_atoms) {
+          if (!val(a)) assumptions.push_back(ValueLit(a, false));
+        }
       }
       SeedDefaultPhases();
       SolveResult r = Solve(assumptions);
-      solver_->AddClause({MkLit(act, true)});
+      RetireGuard(act);
       if (r == SolveResult::kUnsat) break;
       SnapshotModel();
     }
 
+    // The descent is over: the retained assumption trail has no next solve to
+    // serve (what follows is BlockAbove's clause burst and an assumption-free
+    // probe), so surrender it now and let those AddClauses take the level-0
+    // fast path instead of trail-aware placement.
+    if (reuse_) solver_->BacktrackToRoot();
+
     FoundModel out;
-    for (int a : old_atoms_) {
-      if (val(a) != (default_value_[a] != 0)) out.flipped_old.push_back(a);
+    for (int a : s_.old_atoms) {
+      if (val(a) != DefaultOf(a)) out.flipped_old.push_back(a);
     }
-    for (int a : new_atoms_) {
+    for (int a : s_.new_atoms) {
       if (val(a)) out.true_new.push_back(a);
     }
-    KBT_ASSIGN_OR_RETURN(out.database, materializer_->Materialize(val));
+    // Lazy delta materialization: the specification path covers the (common)
+    // single-model run; the precomputed merge path takes over from the second
+    // model on, rebuilt in the scratch-parked materializer with warm buffers.
+    std::function<bool(int)> value_fn = val;
+    if (models_built_ == 0) {
+      KBT_ASSIGN_OR_RETURN(out.database,
+                           MaterializeModel(ctx_, *atoms_, *mentioned_, value_fn));
+    } else {
+      if (models_built_ == 1) {
+        KBT_RETURN_IF_ERROR(materializer_->Rebuild(ctx_, *atoms_, *mentioned_));
+      }
+      KBT_ASSIGN_OR_RETURN(out.database, materializer_->Materialize(value_fn));
+    }
+    ++models_built_;
     return out;
   }
 
@@ -366,24 +467,17 @@ class SatEnumerator {
   const AtomIndex* atoms_ = nullptr;
   /// Borrowed from the CachedGrounding held alive by Run.
   const std::vector<int>* mentioned_ = nullptr;
-  /// Built once per Run; turns descent fixpoints into databases by delta.
-  std::optional<ModelMaterializer> materializer_;
-  std::vector<int> old_atoms_;
-  std::vector<int> new_atoms_;
-  /// Dense per-atom-id tables (ground atom ids are dense by construction).
-  std::vector<Var> atom_var_;
-  std::vector<int8_t> default_value_;
-  std::vector<int8_t> value_;  ///< Current model snapshot, per atom id.
-
-  /// Scratch for the default-world circuit evaluation (gate phase seeding).
-  std::vector<int8_t> node_value_scratch_;
-
-  // Reused scratch buffers: the descend-and-block loop allocates nothing per
-  // iteration beyond what the solver arena itself grows.
-  std::vector<int> deviating_scratch_;
-  std::vector<Lit> clause_scratch_;
-  std::vector<Lit> core_scratch_;
-  std::vector<Lit> assumptions_scratch_;
+  /// Fallback scratch when the executor supplies none (plain Mu() calls).
+  exec::WorldScratch own_scratch_;
+  /// Per-world tables and loop scratch: exec_.scratch (worker-pooled) or
+  /// own_scratch_.
+  exec::WorldScratch& s_;
+  /// Assumption-trail reuse engaged (solver knob + descent ordering).
+  const bool reuse_;
+  /// Scratch-parked materializer, lazily rebuilt on the second model.
+  ModelMaterializer* materializer_ = nullptr;
+  /// Models materialized so far in this run (drives materializer laziness).
+  size_t models_built_ = 0;
   const std::vector<Lit> no_assumptions_;
 };
 

@@ -10,6 +10,7 @@
 #include "exec/cnf_cache.h"
 #include "exec/ground_cache.h"
 #include "exec/pool.h"
+#include "exec/scratch.h"
 #include "logic/analysis.h"
 #include "sat/solver.h"
 
@@ -102,8 +103,10 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     // Sequential path: same per-world calls, same merge — the parallel path is
     // bit-identical because results land in per-world slots either way.
     sat::Solver solver;
+    exec::WorldScratch scratch;
     internal::MuExecContext exec = base_exec;
     exec.solver = &solver;
+    exec.scratch = &scratch;
     for (size_t i = 0; i < worlds.size() && !failed.load(std::memory_order_relaxed);
          ++i) {
       run_world(i, exec);
@@ -112,9 +115,11 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
   } else {
     // Each worker owns a Solver reused (via Reset or a frozen-prefix fork)
     // across every world it executes — the PR 2 incremental machinery
-    // instantiated per thread. The pool is the caller's persistent one when
-    // provided (a serving loop re-entering Pipeline::Apply should not respawn
-    // threads per call), otherwise spawned for this call.
+    // instantiated per thread — plus a WorldScratch holding the enumerator's
+    // per-world tables, so small worlds stop paying per-world allocation. The
+    // pool is the caller's persistent one when provided (a serving loop
+    // re-entering Pipeline::Apply should not respawn threads per call),
+    // otherwise spawned for this call.
     exec::ThreadPool* pool = options.pool;
     std::unique_ptr<exec::ThreadPool> own_pool;
     if (pool == nullptr) {
@@ -123,13 +128,17 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     }
     size_t workers = pool->workers();
     std::vector<std::unique_ptr<sat::Solver>> solvers;
+    std::vector<std::unique_ptr<exec::WorldScratch>> scratches;
     solvers.reserve(workers);
+    scratches.reserve(workers);
     for (size_t t = 0; t < workers; ++t) {
       solvers.push_back(std::make_unique<sat::Solver>());
+      scratches.push_back(std::make_unique<exec::WorldScratch>());
     }
     pool->ParallelFor(worlds.size(), [&](size_t i, size_t worker) {
       internal::MuExecContext exec = base_exec;
       exec.solver = solvers[worker].get();
+      exec.scratch = scratches[worker].get();
       run_world(i, exec);
     });
     out->threads_used = std::min(workers, worlds.size());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace kbt::sat {
 
@@ -89,6 +90,7 @@ void Solver::Reset() {
   seen_.clear();
   level_seen_.clear();
   level_seen_clear_.clear();
+  last_assumptions_.clear();  // options_ survives: configuration, not state.
   stats_ = Stats();
 }
 
@@ -162,6 +164,7 @@ void Solver::InitFromFrozen(const Frozen& frozen) {
   model_.assign(frozen.model.begin(), frozen.model.end());
   seen_.assign(frozen.values.size(), 0);
   level_seen_clear_.clear();
+  last_assumptions_.clear();  // The frozen state has no retained trail.
   stats_ = frozen.frozen_stats;
 }
 
@@ -202,12 +205,17 @@ uint32_t Solver::ComputeLbd(std::span<const Lit> lits) {
 
 bool Solver::AddClause(std::span<const Lit> lits) {
   if (!ok_) return false;
-  assert(DecisionLevel() == 0 && "AddClause only between Solve calls");
+  assert((DecisionLevel() == 0 || options_.reuse_assumption_trail) &&
+         "AddClause above level 0 requires reuse_assumption_trail");
+  const bool above_root = DecisionLevel() > 0;
   add_tmp_.assign(lits.begin(), lits.end());
   std::sort(add_tmp_.begin(), add_tmp_.end());
   add_tmp_.erase(std::unique(add_tmp_.begin(), add_tmp_.end()), add_tmp_.end());
   // Drop tautologies; remove false literals; detect satisfied clauses. The
   // surviving literals are compacted in place — no allocation per clause.
+  // Above the root (a retained assumption trail) only level-0 assignments may
+  // simplify: deeper values are revocable search state, not facts, so the
+  // stored clause is exactly the one the level-0 path would store.
   size_t keep = 0;
   for (size_t i = 0; i < add_tmp_.size(); ++i) {
     Lit l = add_tmp_[i];
@@ -216,6 +224,11 @@ bool Solver::AddClause(std::span<const Lit> lits) {
       return true;  // l and ¬l adjacent after sorting: tautology.
     }
     LBool v = ValueOf(l);
+    if (v != LBool::kUndef && above_root &&
+        levels_[static_cast<size_t>(VarOf(l))] != 0) {
+      add_tmp_[keep++] = l;  // Assigned above the root: keep verbatim.
+      continue;
+    }
     if (v == LBool::kTrue) return true;  // Satisfied at top level.
     if (v == LBool::kFalse) continue;    // Falsified at top level: drop literal.
     add_tmp_[keep++] = l;
@@ -226,11 +239,46 @@ bool Solver::AddClause(std::span<const Lit> lits) {
     return false;
   }
   if (add_tmp_.size() == 1) {
+    // A unit is a root fact: surrender any retained trail and propagate it at
+    // level 0 (no-op backtrack on the classic path).
+    CancelUntil(0);
     Enqueue(add_tmp_[0], kNoClause);
     if (Propagate() != kNoClause) ok_ = false;
     return ok_;
   }
   if (arena_.empty()) arena_.reserve(1024);
+  if (DecisionLevel() > 0) return AddClauseAboveRoot();
+  Attach(AllocClause(add_tmp_, /*learned=*/false));
+  return true;
+}
+
+bool Solver::AddClauseAboveRoot() {
+  // Backtrack only to the level the new clause can watch at: a literal's
+  // falsification level is the level it was assigned false at (+∞ when
+  // non-false); after backtracking to one level below the second-deepest
+  // falsification level, the two deepest literals are both non-false and
+  // become the watches. Two already-non-false literals cost no backtracking.
+  constexpr int kInf = std::numeric_limits<int>::max();
+  size_t i1 = 0, i2 = 1;
+  int f1 = -1, f2 = -1;
+  for (size_t i = 0; i < add_tmp_.size(); ++i) {
+    int f = ValueOf(add_tmp_[i]) == LBool::kFalse
+                ? levels_[static_cast<size_t>(VarOf(add_tmp_[i]))]
+                : kInf;
+    if (f > f1) {
+      f2 = f1;
+      i2 = i1;
+      f1 = f;
+      i1 = i;
+    } else if (f > f2) {
+      f2 = f;
+      i2 = i;
+    }
+  }
+  if (f2 != kInf) CancelUntil(f2 - 1);  // f2 ≥ 1: root-false literals dropped.
+  std::swap(add_tmp_[0], add_tmp_[i1]);
+  if (i2 == 0) i2 = i1;
+  std::swap(add_tmp_[1], add_tmp_[i2]);
   Attach(AllocClause(add_tmp_, /*learned=*/false));
   return true;
 }
@@ -566,8 +614,30 @@ int Solver::LubyUnit(int i) {
 SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
   ++stats_.solve_calls;
   if (!ok_) return SolveResult::kUnsat;
-  CancelUntil(0);
-  if (Propagate() != kNoClause) {
+  if (options_.reuse_assumption_trail) {
+    // Trail saving: level i+1, while still on the trail, holds exactly the
+    // decision + propagation of last_assumptions_[i], so the prefix shared
+    // with the new vector is adopted wholesale and only the first divergent
+    // level onward is undone. AddClause may already have backtracked below
+    // the saved prefix — DecisionLevel() bounds what is reusable.
+    size_t matched = 0;
+    size_t limit =
+        std::min(std::min(assumptions.size(), last_assumptions_.size()),
+                 static_cast<size_t>(DecisionLevel()));
+    while (matched < limit && assumptions[matched] == last_assumptions_[matched]) {
+      ++matched;
+    }
+    CancelUntil(static_cast<int>(matched));
+    if (matched > 0) {
+      stats_.reused_assumption_levels += matched;
+      stats_.saved_propagations +=
+          trail_.size() - static_cast<size_t>(trail_lim_[0]);
+    }
+    last_assumptions_.assign(assumptions.begin(), assumptions.end());
+  } else {
+    CancelUntil(0);
+  }
+  if (DecisionLevel() == 0 && Propagate() != kNoClause) {
     ok_ = false;
     return SolveResult::kUnsat;
   }
@@ -635,8 +705,10 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
       Lit a = assumptions[static_cast<size_t>(DecisionLevel())];
       LBool v = ValueOf(a);
       if (v == LBool::kFalse) {
-        CancelUntil(0);
-        return SolveResult::kUnsat;  // Assumption contradicted.
+        // Assumption contradicted. With trail reuse the consistent prefix
+        // decided so far stays on the trail for the next call.
+        if (!options_.reuse_assumption_trail) CancelUntil(0);
+        return SolveResult::kUnsat;
       }
       NewDecisionLevel();
       if (v == LBool::kUndef) {
@@ -648,12 +720,16 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
 
     Var next = PickBranchVar();
     if (next < 0) {
-      // All variables assigned: model found.
+      // All variables assigned: model found. With trail reuse the assumption
+      // levels (re-established by the decision loop after any restart) stay on
+      // the trail; only the free search levels above them are undone.
       model_.assign(values_.size(), 0);
       for (size_t i = 0; i < values_.size(); ++i) {
         model_[i] = values_[i] == LBool::kTrue ? 1 : -1;
       }
-      CancelUntil(0);
+      CancelUntil(options_.reuse_assumption_trail
+                      ? static_cast<int>(assumptions.size())
+                      : 0);
       return SolveResult::kSat;
     }
     ++stats_.decisions;

@@ -83,6 +83,46 @@ TEST(MaterializeTest, DeltaMatchesRebuildWithNullaryAndNewRelations) {
   CrossCheck(phi, db, &rng, 10);
 }
 
+TEST(MaterializeTest, RebuildReusesOneMaterializerAcrossWorlds) {
+  // The WorldScratch pattern: one ModelMaterializer object Rebuilt in place
+  // for world after world (different databases, different groundings) must
+  // behave exactly like a fresh Make per world — warm buffers, same results.
+  std::mt19937_64 rng(20260731);
+  RandomSentenceGenerator gen(&rng, /*new_relation_prob=*/0.4);
+  std::bernoulli_distribution coin(0.5);
+  ModelMaterializer pooled;
+  for (int world = 0; world < 20; ++world) {
+    Database db = RandomDatabase(&rng);
+    Formula phi = gen.Generate(3);
+    StatusOr<UpdateContext> ctx = MakeUpdateContext(phi, db);
+    ASSERT_TRUE(ctx.ok()) << ctx.status();
+    StatusOr<Grounding> g = GroundSentence(phi, ctx->domain, GrounderOptions());
+    ASSERT_TRUE(g.ok()) << g.status();
+    std::vector<int> mentioned = g->circuit.CollectVars(g->root);
+
+    Status rebuilt = pooled.Rebuild(*ctx, g->atoms, mentioned);
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt;
+    StatusOr<ModelMaterializer> fresh =
+        ModelMaterializer::Make(*ctx, g->atoms, mentioned);
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+
+    for (int t = 0; t < 4; ++t) {
+      std::vector<int8_t> assignment(g->atoms.size(), 0);
+      for (int id : mentioned) {
+        assignment[static_cast<size_t>(id)] = coin(rng) ? 1 : 0;
+      }
+      auto value = [&](int id) {
+        return assignment[static_cast<size_t>(id)] != 0;
+      };
+      StatusOr<Database> expected = fresh->Materialize(value);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      StatusOr<Database> got = pooled.Materialize(value);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*expected, *got) << "world " << world << " trial " << t;
+    }
+  }
+}
+
 TEST(MaterializeTest, AllDefaultAssignmentIsTheExtendedBase) {
   // When every mentioned atom keeps its base value, the delta is empty and the
   // result is ctx.extended_base itself.

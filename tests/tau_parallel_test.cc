@@ -156,6 +156,40 @@ TEST(TauParallelTest, SharedDomainWorldsHitTheCache) {
   EXPECT_EQ(*expected, *result);
 }
 
+TEST(TauParallelTest, WorldScratchPoolReusedAcrossManyWorldsAndThreads) {
+  // The per-worker WorldScratch pool (exec/scratch.h): with ≥ 4 workers and
+  // several times that many SAT worlds, every worker's scratch — the
+  // enumerator tables, the descent buffers, the parked materializer — is
+  // dirtied by one world and reused by the next, concurrently across workers.
+  // The executor contract stands: results equal the sequential run exactly.
+  // (Runs under TSan via the CI filter; races on scratch reuse would surface
+  // here.)
+  std::mt19937_64 rng(20260730);
+  RandomSentenceGenerator gen(&rng, /*new_relation_prob=*/0.4);
+  for (int iter = 0; iter < 6; ++iter) {
+    Knowledgebase kb = RandomWideKb(&rng, 12, 20);
+    Formula phi = gen.Generate(2);
+
+    TauOptions seq;
+    seq.mu.strategy = MuStrategy::kSat;
+    seq.threads = 1;
+    StatusOr<Knowledgebase> expected = Tau(phi, kb, seq);
+
+    for (size_t threads : {4u, 6u}) {
+      TauOptions par = seq;
+      par.threads = threads;
+      TauStats stats;
+      StatusOr<Knowledgebase> got = Tau(phi, kb, par, &stats);
+      ASSERT_EQ(expected.ok(), got.ok())
+          << "iter " << iter << " threads " << threads;
+      if (expected.ok()) {
+        EXPECT_EQ(*expected, *got) << "iter " << iter << " threads " << threads;
+        EXPECT_GE(stats.threads_used, 4u);
+      }
+    }
+  }
+}
+
 TEST(TauParallelTest, ErrorPropagationIsDeterministic) {
   // A tiny grounding budget fails every world; parallel and sequential must
   // report the same code (the lowest-indexed world's error).
