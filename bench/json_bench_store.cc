@@ -1,0 +1,213 @@
+/// \file
+/// Machine-readable benchmark harness for the durable store. Three costs
+/// matter to a serving loop with durability on:
+///
+///   * wal_append_nosync  — appending a semantic record with fsync off
+///                          (kManual): the pure logging overhead,
+///   * wal_append_fsync   — fsync-per-commit appends (kEveryCommit) against
+///                          the real filesystem: the durability floor,
+///   * wal_append_group8  — group commit every 8 records: the usual
+///                          throughput/durability compromise,
+///   * checkpoint_write   — serializing + atomically publishing a snapshot,
+///   * recover_replay     — full recovery (checkpoint load + WAL suffix
+///                          replay through the engine) as a function of the
+///                          suffix length.
+///
+/// Rows are tagged with `rev` like BENCH_tau.json so trajectories stay
+/// diffable across PRs.
+///
+/// Usage: json_bench_store [output.json]   (default: BENCH_store.json)
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "store/durable_engine.h"
+#include "store/recovery.h"
+
+namespace kbt::bench {
+namespace {
+
+constexpr const char* kRev = "pr6";
+
+struct StoreBenchRecord {
+  std::string name;
+  int records = 0;  ///< WAL records involved (appends done / replayed).
+  double ms_per_op = 0.0;
+  double ops_per_sec = 0.0;
+  uint64_t wal_bytes = 0;  ///< WAL size after the workload, when meaningful.
+};
+
+bool WriteStoreBenchJson(const std::string& path,
+                         const std::vector<StoreBenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fprintf(f, "{\n  \"benchmarks\": [\n") >= 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const StoreBenchRecord& r = records[i];
+    ok = std::fprintf(
+             f,
+             "    {\"name\": \"%s\", \"rev\": \"%s\", \"records\": %d, "
+             "\"ms_per_op\": %.4f, \"ops_per_sec\": %.3f, "
+             "\"wal_bytes\": %llu}%s\n",
+             r.name.c_str(), kRev, r.records, r.ms_per_op, r.ops_per_sec,
+             static_cast<unsigned long long>(r.wal_bytes),
+             i + 1 < records.size() ? "," : "") >= 0 &&
+         ok;
+  }
+  ok = std::fprintf(f, "  ]\n}\n") >= 0 && ok;
+  return std::fclose(f) == 0 && ok;
+}
+
+/// Fresh scratch directory under TMPDIR (the bench measures the real
+/// filesystem, fsync included).
+std::string ScratchDir(const char* tag) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base != nullptr ? base : "/tmp") +
+                    "/kbt_bench_store_" + tag + "_" +
+                    std::to_string(static_cast<unsigned>(::getpid()));
+  return dir;
+}
+
+void RemoveStoreDir(const std::string& dir) {
+  store::Env* env = store::Env::Default();
+  StatusOr<std::vector<std::string>> names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      Status ignored = env->RemoveFile(dir + "/" + name);
+      (void)ignored;
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+Knowledgebase BenchKb(int domain) {
+  Schema schema = *Schema::Of({{"Dom", 1}, {"R", 2}});
+  Relation::Builder dom(1);
+  for (int i = 0; i < domain; ++i) dom.Append({Name(V(i))});
+  return Knowledgebase::Singleton(
+      *Database::Create(schema, {dom.Build(), ChainEdges(domain)}));
+}
+
+/// One run of N tuple-insert commits against a fresh store in `mode`.
+/// Returns the WAL size for the record.
+uint64_t CommitBurst(const std::string& dir, const Knowledgebase& initial,
+                     store::SyncMode mode, int n) {
+  RemoveStoreDir(dir);
+  store::StoreOptions options;
+  options.sync_mode = mode;
+  auto store = store::DurableEngine::Open(dir, initial, options);
+  if (!store.ok()) std::abort();
+  for (int i = 0; i < n; ++i) {
+    Status s = (*store)->InsertTuples("R", {{V(i % 7), V((i + 3) % 7)}});
+    if (!s.ok()) std::abort();
+  }
+  StatusOr<std::string> wal = store::Env::Default()->ReadFile(
+      dir + "/" + store::WalFileName(0));
+  return wal.ok() ? wal->size() : 0;
+}
+
+int Main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_store.json";
+  std::vector<StoreBenchRecord> records;
+  const Knowledgebase initial = BenchKb(7);
+
+  struct AppendMode {
+    const char* name;
+    store::SyncMode mode;
+  };
+  const AppendMode append_modes[] = {
+      {"wal_append_nosync", store::SyncMode::kManual},
+      {"wal_append_fsync", store::SyncMode::kEveryCommit},
+      {"wal_append_group8", store::SyncMode::kGroupCommit},
+  };
+  constexpr int kBurst = 64;
+  for (const AppendMode& mode : append_modes) {
+    const std::string dir = ScratchDir(mode.name);
+    uint64_t wal_bytes = 0;
+    double ms = MeasureMs(
+        [&] { wal_bytes = CommitBurst(dir, initial, mode.mode, kBurst); });
+    RemoveStoreDir(dir);
+    StoreBenchRecord r;
+    r.name = mode.name;
+    r.records = kBurst;
+    r.ms_per_op = ms / kBurst;  // Per committed record.
+    r.ops_per_sec = r.ms_per_op > 0 ? 1000.0 / r.ms_per_op : 0.0;
+    r.wal_bytes = wal_bytes;
+    records.push_back(r);
+  }
+
+  {
+    const std::string dir = ScratchDir("checkpoint");
+    RemoveStoreDir(dir);
+    auto store = store::DurableEngine::Open(dir, BenchKb(24));
+    if (!store.ok()) std::abort();
+    double ms = MeasureMs([&] {
+      if (!(*store)->Checkpoint().ok()) std::abort();
+    });
+    RemoveStoreDir(dir);
+    StoreBenchRecord r;
+    r.name = "checkpoint_write";
+    r.records = 0;
+    r.ms_per_op = ms;
+    r.ops_per_sec = ms > 0 ? 1000.0 / ms : 0.0;
+    records.push_back(r);
+  }
+
+  for (int suffix : {16, 128}) {
+    const std::string dir =
+        ScratchDir(("recover_" + std::to_string(suffix)).c_str());
+    RemoveStoreDir(dir);
+    {
+      auto store = store::DurableEngine::Open(dir, initial);
+      if (!store.ok()) std::abort();
+      for (int i = 0; i < suffix; ++i) {
+        if (!(*store)->InsertTuples("R", {{V(i % 7), V((i + 2) % 7)}}).ok()) {
+          std::abort();
+        }
+      }
+    }
+    uint64_t wal_bytes = 0;
+    {
+      StatusOr<std::string> wal = store::Env::Default()->ReadFile(
+          dir + "/" + store::WalFileName(0));
+      wal_bytes = wal.ok() ? wal->size() : 0;
+    }
+    double ms = MeasureMs([&] {
+      Engine engine;
+      auto recovered =
+          store::RecoverStore(store::Env::Default(), dir, engine);
+      if (!recovered.ok()) std::abort();
+    });
+    RemoveStoreDir(dir);
+    StoreBenchRecord r;
+    r.name = "recover_replay_" + std::to_string(suffix);
+    r.records = suffix;
+    r.ms_per_op = ms;
+    r.ops_per_sec = ms > 0 ? 1000.0 / ms : 0.0;
+    r.wal_bytes = wal_bytes;
+    records.push_back(r);
+  }
+
+  if (!WriteStoreBenchJson(path, records)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  for (const StoreBenchRecord& r : records) {
+    std::printf("%-24s records=%-4d %10.4f ms/op %12.2f ops/s  wal=%llu B\n",
+                r.name.c_str(), r.records, r.ms_per_op, r.ops_per_sec,
+                static_cast<unsigned long long>(r.wal_bytes));
+  }
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kbt::bench
+
+int main(int argc, char** argv) { return kbt::bench::Main(argc, argv); }

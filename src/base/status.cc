@@ -1,5 +1,7 @@
 #include "base/status.h"
 
+#include <cstring>
+
 namespace kbt {
 
 const char* StatusCodeName(StatusCode code) {
@@ -18,8 +20,22 @@ const char* StatusCodeName(StatusCode code) {
       return "unsupported";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kIOError:
+      return "io-error";
+    case StatusCode::kDataLoss:
+      return "data-loss";
   }
   return "unknown";
+}
+
+Status Status::IOErrorFromErrno(std::string_view context, int errno_value) {
+  std::string message(context);
+  message += ": ";
+  message += std::strerror(errno_value);
+  message += " (errno ";
+  message += std::to_string(errno_value);
+  message += ")";
+  return Status(StatusCode::kIOError, std::move(message));
 }
 
 std::string Status::ToString() const {

@@ -11,6 +11,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace kbt {
@@ -31,6 +32,13 @@ enum class StatusCode {
   kUnsupported = 5,
   /// Internal invariant violation; indicates a bug in the library itself.
   kInternal = 6,
+  /// A storage-layer syscall failed (open, write, fsync, rename, ...). The
+  /// operation may be retried after the underlying condition clears.
+  kIOError = 7,
+  /// Stored bytes are unrecoverably missing or corrupt (bad magic, CRC
+  /// mismatch, truncation past the committed prefix). Unlike kIOError this is
+  /// a statement about the data, not the device.
+  kDataLoss = 8,
 };
 
 /// Human-readable name of a StatusCode ("ok", "invalid-argument", ...).
@@ -78,6 +86,17 @@ class Status final {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  /// Returns a kIOError status with the given message.
+  static Status IOError(std::string message) {
+    return Status(StatusCode::kIOError, std::move(message));
+  }
+  /// Returns a kDataLoss status with the given message.
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  /// Returns a kIOError carrying the errno of a failed syscall:
+  /// "<context>: <strerror(errno_value)> (errno <errno_value>)".
+  static Status IOErrorFromErrno(std::string_view context, int errno_value);
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }

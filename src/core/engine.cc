@@ -22,7 +22,13 @@ exec::ThreadPool* Engine::PoolFor(size_t threads) {
 StatusOr<Knowledgebase> Engine::Apply(std::string_view expression,
                                       const Knowledgebase& kb) {
   KBT_ASSIGN_OR_RETURN(Pipeline pipeline, ParsePipeline(expression));
-  return Apply(pipeline, kb);
+  KBT_ASSIGN_OR_RETURN(Knowledgebase result, Apply(pipeline, kb));
+  if (log_ != nullptr) {
+    // Write-ahead discipline: a result whose commit failed is never returned
+    // as a success — the caller must treat the transformation as not applied.
+    KBT_RETURN_IF_ERROR(log_->Commit(expression, result));
+  }
+  return result;
 }
 
 StatusOr<Knowledgebase> Engine::Apply(const Pipeline& pipeline,

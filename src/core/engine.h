@@ -21,6 +21,21 @@ class ThreadPool;
 
 namespace kbt {
 
+/// Commit hook for durable storage (implemented by store::DurableEngine).
+/// When attached to an Engine, every successful text-form Apply hands the
+/// expression and its result to Commit before the caller sees them — the
+/// write-ahead discipline: a transformation whose log commit fails is not
+/// acknowledged. Core stays storage-free; the store layer implements this.
+class TransformLog {
+ public:
+  virtual ~TransformLog() = default;
+
+  /// Makes one committed transformation durable. `expression` is the concrete
+  /// pipeline syntax that produced `result`.
+  virtual Status Commit(std::string_view expression,
+                        const Knowledgebase& result) = 0;
+};
+
 struct EngineOptions {
   MuOptions mu;
   /// Worker threads for τ's world fan-out (see TauOptions::threads):
@@ -49,7 +64,9 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Parses and applies a transformation expression to `kb`.
+  /// Parses and applies a transformation expression to `kb`. With a log
+  /// attached, the result is committed to it before being returned; a failed
+  /// commit fails the Apply.
   StatusOr<Knowledgebase> Apply(std::string_view expression,
                                 const Knowledgebase& kb);
 
@@ -65,6 +82,12 @@ class Engine {
   /// Traces from the most recent Apply/Insert (when options().trace is set).
   const PipelineStats& last_trace() const { return last_trace_; }
 
+  /// Attaches a durability log (borrowed; nullptr detaches). Only the
+  /// text-form Apply overload commits — pre-built Pipeline applies have no
+  /// canonical text and bypass the log.
+  void AttachLog(TransformLog* log) { log_ = log; }
+  TransformLog* log() const { return log_; }
+
  private:
   /// The persistent pool for the current tau_threads setting (started on first
   /// need, restarted if the setting changes), or nullptr when sequential.
@@ -73,6 +96,7 @@ class Engine {
   EngineOptions options_;
   PipelineStats last_trace_;
   std::unique_ptr<exec::ThreadPool> pool_;
+  TransformLog* log_ = nullptr;
 };
 
 /// Builds a relation of the given arity from tuples of constant names, e.g.

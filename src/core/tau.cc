@@ -84,8 +84,19 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
   std::atomic<bool> failed{false};
   auto run_world = [&](size_t i, internal::MuExecContext exec) {
     if (failed.load(std::memory_order_relaxed)) return;
-    StatusOr<Knowledgebase> r =
-        internal::MuExec(sentence, worlds[i], options.mu, &world_stats[i], exec);
+    // Graceful degradation: one world failing — by Status or by throwing —
+    // lands in its own result slot and fails the call, never the process.
+    // Sibling worlds already running complete normally.
+    StatusOr<Knowledgebase> r = [&]() -> StatusOr<Knowledgebase> {
+      try {
+        return internal::MuExec(sentence, worlds[i], options.mu,
+                                &world_stats[i], exec);
+      } catch (const std::exception& e) {
+        return Status::Internal(std::string("world task threw: ") + e.what());
+      } catch (...) {
+        return Status::Internal("world task threw a non-standard exception");
+      }
+    }();
     if (r.ok()) {
       results[i] = std::move(*r);
     } else {
@@ -135,12 +146,21 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
       solvers.push_back(std::make_unique<sat::Solver>());
       scratches.push_back(std::make_unique<exec::WorldScratch>());
     }
-    pool->ParallelFor(worlds.size(), [&](size_t i, size_t worker) {
-      internal::MuExecContext exec = base_exec;
-      exec.solver = solvers[worker].get();
-      exec.scratch = scratches[worker].get();
-      run_world(i, exec);
-    });
+    Status pool_status =
+        pool->ParallelFor(worlds.size(), [&](size_t i, size_t worker) {
+          internal::MuExecContext exec = base_exec;
+          exec.solver = solvers[worker].get();
+          exec.scratch = scratches[worker].get();
+          run_world(i, exec);
+        });
+    // run_world contains exceptions in per-world slots, so a pool-level error
+    // means the dispatch machinery itself failed; surface it unless a world
+    // already recorded a more specific one.
+    if (!pool_status.ok() &&
+        std::all_of(statuses.begin(), statuses.end(),
+                    [](const Status& s) { return s.ok(); })) {
+      return pool_status;
+    }
     out->threads_used = std::min(workers, worlds.size());
   }
 

@@ -63,7 +63,14 @@ void ThreadPool::WorkerLoop(size_t id) {
   Task task;
   while (true) {
     if (TryGet(id, &task)) {
-      task(id);
+      try {
+        task(id);
+      } catch (...) {
+        // A throwing task must not unwind the worker loop: that would leak
+        // every queued task and (being noexcept) terminate the process.
+        // Failure reporting is the task's own business (result slots,
+        // ParallelFor's error capture); here the exception is contained.
+      }
       task = nullptr;  // Release captures before parking.
       continue;
     }
@@ -77,9 +84,9 @@ void ThreadPool::WorkerLoop(size_t id) {
   }
 }
 
-void ThreadPool::ParallelFor(
+Status ThreadPool::ParallelFor(
     size_t n, const std::function<void(size_t index, size_t worker)>& body) {
-  if (n == 0) return;
+  if (n == 0) return Status::OK();
   size_t num_workers = queues_.size();
   // More chunks than workers, so a worker finishing its share early can steal
   // the tail of a slow sibling's; capped at n so chunks are never empty.
@@ -89,6 +96,8 @@ void ThreadPool::ParallelFor(
     std::mutex mu;
     std::condition_variable done_cv;
     size_t remaining;
+    std::string error;  // First exception message; empty = clean run.
+    bool threw = false;
   };
   auto state = std::make_shared<ForState>();
   state->remaining = chunks;
@@ -97,14 +106,32 @@ void ThreadPool::ParallelFor(
     size_t begin = n * c / chunks;
     size_t end = n * (c + 1) / chunks;
     Enqueue(c, [state, begin, end, &body](size_t worker) {
-      for (size_t i = begin; i < end; ++i) body(i, worker);
+      std::string error;
+      bool threw = false;
+      try {
+        for (size_t i = begin; i < end; ++i) body(i, worker);
+      } catch (const std::exception& e) {
+        threw = true;
+        error = e.what();
+      } catch (...) {
+        threw = true;
+        error = "non-standard exception";
+      }
       std::lock_guard<std::mutex> lock(state->mu);
+      if (threw && !state->threw) {
+        state->threw = true;
+        state->error = std::move(error);
+      }
       if (--state->remaining == 0) state->done_cv.notify_all();
     });
   }
 
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+  if (state->threw) {
+    return Status::Internal("parallel-for body threw: " + state->error);
+  }
+  return Status::OK();
 }
 
 }  // namespace kbt::exec

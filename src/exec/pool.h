@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/status.h"
 #include "exec/task.h"
 
 namespace kbt::exec {
@@ -44,14 +45,24 @@ class ThreadPool {
 
   size_t workers() const { return threads_.size(); }
 
-  /// Enqueues a standalone task (round-robin across worker queues).
+  /// Enqueues a standalone task (round-robin across worker queues). A task
+  /// that throws does not take its worker (or the process) down: the
+  /// exception is swallowed at the worker loop — tasks that can fail should
+  /// report through their own channel (e.g. a result slot).
   void Submit(Task task);
 
   /// Runs body(index, worker) for every index in [0, n), blocking until all
   /// have completed. Indices are partitioned into contiguous chunks (several
   /// per worker) that idle workers steal. `body` must not call back into
   /// ParallelFor on the same pool.
-  void ParallelFor(size_t n, const std::function<void(size_t index, size_t worker)>& body);
+  ///
+  /// Degrades gracefully when a body call throws: the exception is contained
+  /// to its chunk (the chunk's remaining indices are skipped, other chunks
+  /// still run), the pool stays usable, and the first exception is reported
+  /// as a kInternal Status. Callers that capture failures per index slot see
+  /// OK here and read the slots.
+  Status ParallelFor(size_t n,
+                     const std::function<void(size_t index, size_t worker)>& body);
 
   /// Number of tasks executed by a worker other than the one whose queue they
   /// were pushed to (monotone; for tests and instrumentation).

@@ -1,0 +1,62 @@
+#ifndef KBT_REL_BINARY_IO_H_
+#define KBT_REL_BINARY_IO_H_
+
+/// \file
+/// Binary serialization for databases and knowledgebases — the storage format
+/// behind src/store/ checkpoints, next to the debug-only text form of rel/io.h.
+///
+/// Interned Symbols are process-local, so the wire format never stores raw ids:
+/// each blob opens with a string dictionary collected in first-use order
+/// (schema declarations, then relation rows in row-major order), and every
+/// symbol is a u32 index into it. That makes the encoding a pure function of
+/// the *value* — serializing the same database twice, or a parse of a previous
+/// serialization, yields byte-identical output (the byte-stability the
+/// checkpoint round-trip tests assert).
+///
+/// Layout (all integers little-endian u32 unless noted):
+///
+///   dictionary:  count, then count × (len, bytes)
+///   schema:      count, then count × (name_index, arity)
+///   database:    dictionary, schema, then per declaration: rows,
+///                rows × arity × value_index
+///   kb:          member_count, dictionary, schema, then per member the
+///                per-declaration relation data (members share one schema and
+///                one dictionary)
+///
+/// Parsing is fully bounds-checked: truncated or corrupt input yields a clean
+/// kDataLoss / kInvalidArgument Status, never a crash or an oversized
+/// allocation (counts are validated against the bytes actually present before
+/// any buffer is sized).
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "rel/database.h"
+#include "rel/knowledgebase.h"
+
+namespace kbt {
+
+/// Appends the binary encoding of `db` to `out`.
+void AppendBinaryDatabase(const Database& db, std::string* out);
+
+/// The binary encoding of `db`.
+std::string SerializeDatabase(const Database& db);
+
+/// Parses a database encoded by SerializeDatabase. The whole input must be
+/// consumed (trailing bytes are an error).
+StatusOr<Database> ParseBinaryDatabase(std::string_view bytes);
+
+/// Appends the binary encoding of `kb` to `out`.
+void AppendBinaryKnowledgebase(const Knowledgebase& kb, std::string* out);
+
+/// The binary encoding of `kb`.
+std::string SerializeKnowledgebase(const Knowledgebase& kb);
+
+/// Parses a knowledgebase encoded by SerializeKnowledgebase. The whole input
+/// must be consumed (trailing bytes are an error).
+StatusOr<Knowledgebase> ParseBinaryKnowledgebase(std::string_view bytes);
+
+}  // namespace kbt
+
+#endif  // KBT_REL_BINARY_IO_H_

@@ -51,13 +51,18 @@ class Cursor {
   StatusOr<size_t> Number() {
     SkipSpace();
     size_t start = pos_;
+    size_t value = 0;
     while (pos_ < text_.size() &&
            std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + static_cast<size_t>(text_[pos_] - '0');
+      // Arities beyond this bound are certainly malformed input; rejecting
+      // here keeps hostile digit runs from overflowing (std::stoul would
+      // throw out_of_range — a crash, not a Status — on fuzzed input).
+      if (value > 1'000'000) return Error("arity out of range");
       ++pos_;
     }
     if (pos_ == start) return Error("expected arity");
-    return static_cast<size_t>(
-        std::stoul(std::string(text_.substr(start, pos_ - start))));
+    return value;
   }
 
  private:

@@ -1,0 +1,101 @@
+#include "store/checkpoint.h"
+
+#include <cstring>
+
+#include "rel/binary_io.h"
+#include "store/crc32.h"
+
+namespace kbt::store {
+
+namespace {
+
+constexpr size_t kHeaderSize = 7 + 1 + 8 + 4 + 4;
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeCheckpoint(const Knowledgebase& kb, uint64_t lsn) {
+  std::string payload = SerializeKnowledgebase(kb);
+  std::string out(kCheckpointMagic, sizeof(kCheckpointMagic));
+  out.push_back(static_cast<char>(kCheckpointVersion));
+  PutU64(out, lsn);
+  PutU32(out, Crc32c(payload));
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+StatusOr<CheckpointContents> DecodeCheckpoint(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::DataLoss("checkpoint shorter than its header");
+  }
+  if (std::memcmp(bytes.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::DataLoss("checkpoint has wrong magic");
+  }
+  uint8_t version = static_cast<uint8_t>(bytes[7]);
+  if (version != kCheckpointVersion) {
+    return Status::DataLoss("unsupported checkpoint version " +
+                            std::to_string(version));
+  }
+  uint64_t lsn = GetU64(bytes.data() + 8);
+  uint32_t crc = GetU32(bytes.data() + 16);
+  uint32_t payload_len = GetU32(bytes.data() + 20);
+  std::string_view payload = bytes.substr(kHeaderSize);
+  if (payload.size() != payload_len) {
+    return Status::DataLoss("checkpoint payload size mismatch");
+  }
+  if (Crc32c(payload) != crc) {
+    return Status::DataLoss("checkpoint payload fails crc check");
+  }
+  KBT_ASSIGN_OR_RETURN(Knowledgebase kb, ParseBinaryKnowledgebase(payload));
+  CheckpointContents contents;
+  contents.lsn = lsn;
+  contents.kb = std::move(kb);
+  return contents;
+}
+
+Status WriteCheckpoint(Env* env, const std::string& dir,
+                       const std::string& path, const Knowledgebase& kb,
+                       uint64_t lsn) {
+  const std::string tmp = path + ".tmp";
+  {
+    KBT_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                         env->NewTruncatedFile(tmp));
+    KBT_RETURN_IF_ERROR(file->Append(EncodeCheckpoint(kb, lsn)));
+    KBT_RETURN_IF_ERROR(file->Sync());
+    KBT_RETURN_IF_ERROR(file->Close());
+  }
+  KBT_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+  return env->SyncDir(dir);
+}
+
+StatusOr<CheckpointContents> ReadCheckpoint(Env* env, const std::string& path) {
+  KBT_ASSIGN_OR_RETURN(std::string bytes, env->ReadFile(path));
+  return DecodeCheckpoint(bytes);
+}
+
+}  // namespace kbt::store

@@ -1,0 +1,25 @@
+#ifndef KBT_STORE_CRC32_H_
+#define KBT_STORE_CRC32_H_
+
+/// \file
+/// CRC-32C (Castagnoli) for guarding stored bytes: WAL records and checkpoint
+/// payloads. Software table implementation — the store's record sizes are
+/// dominated by serialization cost, not checksumming.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace kbt::store {
+
+/// CRC-32C of `data`, optionally extending a previous crc (pass the previous
+/// return value to checksum a logical stream in pieces).
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t crc = 0) {
+  return Crc32c(data.data(), data.size(), crc);
+}
+
+}  // namespace kbt::store
+
+#endif  // KBT_STORE_CRC32_H_

@@ -1,0 +1,243 @@
+#include "store/durable_engine.h"
+
+#include <utility>
+
+#include "base/interner.h"
+#include "store/checkpoint.h"
+#include "store/recovery.h"
+
+namespace kbt::store {
+
+DurableEngine::DurableEngine(std::string dir, StoreOptions store_options,
+                             EngineOptions engine_options)
+    : dir_(std::move(dir)),
+      store_options_(store_options),
+      env_(store_options.env != nullptr ? store_options.env : Env::Default()),
+      engine_(std::move(engine_options)) {}
+
+DurableEngine::~DurableEngine() {
+  engine_.AttachLog(nullptr);
+  if (wal_ != nullptr) {
+    Status ignored = wal_->Close();
+    (void)ignored;
+  }
+}
+
+StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
+    const std::string& dir, const Knowledgebase& initial,
+    StoreOptions store_options, EngineOptions engine_options) {
+  auto store = std::unique_ptr<DurableEngine>(
+      new DurableEngine(dir, store_options, std::move(engine_options)));
+  Env* env = store->env_;
+  KBT_RETURN_IF_ERROR(env->CreateDir(dir));
+
+  // Recovery runs before the log hook is attached, so replay does not re-log.
+  StatusOr<RecoveredStore> recovered = RecoverStore(env, dir, store->engine_);
+  if (recovered.ok()) {
+    store->kb_ = std::move(recovered->kb);
+    store->lsn_ = recovered->lsn;
+    store->checkpoint_lsn_ = recovered->checkpoint_lsn;
+    uint64_t existing = 0;
+    if (recovered->wal_exists) {
+      if (recovered->wal_valid_bytes < recovered->wal_file_size) {
+        // Cut the torn tail a crash left behind before appending after it.
+        KBT_RETURN_IF_ERROR(env->TruncateFile(
+            dir + "/" + WalFileName(store->checkpoint_lsn_),
+            recovered->wal_valid_bytes));
+      }
+      existing = recovered->wal_valid_bytes;
+    }
+    KBT_RETURN_IF_ERROR(store->OpenWal(existing));
+  } else if (recovered.status().code() == StatusCode::kNotFound) {
+    // Fresh store: `initial` becomes checkpoint 0, then its log starts.
+    KBT_RETURN_IF_ERROR(WriteCheckpoint(
+        env, dir, dir + "/" + CheckpointFileName(0), initial, 0));
+    store->kb_ = initial;
+    KBT_RETURN_IF_ERROR(store->OpenWal(0));
+  } else {
+    return recovered.status();
+  }
+
+  store->engine_.AttachLog(store.get());
+  return store;
+}
+
+Status DurableEngine::OpenWal(uint64_t existing_bytes) {
+  const std::string path = dir_ + "/" + WalFileName(checkpoint_lsn_);
+  KBT_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       env_->NewAppendableFile(path));
+  KBT_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Create(std::move(file), existing_bytes, checkpoint_lsn_));
+  last_good_wal_bytes_ =
+      existing_bytes == 0 ? kWalHeaderSize : existing_bytes;
+  return Status::OK();
+}
+
+StatusOr<Knowledgebase> DurableEngine::Apply(std::string_view expression) {
+  // engine_.Apply calls back into Commit (the TransformLog hook) on success,
+  // which appends to the WAL and advances kb_/lsn_ before this returns.
+  return engine_.Apply(expression, kb_);
+}
+
+Status DurableEngine::Commit(std::string_view expression,
+                             const Knowledgebase& result) {
+  WalRecord record;
+  record.kind = WalRecordKind::kTransform;
+  record.payload = std::string(expression);
+  return CommitRecord(record, result);
+}
+
+Status DurableEngine::CommitRecord(const WalRecord& record,
+                                   const Knowledgebase& next) {
+  if (broken_) {
+    return Status::IOError("store at " + dir_ +
+                           " is broken; reopen to recover");
+  }
+  Status s = wal_->Append(record);
+  bool synced = false;
+  if (s.ok()) {
+    synced = store_options_.sync_mode == SyncMode::kEveryCommit ||
+             (store_options_.sync_mode == SyncMode::kGroupCommit &&
+              unsynced_commits_ + 1 >= store_options_.group_commit_interval);
+    if (synced) s = wal_->Sync();
+  }
+  if (!s.ok()) {
+    // The record is torn or of unknown durability, and the in-memory state
+    // will not adopt it — cut it back out so the log matches the state.
+    SelfHeal();
+    return s;
+  }
+  last_good_wal_bytes_ += kWalRecordHeadSize + record.payload.size();
+  kb_ = next;
+  ++lsn_;
+  unsynced_commits_ = synced ? 0 : unsynced_commits_ + 1;
+  return Status::OK();
+}
+
+void DurableEngine::SelfHeal() {
+  if (wal_ != nullptr) {
+    Status ignored = wal_->Close();
+    (void)ignored;
+    wal_.reset();
+  }
+  const std::string path = dir_ + "/" + WalFileName(checkpoint_lsn_);
+  if (env_->TruncateFile(path, last_good_wal_bytes_).ok()) {
+    StatusOr<std::unique_ptr<File>> file = env_->NewAppendableFile(path);
+    if (file.ok()) {
+      StatusOr<std::unique_ptr<WalWriter>> writer = WalWriter::Create(
+          std::move(*file), last_good_wal_bytes_, checkpoint_lsn_);
+      if (writer.ok()) {
+        wal_ = std::move(*writer);
+        return;
+      }
+    }
+  }
+  broken_ = true;
+}
+
+Status DurableEngine::CommitDelta(
+    WalRecordKind kind, std::string_view relation,
+    const std::vector<std::vector<std::string>>& rows) {
+  // Validate against the schema up front so a bad call never reaches the log.
+  Symbol symbol = Name(relation);
+  std::optional<size_t> pos = kb_.schema().PositionOf(symbol);
+  if (!pos.has_value()) {
+    return Status::NotFound("no relation " + std::string(relation) +
+                            " in the store's schema");
+  }
+  const size_t arity = kb_.schema().decl(*pos).arity;
+  for (const auto& row : rows) {
+    if (row.size() != arity) {
+      return Status::InvalidArgument("tuple of width " +
+                                     std::to_string(row.size()) + " for " +
+                                     std::string(relation) + "/" +
+                                     std::to_string(arity));
+    }
+  }
+  WalRecord record;
+  record.kind = kind;
+  record.payload = EncodeTupleDelta(relation, arity, rows);
+  // Apply through the same code path recovery replays, so replay is
+  // bit-identical by construction.
+  KBT_ASSIGN_OR_RETURN(Knowledgebase next,
+                       ApplyWalRecord(engine_, record, kb_));
+  return CommitRecord(record, next);
+}
+
+Status DurableEngine::InsertTuples(
+    std::string_view relation,
+    const std::vector<std::vector<std::string>>& rows) {
+  return CommitDelta(WalRecordKind::kInsert, relation, rows);
+}
+
+Status DurableEngine::DeleteTuples(
+    std::string_view relation,
+    const std::vector<std::vector<std::string>>& rows) {
+  return CommitDelta(WalRecordKind::kDelete, relation, rows);
+}
+
+Status DurableEngine::Sync() {
+  if (broken_) {
+    return Status::IOError("store at " + dir_ +
+                           " is broken; reopen to recover");
+  }
+  Status s = wal_->Sync();
+  if (!s.ok()) {
+    // Nothing was torn (all appended records are whole), but the handle may
+    // be wedged; reopen it on the intact log.
+    SelfHeal();
+    return s;
+  }
+  unsynced_commits_ = 0;
+  return Status::OK();
+}
+
+Status DurableEngine::Checkpoint() {
+  if (broken_) {
+    return Status::IOError("store at " + dir_ +
+                           " is broken; reopen to recover");
+  }
+  const uint64_t lsn = lsn_;
+  KBT_RETURN_IF_ERROR(WriteCheckpoint(
+      env_, dir_, dir_ + "/" + CheckpointFileName(lsn), kb_, lsn));
+
+  // The checkpoint is durable; switch to its (empty) log. A crash between the
+  // two leaves checkpoint-<lsn> without wal-<lsn>, which recovery accepts.
+  if (wal_ != nullptr) {
+    Status ignored = wal_->Close();
+    (void)ignored;
+    wal_.reset();
+  }
+  checkpoint_lsn_ = lsn;
+  Status opened = OpenWal(0);
+  if (!opened.ok()) {
+    // Committed state is safe in the checkpoint, but there is no log to
+    // append to: refuse further commits until reopened.
+    broken_ = true;
+    return opened;
+  }
+  unsynced_commits_ = 0;
+
+  // Garbage-collect superseded files (best effort — leftovers are ignored by
+  // recovery and retried on the next checkpoint).
+  StatusOr<std::vector<std::string>> names = env_->ListDir(dir_);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      std::optional<uint64_t> checkpoint_of =
+          ParseStoreLsnSuffix(name, "checkpoint");
+      std::optional<uint64_t> wal_of = ParseStoreLsnSuffix(name, "wal");
+      bool stale = (checkpoint_of.has_value() && *checkpoint_of < lsn) ||
+                   (wal_of.has_value() && *wal_of < lsn) ||
+                   name.ends_with(".tmp");
+      if (stale) {
+        Status ignored = env_->RemoveFile(dir_ + "/" + name);
+        (void)ignored;
+      }
+    }
+    Status ignored = env_->SyncDir(dir_);
+    (void)ignored;
+  }
+  return Status::OK();
+}
+
+}  // namespace kbt::store

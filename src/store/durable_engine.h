@@ -1,0 +1,145 @@
+#ifndef KBT_STORE_DURABLE_ENGINE_H_
+#define KBT_STORE_DURABLE_ENGINE_H_
+
+/// \file
+/// A knowledgebase engine whose state survives crashes.
+///
+/// DurableEngine wraps a core Engine, keeps the current knowledgebase in
+/// memory, and implements the Engine's TransformLog hook: every successful
+/// transformation is appended to the semantic WAL (and synced per the
+/// configured durability mode) *before* the caller is told it succeeded.
+/// Recovery on Open loads the newest valid checkpoint and replays the WAL's
+/// valid prefix through the same deterministic engine, so the recovered state
+/// is bit-identical to what was committed.
+///
+/// Commit protocol (Apply):
+///   1. engine applies the expression to the in-memory kb;
+///   2. the WAL record is appended; in kEveryCommit mode the file is fsynced
+///      (kGroupCommit fsyncs every group_commit_interval commits, kManual only
+///      on Sync()/Checkpoint());
+///   3. only then do the in-memory kb and lsn advance.
+/// A failed append or sync leaves the in-memory state unchanged and the
+/// transformation unacknowledged; the writer self-heals by truncating the WAL
+/// back to its last good byte and reopening, so a *transient* I/O error does
+/// not poison the log for later commits. If the self-heal itself fails the
+/// store is marked broken and every later commit is refused — reopening (a
+/// fresh Open, which re-runs recovery) is the only way back.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/engine.h"
+#include "rel/knowledgebase.h"
+#include "store/file.h"
+#include "store/wal.h"
+
+namespace kbt::store {
+
+/// When WAL appends become durable.
+enum class SyncMode {
+  /// fsync on every commit: an acknowledged commit survives any crash.
+  kEveryCommit,
+  /// fsync every group_commit_interval commits: bounded-loss group commit.
+  kGroupCommit,
+  /// fsync only on explicit Sync()/Checkpoint() calls.
+  kManual,
+};
+
+struct StoreOptions {
+  SyncMode sync_mode = SyncMode::kEveryCommit;
+  /// Commits between fsyncs in kGroupCommit mode (≥ 1).
+  size_t group_commit_interval = 8;
+  /// Storage backend; nullptr means Env::Default() (the real filesystem).
+  Env* env = nullptr;
+};
+
+class DurableEngine final : private TransformLog {
+ public:
+  /// Opens (or creates) the store in `dir`. An empty directory is initialized
+  /// with `initial` as checkpoint 0; an existing store recovers its committed
+  /// state and `initial` is ignored.
+  static StatusOr<std::unique_ptr<DurableEngine>> Open(
+      const std::string& dir, const Knowledgebase& initial,
+      StoreOptions store_options = StoreOptions(),
+      EngineOptions engine_options = EngineOptions());
+
+  ~DurableEngine() override;
+  DurableEngine(const DurableEngine&) = delete;
+  DurableEngine& operator=(const DurableEngine&) = delete;
+
+  /// Applies a transformation expression to the current kb, committing it to
+  /// the WAL. On success the durable and in-memory states advanced together;
+  /// on error neither did (the expression is not acknowledged).
+  StatusOr<Knowledgebase> Apply(std::string_view expression);
+
+  /// Commits an explicit tuple insertion (bulk load) into `relation`.
+  Status InsertTuples(std::string_view relation,
+                      const std::vector<std::vector<std::string>>& rows);
+  /// Commits an explicit tuple deletion from `relation`.
+  Status DeleteTuples(std::string_view relation,
+                      const std::vector<std::vector<std::string>>& rows);
+
+  /// Forces everything committed so far to durable storage (a group-commit /
+  /// manual-mode barrier; a no-op after kEveryCommit commits).
+  Status Sync();
+
+  /// Writes a checkpoint of the current state, starts a fresh WAL, and
+  /// garbage-collects superseded checkpoint/wal files.
+  Status Checkpoint();
+
+  /// The current committed knowledgebase.
+  const Knowledgebase& kb() const { return kb_; }
+  /// Committed records since the store was created.
+  uint64_t lsn() const { return lsn_; }
+  /// True once a failed self-heal left the log unusable (see file comment).
+  bool broken() const { return broken_; }
+  /// The wrapped engine — exposed for options tweaks between commits. Note
+  /// text-form Apply calls made directly on it also commit to the store (it
+  /// has this object attached as its TransformLog); go through
+  /// DurableEngine::Apply so the committed expression is applied to the
+  /// store's own kb.
+  Engine& engine() { return engine_; }
+
+ private:
+  DurableEngine(std::string dir, StoreOptions store_options,
+                EngineOptions engine_options);
+
+  // TransformLog: called by engine_ inside Apply, after the transformation
+  // succeeded and before the caller sees the result.
+  Status Commit(std::string_view expression,
+                const Knowledgebase& result) override;
+
+  /// Appends `record` and applies the sync policy; on success adopts `next`
+  /// as the committed state.
+  Status CommitRecord(const WalRecord& record, const Knowledgebase& next);
+  /// Validates, applies, and commits an explicit tuple delta.
+  Status CommitDelta(WalRecordKind kind, std::string_view relation,
+                     const std::vector<std::vector<std::string>>& rows);
+  /// After a failed append/sync: truncate the WAL to last_good_wal_bytes_ and
+  /// reopen it, or mark the store broken.
+  void SelfHeal();
+  /// Opens wal-<checkpoint_lsn_> for append, writing the header if fresh.
+  Status OpenWal(uint64_t existing_bytes);
+
+  const std::string dir_;
+  const StoreOptions store_options_;
+  Env* const env_;
+  Engine engine_;
+
+  Knowledgebase kb_;
+  uint64_t lsn_ = 0;
+  uint64_t checkpoint_lsn_ = 0;
+  std::unique_ptr<WalWriter> wal_;
+  /// Bytes of wal-<checkpoint_lsn_> known to hold whole records (the truncate
+  /// target for self-healing).
+  uint64_t last_good_wal_bytes_ = 0;
+  size_t unsynced_commits_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace kbt::store
+
+#endif  // KBT_STORE_DURABLE_ENGINE_H_

@@ -1,0 +1,359 @@
+#include "store/fault_env.h"
+
+#include <algorithm>
+
+namespace kbt::store {
+
+namespace {
+
+Status InjectedError(const char* what) {
+  return Status::IOError(std::string("injected fault: ") + what);
+}
+
+}  // namespace
+
+/// A handle into the fault env: shares the env's mutex, failpoint counter and
+/// crash state. Valid only while the env lives (tests own the env).
+class FaultFile final : public File {
+ public:
+  FaultFile(FaultInjectionEnv* env, std::string path,
+            FaultInjectionEnv::InodePtr inode)
+      : env_(env), path_(std::move(path)), inode_(std::move(inode)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->crashed_) return env_->CrashedError();
+    if (closed_) return Status::IOError("append to closed file " + path_);
+    switch (env_->Account()) {
+      case FaultInjectionEnv::Injected::kNone:
+        inode_->live.append(data);
+        return Status::OK();
+      case FaultInjectionEnv::Injected::kFail:
+        return InjectedError("append failed");
+      case FaultInjectionEnv::Injected::kShortWrite:
+        inode_->live.append(data.substr(0, data.size() / 2));
+        return InjectedError("short write");
+      case FaultInjectionEnv::Injected::kCrashBefore:
+        env_->crashed_ = true;
+        return env_->CrashedError();
+      case FaultInjectionEnv::Injected::kCrashAfter:
+        inode_->live.append(data);
+        env_->crashed_ = true;
+        return env_->CrashedError();
+      case FaultInjectionEnv::Injected::kCrashTorn:
+        inode_->live.append(data.substr(0, data.size() / 2));
+        env_->crashed_ = true;
+        return env_->CrashedError();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->crashed_) return env_->CrashedError();
+    if (closed_) return Status::IOError("sync of closed file " + path_);
+    switch (env_->Account()) {
+      case FaultInjectionEnv::Injected::kNone:
+        env_->SyncLocked(path_, inode_);
+        return Status::OK();
+      case FaultInjectionEnv::Injected::kFail:
+      case FaultInjectionEnv::Injected::kShortWrite:
+        return InjectedError("fsync failed");
+      case FaultInjectionEnv::Injected::kCrashBefore:
+      case FaultInjectionEnv::Injected::kCrashTorn:
+        env_->crashed_ = true;
+        return env_->CrashedError();
+      case FaultInjectionEnv::Injected::kCrashAfter:
+        env_->SyncLocked(path_, inode_);
+        env_->crashed_ = true;
+        return env_->CrashedError();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    closed_ = true;
+    return Status::OK();
+  }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  FaultInjectionEnv::InodePtr inode_;
+  bool closed_ = false;
+};
+
+void FaultInjectionEnv::FailAt(uint64_t op, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_ = ops_ + op;
+  fault_kind_ = kind;
+}
+
+void FaultInjectionEnv::ClearFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_ = 0;
+}
+
+uint64_t FaultInjectionEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+void FaultInjectionEnv::Crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjectionEnv::RecoverFromCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The restarted world sees exactly the durable view: fresh inodes whose live
+  // content is the old durable content.
+  std::map<std::string, InodePtr> reborn;
+  for (const auto& [path, inode] : durable_) {
+    auto fresh = std::make_shared<Inode>();
+    fresh->live = inode->durable;
+    fresh->durable = inode->durable;
+    fresh->synced_once = true;
+    reborn[path] = fresh;
+  }
+  live_ = reborn;
+  durable_ = std::move(reborn);
+  crashed_ = false;
+  fail_at_ = 0;
+}
+
+FaultInjectionEnv::Injected FaultInjectionEnv::Account() {
+  ++ops_;
+  if (fail_at_ == 0 || ops_ != fail_at_) return Injected::kNone;
+  fail_at_ = 0;  // One-shot.
+  switch (fault_kind_) {
+    case FaultKind::kFail:
+      return Injected::kFail;
+    case FaultKind::kShortWrite:
+      return Injected::kShortWrite;
+    case FaultKind::kCrashBefore:
+      return Injected::kCrashBefore;
+    case FaultKind::kCrashAfter:
+      return Injected::kCrashAfter;
+    case FaultKind::kCrashTorn:
+      return Injected::kCrashTorn;
+  }
+  return Injected::kFail;
+}
+
+Status FaultInjectionEnv::CrashedError() const {
+  return Status::IOError("injected fault: simulated crash");
+}
+
+void FaultInjectionEnv::SyncLocked(const std::string& path,
+                                   const InodePtr& inode) {
+  inode->durable = inode->live;
+  inode->synced_once = true;
+  // fsync-of-a-new-file approximation: syncing the handle also makes the
+  // file's existence durable (see the header comment).
+  durable_[path] = inode;
+}
+
+StatusOr<std::unique_ptr<File>> FaultInjectionEnv::NewAppendableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError();
+  Injected injected = Account();
+  if (injected == Injected::kCrashBefore || injected == Injected::kCrashAfter ||
+      injected == Injected::kCrashTorn) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  if (injected != Injected::kNone) return InjectedError("open failed");
+  auto it = live_.find(path);
+  InodePtr inode;
+  if (it != live_.end()) {
+    inode = it->second;
+  } else {
+    inode = std::make_shared<Inode>();
+    live_[path] = inode;
+  }
+  return std::unique_ptr<File>(new FaultFile(this, path, std::move(inode)));
+}
+
+StatusOr<std::unique_ptr<File>> FaultInjectionEnv::NewTruncatedFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError();
+  Injected injected = Account();
+  if (injected == Injected::kCrashBefore || injected == Injected::kCrashAfter ||
+      injected == Injected::kCrashTorn) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  if (injected != Injected::kNone) return InjectedError("open failed");
+  // A fresh inode: the durable namespace keeps pointing at the old one, so a
+  // crash still shows the pre-truncation file.
+  auto inode = std::make_shared<Inode>();
+  live_[path] = inode;
+  return std::unique_ptr<File>(new FaultFile(this, path, std::move(inode)));
+}
+
+StatusOr<std::string> FaultInjectionEnv::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError();
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::NotFound("no such file: " + path);
+  return it->second->live;
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError();
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::NotFound("no such file: " + path);
+  Injected injected = Account();
+  if (injected == Injected::kCrashBefore || injected == Injected::kShortWrite ||
+      injected == Injected::kCrashTorn) {
+    if (injected != Injected::kShortWrite) {
+      crashed_ = true;
+      return CrashedError();
+    }
+    return InjectedError("truncate failed");
+  }
+  if (injected == Injected::kFail) return InjectedError("truncate failed");
+  it->second->live.resize(size, '\0');
+  if (injected == Injected::kCrashAfter) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError();
+  auto it = live_.find(from);
+  if (it == live_.end()) return Status::NotFound("no such file: " + from);
+  Injected injected = Account();
+  if (injected == Injected::kFail || injected == Injected::kShortWrite) {
+    return InjectedError("rename failed");
+  }
+  if (injected == Injected::kCrashBefore || injected == Injected::kCrashTorn) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  InodePtr inode = it->second;
+  live_.erase(it);
+  live_[to] = std::move(inode);
+  if (injected == Injected::kCrashAfter) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError();
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::NotFound("no such file: " + path);
+  Injected injected = Account();
+  if (injected == Injected::kFail || injected == Injected::kShortWrite) {
+    return InjectedError("remove failed");
+  }
+  if (injected == Injected::kCrashBefore || injected == Injected::kCrashTorn) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  live_.erase(it);
+  if (injected == Injected::kCrashAfter) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError();
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [path, inode] : live_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(std::move(rest));
+  }
+  return names;
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return false;
+  return live_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError();
+  Injected injected = Account();
+  if (injected == Injected::kFail || injected == Injected::kShortWrite) {
+    return InjectedError("mkdir failed");
+  }
+  if (injected == Injected::kCrashBefore || injected == Injected::kCrashTorn) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  dirs_.insert(dir);
+  if (injected == Injected::kCrashAfter) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return CrashedError();
+  Injected injected = Account();
+  if (injected == Injected::kFail || injected == Injected::kShortWrite) {
+    return InjectedError("fsync dir failed");
+  }
+  if (injected == Injected::kCrashBefore || injected == Injected::kCrashTorn) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  // The durable namespace under `dir` now mirrors the live namespace: pending
+  // creations, renames and removals become crash-proof. Content durability is
+  // still per-inode (what the last File::Sync captured).
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  auto under = [&prefix](const std::string& path) {
+    return path.size() > prefix.size() &&
+           path.compare(0, prefix.size(), prefix) == 0 &&
+           path.find('/', prefix.size()) == std::string::npos;
+  };
+  for (auto it = durable_.begin(); it != durable_.end();) {
+    if (under(it->first) && live_.count(it->first) == 0) {
+      it = durable_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [path, inode] : live_) {
+    if (under(path)) durable_[path] = inode;
+  }
+  if (injected == Injected::kCrashAfter) {
+    crashed_ = true;
+    return CrashedError();
+  }
+  return Status::OK();
+}
+
+}  // namespace kbt::store

@@ -1,0 +1,126 @@
+#ifndef KBT_STORE_FAULT_ENV_H_
+#define KBT_STORE_FAULT_ENV_H_
+
+/// \file
+/// An in-memory Env with syscall-level fault injection — the engine of the
+/// crash-recovery property tests.
+///
+/// The environment keeps two views of every file, connected through a shared
+/// inode the way a real filesystem is:
+///
+///  * the *live* view: what syscalls observe while the process runs;
+///  * the *durable* view: what would survive a crash right now.
+///
+/// Append changes only the live content; File::Sync copies live → durable (and
+/// makes a new file's existence durable — the fsync approximation LevelDB's
+/// fault tests use). Renames and removals move live namespace entries
+/// immediately but reach the durable namespace only at Env::SyncDir, so a
+/// crash can resurrect a deleted file or undo an un-synced rename — exactly
+/// the states a recovery path must tolerate. Rename is atomic in both views.
+///
+/// Fault injection is a one-shot failpoint counting write-side syscalls
+/// (open/append/sync/truncate/rename/remove/syncdir). When the counter hits
+/// the armed operation the env either returns an injected kIOError (with or
+/// without a partial short write) or "crashes": the live view is frozen, every
+/// subsequent call fails, and RecoverFromCrash() restarts the world from the
+/// durable view — the moral equivalent of kill -9 plus remount.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "store/file.h"
+
+namespace kbt::store {
+
+/// What the armed failpoint does when the counter reaches it.
+enum class FaultKind {
+  /// The operation fails with kIOError and is not applied (transient error;
+  /// later operations succeed).
+  kFail,
+  /// An Append applies a prefix of its bytes, then fails with kIOError
+  /// (transient). Non-append operations behave like kFail.
+  kShortWrite,
+  /// The process model crashes *before* the operation takes effect.
+  kCrashBefore,
+  /// The operation takes full effect, then the crash hits — the caller never
+  /// learns the outcome (the timed-out-commit case).
+  kCrashAfter,
+  /// An Append applies a prefix of its bytes, then the crash hits — the torn
+  /// tail record recovery must detect and truncate. Non-appends crash before.
+  kCrashTorn,
+};
+
+class FaultInjectionEnv final : public Env {
+ public:
+  FaultInjectionEnv() = default;
+
+  // --- Fault control (test interface) ------------------------------------
+
+  /// Arms the one-shot failpoint: the `op`-th write-side syscall from now
+  /// (1-based) misbehaves per `kind`.
+  void FailAt(uint64_t op, FaultKind kind);
+  /// Disarms a pending failpoint.
+  void ClearFault();
+  /// Total write-side syscalls observed so far (sizes the crash matrix).
+  uint64_t op_count() const;
+  /// Crashes immediately, as if kCrashBefore fired on the next operation.
+  void Crash();
+  /// True while crashed: every Env/File call fails with kIOError.
+  bool crashed() const;
+  /// Leaves the crashed state, resetting the live view to the durable view —
+  /// the state a restarted process would find on disk.
+  void RecoverFromCrash();
+
+  // --- Env ----------------------------------------------------------------
+
+  StatusOr<std::unique_ptr<File>> NewAppendableFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<File>> NewTruncatedFile(
+      const std::string& path) override;
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultFile;
+
+  struct Inode {
+    std::string live;
+    std::string durable;
+    bool synced_once = false;
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+
+  /// Outcome of consulting the failpoint for one syscall.
+  enum class Injected { kNone, kFail, kShortWrite, kCrashBefore, kCrashAfter,
+                        kCrashTorn };
+
+  /// Counts one write-side syscall and reports what to inject. Caller holds
+  /// mu_.
+  Injected Account();
+  Status CrashedError() const;
+  /// Applies Sync semantics for one inode+path. Caller holds mu_.
+  void SyncLocked(const std::string& path, const InodePtr& inode);
+
+  mutable std::mutex mu_;
+  std::map<std::string, InodePtr> live_;
+  std::map<std::string, InodePtr> durable_;
+  std::set<std::string> dirs_;
+  bool crashed_ = false;
+  uint64_t ops_ = 0;
+  uint64_t fail_at_ = 0;  // 0 = disarmed; counts ops_ values.
+  FaultKind fault_kind_ = FaultKind::kFail;
+};
+
+}  // namespace kbt::store
+
+#endif  // KBT_STORE_FAULT_ENV_H_

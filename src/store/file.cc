@@ -1,0 +1,170 @@
+#include "store/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace kbt::store {
+
+namespace {
+
+class PosixFile final : public File {
+ public:
+  PosixFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IOError("append to closed file " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOErrorFromErrno("write " + path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) {
+      return Status::IOErrorFromErrno("fsync " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOErrorFromErrno("close " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<File>> NewAppendableFile(
+      const std::string& path) override {
+    return OpenFile(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  StatusOr<std::unique_ptr<File>> NewTruncatedFile(
+      const std::string& path) override {
+    return OpenFile(path, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IOErrorFromErrno("open " + path, errno);
+    }
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int saved = errno;
+        ::close(fd);
+        return Status::IOErrorFromErrno("read " + path, saved);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::IOErrorFromErrno("truncate " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOErrorFromErrno("rename " + from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOErrorFromErrno("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return Status::IOErrorFromErrno("opendir " + dir, errno);
+    }
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOErrorFromErrno("mkdir " + dir, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Status::IOErrorFromErrno("open dir " + dir, errno);
+    Status s;
+    if (::fsync(fd) != 0) {
+      s = Status::IOErrorFromErrno("fsync dir " + dir, errno);
+    }
+    ::close(fd);
+    return s;
+  }
+
+ private:
+  StatusOr<std::unique_ptr<File>> OpenFile(const std::string& path, int flags) {
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Status::IOErrorFromErrno("open " + path, errno);
+    return std::unique_ptr<File>(new PosixFile(path, fd));
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace kbt::store

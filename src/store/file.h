@@ -1,0 +1,92 @@
+#ifndef KBT_STORE_FILE_H_
+#define KBT_STORE_FILE_H_
+
+/// \file
+/// The store's I/O boundary: a File handle for sequential appends and an Env
+/// for filesystem metadata, in the LevelDB/RocksDB Env tradition.
+///
+/// Everything the durable store does to the outside world goes through these
+/// two interfaces — which is exactly what makes the crash-recovery property
+/// test possible: FaultInjectionEnv (store/fault_env.h) implements the same
+/// surface over in-memory state and can fail, short-write, or "crash" the
+/// process model at every syscall boundary, while PosixEnv is the production
+/// implementation.
+///
+/// Durability contract (both implementations):
+///  * File::Append buffers in the OS; bytes are guaranteed to survive a crash
+///    only after a successful File::Sync.
+///  * Directory metadata (created files, renames, removals) survives a crash
+///    only after Env::SyncDir on the containing directory. RenameFile is
+///    atomic either way — after a crash the old or the new name is visible,
+///    never a mix.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace kbt::store {
+
+/// A sequential-append file handle. Not thread-safe; the store serializes
+/// access itself.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Forces appended bytes to durable storage (fsync/fdatasync).
+  virtual Status Sync() = 0;
+
+  /// Closes the handle. Append/Sync after Close are errors. Called implicitly
+  /// (best-effort, errors swallowed) by the destructor; call explicitly when
+  /// the close status matters.
+  virtual Status Close() = 0;
+};
+
+/// Filesystem operations the store needs, virtualized for fault injection.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it (empty) when missing.
+  virtual StatusOr<std::unique_ptr<File>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` truncated to empty, creating it when missing.
+  virtual StatusOr<std::unique_ptr<File>> NewTruncatedFile(
+      const std::string& path) = 0;
+
+  /// Reads the entire file into a string.
+  virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (used to drop a torn WAL tail before
+  /// appending fresh records after recovery).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Atomically renames `from` to `to`, replacing `to` when it exists.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Removes a file.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries in `dir`, unsorted.
+  virtual StatusOr<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Creates `dir`; succeeds when it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  /// Makes `dir`'s metadata (creations, renames, removals) durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+}  // namespace kbt::store
+
+#endif  // KBT_STORE_FILE_H_

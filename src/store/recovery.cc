@@ -1,0 +1,171 @@
+#include "store/recovery.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "base/interner.h"
+#include "rel/relation.h"
+#include "store/checkpoint.h"
+
+namespace kbt::store {
+
+namespace {
+
+StatusOr<Knowledgebase> ApplyTupleDelta(const Knowledgebase& kb,
+                                        WalRecordKind kind,
+                                        const TupleDelta& delta) {
+  Symbol symbol = Name(delta.relation);
+  std::optional<size_t> pos = kb.schema().PositionOf(symbol);
+  if (!pos.has_value()) {
+    return Status::DataLoss("tuple delta names undeclared relation " +
+                            delta.relation);
+  }
+  if (kb.schema().decl(*pos).arity != delta.arity) {
+    return Status::DataLoss("tuple delta arity mismatch for " + delta.relation);
+  }
+  Relation::Builder builder(delta.arity);
+  builder.Reserve(delta.rows.size());
+  for (const auto& row : delta.rows) {
+    if (row.size() != delta.arity) {
+      return Status::DataLoss("tuple delta row width mismatch for " +
+                              delta.relation);
+    }
+    if (delta.arity == 0) {
+      // A present zero-ary row is the single empty tuple.
+      builder.Append(std::initializer_list<Value>{});
+      continue;
+    }
+    Value* out = builder.AppendRow();
+    for (size_t i = 0; i < delta.arity; ++i) out[i] = Name(row[i]);
+  }
+  Relation change = builder.Build();
+
+  std::vector<Database> members;
+  members.reserve(kb.size());
+  for (const Database& db : kb) {
+    const Relation& old = db.relation_at(*pos);
+    Database next = db;
+    next.ReplaceRelation(*pos, kind == WalRecordKind::kInsert
+                                   ? old.Union(change)
+                                   : old.Difference(change));
+    members.push_back(std::move(next));
+  }
+  // FromDatabases re-canonicalizes: a delete can collapse members that now
+  // coincide, exactly the possible-worlds semantics.
+  if (members.empty()) return Knowledgebase(kb.schema());
+  return Knowledgebase::FromDatabases(std::move(members));
+}
+
+}  // namespace
+
+std::string CheckpointFileName(uint64_t lsn) {
+  return "checkpoint-" + std::to_string(lsn);
+}
+
+std::string WalFileName(uint64_t lsn) { return "wal-" + std::to_string(lsn); }
+
+std::optional<uint64_t> ParseStoreLsnSuffix(std::string_view name,
+                                            std::string_view prefix) {
+  if (name.size() <= prefix.size() + 1 ||
+      name.substr(0, prefix.size()) != prefix || name[prefix.size()] != '-') {
+    return std::nullopt;
+  }
+  std::string_view digits = name.substr(prefix.size() + 1);
+  uint64_t lsn = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (lsn > (UINT64_MAX - 9) / 10) return std::nullopt;
+    lsn = lsn * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return lsn;
+}
+
+StatusOr<Knowledgebase> ApplyWalRecord(Engine& engine, const WalRecord& record,
+                                       const Knowledgebase& kb) {
+  switch (record.kind) {
+    case WalRecordKind::kTransform:
+      return engine.Apply(record.payload, kb);
+    case WalRecordKind::kInsert:
+    case WalRecordKind::kDelete: {
+      KBT_ASSIGN_OR_RETURN(TupleDelta delta, DecodeTupleDelta(record.payload));
+      return ApplyTupleDelta(kb, record.kind, delta);
+    }
+  }
+  return Status::Internal("unreachable wal record kind");
+}
+
+StatusOr<RecoveredStore> RecoverStore(Env* env, const std::string& dir,
+                                      Engine& engine) {
+  KBT_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  std::vector<uint64_t> checkpoint_lsns;
+  for (const std::string& name : names) {
+    if (auto lsn = ParseStoreLsnSuffix(name, "checkpoint")) {
+      checkpoint_lsns.push_back(*lsn);
+    }
+  }
+  if (checkpoint_lsns.empty()) {
+    return Status::NotFound("no checkpoint in store directory " + dir);
+  }
+  std::sort(checkpoint_lsns.rbegin(), checkpoint_lsns.rend());
+
+  RecoveredStore recovered;
+  bool have_checkpoint = false;
+  std::string first_error;
+  for (uint64_t lsn : checkpoint_lsns) {
+    StatusOr<CheckpointContents> contents =
+        ReadCheckpoint(env, dir + "/" + CheckpointFileName(lsn));
+    if (contents.ok()) {
+      if (contents->lsn != lsn) {
+        // The name and header disagree — treat like any other corruption.
+        if (first_error.empty()) first_error = "checkpoint lsn mismatch";
+        continue;
+      }
+      recovered.kb = std::move(contents->kb);
+      recovered.checkpoint_lsn = lsn;
+      have_checkpoint = true;
+      break;
+    }
+    if (first_error.empty()) first_error = contents.status().message();
+  }
+  if (!have_checkpoint) {
+    return Status::DataLoss("no valid checkpoint in " + dir + " (" +
+                            first_error + ")");
+  }
+
+  const std::string wal_path =
+      dir + "/" + WalFileName(recovered.checkpoint_lsn);
+  StatusOr<std::string> wal_bytes = env->ReadFile(wal_path);
+  if (!wal_bytes.ok()) {
+    if (wal_bytes.status().code() == StatusCode::kNotFound) {
+      // Crash between checkpoint and the creation of its log: the checkpoint
+      // is the whole committed state.
+      recovered.lsn = recovered.checkpoint_lsn;
+      return recovered;
+    }
+    return wal_bytes.status();
+  }
+  recovered.wal_exists = true;
+  recovered.wal_file_size = wal_bytes->size();
+
+  if (wal_bytes->size() < kWalHeaderSize) {
+    // Empty or torn mid-header-append: no record was ever committed to this
+    // log. The caller truncates to zero and reopens it as a fresh file.
+    recovered.wal_valid_bytes = 0;
+    recovered.lsn = recovered.checkpoint_lsn;
+    return recovered;
+  }
+  KBT_ASSIGN_OR_RETURN(WalContents contents, ReadWal(*wal_bytes));
+  if (contents.start_lsn != recovered.checkpoint_lsn) {
+    return Status::DataLoss("wal start lsn disagrees with checkpoint lsn");
+  }
+  recovered.wal_valid_bytes = contents.valid_bytes;
+  for (const WalRecord& record : contents.records) {
+    KBT_ASSIGN_OR_RETURN(recovered.kb,
+                         ApplyWalRecord(engine, record, recovered.kb));
+  }
+  recovered.lsn = recovered.checkpoint_lsn + contents.records.size();
+  return recovered;
+}
+
+}  // namespace kbt::store

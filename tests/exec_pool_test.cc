@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -127,6 +128,44 @@ TEST(ThreadPoolTest, StealStressSkewedDurations) {
   }
   // Monotone counter is readable and sane.
   EXPECT_GE(pool.steals(), 0u);
+}
+
+TEST(ThreadPoolTest, ThrowingSubmittedTaskDoesNotKillWorkers) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([](size_t) { throw std::runtime_error("task boom"); });
+      pool.Submit([&ran](size_t) { ++ran; });
+    }
+    // Workers survived the throwing tasks and keep servicing the queue.
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelForSurfacesBodyExceptionAsStatus) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(64);
+  Status s = pool.ParallelFor(64, [&](size_t i, size_t) {
+    if (i == 20) throw std::runtime_error("world 20 exploded");
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("world 20 exploded"), std::string::npos);
+  // Only the throwing chunk's tail is lost; every other chunk ran whole, and
+  // index 20 itself never completed.
+  EXPECT_EQ(counts[20].load(), 0);
+  int completed = 0;
+  for (auto& c : counts) completed += c.load();
+  // 12 chunks of ~6 indices each; only the throwing chunk can lose indices.
+  EXPECT_GE(completed, 48);
+
+  // The pool itself stays usable after the failure.
+  std::atomic<int> ran{0};
+  Status again = pool.ParallelFor(32, [&](size_t, size_t) { ++ran; });
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(ran.load(), 32);
 }
 
 TEST(ThreadPoolTest, SubmitAndParallelForInterleaved) {

@@ -68,5 +68,60 @@ TEST(IoTest, WhitespaceInsensitive) {
   EXPECT_EQ(a, b);
 }
 
+TEST(IoTest, TruncatedValidInputFailsCleanly) {
+  std::mt19937_64 rng(111);
+  Knowledgebase kb = testutil::RandomKnowledgebase(&rng);
+  std::string text = FormatKnowledgebase(kb);
+  for (size_t cut = 0; cut + 1 < text.size(); ++cut) {
+    StatusOr<Knowledgebase> parsed =
+        ParseKnowledgebase(std::string_view(text).substr(0, cut));
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError)
+          << "cut at " << cut;
+    }
+  }
+}
+
+TEST(IoTest, RandomGarbageFuzzNeverCrashes) {
+  // Pure random bytes, printable noise, and mutated valid prefixes: every
+  // outcome must be a clean Status, never a crash, hang, or assert.
+  std::mt19937_64 rng(222);
+  std::uniform_int_distribution<int> len(0, 80);
+  std::uniform_int_distribution<int> any_byte(0, 255);
+  std::uniform_int_distribution<int> noise_byte(32, 126);
+  const std::string valid = "R1/2: {(a, b), (c, d)}; R2/1: {(e)}";
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string input;
+    switch (iter % 3) {
+      case 0: {
+        int n = len(rng);
+        for (int i = 0; i < n; ++i) input.push_back(static_cast<char>(any_byte(rng)));
+        break;
+      }
+      case 1: {
+        int n = len(rng);
+        for (int i = 0; i < n; ++i) input.push_back(static_cast<char>(noise_byte(rng)));
+        break;
+      }
+      default: {
+        input = valid;
+        std::uniform_int_distribution<size_t> pos(0, input.size() - 1);
+        input[pos(rng)] = static_cast<char>(any_byte(rng));
+        break;
+      }
+    }
+    StatusOr<Database> db = ParseDatabase(input);
+    if (!db.ok()) {
+      EXPECT_FALSE(db.status().message().empty());
+    }
+    StatusOr<Knowledgebase> kb = ParseKnowledgebase(input);
+    if (!kb.ok()) {
+      EXPECT_FALSE(kb.status().message().empty());
+    }
+    StatusOr<Knowledgebase> bracketed = ParseKnowledgebase("[ " + input + " ]");
+    (void)bracketed;
+  }
+}
+
 }  // namespace
 }  // namespace kbt

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+
 namespace kbt {
 namespace {
 
@@ -26,6 +28,23 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, StorageCodeNames) {
+  EXPECT_EQ(Status::IOError("disk gone").ToString(), "io-error: disk gone");
+  EXPECT_EQ(Status::DataLoss("bad crc").ToString(), "data-loss: bad crc");
+}
+
+TEST(StatusTest, IOErrorFromErrnoCarriesErrno) {
+  Status s = Status::IOErrorFromErrno("write wal.log", ENOSPC);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("write wal.log: "), std::string::npos);
+  EXPECT_NE(s.message().find("(errno " + std::to_string(ENOSPC) + ")"),
+            std::string::npos);
+  // The human-readable strerror text rides along.
+  EXPECT_NE(s.message().find("space"), std::string::npos);
 }
 
 TEST(StatusTest, Equality) {

@@ -1,0 +1,338 @@
+/// \file
+/// Tests for the store's I/O boundary: PosixEnv against a real scratch
+/// directory, and the FaultInjectionEnv crash model the recovery property
+/// tests are built on (sync durability, crash dropping un-synced state,
+/// namespace changes pending until SyncDir, short writes, one-shot failpoints).
+
+#include "store/file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "store/fault_env.h"
+
+namespace kbt::store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "kbt_store_file_test_" + name;
+}
+
+TEST(PosixEnvTest, AppendSyncReadRoundTrip) {
+  Env* env = Env::Default();
+  std::string path = TempPath("roundtrip");
+  {
+    auto file = env->NewTruncatedFile(path);
+    ASSERT_TRUE(file.ok()) << file.status().message();
+    ASSERT_TRUE((*file)->Append("hello ").ok());
+    ASSERT_TRUE((*file)->Append("world").ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  auto contents = env->ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello world");
+
+  // Appendable open resumes at the end.
+  {
+    auto file = env->NewAppendableFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("!").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  contents = env->ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello world!");
+
+  ASSERT_TRUE(env->RemoveFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(PosixEnvTest, TruncateDropsTail) {
+  Env* env = Env::Default();
+  std::string path = TempPath("truncate");
+  {
+    auto file = env->NewTruncatedFile(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("0123456789").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  ASSERT_TRUE(env->TruncateFile(path, 4).ok());
+  auto contents = env->ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "0123");
+  ASSERT_TRUE(env->RemoveFile(path).ok());
+}
+
+TEST(PosixEnvTest, RenameReplacesTargetAndListDirSeesResult) {
+  Env* env = Env::Default();
+  std::string dir = TempPath("renamedir");
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  ASSERT_TRUE(env->CreateDir(dir).ok());  // Idempotent.
+  std::string from = dir + "/a.tmp";
+  std::string to = dir + "/a";
+  {
+    auto file = env->NewTruncatedFile(to);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("old").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  {
+    auto file = env->NewTruncatedFile(from);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("new").ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  ASSERT_TRUE(env->RenameFile(from, to).ok());
+  ASSERT_TRUE(env->SyncDir(dir).ok());
+  EXPECT_FALSE(env->FileExists(from));
+  auto contents = env->ReadFile(to);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "new");
+  auto names = env->ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "a");
+  ASSERT_TRUE(env->RemoveFile(to).ok());
+}
+
+TEST(PosixEnvTest, MissingFilesReportNotFound) {
+  Env* env = Env::Default();
+  std::string path = TempPath("never_created");
+  auto contents = env->ReadFile(path);
+  EXPECT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_FALSE(env->RemoveFile(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv: the crash model.
+// ---------------------------------------------------------------------------
+
+/// Creates `path` holding `data`, fully synced (content + existence durable).
+void WriteDurable(FaultInjectionEnv* env, const std::string& path,
+                  const std::string& data) {
+  auto file = env->NewAppendableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(data).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+TEST(FaultEnvTest, UnsyncedAppendsDieInTheCrash) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/wal", "AB");
+  auto file = env.NewAppendableFile("d/wal");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("CD").ok());
+  // Live view sees the append immediately...
+  auto live = env.ReadFile("d/wal");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, "ABCD");
+  // ...but only synced bytes survive the crash.
+  env.Crash();
+  EXPECT_TRUE(env.crashed());
+  EXPECT_FALSE(env.ReadFile("d/wal").ok());  // All calls fail while crashed.
+  env.RecoverFromCrash();
+  EXPECT_FALSE(env.crashed());
+  auto durable = env.ReadFile("d/wal");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, "AB");
+}
+
+TEST(FaultEnvTest, SyncMakesContentAndExistenceDurable) {
+  FaultInjectionEnv env;
+  // A brand-new file that was never synced does not survive at all.
+  {
+    auto file = env.NewAppendableFile("d/ephemeral");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("gone").ok());
+  }
+  // A synced file survives with exactly the synced prefix.
+  {
+    auto file = env.NewAppendableFile("d/kept");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("stay").ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Append("tail").ok());
+  }
+  env.Crash();
+  env.RecoverFromCrash();
+  EXPECT_FALSE(env.FileExists("d/ephemeral"));
+  auto kept = env.ReadFile("d/kept");
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(*kept, "stay");
+}
+
+TEST(FaultEnvTest, RenameIsLiveImmediateButDurableOnlyAfterSyncDir) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/ckpt.tmp", "payload");
+  ASSERT_TRUE(env.RenameFile("d/ckpt.tmp", "d/ckpt").ok());
+  // Live namespace moved at once.
+  EXPECT_FALSE(env.FileExists("d/ckpt.tmp"));
+  EXPECT_TRUE(env.FileExists("d/ckpt"));
+  // Without SyncDir the crash undoes the rename.
+  env.Crash();
+  env.RecoverFromCrash();
+  EXPECT_TRUE(env.FileExists("d/ckpt.tmp"));
+  EXPECT_FALSE(env.FileExists("d/ckpt"));
+
+  // With SyncDir it sticks.
+  ASSERT_TRUE(env.RenameFile("d/ckpt.tmp", "d/ckpt").ok());
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  env.Crash();
+  env.RecoverFromCrash();
+  EXPECT_FALSE(env.FileExists("d/ckpt.tmp"));
+  EXPECT_TRUE(env.FileExists("d/ckpt"));
+  auto contents = env.ReadFile("d/ckpt");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "payload");
+}
+
+TEST(FaultEnvTest, RemoveIsDurableOnlyAfterSyncDir) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/old", "x");
+  ASSERT_TRUE(env.RemoveFile("d/old").ok());
+  EXPECT_FALSE(env.FileExists("d/old"));
+  // Crash before SyncDir resurrects the file.
+  env.Crash();
+  env.RecoverFromCrash();
+  EXPECT_TRUE(env.FileExists("d/old"));
+
+  ASSERT_TRUE(env.RemoveFile("d/old").ok());
+  ASSERT_TRUE(env.SyncDir("d").ok());
+  env.Crash();
+  env.RecoverFromCrash();
+  EXPECT_FALSE(env.FileExists("d/old"));
+}
+
+TEST(FaultEnvTest, TruncatedReopenKeepsOldContentDurableUntilSync) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/wal", "OLDOLD");
+  auto file = env.NewTruncatedFile("d/wal");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("N").ok());
+  // Live: truncated + new byte. Durable: still the old content.
+  auto live = env.ReadFile("d/wal");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, "N");
+  env.Crash();
+  env.RecoverFromCrash();
+  auto durable = env.ReadFile("d/wal");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, "OLDOLD");
+}
+
+TEST(FaultEnvTest, ShortWriteAppliesHalfThenFailsTransiently) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/wal", "");
+  auto file = env.NewAppendableFile("d/wal");
+  ASSERT_TRUE(file.ok());
+  env.FailAt(1, FaultKind::kShortWrite);
+  Status s = (*file)->Append("ABCDEFGH");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  auto live = env.ReadFile("d/wal");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, "ABCD");  // Half the bytes landed.
+  // The failpoint is one-shot: the env is healthy again.
+  EXPECT_FALSE(env.crashed());
+  ASSERT_TRUE((*file)->Append("IJ").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  live = env.ReadFile("d/wal");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, "ABCDIJ");
+}
+
+TEST(FaultEnvTest, CrashTornAppendLeavesHalfInLiveView) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/wal", "SYNCED");
+  auto file = env.NewAppendableFile("d/wal");
+  ASSERT_TRUE(file.ok());
+  env.FailAt(1, FaultKind::kCrashTorn);
+  EXPECT_FALSE((*file)->Append("TORNTORN").ok());
+  EXPECT_TRUE(env.crashed());
+  env.RecoverFromCrash();
+  // The torn half was never synced, so the durable view has the old bytes.
+  auto durable = env.ReadFile("d/wal");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, "SYNCED");
+}
+
+TEST(FaultEnvTest, CrashAfterSyncKeepsTheWholeWrite) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/wal", "");
+  auto file = env.NewAppendableFile("d/wal");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("COMMIT").ok());
+  env.FailAt(1, FaultKind::kCrashAfter);
+  // The sync took effect before the crash: the caller saw an error, the disk
+  // kept the bytes — the classic timed-out-commit ambiguity.
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_TRUE(env.crashed());
+  env.RecoverFromCrash();
+  auto durable = env.ReadFile("d/wal");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, "COMMIT");
+}
+
+TEST(FaultEnvTest, FailpointIsOneShotAndCountsFromArming) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/f", "");
+  auto file = env.NewAppendableFile("d/f");
+  ASSERT_TRUE(file.ok());
+  // Arm the second write-side syscall from now: op 1 passes, op 2 fails,
+  // op 3 passes again.
+  env.FailAt(2, FaultKind::kFail);
+  EXPECT_TRUE((*file)->Append("1").ok());
+  Status s = (*file)->Append("2");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_TRUE((*file)->Append("3").ok());
+  auto live = env.ReadFile("d/f");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, "13");  // The failed append applied nothing.
+}
+
+TEST(FaultEnvTest, ClearFaultDisarms) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/f", "");
+  auto file = env.NewAppendableFile("d/f");
+  ASSERT_TRUE(file.ok());
+  env.FailAt(1, FaultKind::kCrashBefore);
+  env.ClearFault();
+  EXPECT_TRUE((*file)->Append("ok").ok());
+  EXPECT_FALSE(env.crashed());
+}
+
+TEST(FaultEnvTest, OpCountAdvancesOnWriteSideSyscallsOnly) {
+  FaultInjectionEnv env;
+  uint64_t before = env.op_count();
+  WriteDurable(&env, "d/f", "x");  // open + append + sync = 3 write-side ops.
+  EXPECT_EQ(env.op_count(), before + 3);
+  // Reads are not failpoints: the matrix enumerates write-side ops only.
+  ASSERT_TRUE(env.ReadFile("d/f").ok());
+  env.FileExists("d/f");
+  ASSERT_TRUE(env.ListDir("d").ok());
+  EXPECT_EQ(env.op_count(), before + 3);
+}
+
+TEST(FaultEnvTest, ListDirSeesOnlyDirectChildren) {
+  FaultInjectionEnv env;
+  WriteDurable(&env, "d/a", "1");
+  WriteDurable(&env, "d/b", "2");
+  WriteDurable(&env, "d/sub/c", "3");
+  WriteDurable(&env, "other/e", "4");
+  auto names = env.ListDir("d");
+  ASSERT_TRUE(names.ok());
+  std::sort(names->begin(), names->end());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace kbt::store

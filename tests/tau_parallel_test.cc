@@ -211,6 +211,47 @@ TEST(TauParallelTest, ErrorPropagationIsDeterministic) {
   }
 }
 
+TEST(TauParallelTest, SingleFailingWorldSurfacesStatusWithoutCrashing) {
+  // Graceful degradation: one world with a much larger active domain than its
+  // siblings blows a grounding budget sized for the small ones. That world
+  // alone fails, the call surfaces its Status, and the process — pool workers
+  // included — survives to serve the next call.
+  Schema schema = *Schema::Of({{"Dom", 1}, {"Q", 2}});
+  auto world = [&](int id, int domain) {
+    Relation::Builder dom(1);
+    for (int i = 0; i < domain; ++i) {
+      dom.Append({Name("w" + std::to_string(id) + "_" + std::to_string(i))});
+    }
+    return *Database::Create(schema, {dom.Build(), Relation(2)});
+  };
+  std::vector<Database> small;
+  for (int i = 0; i < 6; ++i) small.push_back(world(i, 2));
+  Knowledgebase small_kb = *Knowledgebase::FromDatabases(small);
+  small.push_back(world(99, 16));
+  Knowledgebase mixed_kb = *Knowledgebase::FromDatabases(std::move(small));
+
+  Formula phi = *ParseSentence("forall x, y: Q(x, y) -> Q(y, x)");
+  TauOptions options;
+  options.mu.strategy = MuStrategy::kSat;
+  options.mu.max_ground_nodes = 600;
+
+  for (size_t threads : {1u, 4u}) {
+    options.threads = threads;
+    // The budget clears every small world...
+    StatusOr<Knowledgebase> healthy = Tau(phi, small_kb, options);
+    ASSERT_TRUE(healthy.ok()) << healthy.status();
+    // ...and only the big world trips it.
+    StatusOr<Knowledgebase> degraded = Tau(phi, mixed_kb, options);
+    ASSERT_FALSE(degraded.ok()) << "threads " << threads;
+    EXPECT_EQ(degraded.status().code(), StatusCode::kResourceExhausted);
+    // The failure poisoned nothing: the same call with a real budget works.
+    TauOptions generous = options;
+    generous.mu.max_ground_nodes = 5'000'000;
+    StatusOr<Knowledgebase> retry = Tau(phi, mixed_kb, generous);
+    EXPECT_TRUE(retry.ok()) << retry.status();
+  }
+}
+
 TEST(TauParallelTest, ThreadsCappedByWorldCountAndZeroMeansAuto) {
   std::mt19937_64 rng(3);
   Knowledgebase kb = *Knowledgebase::FromDatabases(
