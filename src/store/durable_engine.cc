@@ -64,8 +64,13 @@ StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
 
 Status DurableEngine::OpenWal(uint64_t existing_bytes) {
   const std::string path = dir_ + "/" + WalFileName(checkpoint_lsn_);
+  // A "fresh" log must really start empty: wal-<lsn> can already exist with a
+  // header — an idle checkpoint (lsn_ == checkpoint_lsn_) reuses its own log
+  // name, and a fallback recovery can leave a stale one behind. Appending a
+  // second header there would read as a corrupt tail on the next recovery.
   KBT_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
-                       env_->NewAppendableFile(path));
+                       existing_bytes == 0 ? env_->NewTruncatedFile(path)
+                                           : env_->NewAppendableFile(path));
   KBT_ASSIGN_OR_RETURN(
       wal_, WalWriter::Create(std::move(file), existing_bytes, checkpoint_lsn_));
   last_good_wal_bytes_ =

@@ -1,5 +1,6 @@
 #include "store/wal.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "store/crc32.h"
@@ -98,7 +99,12 @@ std::string EncodeTupleDelta(
   PutU32(out, static_cast<uint32_t>(relation.size()));
   out += relation;
   PutU32(out, static_cast<uint32_t>(arity));
-  PutU32(out, static_cast<uint32_t>(rows.size()));
+  // A zero-ary relation holds at most the empty tuple, so duplicate empty rows
+  // carry no information; canonicalize them away so the decoder can enforce
+  // the matching rows <= 1 bound (binary_io's ReadRelation rule).
+  const size_t row_count =
+      arity == 0 ? std::min<size_t>(rows.size(), 1) : rows.size();
+  PutU32(out, static_cast<uint32_t>(row_count));
   for (const auto& row : rows) {
     for (const auto& value : row) {
       PutU32(out, static_cast<uint32_t>(value.size()));
@@ -123,6 +129,11 @@ StatusOr<TupleDelta> DecodeTupleDelta(std::string_view payload) {
   delta.arity = arity;
   KBT_ASSIGN_OR_RETURN(uint32_t rows, reader.ReadU32("row count"));
   // Each value costs at least 4 length bytes, so bound rows before reserving.
+  // A zero-ary relation holds at most the empty tuple (binary_io's rule), so
+  // its row count needs its own bound — no per-value bytes back it.
+  if (arity == 0 && rows > 1) {
+    return Status::DataLoss("tuple delta row count exceeds payload size");
+  }
   if (arity > 0 && static_cast<uint64_t>(rows) * arity > reader.remaining() / 4) {
     return Status::DataLoss("tuple delta row count exceeds payload size");
   }

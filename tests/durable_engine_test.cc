@@ -267,6 +267,42 @@ TEST(DurableEngineTest, CheckpointRotatesTheLogAndCollectsGarbage) {
   EXPECT_EQ(reopened->lsn(), 3u);
 }
 
+TEST(DurableEngineTest, IdleCheckpointKeepsLaterCommitsRecoverable) {
+  // A checkpoint with no commits since the last one reuses its own wal-<lsn>
+  // name. The rotation must truncate that file, not append a second header
+  // that recovery would read as a corrupt tail — which used to silently drop
+  // every commit made after the idle checkpoint.
+  FaultInjectionEnv env;
+  Knowledgebase committed{Schema()};
+  {
+    auto store = MustOpen("db", InitialKb(), WithEnv(&env));
+    ASSERT_TRUE(store->Checkpoint().ok());  // Idle: lsn 0 == checkpoint 0.
+    ASSERT_TRUE(store->Checkpoint().ok());  // Still idle; twice for good measure.
+    ASSERT_TRUE(store->Apply("tau{ P(a) }").ok());
+    committed = store->kb();
+  }
+  env.Crash();
+  env.RecoverFromCrash();
+  auto store = MustOpen("db", Knowledgebase(testutil::TestSchema()),
+                        WithEnv(&env));
+  EXPECT_EQ(store->kb(), committed);
+  EXPECT_EQ(store->lsn(), 1u);
+
+  // The same reuse happens when commits *after* a checkpoint are followed by
+  // an idle one at the same lsn.
+  ASSERT_TRUE(store->Checkpoint().ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+  ASSERT_TRUE(store->Apply("tau{ P(b) }").ok());
+  committed = store->kb();
+  store.reset();
+  env.Crash();
+  env.RecoverFromCrash();
+  auto reopened = MustOpen("db", Knowledgebase(testutil::TestSchema()),
+                           WithEnv(&env));
+  EXPECT_EQ(reopened->kb(), committed);
+  EXPECT_EQ(reopened->lsn(), 2u);
+}
+
 TEST(DurableEngineTest, CheckpointAloneMakesManualModeCommitsDurable) {
   FaultInjectionEnv env;
   Knowledgebase committed{Schema()};

@@ -213,7 +213,7 @@ TEST(TupleDeltaTest, RoundTrips) {
   std::vector<Case> cases = {
       {"Q", 2, {{"a", "b"}, {"long name with spaces", "naïve-ütf8"}}},
       {"P", 1, {}},
-      {"Marker", 0, {{}, {}}},  // Zero-ary relation, two (empty) rows.
+      {"Marker", 0, {{}}},  // Zero-ary relation holding the empty tuple.
       {"R", 3, {{"", "x", std::string("nul\0byte", 8)}}},
   };
   for (const Case& c : cases) {
@@ -250,6 +250,31 @@ TEST(TupleDeltaTest, HugeCountsRejectedBeforeAllocation) {
   put_u32(0xFFFFFFFFu);  // rows
   auto delta = DecodeTupleDelta(payload);
   EXPECT_FALSE(delta.ok());
+}
+
+TEST(TupleDeltaTest, ZeroAryHugeRowCountRejectedBeforeAllocation) {
+  // arity = 0 sidesteps the rows*arity bound, so the zero-ary rule (at most
+  // the empty tuple) must reject the count before the reserve.
+  std::string payload;
+  auto put_u32 = [&payload](uint32_t v) {
+    for (int i = 0; i < 4; ++i) payload.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put_u32(6);
+  payload += "Marker";
+  put_u32(0);            // arity
+  put_u32(0xFFFFFFFFu);  // rows
+  auto delta = DecodeTupleDelta(payload);
+  EXPECT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(TupleDeltaTest, ZeroAryDuplicateRowsCanonicalizeToOne) {
+  // Duplicate empty tuples carry no information; the encoder drops them so
+  // every encodable delta stays decodable under the zero-ary bound.
+  std::string payload = EncodeTupleDelta("Marker", 0, {{}, {}, {}});
+  auto delta = DecodeTupleDelta(payload);
+  ASSERT_TRUE(delta.ok()) << delta.status().message();
+  EXPECT_EQ(delta->rows, (std::vector<std::vector<std::string>>{{}}));
 }
 
 TEST(TupleDeltaTest, GarbageFuzzNeverCrashes) {
