@@ -33,7 +33,7 @@ namespace {
 
 /// Revision tag stamped on every row this harness writes. Bump per PR so rows
 /// from different revisions coexist in BENCH_tau.json.
-constexpr const char* kRev = "pr5";
+constexpr const char* kRev = "pr7";
 
 struct TauBenchRecord {
   std::string name;
@@ -49,7 +49,31 @@ struct TauBenchRecord {
   uint64_t reused_levels = 0;  ///< Assumption levels retained across descent
                                ///< solves (sat::Solver trail saving, PR 5).
   size_t output_databases = 0;
+  /// Resident bytes per world of the input kb in the delta-structured
+  /// representation (shared base + overlays, buffers deduplicated) vs what the
+  /// same worlds cost as independent flat databases (PR 7).
+  size_t mem_bytes_per_world = 0;
+  size_t flat_bytes_per_world = 0;
 };
+
+/// Bytes the kb's worlds would occupy as independent flat databases: every
+/// relation buffer charged to every world that references it.
+size_t FlatHeapBytes(const Knowledgebase& kb) {
+  size_t total = 0;
+  for (size_t i = 0; i < kb.size(); ++i) {
+    Database world = kb.World(i);
+    for (size_t p = 0; p < world.schema().size(); ++p) {
+      total += world.relation_at(p).HeapBytes();
+    }
+  }
+  return total;
+}
+
+void StampMemoryColumns(const Knowledgebase& kb, TauBenchRecord* r) {
+  if (kb.empty()) return;
+  r->mem_bytes_per_world = kb.ApproxHeapBytes() / kb.size();
+  r->flat_bytes_per_world = FlatHeapBytes(kb) / kb.size();
+}
 
 bool WriteTauBenchJson(const std::string& path,
                        const std::vector<TauBenchRecord>& records) {
@@ -66,7 +90,8 @@ bool WriteTauBenchJson(const std::string& path,
              "\"speedup_vs_pr2\": %.2f, \"cache_hits\": %llu, "
              "\"cache_misses\": %llu, \"prefix_hits\": %llu, "
              "\"prefix_misses\": %llu, \"reused_levels\": %llu, "
-             "\"output_databases\": %zu}%s\n",
+             "\"output_databases\": %zu, \"mem_bytes_per_world\": %zu, "
+             "\"flat_bytes_per_world\": %zu}%s\n",
              r.name.c_str(), kRev, r.worlds, r.threads, r.ms_per_op,
              r.ops_per_sec, r.speedup_vs_pr2,
              static_cast<unsigned long long>(r.cache_hits),
@@ -74,7 +99,8 @@ bool WriteTauBenchJson(const std::string& path,
              static_cast<unsigned long long>(r.prefix_hits),
              static_cast<unsigned long long>(r.prefix_misses),
              static_cast<unsigned long long>(r.reused_levels),
-             r.output_databases, i + 1 < records.size() ? "," : "") >= 0 &&
+             r.output_databases, r.mem_bytes_per_world, r.flat_bytes_per_world,
+             i + 1 < records.size() ? "," : "") >= 0 &&
          ok;
   }
   ok = std::fprintf(f, "  ]\n}\n") >= 0 && ok;
@@ -196,6 +222,7 @@ void MeasureWorkload(const std::string& name, const Formula& sentence,
     r.ms_per_op = pr2_ms;
     r.ops_per_sec = pr2_ms > 0 ? 1000.0 / pr2_ms : 0.0;
     r.output_databases = TauPr2Baseline(sentence, kb, mu).size();
+    StampMemoryColumns(kb, &r);
     out->push_back(r);
   }
 
@@ -237,6 +264,74 @@ void MeasureWorkload(const std::string& name, const Formula& sentence,
     r.prefix_misses = stats.cnf_cache_misses;
     r.reused_levels = stats.mu.sat_reused_levels;
     r.output_databases = stats.output_databases;
+    StampMemoryColumns(kb, &r);
+    out->push_back(r);
+  }
+}
+
+/// W distinct worlds over {Dom/1, R/2}, world w differing from a shared base
+/// exactly at the R cells indexed by the set bits of w — deltas of O(log W)
+/// tuples, distinct by construction, so the kb keeps all W worlds. The
+/// many-worlds memory scenario: resident size must scale with Σ deltas, not
+/// W × database.
+Knowledgebase ManyDeltaWorlds(int num_worlds, int domain_size) {
+  Schema schema = *Schema::Of({{"Dom", 1}, {"R", 2}});
+  std::mt19937_64 rng(20260808);
+  std::bernoulli_distribution coin(0.35);
+  Relation::Builder dom(1);
+  for (int i = 0; i < domain_size; ++i) dom.Append({Name(V(i))});
+  Relation dom_rel = dom.Build();
+  Relation::Builder base_b(2);
+  for (int i = 0; i < domain_size; ++i) {
+    for (int j = 0; j < domain_size; ++j) {
+      if (coin(rng)) base_b.Append({Name(V(i)), Name(V(j))});
+    }
+  }
+  Relation base = base_b.Build();
+  const int cells = domain_size * domain_size;
+  std::vector<Database> worlds;
+  worlds.reserve(num_worlds);
+  for (int w = 0; w < num_worlds; ++w) {
+    Relation r = base;
+    for (int bit = 0; bit < 31 && (w >> bit) != 0; ++bit) {
+      if (((w >> bit) & 1) == 0) continue;
+      int cell = bit % cells;
+      Value t[2] = {Name(V(cell / domain_size)), Name(V(cell % domain_size))};
+      TupleView tuple(t, 2);
+      r = r.Contains(tuple) ? r.WithoutTuple(tuple) : r.WithTuple(tuple);
+    }
+    worlds.push_back(*Database::Create(schema, {dom_rel, std::move(r)}));
+  }
+  return *Knowledgebase::FromDatabases(std::move(worlds));
+}
+
+/// The many-worlds rows: memory columns on thousands of worlds plus one timed
+/// τ on the cheap ground-insert path (the pr2 baseline's quadratic pairwise
+/// union is hopeless at this scale, so speedup_vs_pr2 is left at 1).
+void MeasureManyWorlds(const std::string& name, const Formula& sentence,
+                       const Knowledgebase& kb,
+                       std::vector<TauBenchRecord>* out) {
+  for (size_t threads : {1u, 4u}) {
+    TauOptions options;
+    options.threads = threads;
+    TauStats stats;
+    double ms = MeasureMs([&] {
+      stats = TauStats();
+      auto r = Tau(sentence, kb, options, &stats);
+      if (!r.ok()) std::abort();
+    });
+    TauBenchRecord r;
+    r.name = name + (threads == 1 ? "_t1" : "_t4");
+    r.worlds = static_cast<int>(kb.size());
+    r.threads = static_cast<int>(stats.threads_used);
+    r.ms_per_op = ms;
+    r.ops_per_sec = ms > 0 ? 1000.0 / ms : 0.0;
+    r.cache_hits = stats.ground_cache_hits;
+    r.cache_misses = stats.ground_cache_misses;
+    r.prefix_hits = stats.cnf_cache_hits;
+    r.prefix_misses = stats.cnf_cache_misses;
+    r.output_databases = stats.output_databases;
+    StampMemoryColumns(kb, &r);
     out->push_back(r);
   }
 }
@@ -273,6 +368,14 @@ int Main(int argc, char** argv) {
   MeasureWorkload("tau_sat_delta_w64", orient, DeltaWorlds(64, 6, 2, 113),
                   &records);
 
+  // Thousands of worlds, each a few tuples off one shared base: the
+  // delta-structured representation's memory case (PR 7). mem_bytes_per_world
+  // must stay O(delta) while flat_bytes_per_world scales with the database.
+  MeasureManyWorlds("tau_many_worlds_w1024", ground_insert,
+                    ManyDeltaWorlds(1024, 32), &records);
+  MeasureManyWorlds("tau_many_worlds_w4096", ground_insert,
+                    ManyDeltaWorlds(4096, 32), &records);
+
   if (!WriteTauBenchJson(path, records)) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return 1;
@@ -280,13 +383,15 @@ int Main(int argc, char** argv) {
   for (const TauBenchRecord& r : records) {
     std::printf(
         "%-28s worlds=%-5d threads=%d %10.4f ms/op %8.2fx vs pr2  "
-        "cache %llu/%llu  prefix %llu/%llu  reused=%llu  out=%zu\n",
+        "cache %llu/%llu  prefix %llu/%llu  reused=%llu  out=%zu  "
+        "mem/world=%zuB flat/world=%zuB\n",
         r.name.c_str(), r.worlds, r.threads, r.ms_per_op, r.speedup_vs_pr2,
         static_cast<unsigned long long>(r.cache_hits),
         static_cast<unsigned long long>(r.cache_misses),
         static_cast<unsigned long long>(r.prefix_hits),
         static_cast<unsigned long long>(r.prefix_misses),
-        static_cast<unsigned long long>(r.reused_levels), r.output_databases);
+        static_cast<unsigned long long>(r.reused_levels), r.output_databases,
+        r.mem_bytes_per_world, r.flat_bytes_per_world);
   }
   std::printf("wrote %s\n", path);
   return 0;

@@ -8,17 +8,19 @@ namespace kbt::baseline {
 
 StatusOr<Knowledgebase> Revise(const Formula& sentence, const Knowledgebase& kb,
                                const MuOptions& options) {
-  // Consistent case: members already satisfying φ.
-  std::vector<Database> satisfying;
+  // Consistent case: members already satisfying φ, kept by index so the
+  // surviving worlds stay overlays of the shared base (no copies, no re-sort).
+  std::vector<size_t> satisfying;
   KBT_ASSIGN_OR_RETURN(Schema formula_schema, SchemaOf(sentence));
   if (kb.schema().Includes(formula_schema)) {
-    for (const Database& db : kb) {
+    for (size_t i = 0; i < kb.size(); ++i) {
+      Database db = kb.World(i);
       KBT_ASSIGN_OR_RETURN(bool sat, Satisfies(db, sentence));
-      if (sat) satisfying.push_back(db);
+      if (sat) satisfying.push_back(i);
     }
   }
   if (!satisfying.empty()) {
-    return Knowledgebase::FromDatabases(std::move(satisfying));
+    return kb.SelectWorlds(satisfying);
   }
   // Inconsistent case: fall back to minimal change, i.e. the update.
   return Tau(sentence, kb, options);

@@ -114,17 +114,16 @@ StatusOr<Knowledgebase> Pipeline::Apply(const Knowledgebase& kb,
         current = current.Lub();
         break;
       case TransformStep::Kind::kFilter: {
-        std::vector<Database> kept;
-        for (const Database& db : current) {
+        // Keep surviving worlds by index: SelectWorlds shares the base and
+        // overlays (a subsequence of a canonical sequence is canonical), so
+        // no world is copied, re-diffed or re-sorted.
+        std::vector<size_t> kept;
+        for (size_t i = 0; i < current.size(); ++i) {
+          Database db = current.World(i);
           KBT_ASSIGN_OR_RETURN(bool holds, Satisfies(db, step.sentence));
-          if (holds) kept.push_back(db);
+          if (holds) kept.push_back(i);
         }
-        Schema schema = current.schema();
-        if (kept.empty()) {
-          current = Knowledgebase(schema);
-        } else {
-          KBT_ASSIGN_OR_RETURN(current, Knowledgebase::FromDatabases(kept));
-        }
+        current = current.SelectWorlds(kept);
         break;
       }
       case TransformStep::Kind::kProject: {

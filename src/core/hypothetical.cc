@@ -24,7 +24,8 @@ StatusOr<bool> NestedCounterfactual(const Knowledgebase& kb,
   }
   bool all = true;
   bool some = false;
-  for (const Database& db : current) {
+  for (size_t i = 0; i < current.size(); ++i) {
+    Database db = current.World(i);  // Transient copy-on-write materialization.
     KBT_ASSIGN_OR_RETURN(bool holds, Satisfies(db, consequent));
     all = all && holds;
     some = some || holds;

@@ -46,6 +46,43 @@ StatusOr<Database> MaterializeModel(
   return out;
 }
 
+StatusOr<WorldOverlay> MaterializeOverlayModel(
+    const UpdateContext& ctx, const AtomIndex& atoms,
+    const std::vector<int>& mentioned_atom_ids,
+    const std::function<bool(int)>& atom_value) {
+  std::map<Symbol, std::pair<std::vector<Tuple>, std::vector<Tuple>>> edits;
+  for (int id : mentioned_atom_ids) {
+    const GroundAtom& atom = atoms.AtomOf(id);
+    const Relation* current = ctx.extended_base.FindRelation(atom.relation);
+    if (current == nullptr) {
+      return Status::NotFound("relation not in schema: " + NameOf(atom.relation));
+    }
+    bool present = current->Contains(atom.tuple);
+    bool wanted = atom_value(id);
+    if (present == wanted) continue;
+    auto& [adds, removes] = edits[atom.relation];
+    (wanted ? adds : removes).push_back(atom.tuple);
+  }
+  // The deviations ARE the overlay: atoms wanted true but absent are the adds
+  // (disjoint from the base by the membership test above), atoms wanted false
+  // but present are the dels (contained in it) — canonical by construction.
+  std::vector<RelationDelta> deltas;
+  deltas.reserve(edits.size());
+  for (auto& [symbol, add_remove] : edits) {
+    std::optional<size_t> pos = ctx.schema.PositionOf(symbol);
+    if (!pos) {
+      return Status::NotFound("relation not in schema: " + NameOf(symbol));
+    }
+    size_t arity = ctx.schema.decl(*pos).arity;
+    RelationDelta d;
+    d.pos = static_cast<uint32_t>(*pos);
+    d.adds = Relation(arity, std::move(add_remove.first));
+    d.dels = Relation(arity, std::move(add_remove.second));
+    deltas.push_back(std::move(d));
+  }
+  return WorldOverlay::FromDeltas(std::move(deltas));
+}
+
 Status ModelMaterializer::Rebuild(const UpdateContext& ctx,
                                   const AtomIndex& atoms,
                                   const std::vector<int>& mentioned_atom_ids) {
@@ -149,6 +186,49 @@ StatusOr<Database> ModelMaterializer::Materialize(
     out.ReplaceRelation(group.schema_pos, b.Build());
   }
   return out;
+}
+
+StatusOr<WorldOverlay> ModelMaterializer::MaterializeOverlay(
+    const std::function<bool(int)>& atom_value) const {
+  std::vector<RelationDelta> deltas;
+  for (const Group& group : groups_) {
+    adds_.clear();
+    removes_.clear();
+    for (uint32_t e = group.begin; e < group.end; ++e) {
+      const AtomEntry& entry = entries_[e];
+      bool wanted = atom_value(entry.id);
+      if (wanted == entry.present) continue;
+      (wanted ? adds_ : removes_).push_back(entry.tuple);
+    }
+    if (adds_.empty() && removes_.empty()) continue;
+    const Relation& base = ctx_->extended_base.relation_at(group.schema_pos);
+    size_t arity = base.arity();
+    RelationDelta d;
+    d.pos = static_cast<uint32_t>(group.schema_pos);
+    if (arity == 0) {
+      // At most one deviation exists for the single nullary tuple.
+      d.adds = Relation(0);
+      d.dels = Relation(0);
+      if (!adds_.empty()) d.adds = d.adds.WithTuple(TupleView());
+      if (!removes_.empty()) d.dels = d.dels.WithTuple(TupleView());
+    } else {
+      // Groups are tuple-sorted and atoms distinct, so both lists hit the
+      // builder's already-sorted fast path; adds are absent from the base and
+      // removes present in it by the precomputed membership, which is exactly
+      // the canonical overlay invariant.
+      Relation::Builder ab(arity);
+      ab.Reserve(adds_.size());
+      for (TupleView t : adds_) ab.Append(t);
+      d.adds = ab.Build();
+      Relation::Builder rb(arity);
+      rb.Reserve(removes_.size());
+      for (TupleView t : removes_) rb.Append(t);
+      d.dels = rb.Build();
+    }
+    deltas.push_back(std::move(d));
+  }
+  // Groups come out of Rebuild position-sorted, so this sorts nothing.
+  return WorldOverlay::FromDeltas(std::move(deltas));
 }
 
 }  // namespace kbt::internal

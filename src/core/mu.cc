@@ -73,7 +73,14 @@ StatusOr<TauStrategyPlan> PlanTauStrategies(const Formula& sentence,
 StatusOr<Knowledgebase> MuExec(const Formula& sentence, const Database& db,
                                const MuOptions& options, MuStats* stats,
                                const MuExecContext& exec) {
-  KBT_ASSIGN_OR_RETURN(UpdateContext ctx, MakeUpdateContext(sentence, db));
+  UpdateContext ctx;
+  if (exec.extended_schema != nullptr && exec.formula_constants != nullptr) {
+    KBT_ASSIGN_OR_RETURN(
+        ctx, MakeUpdateContextOnSchema(*exec.extended_schema,
+                                       *exec.formula_constants, db));
+  } else {
+    KBT_ASSIGN_OR_RETURN(ctx, MakeUpdateContext(sentence, db));
+  }
   MuStats local;
   MuStats* out = stats != nullptr ? stats : &local;
 

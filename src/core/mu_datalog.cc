@@ -34,12 +34,25 @@ StatusOr<Knowledgebase> MuDatalog(const DatalogPlan& plan, const Database& db,
   stats->datalog_rounds = estats.rounds;
   stats->datalog_derived_tuples = estats.derived_tuples;
   stats->minimal_models = 1;
-  // Align the result's relation order with ctx.schema (σ(db) ∪ σ(φ)).
-  std::vector<Symbol> order;
-  order.reserve(ctx.schema.size());
-  for (const RelationDecl& d : ctx.schema.decls()) order.push_back(d.symbol);
-  KBT_ASSIGN_OR_RETURN(Database aligned, least.ProjectTo(order));
-  return Knowledgebase::Singleton(std::move(aligned));
+  // The least model deviates from db only on predicates new w.r.t. σ(db) (the
+  // fast-path precondition), and ctx.schema appends those after σ(db)'s
+  // declarations — so the result is ctx.extended_base plus pure-add deltas at
+  // the new positions. Derived relations are adopted by reference; the EDB is
+  // never copied.
+  std::vector<RelationDelta> deltas;
+  for (size_t p = db.schema().size(); p < ctx.schema.size(); ++p) {
+    const Relation* derived = least.FindRelation(ctx.schema.decl(p).symbol);
+    if (derived == nullptr || derived->empty()) continue;
+    RelationDelta d;
+    d.pos = static_cast<uint32_t>(p);
+    d.adds = *derived;
+    d.dels = Relation(derived->arity());
+    deltas.push_back(std::move(d));
+  }
+  std::vector<WorldOverlay> overlays;
+  overlays.push_back(WorldOverlay::FromDeltas(std::move(deltas)));
+  return Knowledgebase::FromBaseAndOverlays(
+      std::make_shared<const Database>(ctx.extended_base), std::move(overlays));
 }
 
 }  // namespace kbt::internal

@@ -129,12 +129,27 @@ StatusOr<Knowledgebase> MuDefinitional(const DefinitionalPlan& plan,
       }
     }
   }
-  Database out = ctx.extended_base;
+  // Heads are new w.r.t. σ(db), so their extended-base relations are empty and
+  // the computed contents are pure-add deltas — the base is never copied.
+  std::vector<RelationDelta> deltas;
+  deltas.reserve(head_tuples.size());
   for (auto& [head, builder] : head_tuples) {
-    KBT_ASSIGN_OR_RETURN(out, out.WithRelation(head, builder.Build()));
+    std::optional<size_t> pos = ctx.schema.PositionOf(head);
+    if (!pos) {
+      return Status::NotFound("relation not in schema: " + NameOf(head));
+    }
+    RelationDelta d;
+    d.pos = static_cast<uint32_t>(*pos);
+    d.adds = builder.Build();
+    d.dels = Relation(d.adds.arity());
+    deltas.push_back(std::move(d));
   }
   stats->minimal_models = 1;
-  return Knowledgebase::Singleton(std::move(out));
+  std::vector<WorldOverlay> overlays;
+  // The map iterates in symbol order, not position order; FromDeltas sorts.
+  overlays.push_back(WorldOverlay::FromDeltas(std::move(deltas)));
+  return Knowledgebase::FromBaseAndOverlays(
+      std::make_shared<const Database>(ctx.extended_base), std::move(overlays));
 }
 
 }  // namespace kbt::internal

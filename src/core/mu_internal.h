@@ -16,6 +16,7 @@
 #include "logic/circuit.h"
 #include "logic/ground_atom.h"
 #include "logic/grounder.h"
+#include "rel/overlay.h"
 
 namespace kbt::exec {
 struct CachedGrounding;
@@ -63,6 +64,13 @@ struct MuExecContext {
   sat::Solver* solver = nullptr;
   exec::WorldScratch* scratch = nullptr;
   const TauStrategyPlan* plan = nullptr;
+  /// Sentence-derived UpdateContext pieces hoisted out of the per-world loop:
+  /// σ(kb) ∪ σ(φ) and the constants of φ are fixed across a τ call (one shared
+  /// input schema), so each world's MakeUpdateContext reduces to its
+  /// db-dependent parts. Both set, or both null. The τ executor's probe
+  /// context performs the validation these skip.
+  const Schema* extended_schema = nullptr;
+  const std::vector<Value>* formula_constants = nullptr;
 };
 
 /// Resolves the kAuto dispatch of `sentence` against the schema of `probe`
@@ -143,6 +151,17 @@ StatusOr<Database> MaterializeModel(
     const std::vector<int>& mentioned_atom_ids,
     const std::function<bool(int)>& atom_value);
 
+/// MaterializeModel's overlay twin: the same assignment expressed as a
+/// canonical WorldOverlay against ctx.extended_base (adds = atoms wanted true
+/// but absent, dels = atoms wanted false but present) instead of a flattened
+/// database — what the μ strategies hand the τ merge so no model is ever
+/// materialized flat. ApplyTo(ctx.extended_base) equals MaterializeModel's
+/// result (property-tested).
+StatusOr<WorldOverlay> MaterializeOverlayModel(
+    const UpdateContext& ctx, const AtomIndex& atoms,
+    const std::vector<int>& mentioned_atom_ids,
+    const std::function<bool(int)>& atom_value);
+
 /// Delta-encoded model materialization for enumeration loops that build many
 /// databases against one base. Construction (once per μ call — lazily, on the
 /// second enumerated model, since a single-model run never amortizes it)
@@ -175,6 +194,14 @@ class ModelMaterializer {
   /// `atom_value(id)`, all other facts matching ctx.extended_base. Equivalent
   /// to MaterializeModel over the same inputs (property-tested).
   StatusOr<Database> Materialize(const std::function<bool(int)>& atom_value) const;
+
+  /// The same model as a canonical overlay against ctx.extended_base: one
+  /// RelationDelta per deviating relation, add/delete lists emitted directly
+  /// from the precomputed sorted groups (no base merge at all, so the
+  /// per-model cost drops from O(base + delta) to O(delta)). Equivalent to
+  /// MaterializeOverlayModel over the same inputs (property-tested).
+  StatusOr<WorldOverlay> MaterializeOverlay(
+      const std::function<bool(int)>& atom_value) const;
 
  private:
   /// One mentioned atom: its id, a view of its ground tuple (borrowed from the

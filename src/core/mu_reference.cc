@@ -173,16 +173,18 @@ StatusOr<Knowledgebase> MuReference(const Formula& sentence, const Database& db,
                        ModelMaterializer::Make(ctx, g.atoms, vars));
   std::vector<int> bit_of(g.atoms.size(), -1);
   for (size_t i = 0; i < k; ++i) bit_of[static_cast<size_t>(vars[i])] = static_cast<int>(i);
-  std::vector<Database> minimal;
+  std::vector<WorldOverlay> minimal;
   minimal.reserve(minimal_masks.size());
   for (uint64_t m : minimal_masks) {
-    KBT_ASSIGN_OR_RETURN(Database model, materializer.Materialize([&](int id) {
+    KBT_ASSIGN_OR_RETURN(WorldOverlay model,
+                         materializer.MaterializeOverlay([&](int id) {
                            int bit = bit_of[static_cast<size_t>(id)];
                            return bit >= 0 && ((m >> bit) & 1) != 0;
                          }));
     minimal.push_back(std::move(model));
   }
-  return Knowledgebase::FromDatabases(std::move(minimal));
+  return Knowledgebase::FromBaseAndOverlays(
+      std::make_shared<const Database>(ctx.extended_base), std::move(minimal));
 }
 
 }  // namespace kbt::internal

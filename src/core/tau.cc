@@ -12,6 +12,7 @@
 #include "exec/pool.h"
 #include "exec/scratch.h"
 #include "logic/analysis.h"
+#include "rel/overlay.h"
 #include "sat/solver.h"
 
 namespace kbt {
@@ -22,16 +23,62 @@ namespace {
 /// lowest-indexed recorded error wins; with threads=1 that is exactly the old
 /// sequential first-failure behavior, with threads>1 it is the first failure
 /// the executor observed (later worlds are skipped, not run-and-discarded).
-StatusOr<Knowledgebase> FinishTau(std::vector<Status> statuses,
-                                  std::vector<Knowledgebase> results,
-                                  std::vector<MuStats> world_stats,
-                                  TauStats* out) {
+///
+/// The merge never flattens: every μ result arrives as overlays against its
+/// own world extended to σ(kb) ∪ σ(φ), which is itself an overlay of the
+/// shared extended input base (schema union appends declarations, so input
+/// overlay positions survive extension unchanged). Composing the two yields
+/// each output world as an overlay of one shared base, and a single
+/// canonicalization over those overlays — O(worlds × delta) — replaces the
+/// old flat UnionAll.
+StatusOr<Knowledgebase> MergeTauResults(const Knowledgebase& kb,
+                                        const Schema& extended_schema,
+                                        std::vector<Status> statuses,
+                                        std::vector<Knowledgebase> results,
+                                        std::vector<MuStats> world_stats,
+                                        const Knowledgebase::ParallelMap* pmap,
+                                        TauStats* out) {
   for (const Status& s : statuses) KBT_RETURN_IF_ERROR(s);
   for (const MuStats& s : world_stats) out->mu.MergeFrom(s);
-  KBT_ASSIGN_OR_RETURN(Knowledgebase merged,
-                       Knowledgebase::UnionAll(std::move(results)));
-  out->output_databases = merged.size();
-  return merged;
+
+  KBT_ASSIGN_OR_RETURN(Database extended,
+                       kb.base()->ExtendTo(extended_schema));
+  auto ext_base = std::make_shared<const Database>(std::move(extended));
+
+  size_t total = 0;
+  for (const Knowledgebase& r : results) total += r.size();
+  std::vector<WorldOverlay> merged;
+  merged.reserve(total);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Knowledgebase& r = results[i];
+    if (r.empty()) continue;
+    if (r.schema() != extended_schema) {
+      return Status::InvalidArgument("knowledgebase union: schema mismatch");
+    }
+    // μ anchors its result at ctx.extended_base, i.e. this input world
+    // extended — which is exactly the input overlay applied to the shared
+    // extended base. When that holds (deep check, but touched relations
+    // only), output overlays compose in O(delta); any other anchor falls
+    // back to an explicit diff.
+    const WorldOverlay& input_ov = kb.overlays()[i];
+    bool rebased = r.base() != nullptr &&
+                   input_ov.ApplyEquals(*ext_base, *r.base());
+    for (size_t j = 0; j < r.size(); ++j) {
+      merged.push_back(rebased
+                           ? WorldOverlay::Compose(input_ov, r.overlays()[j])
+                           : WorldOverlay::FromDiff(*ext_base, r.World(j)));
+    }
+  }
+  if (merged.empty()) {
+    out->output_databases = 0;
+    return Knowledgebase(extended_schema);
+  }
+  KBT_ASSIGN_OR_RETURN(
+      Knowledgebase out_kb,
+      Knowledgebase::FromBaseAndOverlays(std::move(ext_base), std::move(merged),
+                                         pmap));
+  out->output_databases = out_kb.size();
+  return out_kb;
 }
 
 }  // namespace
@@ -50,7 +97,15 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     return Knowledgebase(ctx.schema);
   }
 
-  const std::vector<Database>& worlds = kb.databases();
+  // The extended schema σ(kb) ∪ σ(φ) depends only on the shared input schema,
+  // so one probe context resolves it for the merge step up front.
+  Schema extended_schema;
+  {
+    Database probe(kb.schema());
+    KBT_ASSIGN_OR_RETURN(UpdateContext ctx, MakeUpdateContext(sentence, probe));
+    extended_schema = std::move(ctx.schema);
+  }
+
   // One cache pair per τ call: the sentence is fixed, so the key is the active
   // domain alone. Worlds with equal domains ground once (GroundingCache) and,
   // on the SAT path, Tseitin-encode once (CnfCache — per-world solvers fork
@@ -58,11 +113,16 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
   exec::GroundingCache cache;
   exec::CnfCache cnf_cache;
   internal::MuExecContext base_exec;
+  // The probe context above validated (φ, schema); per-world update contexts
+  // reuse its schema and φ's constants instead of re-deriving both per world.
+  std::vector<Value> formula_constants = ConstantsOf(sentence);
+  base_exec.extended_schema = &extended_schema;
+  base_exec.formula_constants = &formula_constants;
   if (options.use_ground_cache) base_exec.ground_cache = &cache;
   // Freezing and forking only pays for itself when a prefix is reused: a
   // singleton kb would encode once either way but add a snapshot copy, so the
   // prefix path needs at least two worlds.
-  if (options.use_cnf_prefix && worlds.size() > 1) {
+  if (options.use_cnf_prefix && kb.size() > 1) {
     base_exec.cnf_cache = &cnf_cache;
   }
 
@@ -70,13 +130,14 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
   // schema: resolve the kAuto dispatch once here instead of once per world.
   internal::TauStrategyPlan plan;
   if (options.mu.strategy == MuStrategy::kAuto) {
-    KBT_ASSIGN_OR_RETURN(plan, internal::PlanTauStrategies(sentence, worlds[0]));
+    Database first_world = kb.World(0);
+    KBT_ASSIGN_OR_RETURN(plan, internal::PlanTauStrategies(sentence, first_world));
     base_exec.plan = &plan;
   }
 
-  std::vector<Status> statuses(worlds.size());
-  std::vector<Knowledgebase> results(worlds.size());
-  std::vector<MuStats> world_stats(worlds.size());
+  std::vector<Status> statuses(kb.size());
+  std::vector<Knowledgebase> results(kb.size());
+  std::vector<MuStats> world_stats(kb.size());
 
   // After the first failure no further world starts a μ computation — the
   // error is going to be returned anyway, so the remaining work would be
@@ -89,8 +150,11 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     // Sibling worlds already running complete normally.
     StatusOr<Knowledgebase> r = [&]() -> StatusOr<Knowledgebase> {
       try {
-        return internal::MuExec(sentence, worlds[i], options.mu,
-                                &world_stats[i], exec);
+        // The world is materialized transiently from the shared base — a
+        // copy-on-write overlay application, never a stored flat copy.
+        Database world = kb.World(i);
+        return internal::MuExec(sentence, world, options.mu, &world_stats[i],
+                                exec);
       } catch (const std::exception& e) {
         return Status::Internal(std::string("world task threw: ") + e.what());
       } catch (...) {
@@ -108,7 +172,12 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
   size_t threads = options.threads != 0
                        ? options.threads
                        : std::max<size_t>(1, std::thread::hardware_concurrency());
-  threads = std::min(threads, worlds.size());
+  threads = std::min(threads, kb.size());
+
+  // The pool outlives the per-world loop: the merge step reuses it to hash
+  // result overlays in parallel during canonicalization.
+  exec::ThreadPool* pool = nullptr;
+  std::unique_ptr<exec::ThreadPool> own_pool;
 
   if (threads <= 1) {
     // Sequential path: same per-world calls, same merge — the parallel path is
@@ -118,7 +187,7 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     internal::MuExecContext exec = base_exec;
     exec.solver = &solver;
     exec.scratch = &scratch;
-    for (size_t i = 0; i < worlds.size() && !failed.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kb.size() && !failed.load(std::memory_order_relaxed);
          ++i) {
       run_world(i, exec);
     }
@@ -131,8 +200,7 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     // pool is the caller's persistent one when provided (a serving loop
     // re-entering Pipeline::Apply should not respawn threads per call),
     // otherwise spawned for this call.
-    exec::ThreadPool* pool = options.pool;
-    std::unique_ptr<exec::ThreadPool> own_pool;
+    pool = options.pool;
     if (pool == nullptr) {
       own_pool = std::make_unique<exec::ThreadPool>(threads);
       pool = own_pool.get();
@@ -147,7 +215,7 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
       scratches.push_back(std::make_unique<exec::WorldScratch>());
     }
     Status pool_status =
-        pool->ParallelFor(worlds.size(), [&](size_t i, size_t worker) {
+        pool->ParallelFor(kb.size(), [&](size_t i, size_t worker) {
           internal::MuExecContext exec = base_exec;
           exec.solver = solvers[worker].get();
           exec.scratch = scratches[worker].get();
@@ -161,7 +229,7 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
                     [](const Status& s) { return s.ok(); })) {
       return pool_status;
     }
-    out->threads_used = std::min(workers, worlds.size());
+    out->threads_used = std::min(workers, kb.size());
   }
 
   exec::GroundingCache::Stats cache_stats = cache.stats();
@@ -170,8 +238,16 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
   exec::CnfCache::Stats cnf_stats = cnf_cache.stats();
   out->cnf_cache_hits = cnf_stats.hits;
   out->cnf_cache_misses = cnf_stats.misses;
-  return FinishTau(std::move(statuses), std::move(results),
-                   std::move(world_stats), out);
+
+  Knowledgebase::ParallelMap pmap;
+  if (pool != nullptr) {
+    pmap = [pool](size_t n, const std::function<void(size_t)>& fn) {
+      return pool->ParallelFor(n, [&fn](size_t i, size_t) { fn(i); });
+    };
+  }
+  return MergeTauResults(kb, extended_schema, std::move(statuses),
+                         std::move(results), std::move(world_stats),
+                         pool != nullptr ? &pmap : nullptr, out);
 }
 
 StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,

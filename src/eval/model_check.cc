@@ -148,7 +148,10 @@ StatusOr<bool> Satisfies(const Database& db, const Formula& f) {
 }
 
 StatusOr<bool> KbSatisfies(const Knowledgebase& kb, const Formula& f) {
-  for (const Database& db : kb) {
+  // Worlds are materialized one at a time (copy-on-write against the shared
+  // base) instead of flattening the whole kb into its cache.
+  for (size_t i = 0; i < kb.size(); ++i) {
+    Database db = kb.World(i);
     KBT_ASSIGN_OR_RETURN(bool v, Satisfies(db, f));
     if (!v) return false;
   }

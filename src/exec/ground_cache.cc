@@ -10,6 +10,7 @@ StatusOr<std::shared_ptr<const CachedGrounding>> MakeCachedGrounding(
                        GroundSentence(sentence, domain, options));
   cached->mentioned =
       cached->grounding.circuit.CollectVars(cached->grounding.root);
+  cached->users = cached->grounding.circuit.BuildUsers();
   return std::shared_ptr<const CachedGrounding>(std::move(cached));
 }
 

@@ -31,6 +31,9 @@ namespace kbt::exec {
 struct CachedGrounding {
   Grounding grounding;
   std::vector<int> mentioned;  ///< Sorted external var ids reachable from root.
+  /// Child → parent adjacency of the circuit, for incremental default
+  /// re-evaluation across the worlds sharing this grounding (PR 7).
+  CircuitUsers users;
 };
 
 /// Grounds `sentence` over `domain` and wraps the result in the immutable

@@ -1,37 +1,60 @@
 #include "rel/knowledgebase.h"
 
 #include <algorithm>
+#include <set>
 #include <unordered_map>
 
 namespace kbt {
 
-void Knowledgebase::Canonicalize() {
-  // Hash-based dedup first (Database::Hash buckets, equality only within a
-  // bucket), then one sort of the survivors for the canonical order. For the
-  // τ merge over many near-identical worlds this drops duplicates in O(n)
-  // expected instead of feeding them all into the sort.
-  if (databases_.size() > 1) {
+namespace {
+
+/// Strict-weak-order adapter over CompareWorldsOnBase for sort/binary_search.
+struct OverlayLess {
+  const Database* base;
+  bool operator()(const WorldOverlay& a, const WorldOverlay& b) const {
+    return CompareWorldsOnBase(*base, a, b) < 0;
+  }
+};
+
+}  // namespace
+
+void Knowledgebase::Canonicalize(const ParallelMap* parallel) {
+  if (overlays_.size() > 1) {
+    // Hash every overlay first (O(delta) each; relation hashes are cached in
+    // the shared storage blocks). This pass is embarrassingly parallel and is
+    // the only part the hook runs concurrently — dedup and sort stay
+    // sequential, so the result is bit-identical with or without the hook.
+    std::vector<size_t> hashes(overlays_.size());
+    auto hash_one = [&](size_t i) { hashes[i] = overlays_[i].Hash(); };
+    bool hashed = false;
+    if (parallel != nullptr && *parallel) {
+      hashed = (*parallel)(overlays_.size(), hash_one).ok();
+    }
+    if (!hashed) {
+      for (size_t i = 0; i < overlays_.size(); ++i) hash_one(i);
+    }
+    // Overlays are a unique representation relative to one base, so world
+    // equality is overlay equality: dedup needs no database comparisons.
     std::unordered_map<size_t, std::vector<size_t>> buckets;
-    buckets.reserve(databases_.size());
+    buckets.reserve(overlays_.size());
     size_t keep = 0;
-    for (size_t i = 0; i < databases_.size(); ++i) {
-      size_t h = databases_[i].Hash();
-      std::vector<size_t>& bucket = buckets[h];
+    for (size_t i = 0; i < overlays_.size(); ++i) {
+      std::vector<size_t>& bucket = buckets[hashes[i]];
       bool duplicate = false;
       for (size_t j : bucket) {
-        if (databases_[j] == databases_[i]) {
+        if (overlays_[j] == overlays_[i]) {
           duplicate = true;
           break;
         }
       }
       if (duplicate) continue;
-      if (keep != i) databases_[keep] = std::move(databases_[i]);
+      if (keep != i) overlays_[keep] = std::move(overlays_[i]);
       bucket.push_back(keep);
       ++keep;
     }
-    databases_.resize(keep);
+    overlays_.resize(keep);
   }
-  std::sort(databases_.begin(), databases_.end());
+  std::sort(overlays_.begin(), overlays_.end(), OverlayLess{base_.get()});
 }
 
 StatusOr<Knowledgebase> Knowledgebase::FromDatabases(std::vector<Database> databases) {
@@ -45,31 +68,139 @@ StatusOr<Knowledgebase> Knowledgebase::FromDatabases(std::vector<Database> datab
           db.schema().ToString() + " vs " + kb.schema_.ToString());
     }
   }
-  kb.databases_ = std::move(databases);
-  kb.Canonicalize();
+  // Canonicalize the flat members directly (CompareWorldsOnBase reproduces
+  // this order, so diffing after the sort keeps overlays canonical), then
+  // anchor the base at the first world and keep the already-materialized
+  // members as the prefilled flat view.
+  if (databases.size() > 1) {
+    std::unordered_map<size_t, std::vector<size_t>> buckets;
+    buckets.reserve(databases.size());
+    size_t keep = 0;
+    for (size_t i = 0; i < databases.size(); ++i) {
+      size_t h = databases[i].Hash();
+      std::vector<size_t>& bucket = buckets[h];
+      bool duplicate = false;
+      for (size_t j : bucket) {
+        if (databases[j] == databases[i]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      if (keep != i) databases[keep] = std::move(databases[i]);
+      bucket.push_back(keep);
+      ++keep;
+    }
+    databases.resize(keep);
+    std::sort(databases.begin(), databases.end());
+  }
+  kb.base_ = std::make_shared<const Database>(databases.front());
+  kb.overlays_.reserve(databases.size());
+  for (const Database& db : databases) {
+    kb.overlays_.push_back(WorldOverlay::FromDiff(*kb.base_, db));
+  }
+  kb.ResetFlatCache();
+  kb.flat_->worlds = std::move(databases);
+  kb.flat_->ready.store(true, std::memory_order_release);
   return kb;
 }
 
 Knowledgebase Knowledgebase::Singleton(Database db) {
   Knowledgebase kb;
   kb.schema_ = db.schema();
-  kb.databases_.push_back(std::move(db));
+  kb.base_ = std::make_shared<const Database>(std::move(db));
+  kb.overlays_.emplace_back();  // Identity: the single world is the base.
+  kb.ResetFlatCache();
+  kb.flat_->worlds.push_back(*kb.base_);
+  kb.flat_->ready.store(true, std::memory_order_release);
   return kb;
 }
 
+StatusOr<Knowledgebase> Knowledgebase::FromBaseAndOverlays(
+    std::shared_ptr<const Database> base, std::vector<WorldOverlay> overlays,
+    const ParallelMap* parallel) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("FromBaseAndOverlays: null base");
+  }
+  if (overlays.empty()) return Knowledgebase(base->schema());
+  Knowledgebase kb;
+  kb.schema_ = base->schema();
+  kb.base_ = std::move(base);
+  kb.overlays_ = std::move(overlays);
+  kb.Canonicalize(parallel);
+  kb.ResetFlatCache();
+  return kb;
+}
+
+const std::vector<Database>& Knowledgebase::databases() const {
+  static const std::vector<Database> kNoWorlds;
+  if (overlays_.empty()) return kNoWorlds;
+  FlatCache& cache = *flat_;
+  if (!cache.ready.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    if (!cache.ready.load(std::memory_order_relaxed)) {
+      std::vector<Database> worlds;
+      worlds.reserve(overlays_.size());
+      for (const WorldOverlay& ov : overlays_) {
+        worlds.push_back(ov.ApplyTo(*base_));
+      }
+      cache.worlds = std::move(worlds);
+      cache.ready.store(true, std::memory_order_release);
+    }
+  }
+  return cache.worlds;
+}
+
+Knowledgebase Knowledgebase::SelectWorlds(const std::vector<size_t>& indices) const {
+  if (indices.empty()) return Knowledgebase(schema_);
+  Knowledgebase out;
+  out.schema_ = schema_;
+  out.base_ = base_;
+  out.overlays_.reserve(indices.size());
+  for (size_t i : indices) out.overlays_.push_back(overlays_[i]);
+  out.ResetFlatCache();
+  return out;
+}
+
+size_t Knowledgebase::ApproxHeapBytes() const {
+  if (overlays_.empty()) return 0;
+  // Tuple buffers are shared (base relations reused across worlds, delta
+  // relations reused across copies), so count each distinct buffer once.
+  std::set<const void*> seen;
+  size_t bytes = 0;
+  auto add_relation = [&](const Relation& r) {
+    if (r.StorageId() == nullptr) return;
+    if (seen.insert(r.StorageId()).second) bytes += r.HeapBytes();
+  };
+  for (const Relation& r : base_->relations()) add_relation(r);
+  bytes += base_->relations().capacity() * sizeof(Relation);
+  for (const WorldOverlay& ov : overlays_) {
+    for (const RelationDelta& d : ov.deltas()) {
+      add_relation(d.adds);
+      add_relation(d.dels);
+    }
+    bytes += ov.deltas().capacity() * sizeof(RelationDelta);
+  }
+  bytes += overlays_.capacity() * sizeof(WorldOverlay);
+  return bytes;
+}
+
 bool Knowledgebase::Contains(const Database& db) const {
-  if (db.schema() != schema_) return false;
-  return std::binary_search(databases_.begin(), databases_.end(), db);
+  if (db.schema() != schema_ || overlays_.empty()) return false;
+  WorldOverlay probe = WorldOverlay::FromDiff(*base_, db);
+  return std::binary_search(overlays_.begin(), overlays_.end(), probe,
+                            OverlayLess{base_.get()});
 }
 
 StatusOr<Knowledgebase> Knowledgebase::WithDatabase(const Database& db) const {
-  if (!databases_.empty() && db.schema() != schema_) {
+  if (empty()) return Singleton(db);
+  if (db.schema() != schema_) {
     return Status::InvalidArgument("WithDatabase: schema mismatch");
   }
   Knowledgebase out = *this;
-  if (out.databases_.empty()) out.schema_ = db.schema();
-  out.databases_.push_back(db);
+  out.overlays_.push_back(WorldOverlay::FromDiff(*base_, db));
   out.Canonicalize();
+  out.ResetFlatCache();
   return out;
 }
 
@@ -80,13 +211,22 @@ StatusOr<Knowledgebase> Knowledgebase::UnionWith(const Knowledgebase& other) con
     return Status::InvalidArgument("knowledgebase union: schema mismatch");
   }
   Knowledgebase out = *this;
-  out.databases_.insert(out.databases_.end(), other.databases_.begin(),
-                        other.databases_.end());
+  out.overlays_.reserve(out.overlays_.size() + other.size());
+  if (other.base_ == base_ || *other.base_ == *base_) {
+    out.overlays_.insert(out.overlays_.end(), other.overlays_.begin(),
+                         other.overlays_.end());
+  } else {
+    for (size_t i = 0; i < other.size(); ++i) {
+      out.overlays_.push_back(WorldOverlay::FromDiff(*base_, other.World(i)));
+    }
+  }
   out.Canonicalize();
+  out.ResetFlatCache();
   return out;
 }
 
-StatusOr<Knowledgebase> Knowledgebase::UnionAll(std::vector<Knowledgebase> parts) {
+StatusOr<Knowledgebase> Knowledgebase::UnionAll(std::vector<Knowledgebase> parts,
+                                                const ParallelMap* parallel) {
   Knowledgebase out;
   if (parts.empty()) return out;
   // Adopt the first non-default schema (all μ results of one τ call share the
@@ -100,80 +240,187 @@ StatusOr<Knowledgebase> Knowledgebase::UnionAll(std::vector<Knowledgebase> parts
   }
   size_t total = 0;
   for (const Knowledgebase& part : parts) total += part.size();
-  out.databases_.reserve(total);
+  out.overlays_.reserve(total);
   for (Knowledgebase& part : parts) {
     if (part.empty()) continue;
     if (part.schema_ != out.schema_) {
       return Status::InvalidArgument("knowledgebase union: schema mismatch");
     }
-    std::move(part.databases_.begin(), part.databases_.end(),
-              std::back_inserter(out.databases_));
+    if (out.base_ == nullptr) {
+      // The first non-empty part anchors the shared base; its overlays move.
+      out.base_ = std::move(part.base_);
+      std::move(part.overlays_.begin(), part.overlays_.end(),
+                std::back_inserter(out.overlays_));
+      continue;
+    }
+    if (part.base_ == out.base_ || *part.base_ == *out.base_) {
+      // Shared base (the common case on the τ result path): overlays carry
+      // over untouched, O(1) each.
+      std::move(part.overlays_.begin(), part.overlays_.end(),
+                std::back_inserter(out.overlays_));
+    } else {
+      for (size_t i = 0; i < part.size(); ++i) {
+        out.overlays_.push_back(
+            WorldOverlay::FromDiff(*out.base_, part.World(i)));
+      }
+    }
   }
-  out.Canonicalize();
+  if (out.base_ == nullptr) return Knowledgebase(out.schema_);  // All empty.
+  out.Canonicalize(parallel);
+  out.ResetFlatCache();
   return out;
 }
 
 Knowledgebase Knowledgebase::Glb() const {
-  if (databases_.empty()) return *this;
-  Database acc = databases_.front();
-  for (size_t i = 1; i < databases_.size(); ++i) {
-    StatusOr<Database> next = acc.Meet(databases_[i]);
-    acc = std::move(next).value();  // Same schema by invariant.
+  if (overlays_.empty()) return *this;
+  // ⊓ = ∩_i ((B \ D_i) ∪ A_i) per relation. Adds never meet the base and dels
+  // always do, so the cross terms vanish: ⊓ = (B \ ∪_i D_i) ∪ (∩_i A_i),
+  // computed only at positions some overlay touches.
+  Database acc = *base_;
+  for (size_t p = 0; p < schema_.size(); ++p) {
+    bool touched = false;
+    for (const WorldOverlay& ov : overlays_) {
+      if (ov.FindDelta(p) != nullptr) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) continue;
+    const Relation& base_rel = base_->relation_at(p);
+    Relation all_dels(base_rel.arity());
+    Relation common_adds;
+    bool first = true;
+    for (const WorldOverlay& ov : overlays_) {
+      const RelationDelta* d = ov.FindDelta(p);
+      const Relation empty(base_rel.arity());
+      const Relation& adds = d != nullptr ? d->adds : empty;
+      const Relation& dels = d != nullptr ? d->dels : empty;
+      all_dels = all_dels.Union(dels);
+      common_adds = first ? adds : common_adds.Intersect(adds);
+      first = false;
+    }
+    acc.ReplaceRelation(p, base_rel.Difference(all_dels).Union(common_adds));
   }
   return Singleton(std::move(acc));
 }
 
 Knowledgebase Knowledgebase::Lub() const {
-  if (databases_.empty()) return *this;
-  Database acc = databases_.front();
-  for (size_t i = 1; i < databases_.size(); ++i) {
-    StatusOr<Database> next = acc.Join(databases_[i]);
-    acc = std::move(next).value();  // Same schema by invariant.
+  if (overlays_.empty()) return *this;
+  // ⊔ = ∪_i ((B \ D_i) ∪ A_i) = (B \ ∩_i D_i) ∪ (∪_i A_i), dual to Glb.
+  Database acc = *base_;
+  for (size_t p = 0; p < schema_.size(); ++p) {
+    bool touched = false;
+    for (const WorldOverlay& ov : overlays_) {
+      if (ov.FindDelta(p) != nullptr) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) continue;
+    const Relation& base_rel = base_->relation_at(p);
+    Relation all_adds(base_rel.arity());
+    Relation common_dels;
+    bool first = true;
+    for (const WorldOverlay& ov : overlays_) {
+      const RelationDelta* d = ov.FindDelta(p);
+      const Relation empty(base_rel.arity());
+      const Relation& adds = d != nullptr ? d->adds : empty;
+      const Relation& dels = d != nullptr ? d->dels : empty;
+      all_adds = all_adds.Union(adds);
+      common_dels = first ? dels : common_dels.Intersect(dels);
+      first = false;
+    }
+    acc.ReplaceRelation(p, base_rel.Difference(common_dels).Union(all_adds));
   }
   return Singleton(std::move(acc));
 }
 
 StatusOr<Knowledgebase> Knowledgebase::ProjectTo(
     const std::vector<Symbol>& symbols) const {
-  std::vector<Database> out;
-  out.reserve(databases_.size());
-  for (const Database& db : databases_) {
-    KBT_ASSIGN_OR_RETURN(Database projected, db.ProjectTo(symbols));
-    out.push_back(std::move(projected));
-  }
-  if (out.empty()) {
+  if (overlays_.empty()) {
     // Preserve the projected schema even with no worlds.
     Database probe(schema_);
     KBT_ASSIGN_OR_RETURN(Database projected, probe.ProjectTo(symbols));
     return Knowledgebase(projected.schema());
   }
-  return FromDatabases(std::move(out));
+  // Project the base once, remap delta positions old → new, and drop deltas of
+  // relations projected away. Projection preserves the overlay invariants
+  // per surviving relation, but distinct worlds can collapse and the order
+  // can change, so the result re-canonicalizes.
+  KBT_ASSIGN_OR_RETURN(Database projected_base, base_->ProjectTo(symbols));
+  auto new_base = std::make_shared<const Database>(std::move(projected_base));
+  const Schema& new_schema = new_base->schema();
+  std::vector<WorldOverlay> out;
+  out.reserve(overlays_.size());
+  for (const WorldOverlay& ov : overlays_) {
+    std::vector<RelationDelta> deltas;
+    for (const RelationDelta& d : ov.deltas()) {
+      std::optional<size_t> np =
+          new_schema.PositionOf(schema_.decl(d.pos).symbol);
+      if (!np.has_value()) continue;  // Projected away.
+      RelationDelta nd = d;
+      nd.pos = static_cast<uint32_t>(*np);
+      deltas.push_back(std::move(nd));
+    }
+    out.push_back(WorldOverlay::FromDeltas(std::move(deltas)));
+  }
+  return FromBaseAndOverlays(std::move(new_base), std::move(out));
 }
 
 StatusOr<Knowledgebase> Knowledgebase::ExtendTo(const Schema& super) const {
-  std::vector<Database> out;
-  out.reserve(databases_.size());
-  for (const Database& db : databases_) {
-    KBT_ASSIGN_OR_RETURN(Database extended, db.ExtendTo(super));
-    out.push_back(std::move(extended));
-  }
-  if (out.empty()) {
+  if (overlays_.empty()) {
     if (!super.Includes(schema_)) {
       return Status::InvalidArgument("ExtendTo: target schema does not dominate");
     }
     return Knowledgebase(super);
   }
-  return FromDatabases(std::move(out));
+  // Extend the base once; overlays follow with their delta positions remapped
+  // (new relations are empty in every world, so no new deltas appear, and
+  // extension preserves the invariants, distinctness, and — when `super`
+  // appends to `schema_`, the common case — the canonical order; positions
+  // can permute in general, so re-canonicalize).
+  KBT_ASSIGN_OR_RETURN(Database extended_base, base_->ExtendTo(super));
+  auto new_base = std::make_shared<const Database>(std::move(extended_base));
+  std::vector<WorldOverlay> out;
+  out.reserve(overlays_.size());
+  for (const WorldOverlay& ov : overlays_) {
+    std::vector<RelationDelta> deltas;
+    deltas.reserve(ov.deltas().size());
+    for (const RelationDelta& d : ov.deltas()) {
+      std::optional<size_t> np = super.PositionOf(schema_.decl(d.pos).symbol);
+      RelationDelta nd = d;
+      nd.pos = static_cast<uint32_t>(*np);  // Present: super includes schema_.
+      deltas.push_back(std::move(nd));
+    }
+    out.push_back(WorldOverlay::FromDeltas(std::move(deltas)));
+  }
+  return FromBaseAndOverlays(std::move(new_base), std::move(out));
 }
 
 std::string Knowledgebase::ToString() const {
+  const std::vector<Database>& dbs = databases();
   std::string out = "{ ";
-  for (size_t i = 0; i < databases_.size(); ++i) {
+  for (size_t i = 0; i < dbs.size(); ++i) {
     if (i > 0) out += ", ";
-    out += databases_[i].ToString();
+    out += dbs[i].ToString();
   }
   out += " }";
   return out;
+}
+
+bool operator==(const Knowledgebase& a, const Knowledgebase& b) {
+  if (a.schema_ != b.schema_ || a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  if (a.base_ == b.base_ || *a.base_ == *b.base_) {
+    // One base: canonical overlays are a unique representation, so the world
+    // sets are equal iff the overlay sequences are — O(worlds × delta).
+    return a.overlays_ == b.overlays_;
+  }
+  // Different bases: compare the materialized canonical sequences.
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.World(i) != b.World(i)) return false;
+  }
+  return true;
 }
 
 }  // namespace kbt

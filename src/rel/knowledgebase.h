@@ -8,18 +8,37 @@
 /// member database is one possible state of the world. Members are kept sorted and
 /// deduplicated, so knowledgebases are canonical value types — two kbs are equal iff
 /// they denote the same set of possible worlds.
+///
+/// Representation: one shared immutable base Database plus one WorldOverlay per
+/// world (rel/overlay.h) — worlds that differ from the base by a handful of
+/// tuples cost O(delta) memory, and canonicalization (hash-dedup + sort) runs
+/// on overlays in O(worlds × delta) instead of O(worlds × database). The flat
+/// view `databases()` still exists for consumers that want materialized
+/// worlds; it is built lazily, at most once, and shared across copies. See
+/// docs/worldset.md.
 
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "base/status.h"
 #include "rel/database.h"
+#include "rel/overlay.h"
 
 namespace kbt {
 
 /// A canonical finite set of same-schema databases.
 class Knowledgebase {
  public:
+  /// Optional parallel-for hook for canonicalization: runs fn(i) for every
+  /// i in [0, n) and returns once all completed. rel/ cannot depend on exec/,
+  /// so callers owning a thread pool (the τ executor) pass an adapter; a null
+  /// hook means sequential, with bit-identical results either way.
+  using ParallelMap =
+      std::function<Status(size_t n, const std::function<void(size_t)>& fn)>;
+
   /// The empty knowledgebase over the empty schema. Note an empty kb (no possible
   /// worlds, "inconsistent") differs from the singleton kb holding an empty database.
   Knowledgebase() = default;
@@ -28,19 +47,60 @@ class Knowledgebase {
   explicit Knowledgebase(Schema schema) : schema_(std::move(schema)) {}
 
   /// Builds from databases; all must share one schema. Duplicates collapse.
+  /// The first member (pre-canonicalization) becomes the shared base; members
+  /// become overlays against it, with copy-on-write buffer sharing making the
+  /// diff O(touched relations) per member.
   static StatusOr<Knowledgebase> FromDatabases(std::vector<Database> databases);
 
   /// Singleton knowledgebase.
   static Knowledgebase Singleton(Database db);
 
+  /// Builds from a shared base plus one overlay per world — the primary
+  /// constructor on the τ result path (no world is ever flattened). Each
+  /// overlay must satisfy the canonical invariants relative to `base`
+  /// (rel/overlay.h); duplicates collapse. `base` must be non-null; the kb
+  /// schema is the base's schema. `parallel`, when given, parallelizes the
+  /// canonicalization hash pass.
+  static StatusOr<Knowledgebase> FromBaseAndOverlays(
+      std::shared_ptr<const Database> base, std::vector<WorldOverlay> overlays,
+      const ParallelMap* parallel = nullptr);
+
   const Schema& schema() const { return schema_; }
   /// Number of possible worlds.
-  size_t size() const { return databases_.size(); }
-  bool empty() const { return databases_.empty(); }
-  const std::vector<Database>& databases() const { return databases_; }
+  size_t size() const { return overlays_.size(); }
+  bool empty() const { return overlays_.empty(); }
 
-  std::vector<Database>::const_iterator begin() const { return databases_.begin(); }
-  std::vector<Database>::const_iterator end() const { return databases_.end(); }
+  /// Materialized worlds in canonical order. Built lazily on first use (one
+  /// flat Database per world, sharing untouched relation buffers with the
+  /// base) and cached; copies of this kb share the cache. Prefer World(i) /
+  /// base()+overlay iteration on hot paths — they never trigger the flatten.
+  const std::vector<Database>& databases() const;
+
+  std::vector<Database>::const_iterator begin() const {
+    return databases().begin();
+  }
+  std::vector<Database>::const_iterator end() const {
+    return databases().end();
+  }
+
+  /// Materializes world `i` (canonical order) without touching the flat
+  /// cache: a copy-on-write overlay application, O(touched relations).
+  Database World(size_t i) const { return overlays_[i].ApplyTo(*base_); }
+
+  /// The shared base (null iff the kb is empty).
+  const std::shared_ptr<const Database>& base() const { return base_; }
+  /// Per-world overlays in canonical order.
+  const std::vector<WorldOverlay>& overlays() const { return overlays_; }
+
+  /// The kb holding the worlds at `indices` (strictly ascending, in range).
+  /// Shares the base; no re-canonicalization needed (a subsequence of a
+  /// canonical sequence is canonical).
+  Knowledgebase SelectWorlds(const std::vector<size_t>& indices) const;
+
+  /// Approximate heap footprint: base + overlay tuple storage (buffers shared
+  /// between base and overlays, or across worlds, counted once) plus overlay
+  /// bookkeeping. Does not include a flat cache if one was materialized.
+  size_t ApproxHeapBytes() const;
 
   /// Membership test.
   bool Contains(const Database& db) const;
@@ -52,18 +112,22 @@ class Knowledgebase {
   /// postulate (viii): τ_φ(kb1 ∪ kb2) = τ_φ(kb1) ∪ τ_φ(kb2).
   StatusOr<Knowledgebase> UnionWith(const Knowledgebase& other) const;
 
-  /// Union of many same-schema knowledgebases in one pass: members are moved,
-  /// deduplicated through Database::Hash, and sorted once — τ's merge step over
-  /// per-world μ results, O(total · log(unique)) instead of the O(parts²)
-  /// repeated pairwise union. Parts that are empty (including default-schema
-  /// empties) contribute nothing; an all-empty input yields an empty kb over
-  /// the first part's schema.
-  static StatusOr<Knowledgebase> UnionAll(std::vector<Knowledgebase> parts);
+  /// Union of many same-schema knowledgebases in one pass: overlays are moved
+  /// when parts share this kb's base (pointer or value equality) and rebased
+  /// via copy-on-write diff otherwise, then deduplicated through overlay
+  /// hashes and sorted once — τ's merge step over per-world μ results,
+  /// O(total · delta) when bases are shared. Parts that are empty (including
+  /// default-schema empties) contribute nothing; an all-empty input yields an
+  /// empty kb over the first part's schema.
+  static StatusOr<Knowledgebase> UnionAll(std::vector<Knowledgebase> parts,
+                                          const ParallelMap* parallel = nullptr);
 
   /// The paper's ⊓: componentwise intersection of all members, as a singleton kb.
-  /// ⊓ of an empty kb is the empty kb.
+  /// ⊓ of an empty kb is the empty kb. Computed per touched relation as
+  /// (base \ ∪dels) ∪ ∩adds — O(worlds × delta + touched base relations).
   Knowledgebase Glb() const;
   /// The paper's ⊔: componentwise union of all members, as a singleton kb.
+  /// Computed per touched relation as (base \ ∩dels) ∪ ∪adds.
   Knowledgebase Lub() const;
 
   /// The paper's π: projects every member onto the listed relation symbols.
@@ -75,18 +139,40 @@ class Knowledgebase {
   /// Renders as "{ <db1>, <db2> }".
   std::string ToString() const;
 
-  friend bool operator==(const Knowledgebase& a, const Knowledgebase& b) {
-    return a.schema_ == b.schema_ && a.databases_ == b.databases_;
-  }
+  /// Equality. Shared or value-equal bases compare overlays in
+  /// O(worlds × delta); distinct bases fall back to comparing materialized
+  /// worlds.
+  friend bool operator==(const Knowledgebase& a, const Knowledgebase& b);
   friend bool operator!=(const Knowledgebase& a, const Knowledgebase& b) {
     return !(a == b);
   }
 
  private:
-  void Canonicalize();
+  /// Lazily filled flat view, shared by copies of one kb. `worlds` is written
+  /// once under `mu`, then published through `ready`; afterwards it is
+  /// immutable and read lock-free.
+  struct FlatCache {
+    std::mutex mu;
+    std::atomic<bool> ready{false};
+    std::vector<Database> worlds;
+  };
+
+  /// Dedups overlays through their hashes and sorts them into the canonical
+  /// (flat-order-consistent) sequence. `parallel` parallelizes the hash pass;
+  /// the off path is bit-identical.
+  void Canonicalize(const ParallelMap* parallel = nullptr);
+
+  /// Installs a fresh, unfilled flat cache (called by every constructor path
+  /// that yields a non-empty kb).
+  void ResetFlatCache() { flat_ = std::make_shared<FlatCache>(); }
 
   Schema schema_;
-  std::vector<Database> databases_;  // Sorted, unique.
+  /// Shared immutable base; null iff the kb has no worlds.
+  std::shared_ptr<const Database> base_;
+  /// One overlay per world, sorted by CompareWorldsOnBase, unique.
+  std::vector<WorldOverlay> overlays_;
+  /// Lazy flat view (null iff the kb has no worlds).
+  std::shared_ptr<FlatCache> flat_;
 };
 
 }  // namespace kbt

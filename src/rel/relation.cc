@@ -86,10 +86,11 @@ Relation::Relation(size_t arity, const std::vector<Tuple>& tuples) : arity_(arit
 }
 
 size_t Relation::LowerBoundRow(TupleView t) const {
+  const Value* d = data().data();
   size_t lo = 0, hi = rows_;
   while (lo < hi) {
     size_t mid = lo + (hi - lo) / 2;
-    if (CompareValues(data_.data() + mid * arity_, t.data(), arity_) < 0) {
+    if (CompareValues(d + mid * arity_, t.data(), arity_) < 0) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -103,38 +104,38 @@ bool Relation::Contains(TupleView t) const {
   if (arity_ == 0) return rows_ > 0;
   size_t r = LowerBoundRow(t);
   return r < rows_ &&
-         CompareValues(data_.data() + r * arity_, t.data(), arity_) == 0;
+         CompareValues(data().data() + r * arity_, t.data(), arity_) == 0;
 }
 
 Relation Relation::WithTuple(TupleView t) const {
   assert(t.arity() == arity_);
   if (arity_ == 0) return rows_ > 0 ? *this : Relation(0, 1, {});
+  const std::vector<Value>& d = data();
   size_t r = LowerBoundRow(t);
-  if (r < rows_ &&
-      CompareValues(data_.data() + r * arity_, t.data(), arity_) == 0) {
+  if (r < rows_ && CompareValues(d.data() + r * arity_, t.data(), arity_) == 0) {
     return *this;
   }
-  std::vector<Value> data;
-  data.reserve(data_.size() + arity_);
-  data.insert(data.end(), data_.begin(), data_.begin() + r * arity_);
-  data.insert(data.end(), t.begin(), t.end());
-  data.insert(data.end(), data_.begin() + r * arity_, data_.end());
-  return Relation(arity_, rows_ + 1, std::move(data));
+  std::vector<Value> out;
+  out.reserve(d.size() + arity_);
+  out.insert(out.end(), d.begin(), d.begin() + r * arity_);
+  out.insert(out.end(), t.begin(), t.end());
+  out.insert(out.end(), d.begin() + r * arity_, d.end());
+  return Relation(arity_, rows_ + 1, std::move(out));
 }
 
 Relation Relation::WithoutTuple(TupleView t) const {
   assert(t.arity() == arity_);
   if (arity_ == 0) return rows_ > 0 ? Relation(0) : *this;
+  const std::vector<Value>& d = data();
   size_t r = LowerBoundRow(t);
-  if (r == rows_ ||
-      CompareValues(data_.data() + r * arity_, t.data(), arity_) != 0) {
+  if (r == rows_ || CompareValues(d.data() + r * arity_, t.data(), arity_) != 0) {
     return *this;
   }
-  std::vector<Value> data;
-  data.reserve(data_.size() - arity_);
-  data.insert(data.end(), data_.begin(), data_.begin() + r * arity_);
-  data.insert(data.end(), data_.begin() + (r + 1) * arity_, data_.end());
-  return Relation(arity_, rows_ - 1, std::move(data));
+  std::vector<Value> out;
+  out.reserve(d.size() - arity_);
+  out.insert(out.end(), d.begin(), d.begin() + r * arity_);
+  out.insert(out.end(), d.begin() + (r + 1) * arity_, d.end());
+  return Relation(arity_, rows_ - 1, std::move(out));
 }
 
 Relation Relation::Union(const Relation& other) const {
@@ -144,12 +145,13 @@ Relation Relation::Union(const Relation& other) const {
   }
   if (other.rows_ == 0) return *this;
   if (rows_ == 0) return other;
+  if (storage_ == other.storage_) return *this;  // Identical shared buffer.
   std::vector<Value> out;
-  out.reserve(data_.size() + other.data_.size());
-  const Value* a = data_.data();
-  const Value* ae = a + data_.size();
-  const Value* b = other.data_.data();
-  const Value* be = b + other.data_.size();
+  out.reserve(data().size() + other.data().size());
+  const Value* a = data().data();
+  const Value* ae = a + data().size();
+  const Value* b = other.data().data();
+  const Value* be = b + other.data().size();
   while (a != ae && b != be) {
     int c = CompareValues(a, b, arity_);
     if (c <= 0) {
@@ -172,11 +174,12 @@ Relation Relation::Intersect(const Relation& other) const {
   if (arity_ == 0) {
     return Relation(0, (rows_ > 0 && other.rows_ > 0) ? 1 : 0, {});
   }
+  if (storage_ != nullptr && storage_ == other.storage_) return *this;
   std::vector<Value> out;
-  const Value* a = data_.data();
-  const Value* ae = a + data_.size();
-  const Value* b = other.data_.data();
-  const Value* be = b + other.data_.size();
+  const Value* a = data().data();
+  const Value* ae = a + data().size();
+  const Value* b = other.data().data();
+  const Value* be = b + other.data().size();
   while (a != ae && b != be) {
     int c = CompareValues(a, b, arity_);
     if (c < 0) {
@@ -199,12 +202,13 @@ Relation Relation::Difference(const Relation& other) const {
     return Relation(0, (rows_ > 0 && other.rows_ == 0) ? 1 : 0, {});
   }
   if (other.rows_ == 0 || rows_ == 0) return *this;
+  if (storage_ == other.storage_) return Relation(arity_);
   std::vector<Value> out;
-  out.reserve(data_.size());
-  const Value* a = data_.data();
-  const Value* ae = a + data_.size();
-  const Value* b = other.data_.data();
-  const Value* be = b + other.data_.size();
+  out.reserve(data().size());
+  const Value* a = data().data();
+  const Value* ae = a + data().size();
+  const Value* b = other.data().data();
+  const Value* be = b + other.data().size();
   while (a != ae && b != be) {
     int c = CompareValues(a, b, arity_);
     if (c < 0) {
@@ -227,12 +231,13 @@ Relation Relation::SymmetricDifference(const Relation& other) const {
   if (arity_ == 0) {
     return Relation(0, ((rows_ > 0) != (other.rows_ > 0)) ? 1 : 0, {});
   }
+  if (storage_ != nullptr && storage_ == other.storage_) return Relation(arity_);
   std::vector<Value> out;
-  out.reserve(data_.size() + other.data_.size());
-  const Value* a = data_.data();
-  const Value* ae = a + data_.size();
-  const Value* b = other.data_.data();
-  const Value* be = b + other.data_.size();
+  out.reserve(data().size() + other.data().size());
+  const Value* a = data().data();
+  const Value* ae = a + data().size();
+  const Value* b = other.data().data();
+  const Value* be = b + other.data().size();
   while (a != ae && b != be) {
     int c = CompareValues(a, b, arity_);
     if (c < 0) {
@@ -256,10 +261,11 @@ bool Relation::IsSubsetOf(const Relation& other) const {
   assert(arity_ == other.arity_);
   if (arity_ == 0) return rows_ == 0 || other.rows_ > 0;
   if (rows_ > other.rows_) return false;
-  const Value* a = data_.data();
-  const Value* ae = a + data_.size();
-  const Value* b = other.data_.data();
-  const Value* be = b + other.data_.size();
+  if (storage_ == other.storage_) return true;  // Equal (or both empty).
+  const Value* a = data().data();
+  const Value* ae = a + data().size();
+  const Value* b = other.data().data();
+  const Value* be = b + other.data().size();
   while (a != ae) {
     if (b == be) return false;
     int c = CompareValues(a, b, arity_);
@@ -271,7 +277,7 @@ bool Relation::IsSubsetOf(const Relation& other) const {
 }
 
 void Relation::CollectValues(std::vector<Value>* out) const {
-  out->insert(out->end(), data_.begin(), data_.end());
+  out->insert(out->end(), data().begin(), data().end());
 }
 
 std::string Relation::ToString() const {
@@ -286,15 +292,26 @@ std::string Relation::ToString() const {
 
 bool operator<(const Relation& a, const Relation& b) {
   if (a.arity_ != b.arity_) return a.arity_ < b.arity_;
-  auto cmp = std::lexicographical_compare_three_way(
-      a.data_.begin(), a.data_.end(), b.data_.begin(), b.data_.end());
+  if (a.storage_ != nullptr && a.storage_ == b.storage_) return false;  // Equal.
+  const std::vector<Value>& da = a.data();
+  const std::vector<Value>& db = b.data();
+  auto cmp = std::lexicographical_compare_three_way(da.begin(), da.end(),
+                                                    db.begin(), db.end());
   if (cmp != 0) return cmp < 0;
   return a.rows_ < b.rows_;  // Distinguishes arity-0 relations.
 }
 
 size_t Relation::Hash() const {
+  if (storage_ != nullptr) {
+    size_t cached = storage_->hash.load(std::memory_order_relaxed);
+    if (cached != 0) return cached;
+  }
   size_t seed = HashCombine(0x51ab5f1e, arity_);
   for (size_t r = 0; r < rows_; ++r) seed = HashCombine(seed, (*this)[r].Hash());
+  if (storage_ != nullptr) {
+    if (seed == 0) seed = 1;  // Reserve 0 for "not yet computed".
+    storage_->hash.store(seed, std::memory_order_relaxed);
+  }
   return seed;
 }
 

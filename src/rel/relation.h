@@ -12,9 +12,19 @@
 /// Definition 2.1 — are cache-friendly stride-aware merges with no per-tuple heap
 /// traffic. Bulk construction goes through Relation::Builder, which appends rows
 /// into one buffer and sorts + dedups once at Build time.
+///
+/// The flat buffer is held behind a shared immutable Storage block, so copying a
+/// Relation — and hence a Database, and hence materializing one world of an
+/// overlay-structured Knowledgebase — is a reference-count bump, not a data
+/// copy. Sharing is observable only through StorageId(), which set operations
+/// and comparisons use as an O(1) equality fast path, and through the Storage
+/// block's cached hash (computed once per distinct buffer, then reused by every
+/// sharing copy — the hash-dedup in Knowledgebase::Canonicalize leans on this).
 
+#include <atomic>
 #include <cstdint>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -114,20 +124,41 @@ class Relation {
   /// True iff the relation holds no tuples.
   bool empty() const { return rows_ == 0; }
   /// The flat row-major storage (size() * arity() values, row-sorted).
-  const std::vector<Value>& flat() const { return data_; }
+  const std::vector<Value>& flat() const { return data(); }
 
   /// View of row `r` (< size()); rows are in ascending lexicographic order.
   TupleView operator[](size_t r) const {
-    return TupleView(data_.data() + r * arity_, arity_);
+    return TupleView(data().data() + r * arity_, arity_);
   }
   /// View of the first row; the relation must be non-empty.
   TupleView front() const { return (*this)[0]; }
 
-  const_iterator begin() const { return const_iterator(data_.data(), arity_, 0); }
-  const_iterator end() const { return const_iterator(data_.data(), arity_, rows_); }
+  const_iterator begin() const {
+    return const_iterator(data().data(), arity_, 0);
+  }
+  const_iterator end() const {
+    return const_iterator(data().data(), arity_, rows_);
+  }
 
   /// Membership test (binary search over rows, O(log n) row comparisons).
   bool Contains(TupleView t) const;
+
+  /// Row index of the first row not less than `t` (the partition point the
+  /// overlay world-ordering uses to count rows past a pivot without merging).
+  size_t LowerBoundRow(TupleView t) const;
+
+  /// Identity of the shared flat buffer: two relations with equal non-null
+  /// StorageId hold the same rows (same arity included — buffers are never
+  /// shared across arities). Null for relations without a buffer (empty, or
+  /// nullary which stores no values). Copy-on-write diffing uses this to skip
+  /// untouched relations in O(1).
+  const void* StorageId() const { return storage_.get(); }
+
+  /// Bytes of flat tuple storage held by this relation's buffer (not divided
+  /// by the buffer's sharing count — callers deduplicate via StorageId).
+  size_t HeapBytes() const {
+    return storage_ != nullptr ? storage_->data.size() * sizeof(Value) : 0;
+  }
 
   /// Returns this relation with `t` inserted (no-op if present).
   Relation WithTuple(TupleView t) const;
@@ -153,7 +184,8 @@ class Relation {
   std::string ToString() const;
 
   friend bool operator==(const Relation& a, const Relation& b) {
-    return a.arity_ == b.arity_ && a.rows_ == b.rows_ && a.data_ == b.data_;
+    return a.arity_ == b.arity_ && a.rows_ == b.rows_ &&
+           (a.storage_ == b.storage_ || a.data() == b.data());
   }
   friend bool operator!=(const Relation& a, const Relation& b) { return !(a == b); }
   /// Arbitrary total order (arity, then lexicographic rows); used for canonical
@@ -163,16 +195,32 @@ class Relation {
   size_t Hash() const;
 
  private:
+  /// The shared immutable flat buffer plus its lazily cached hash. The hash
+  /// slot is written at most to one value (0 means "not yet computed"; a
+  /// computed hash of 0 is remapped to 1), so relaxed atomics suffice: racing
+  /// writers store the same value.
+  struct Storage {
+    explicit Storage(std::vector<Value> d) : data(std::move(d)) {}
+    const std::vector<Value> data;
+    mutable std::atomic<size_t> hash{0};
+  };
+
   /// Adopts an already sorted, deduplicated flat buffer.
   Relation(size_t arity, size_t rows, std::vector<Value> data)
-      : arity_(arity), rows_(rows), data_(std::move(data)) {}
+      : storage_(data.empty() ? nullptr
+                              : std::make_shared<const Storage>(std::move(data))),
+        arity_(arity),
+        rows_(rows) {}
 
-  /// Row index of the first row not less than `t`.
-  size_t LowerBoundRow(TupleView t) const;
+  /// The flat buffer (a shared static empty vector when storage is null).
+  const std::vector<Value>& data() const {
+    static const std::vector<Value> kEmpty;
+    return storage_ != nullptr ? storage_->data : kEmpty;
+  }
 
+  std::shared_ptr<const Storage> storage_;  // Row-major, row-sorted, unique.
   size_t arity_;
   size_t rows_ = 0;
-  std::vector<Value> data_;  // Row-major, row-sorted, unique.
 };
 
 }  // namespace kbt

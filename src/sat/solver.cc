@@ -252,6 +252,23 @@ bool Solver::AddClause(std::span<const Lit> lits) {
   return true;
 }
 
+bool Solver::AssertUnitsAtRoot(std::span<const Lit> units) {
+  if (!ok_) return false;
+  CancelUntil(0);
+  last_assumptions_.clear();
+  for (Lit l : units) {
+    LBool v = ValueOf(l);
+    if (v == LBool::kTrue) continue;  // Already a root fact.
+    if (v == LBool::kFalse) {
+      ok_ = false;
+      return false;
+    }
+    Enqueue(l, kNoClause);
+  }
+  if (Propagate() != kNoClause) ok_ = false;
+  return ok_;
+}
+
 bool Solver::AddClauseAboveRoot() {
   // Backtrack only to the level the new clause can watch at: a literal's
   // falsification level is the level it was assigned false at (+∞ when

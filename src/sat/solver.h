@@ -226,6 +226,17 @@ class Solver {
     return AddClause(std::span<const Lit>(lits.data(), lits.size()));
   }
 
+  /// Asserts a batch of unit clauses (root facts) in one propagation round.
+  /// Equivalent to adding each unit via AddClause — unit propagation reaches
+  /// the same fixpoint regardless of enqueue order — but skips the per-clause
+  /// sort/simplify machinery and runs propagation once instead of once per
+  /// unit. Surrenders any retained assumption trail (a unit is a root fact).
+  /// Returns false iff the solver becomes (or already was) unsatisfiable.
+  bool AssertUnitsAtRoot(std::span<const Lit> units);
+  bool AssertUnitsAtRoot(const std::vector<Lit>& units) {
+    return AssertUnitsAtRoot(std::span<const Lit>(units.data(), units.size()));
+  }
+
   /// Solves the current formula under the given assumption literals. Further
   /// clauses may be added afterwards and Solve called again. With
   /// reuse_assumption_trail on, the assumption levels shared with the previous

@@ -1,8 +1,12 @@
 #include "store/checkpoint.h"
 
 #include <cstring>
+#include <optional>
+#include <vector>
 
+#include "base/interner.h"
 #include "rel/binary_io.h"
+#include "rel/overlay.h"
 #include "store/crc32.h"
 
 namespace kbt::store {
@@ -35,10 +39,175 @@ uint64_t GetU64(const char* p) {
   return v;
 }
 
+/// One relation's tuples as rows of constant names, the shape EncodeTupleDelta
+/// consumes.
+std::vector<std::vector<std::string>> RelationRows(const Relation& rel) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(rel.size());
+  if (rel.arity() == 0) {
+    rows.resize(rel.size());
+  } else {
+    for (TupleView t : rel) {
+      std::vector<std::string> row;
+      row.reserve(rel.arity());
+      for (size_t i = 0; i < rel.arity(); ++i) row.push_back(NameOf(t[i]));
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+/// Appends a length-prefixed EncodeTupleDelta block for `rel` to `out`.
+void AppendDeltaBlock(std::string& out, std::string_view name,
+                      const Relation& rel) {
+  std::string block = EncodeTupleDelta(name, rel.arity(), RelationRows(rel));
+  PutU32(out, static_cast<uint32_t>(block.size()));
+  out += block;
+}
+
+/// Bounds-checked cursor over the v2 payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+  StatusOr<uint32_t> ReadU32(const char* what) {
+    if (bytes_.size() - pos_ < 4) return Truncated(what);
+    uint32_t v = GetU32(bytes_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+
+  StatusOr<std::string_view> ReadBlock(const char* what) {
+    KBT_ASSIGN_OR_RETURN(uint32_t len, ReadU32(what));
+    if (bytes_.size() - pos_ < len) return Truncated(what);
+    std::string_view v = bytes_.substr(pos_, len);
+    pos_ += len;
+    return v;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  Status Truncated(const char* what) {
+    return Status::DataLoss(std::string("truncated checkpoint reading ") +
+                            what);
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// Reads one adds/dels block and resolves it against `schema`.
+StatusOr<std::pair<size_t, Relation>> ReadDeltaBlock(PayloadReader& reader,
+                                                     const Schema& schema,
+                                                     const char* what) {
+  KBT_ASSIGN_OR_RETURN(std::string_view block, reader.ReadBlock(what));
+  KBT_ASSIGN_OR_RETURN(TupleDelta delta, DecodeTupleDelta(block));
+  return ResolveTupleDelta(delta, schema);
+}
+
+/// Parses the version-2 payload: base database once, then per-world overlays.
+StatusOr<Knowledgebase> DecodeOverlayPayload(std::string_view payload) {
+  PayloadReader reader(payload);
+  KBT_ASSIGN_OR_RETURN(uint32_t world_count, reader.ReadU32("world count"));
+  KBT_ASSIGN_OR_RETURN(std::string_view base_bytes,
+                       reader.ReadBlock("base database"));
+  KBT_ASSIGN_OR_RETURN(Database base, ParseBinaryDatabase(base_bytes));
+  // Each world costs at least its 4-byte delta count; bound before reserving.
+  if (world_count > reader.remaining() / 4 + 1) {
+    return Status::DataLoss("checkpoint world count exceeds payload size");
+  }
+  auto shared_base = std::make_shared<const Database>(std::move(base));
+  std::vector<WorldOverlay> overlays;
+  overlays.reserve(world_count);
+  for (uint32_t w = 0; w < world_count; ++w) {
+    KBT_ASSIGN_OR_RETURN(uint32_t delta_count, reader.ReadU32("delta count"));
+    // Each delta costs at least two 4-byte block lengths.
+    if (delta_count > reader.remaining() / 8 + 1) {
+      return Status::DataLoss("checkpoint delta count exceeds payload size");
+    }
+    std::vector<RelationDelta> deltas;
+    deltas.reserve(delta_count);
+    for (uint32_t i = 0; i < delta_count; ++i) {
+      KBT_ASSIGN_OR_RETURN(auto adds, ReadDeltaBlock(reader,
+                                                     shared_base->schema(),
+                                                     "overlay adds"));
+      KBT_ASSIGN_OR_RETURN(auto dels, ReadDeltaBlock(reader,
+                                                     shared_base->schema(),
+                                                     "overlay dels"));
+      if (adds.first != dels.first) {
+        return Status::DataLoss(
+            "checkpoint overlay adds/dels name different relations");
+      }
+      RelationDelta d;
+      d.pos = static_cast<uint32_t>(adds.first);
+      d.adds = std::move(adds.second);
+      d.dels = std::move(dels.second);
+      deltas.push_back(std::move(d));
+    }
+    WorldOverlay overlay = WorldOverlay::FromDeltas(std::move(deltas));
+    // Reject any payload whose overlay is not canonical relative to the base
+    // (overlapping adds, dels outside the base, duplicate positions, ...):
+    // such a file was not produced by EncodeCheckpoint.
+    KBT_RETURN_IF_ERROR(overlay.Validate(*shared_base));
+    overlays.push_back(std::move(overlay));
+  }
+  if (reader.remaining() != 0) {
+    return Status::DataLoss("trailing bytes after checkpoint payload");
+  }
+  if (world_count == 0) return Knowledgebase(shared_base->schema());
+  return Knowledgebase::FromBaseAndOverlays(std::move(shared_base),
+                                            std::move(overlays));
+}
+
 }  // namespace
 
+StatusOr<std::pair<size_t, Relation>> ResolveTupleDelta(const TupleDelta& delta,
+                                                        const Schema& schema) {
+  Symbol symbol = Name(delta.relation);
+  std::optional<size_t> pos = schema.PositionOf(symbol);
+  if (!pos.has_value()) {
+    return Status::DataLoss("tuple delta names undeclared relation " +
+                            delta.relation);
+  }
+  if (schema.decl(*pos).arity != delta.arity) {
+    return Status::DataLoss("tuple delta arity mismatch for " + delta.relation);
+  }
+  Relation::Builder builder(delta.arity);
+  builder.Reserve(delta.rows.size());
+  for (const auto& row : delta.rows) {
+    if (row.size() != delta.arity) {
+      return Status::DataLoss("tuple delta row width mismatch for " +
+                              delta.relation);
+    }
+    if (delta.arity == 0) {
+      // A present zero-ary row is the single empty tuple.
+      builder.Append(std::initializer_list<Value>{});
+      continue;
+    }
+    Value* out = builder.AppendRow();
+    for (size_t i = 0; i < delta.arity; ++i) out[i] = Name(row[i]);
+  }
+  return std::pair<size_t, Relation>(*pos, builder.Build());
+}
+
 std::string EncodeCheckpoint(const Knowledgebase& kb, uint64_t lsn) {
-  std::string payload = SerializeKnowledgebase(kb);
+  // Version-2 payload: the shared base once, each world as its sparse overlay.
+  std::string payload;
+  PutU32(payload, static_cast<uint32_t>(kb.size()));
+  const Database empty_base(kb.schema());
+  const Database& base = kb.base() != nullptr ? *kb.base() : empty_base;
+  std::string base_bytes = SerializeDatabase(base);
+  PutU32(payload, static_cast<uint32_t>(base_bytes.size()));
+  payload += base_bytes;
+  for (const WorldOverlay& overlay : kb.overlays()) {
+    PutU32(payload, static_cast<uint32_t>(overlay.deltas().size()));
+    for (const RelationDelta& d : overlay.deltas()) {
+      const std::string name = NameOf(kb.schema().decl(d.pos).symbol);
+      AppendDeltaBlock(payload, name, d.adds);
+      AppendDeltaBlock(payload, name, d.dels);
+    }
+  }
   std::string out(kCheckpointMagic, sizeof(kCheckpointMagic));
   out.push_back(static_cast<char>(kCheckpointVersion));
   PutU64(out, lsn);
@@ -57,7 +226,7 @@ StatusOr<CheckpointContents> DecodeCheckpoint(std::string_view bytes) {
     return Status::DataLoss("checkpoint has wrong magic");
   }
   uint8_t version = static_cast<uint8_t>(bytes[7]);
-  if (version != kCheckpointVersion) {
+  if (version != 1 && version != kCheckpointVersion) {
     return Status::DataLoss("unsupported checkpoint version " +
                             std::to_string(version));
   }
@@ -71,10 +240,14 @@ StatusOr<CheckpointContents> DecodeCheckpoint(std::string_view bytes) {
   if (Crc32c(payload) != crc) {
     return Status::DataLoss("checkpoint payload fails crc check");
   }
-  KBT_ASSIGN_OR_RETURN(Knowledgebase kb, ParseBinaryKnowledgebase(payload));
   CheckpointContents contents;
   contents.lsn = lsn;
-  contents.kb = std::move(kb);
+  if (version == 1) {
+    // Legacy flat payload: the whole member list serialized.
+    KBT_ASSIGN_OR_RETURN(contents.kb, ParseBinaryKnowledgebase(payload));
+  } else {
+    KBT_ASSIGN_OR_RETURN(contents.kb, DecodeOverlayPayload(payload));
+  }
   return contents;
 }
 

@@ -11,10 +11,24 @@
 ///   magic "KBTCKPT" (7 bytes), u8 version, u64 lsn,
 ///   u32 crc32c(payload), u32 payload_len, payload
 ///
-/// (integers little-endian) where payload is rel/binary_io.h's
-/// SerializeKnowledgebase output. Unlike the WAL, a checkpoint is
-/// all-or-nothing: any truncation or corruption makes the file invalid
-/// (recovery falls back to an older checkpoint).
+/// (integers little-endian). The version-2 payload mirrors the in-memory
+/// delta-structured representation (rel/overlay.h) — the shared base database
+/// is written once and each world as its sparse overlay:
+///
+///   u32 world_count,
+///   u32 base_len, base (rel/binary_io.h SerializeDatabase),
+///   per world: u32 delta_count, per delta two length-prefixed blocks
+///              (u32 len, block) for adds then dels, each in the WAL's
+///              EncodeTupleDelta wire shape (store/wal.h)
+///
+/// so checkpoint size is O(base + Σ deltas) instead of O(worlds × database).
+/// Decoding validates every overlay's canonical invariants against the base
+/// (WorldOverlay::Validate) before accepting the file. Version-1 files —
+/// payload = SerializeKnowledgebase of the flat member list — still decode,
+/// so stores written before the overlay representation recover unchanged.
+/// Unlike the WAL, a checkpoint is all-or-nothing: any truncation or
+/// corruption makes the file invalid (recovery falls back to an older
+/// checkpoint).
 ///
 /// WriteCheckpoint is atomic under crashes: the bytes go to a temporary name,
 /// are synced, then renamed into place and the directory synced — a crash at
@@ -23,15 +37,18 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "base/status.h"
 #include "rel/knowledgebase.h"
 #include "store/file.h"
+#include "store/wal.h"
 
 namespace kbt::store {
 
 inline constexpr char kCheckpointMagic[7] = {'K', 'B', 'T', 'C', 'K', 'P', 'T'};
-inline constexpr uint8_t kCheckpointVersion = 1;
+/// Version written by EncodeCheckpoint; DecodeCheckpoint also accepts 1.
+inline constexpr uint8_t kCheckpointVersion = 2;
 
 /// The checkpoint file image for `kb` at log position `lsn`.
 std::string EncodeCheckpoint(const Knowledgebase& kb, uint64_t lsn);
@@ -53,6 +70,13 @@ Status WriteCheckpoint(Env* env, const std::string& dir,
 
 /// Reads and decodes the checkpoint at `path`.
 StatusOr<CheckpointContents> ReadCheckpoint(Env* env, const std::string& path);
+
+/// Resolves a decoded tuple delta against `schema`: interns the rows into a
+/// Relation and returns it with its schema position. kDataLoss on an
+/// undeclared relation, arity mismatch, or ragged rows. Shared by the
+/// checkpoint decoder and WAL replay.
+StatusOr<std::pair<size_t, Relation>> ResolveTupleDelta(const TupleDelta& delta,
+                                                        const Schema& schema);
 
 }  // namespace kbt::store
 

@@ -4,7 +4,7 @@
 #include <optional>
 #include <vector>
 
-#include "base/interner.h"
+#include "rel/overlay.h"
 #include "rel/relation.h"
 #include "store/checkpoint.h"
 
@@ -15,46 +15,38 @@ namespace {
 StatusOr<Knowledgebase> ApplyTupleDelta(const Knowledgebase& kb,
                                         WalRecordKind kind,
                                         const TupleDelta& delta) {
-  Symbol symbol = Name(delta.relation);
-  std::optional<size_t> pos = kb.schema().PositionOf(symbol);
-  if (!pos.has_value()) {
-    return Status::DataLoss("tuple delta names undeclared relation " +
-                            delta.relation);
-  }
-  if (kb.schema().decl(*pos).arity != delta.arity) {
-    return Status::DataLoss("tuple delta arity mismatch for " + delta.relation);
-  }
-  Relation::Builder builder(delta.arity);
-  builder.Reserve(delta.rows.size());
-  for (const auto& row : delta.rows) {
-    if (row.size() != delta.arity) {
-      return Status::DataLoss("tuple delta row width mismatch for " +
-                              delta.relation);
-    }
-    if (delta.arity == 0) {
-      // A present zero-ary row is the single empty tuple.
-      builder.Append(std::initializer_list<Value>{});
-      continue;
-    }
-    Value* out = builder.AppendRow();
-    for (size_t i = 0; i < delta.arity; ++i) out[i] = Name(row[i]);
-  }
-  Relation change = builder.Build();
+  KBT_ASSIGN_OR_RETURN(auto resolved, ResolveTupleDelta(delta, kb.schema()));
+  const size_t pos = resolved.first;
+  const Relation& change = resolved.second;
+  if (kb.empty()) return Knowledgebase(kb.schema());
 
-  std::vector<Database> members;
-  members.reserve(kb.size());
-  for (const Database& db : kb) {
-    const Relation& old = db.relation_at(*pos);
-    Database next = db;
-    next.ReplaceRelation(*pos, kind == WalRecordKind::kInsert
-                                   ? old.Union(change)
-                                   : old.Difference(change));
-    members.push_back(std::move(next));
+  // The edit applies to every world W uniformly: W' = W ∪ C (insert) or
+  // W \ C (delete). Fold C into the shared base once — B' = B ∪ C / B \ C —
+  // and the repaired overlay of each world relative to B' is, in both cases,
+  //   adds' = adds \ C,  dels' = dels \ C
+  // (an inserted tuple leaves per-world adds and is no longer a deletable
+  // base tuple; a deleted tuple leaves the base, so neither side may mention
+  // it). O(base relation + worlds × delta) instead of O(worlds × database).
+  Database base = *kb.base();
+  const Relation& old = base.relation_at(pos);
+  base.ReplaceRelation(pos, kind == WalRecordKind::kInsert
+                                ? old.Union(change)
+                                : old.Difference(change));
+  std::vector<WorldOverlay> overlays;
+  overlays.reserve(kb.size());
+  for (const WorldOverlay& overlay : kb.overlays()) {
+    std::vector<RelationDelta> deltas = overlay.deltas();
+    for (RelationDelta& d : deltas) {
+      if (d.pos != pos) continue;
+      d.adds = d.adds.Difference(change);
+      d.dels = d.dels.Difference(change);
+    }
+    overlays.push_back(WorldOverlay::FromDeltas(std::move(deltas)));
   }
-  // FromDatabases re-canonicalizes: a delete can collapse members that now
-  // coincide, exactly the possible-worlds semantics.
-  if (members.empty()) return Knowledgebase(kb.schema());
-  return Knowledgebase::FromDatabases(std::move(members));
+  // FromBaseAndOverlays re-canonicalizes: a delete can collapse worlds that
+  // now coincide, exactly the possible-worlds semantics.
+  return Knowledgebase::FromBaseAndOverlays(
+      std::make_shared<const Database>(std::move(base)), std::move(overlays));
 }
 
 }  // namespace

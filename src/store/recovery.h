@@ -44,7 +44,8 @@ std::optional<uint64_t> ParseStoreLsnSuffix(std::string_view name,
                                             std::string_view prefix);
 
 /// Applies one WAL record to `kb`: kTransform replays the expression through
-/// `engine`, kInsert/kDelete apply the tuple delta to every member database.
+/// `engine`, kInsert/kDelete fold the tuple delta into the shared base and
+/// repair each world's overlay in place (O(worlds × delta), not × database).
 StatusOr<Knowledgebase> ApplyWalRecord(Engine& engine, const WalRecord& record,
                                        const Knowledgebase& kb);
 

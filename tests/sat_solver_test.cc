@@ -32,6 +32,58 @@ TEST(SatSolverTest, DirectContradictionIsUnsat) {
   EXPECT_TRUE(s.inconsistent());
 }
 
+TEST(SatSolverTest, AssertUnitsAtRootMatchesUnitClauses) {
+  // Batched root units must reach the same fixpoint as one-at-a-time unit
+  // AddClause calls: same satisfiability, same final model.
+  Solver batched, classic;
+  std::vector<Var> bv, cv;
+  for (int i = 0; i < 4; ++i) {
+    bv.push_back(batched.NewVar());
+    cv.push_back(classic.NewVar());
+  }
+  for (Solver* s : {&batched, &classic}) {
+    std::vector<Var>& v = s == &batched ? bv : cv;
+    s->AddClause({MkLit(v[0], true), MkLit(v[2])});
+    s->AddClause({MkLit(v[1], true), MkLit(v[2], true), MkLit(v[3])});
+  }
+  EXPECT_TRUE(batched.AssertUnitsAtRoot({MkLit(bv[0]), MkLit(bv[1])}));
+  EXPECT_TRUE(classic.AddClause({MkLit(cv[0])}));
+  EXPECT_TRUE(classic.AddClause({MkLit(cv[1])}));
+  ASSERT_EQ(batched.Solve(), SolveResult::kSat);
+  ASSERT_EQ(classic.Solve(), SolveResult::kSat);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(batched.ModelValue(bv[i]), classic.ModelValue(cv[i])) << i;
+  }
+}
+
+TEST(SatSolverTest, AssertUnitsAtRootDetectsConflicts) {
+  {
+    // Directly contradictory units in one batch.
+    Solver s;
+    Var a = s.NewVar();
+    EXPECT_FALSE(s.AssertUnitsAtRoot({MkLit(a), MkLit(a, true)}));
+    EXPECT_TRUE(s.inconsistent());
+    EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+  }
+  {
+    // Conflict only reachable through propagation across the batch.
+    Solver s;
+    Var a = s.NewVar(), b = s.NewVar();
+    s.AddClause({MkLit(a, true), MkLit(b, true)});
+    EXPECT_FALSE(s.AssertUnitsAtRoot({MkLit(a), MkLit(b)}));
+    EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+  }
+  {
+    // Units already true are absorbed; the batch stays satisfiable.
+    Solver s;
+    Var a = s.NewVar();
+    s.AddClause({MkLit(a)});
+    EXPECT_TRUE(s.AssertUnitsAtRoot({MkLit(a), MkLit(a)}));
+    ASSERT_EQ(s.Solve(), SolveResult::kSat);
+    EXPECT_TRUE(s.ModelValue(a));
+  }
+}
+
 TEST(SatSolverTest, TautologyAndDuplicateLiterals) {
   Solver s;
   Var a = s.NewVar(), b = s.NewVar();
