@@ -19,10 +19,17 @@ exec::ThreadPool* Engine::PoolFor(size_t threads) {
   return pool_.get();
 }
 
+exec::ThreadPool* Engine::SharedPool() {
+  size_t resolved = options_.tau_threads != 0
+                        ? options_.tau_threads
+                        : std::max<size_t>(1, std::thread::hardware_concurrency());
+  return PoolFor(resolved);
+}
+
 StatusOr<Knowledgebase> Engine::Apply(std::string_view expression,
                                       const Knowledgebase& kb) {
   KBT_ASSIGN_OR_RETURN(Pipeline pipeline, ParsePipeline(expression));
-  KBT_ASSIGN_OR_RETURN(Knowledgebase result, Apply(pipeline, kb));
+  KBT_ASSIGN_OR_RETURN(Knowledgebase result, ApplySteps(pipeline, kb));
   if (log_ != nullptr) {
     // Write-ahead discipline: a result whose commit failed is never returned
     // as a success — the caller must treat the transformation as not applied.
@@ -33,6 +40,18 @@ StatusOr<Knowledgebase> Engine::Apply(std::string_view expression,
 
 StatusOr<Knowledgebase> Engine::Apply(const Pipeline& pipeline,
                                       const Knowledgebase& kb) {
+  KBT_ASSIGN_OR_RETURN(Knowledgebase result, ApplySteps(pipeline, kb));
+  if (log_ != nullptr) {
+    // Pre-built pipelines are as durable as text ones: the canonical rendering
+    // round-trips through ParsePipeline (property-tested in engine_test), so
+    // replay applies the identical transformation.
+    KBT_RETURN_IF_ERROR(log_->Commit(pipeline.ToString(), result));
+  }
+  return result;
+}
+
+StatusOr<Knowledgebase> Engine::ApplySteps(const Pipeline& pipeline,
+                                           const Knowledgebase& kb) {
   last_trace_ = PipelineStats();
   TauOptions tau_options;
   tau_options.mu = options_.mu;

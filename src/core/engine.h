@@ -70,7 +70,10 @@ class Engine {
   StatusOr<Knowledgebase> Apply(std::string_view expression,
                                 const Knowledgebase& kb);
 
-  /// Applies a pre-built pipeline to `kb`.
+  /// Applies a pre-built pipeline to `kb`. With a log attached, the pipeline's
+  /// canonical concrete rendering (Pipeline::ToString, which round-trips
+  /// through ParsePipeline) is committed — pre-built and text-form applies are
+  /// equally durable.
   StatusOr<Knowledgebase> Apply(const Pipeline& pipeline, const Knowledgebase& kb);
 
   /// Shorthand for a single τ step with the sentence in concrete syntax.
@@ -82,16 +85,28 @@ class Engine {
   /// Traces from the most recent Apply/Insert (when options().trace is set).
   const PipelineStats& last_trace() const { return last_trace_; }
 
-  /// Attaches a durability log (borrowed; nullptr detaches). Only the
-  /// text-form Apply overload commits — pre-built Pipeline applies have no
-  /// canonical text and bypass the log.
+  /// Attaches a durability log (borrowed; nullptr detaches). Both Apply
+  /// overloads commit: text-form applies log their input verbatim, pre-built
+  /// pipelines log their canonical rendering.
   void AttachLog(TransformLog* log) { log_ = log; }
   TransformLog* log() const { return log_; }
+
+  /// The persistent τ worker pool for the current tau_threads setting, started
+  /// on first call (nullptr when the setting resolves to one thread). Exposed
+  /// so the serving layer's read path fans counterfactual chains out on the
+  /// same workers the write path uses (TauOptions::pool) instead of spawning
+  /// its own; exec::ThreadPool::ParallelFor is safe for concurrent callers.
+  exec::ThreadPool* SharedPool();
 
  private:
   /// The persistent pool for the current tau_threads setting (started on first
   /// need, restarted if the setting changes), or nullptr when sequential.
   exec::ThreadPool* PoolFor(size_t threads);
+
+  /// Runs the pipeline's steps (shared by both Apply overloads); commits are
+  /// the overloads' business, so each logs exactly once.
+  StatusOr<Knowledgebase> ApplySteps(const Pipeline& pipeline,
+                                     const Knowledgebase& kb);
 
   EngineOptions options_;
   PipelineStats last_trace_;

@@ -6,14 +6,12 @@
 
 namespace kbt {
 
-StatusOr<bool> NestedCounterfactual(const Knowledgebase& kb,
-                                    const std::vector<Formula>& antecedents,
-                                    const Formula& consequent, Modality modality,
-                                    const MuOptions& options) {
-  Knowledgebase current = kb;
-  for (const Formula& a : antecedents) {
-    KBT_ASSIGN_OR_RETURN(current, Tau(a, current, options));
-  }
+namespace {
+
+/// Shared tail of both chain evaluators: extend the schema so the consequent's
+/// satisfaction is defined, then fold the modality over the worlds.
+StatusOr<bool> CheckConsequent(Knowledgebase current, const Formula& consequent,
+                               Modality modality) {
   // The consequent may mention relations the updates introduced; extend the
   // schema so satisfaction is defined (new relations are empty under CWA).
   KBT_ASSIGN_OR_RETURN(Schema consequent_schema, SchemaOf(consequent));
@@ -31,6 +29,36 @@ StatusOr<bool> NestedCounterfactual(const Knowledgebase& kb,
     some = some || holds;
   }
   return modality == Modality::kNecessarily ? all : some;
+}
+
+}  // namespace
+
+StatusOr<bool> NestedCounterfactual(const Knowledgebase& kb,
+                                    const std::vector<Formula>& antecedents,
+                                    const Formula& consequent, Modality modality,
+                                    const MuOptions& options) {
+  Knowledgebase current = kb;
+  for (const Formula& a : antecedents) {
+    KBT_ASSIGN_OR_RETURN(current, Tau(a, current, options));
+  }
+  return CheckConsequent(std::move(current), consequent, modality);
+}
+
+StatusOr<bool> NestedCounterfactualExec(const Knowledgebase& kb,
+                                        const std::vector<ChainStep>& steps,
+                                        const Formula& consequent,
+                                        Modality modality,
+                                        const TauOptions& options) {
+  Knowledgebase current = kb;
+  for (const ChainStep& step : steps) {
+    // The base options carry the session-wide resources (pool, pinned solver,
+    // scratch, μ options); only the per-sentence caches vary per step.
+    TauOptions step_options = options;
+    step_options.ground_cache = step.ground_cache;
+    step_options.cnf_cache = step.cnf_cache;
+    KBT_ASSIGN_OR_RETURN(current, Tau(*step.antecedent, current, step_options));
+  }
+  return CheckConsequent(std::move(current), consequent, modality);
 }
 
 StatusOr<bool> Counterfactual(const Knowledgebase& kb, const Formula& antecedent,

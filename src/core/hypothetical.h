@@ -15,6 +15,7 @@
 
 #include "base/status.h"
 #include "core/mu.h"
+#include "core/tau.h"
 #include "logic/formula.h"
 #include "rel/knowledgebase.h"
 
@@ -41,6 +42,29 @@ StatusOr<bool> NestedCounterfactual(const Knowledgebase& kb,
                                     const Formula& consequent,
                                     Modality modality = Modality::kNecessarily,
                                     const MuOptions& options = MuOptions());
+
+/// One antecedent of a serving-path chain, with the executor caches for its τ
+/// step (either may be null; see TauOptions::ground_cache/cnf_cache — a cache
+/// must only ever see this step's sentence). The formula is borrowed and must
+/// outlive the call; the serving layer points it at the cache bank's canonical
+/// parse so every borrower of one cache evaluates the identical formula.
+struct ChainStep {
+  const Formula* antecedent = nullptr;
+  exec::GroundingCache* ground_cache = nullptr;
+  exec::CnfCache* cnf_cache = nullptr;
+};
+
+/// The serving-path chain evaluation: like NestedCounterfactual, but each τ
+/// step runs with `options` (the engine's persistent pool, the session-pinned
+/// solver and scratch, μ options) plus its step's per-sentence caches — no
+/// per-call executor state is constructed beyond what the options leave null.
+/// Equivalent to NestedCounterfactual over the same formulas (property-tested
+/// in tests/serve_test.cc).
+StatusOr<bool> NestedCounterfactualExec(const Knowledgebase& kb,
+                                        const std::vector<ChainStep>& steps,
+                                        const Formula& consequent,
+                                        Modality modality,
+                                        const TauOptions& options);
 
 }  // namespace kbt
 

@@ -106,24 +106,36 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     extended_schema = std::move(ctx.schema);
   }
 
-  // One cache pair per τ call: the sentence is fixed, so the key is the active
-  // domain alone. Worlds with equal domains ground once (GroundingCache) and,
-  // on the SAT path, Tseitin-encode once (CnfCache — per-world solvers fork
-  // from the frozen prefix).
-  exec::GroundingCache cache;
-  exec::CnfCache cnf_cache;
+  // One cache pair per τ call — or the caller's persistent pair (a serving
+  // loop re-querying one sentence across snapshots): the sentence is fixed, so
+  // the key is the active domain alone. Worlds with equal domains ground once
+  // (GroundingCache) and, on the SAT path, Tseitin-encode once (CnfCache —
+  // per-world solvers fork from the frozen prefix).
+  exec::GroundingCache local_ground_cache;
+  exec::CnfCache local_cnf_cache;
+  exec::GroundingCache* cache = options.ground_cache != nullptr
+                                    ? options.ground_cache
+                                    : &local_ground_cache;
+  exec::CnfCache* cnf_cache =
+      options.cnf_cache != nullptr ? options.cnf_cache : &local_cnf_cache;
+  // Stats report this call's contribution: external caches arrive warm (and
+  // may be advanced concurrently by sibling calls), so snapshot and diff.
+  exec::GroundingCache::Stats ground_stats_before = cache->stats();
+  exec::CnfCache::Stats cnf_stats_before = cnf_cache->stats();
   internal::MuExecContext base_exec;
   // The probe context above validated (φ, schema); per-world update contexts
   // reuse its schema and φ's constants instead of re-deriving both per world.
   std::vector<Value> formula_constants = ConstantsOf(sentence);
   base_exec.extended_schema = &extended_schema;
   base_exec.formula_constants = &formula_constants;
-  if (options.use_ground_cache) base_exec.ground_cache = &cache;
+  if (options.use_ground_cache) base_exec.ground_cache = cache;
   // Freezing and forking only pays for itself when a prefix is reused: a
   // singleton kb would encode once either way but add a snapshot copy, so the
-  // prefix path needs at least two worlds.
-  if (options.use_cnf_prefix && kb.size() > 1) {
-    base_exec.cnf_cache = &cnf_cache;
+  // prefix path needs at least two worlds — unless the cache outlives this
+  // call, where the fork amortizes across calls instead.
+  if (options.use_cnf_prefix &&
+      (kb.size() > 1 || options.cnf_cache != nullptr)) {
+    base_exec.cnf_cache = cnf_cache;
   }
 
   // Strategy planning depends only on (φ, schema) and all worlds share one
@@ -181,12 +193,14 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
 
   if (threads <= 1) {
     // Sequential path: same per-world calls, same merge — the parallel path is
-    // bit-identical because results land in per-world slots either way.
-    sat::Solver solver;
-    exec::WorldScratch scratch;
+    // bit-identical because results land in per-world slots either way. A
+    // session-pinned solver/scratch (serving reads) replaces the per-call
+    // locals so arena capacity and enumerator buffers stay warm across calls.
+    sat::Solver local_solver;
+    exec::WorldScratch local_scratch;
     internal::MuExecContext exec = base_exec;
-    exec.solver = &solver;
-    exec.scratch = &scratch;
+    exec.solver = options.solver != nullptr ? options.solver : &local_solver;
+    exec.scratch = options.scratch != nullptr ? options.scratch : &local_scratch;
     for (size_t i = 0; i < kb.size() && !failed.load(std::memory_order_relaxed);
          ++i) {
       run_world(i, exec);
@@ -232,12 +246,12 @@ StatusOr<Knowledgebase> Tau(const Formula& sentence, const Knowledgebase& kb,
     out->threads_used = std::min(workers, kb.size());
   }
 
-  exec::GroundingCache::Stats cache_stats = cache.stats();
-  out->ground_cache_hits = cache_stats.hits;
-  out->ground_cache_misses = cache_stats.misses;
-  exec::CnfCache::Stats cnf_stats = cnf_cache.stats();
-  out->cnf_cache_hits = cnf_stats.hits;
-  out->cnf_cache_misses = cnf_stats.misses;
+  exec::GroundingCache::Stats cache_stats = cache->stats();
+  out->ground_cache_hits = cache_stats.hits - ground_stats_before.hits;
+  out->ground_cache_misses = cache_stats.misses - ground_stats_before.misses;
+  exec::CnfCache::Stats cnf_stats = cnf_cache->stats();
+  out->cnf_cache_hits = cnf_stats.hits - cnf_stats_before.hits;
+  out->cnf_cache_misses = cnf_stats.misses - cnf_stats_before.misses;
 
   Knowledgebase::ParallelMap pmap;
   if (pool != nullptr) {

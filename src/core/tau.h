@@ -20,8 +20,15 @@
 #include "rel/knowledgebase.h"
 
 namespace kbt::exec {
+class CnfCache;
+class GroundingCache;
 class ThreadPool;
+struct WorldScratch;
 }  // namespace kbt::exec
+
+namespace kbt::sat {
+class Solver;
+}  // namespace kbt::sat
 
 namespace kbt {
 
@@ -44,6 +51,24 @@ struct TauOptions {
   /// serving-loop configuration Engine sets up; see EngineOptions. Must outlive
   /// the call; per-call worker state is still τ's own.
   exec::ThreadPool* pool = nullptr;
+  /// Borrowed external caches (serve/cache_bank.h). When set, τ reads and
+  /// fills these instead of its per-call locals, so *consecutive calls* with
+  /// the same sentence share groundings and frozen CNF prefixes — the serving
+  /// batcher's ride on the caches. Both key by active domain alone: a cache
+  /// must only ever see one sentence, which the cache bank enforces by keying
+  /// entries on canonical sentence text. With an external cnf_cache the
+  /// prefix/fork path is taken even for singleton kbs (amortized across calls
+  /// rather than across worlds). TauStats report this call's delta only.
+  exec::GroundingCache* ground_cache = nullptr;
+  exec::CnfCache* cnf_cache = nullptr;
+  /// Borrowed session-pinned solver + scratch, used by the sequential path
+  /// (resolved thread count 1, the serving read shape): consecutive τ calls
+  /// keep the solver's arena capacity and the enumerator's buffers warm
+  /// instead of reallocating per call. Ignored by the parallel path, whose
+  /// workers own pooled solvers. Must outlive the call; a solver/scratch pair
+  /// belongs to one session thread at a time.
+  sat::Solver* solver = nullptr;
+  exec::WorldScratch* scratch = nullptr;
 };
 
 struct TauStats {

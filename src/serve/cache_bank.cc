@@ -1,0 +1,54 @@
+#include "serve/cache_bank.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+namespace kbt::serve {
+
+QueryCacheBank::QueryCacheBank(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+StatusOr<std::shared_ptr<SentenceCaches>> QueryCacheBank::Get(
+    std::string_view sentence_text) {
+  // Parse and canonicalize outside the lock — the lock only guards the map.
+  KBT_ASSIGN_OR_RETURN(Formula parsed, ParseSentence(sentence_text));
+  std::string key = kbt::ToString(parsed);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.caches;
+  }
+  ++misses_;
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());  // In-flight borrowers keep their shared_ptr.
+    lru_.pop_back();
+  }
+  auto caches = std::make_shared<SentenceCaches>();
+  caches->sentence = std::move(parsed);
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Slot{caches, lru_.begin()});
+  return caches;
+}
+
+uint64_t QueryCacheBank::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t QueryCacheBank::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t QueryCacheBank::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace kbt::serve

@@ -1,0 +1,83 @@
+#ifndef KBT_SERVE_CACHE_BANK_H_
+#define KBT_SERVE_CACHE_BANK_H_
+
+/// \file
+/// Per-sentence executor caches for the serving read path.
+///
+/// τ's GroundingCache/CnfCache are keyed by active domain for one *fixed*
+/// sentence (the key deliberately omits it), and a grounding is a pure
+/// function of (φ, B) — independent of the snapshot version. A serving layer
+/// therefore keeps one cache pair per distinct sentence text and reuses it
+/// across requests, sessions and snapshots: the first request for a sentence
+/// grounds and Tseitin-encodes, every later same-domain request forks the
+/// frozen prefix. This is what makes batching same-sentence reads pay — the
+/// batch leader fills the entry, the rest of the batch rides it.
+///
+/// Correctness of sharing: every user of an entry evaluates the entry's own
+/// canonical Formula (parsed once, stored in the entry), never its private
+/// re-parse — so two textual spellings that print alike can never mix two
+/// circuit structures inside one cache.
+///
+/// The bank is bounded: entries are evicted LRU beyond `capacity` sentences.
+/// Entries are handed out as shared_ptr, so eviction never invalidates a
+/// request in flight.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "base/status.h"
+#include "exec/cnf_cache.h"
+#include "exec/ground_cache.h"
+#include "logic/formula.h"
+
+namespace kbt::serve {
+
+/// One sentence's shared executor state. Immutable apart from the caches,
+/// which are internally synchronized (exec/once_cache.h).
+struct SentenceCaches {
+  /// The canonical parse of the sentence text. All τ calls that borrow these
+  /// caches must evaluate exactly this formula.
+  Formula sentence = nullptr;
+  exec::GroundingCache ground;
+  exec::CnfCache cnf;
+};
+
+class QueryCacheBank {
+ public:
+  /// `capacity` bounds the number of distinct sentences cached (≥ 1).
+  explicit QueryCacheBank(size_t capacity = 64);
+
+  /// Returns the shared entry for `sentence_text`, parsing and inserting it on
+  /// first use. The key is the canonical rendering of the parse, so textual
+  /// variants of one formula ("P(a)&Q(b)" vs "P(a) & Q(b)") share one entry.
+  /// Thread-safe; concurrent callers for one sentence converge on one entry.
+  StatusOr<std::shared_ptr<SentenceCaches>> Get(std::string_view sentence_text);
+
+  /// Entry lookups that found an existing entry / created one.
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t entries() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<SentenceCaches> caches;
+    std::list<std::string>::iterator lru_pos;  ///< Position in lru_ (front = hottest).
+  };
+
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  std::unordered_map<std::string, Slot> entries_;
+  /// Canonical keys in recency order; back() is the eviction candidate.
+  std::list<std::string> lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace kbt::serve
+
+#endif  // KBT_SERVE_CACHE_BANK_H_

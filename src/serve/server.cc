@@ -1,0 +1,246 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "exec/pool.h"
+#include "logic/parser.h"
+
+namespace kbt::serve {
+
+namespace {
+
+/// Batch grouping key: requests with the same antecedent chain hit the same
+/// bank entries back to back. \x1f cannot appear in concrete syntax.
+std::string ChainKey(const ReadRequest& request) {
+  std::string key;
+  for (const std::string& text : request.antecedents) {
+    key += text;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+
+StatusOr<ReadResult> Session::Query(const ReadRequest& request) {
+  std::shared_ptr<const Snapshot> snap = server_->registry_.Current();
+  return server_->ExecuteRead(*this, *snap, request);
+}
+
+StatusOr<ReadResult> Session::Holds(std::string_view sentence,
+                                    Modality modality) {
+  ReadRequest request;
+  request.consequent = std::string(sentence);
+  request.modality = modality;
+  return Query(request);
+}
+
+StatusOr<uint64_t> Session::Apply(std::string_view expression) {
+  return server_->Apply(expression);
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+Server::Server(ServerOptions options, Knowledgebase initial)
+    : options_(std::move(options)),
+      registry_(std::move(initial)),
+      bank_(options_.cache_bank_capacity) {}
+
+Server::Server(Knowledgebase initial, ServerOptions options)
+    : Server(std::move(options), std::move(initial)) {
+  own_engine_ = std::make_unique<Engine>(options_.engine);
+  InitReadPool();
+}
+
+StatusOr<std::unique_ptr<Server>> Server::OpenDurable(
+    const std::string& dir, const Knowledgebase& initial,
+    store::StoreOptions store_options, ServerOptions options) {
+  KBT_ASSIGN_OR_RETURN(
+      std::unique_ptr<store::DurableEngine> store,
+      store::DurableEngine::Open(dir, initial, store_options, options.engine));
+  // The store's recovered state — not `initial` — is version 0: reopening a
+  // server resumes exactly where the committed log left off.
+  Knowledgebase committed = store->kb();
+  auto server = std::unique_ptr<Server>(
+      new Server(std::move(options), std::move(committed)));
+  server->durable_ = std::move(store);
+  server->InitReadPool();
+  return server;
+}
+
+Server::~Server() = default;
+
+Engine& Server::engine() {
+  return durable_ != nullptr ? durable_->engine() : *own_engine_;
+}
+
+void Server::InitReadPool() {
+  if (options_.read_threads <= 1) return;
+  size_t engine_threads =
+      options_.engine.tau_threads != 0
+          ? options_.engine.tau_threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (engine_threads == options_.read_threads) {
+    // Created here, before any concurrency exists; the writer's equal-sized
+    // PoolFor calls return this same pool without touching its storage.
+    read_pool_ = engine().SharedPool();
+  } else {
+    own_read_pool_ = std::make_unique<exec::ThreadPool>(options_.read_threads);
+    read_pool_ = own_read_pool_.get();
+  }
+}
+
+std::unique_ptr<Session> Server::StartSession() {
+  return std::unique_ptr<Session>(
+      new Session(this, next_session_id_.fetch_add(1, std::memory_order_relaxed)));
+}
+
+StatusOr<uint64_t> Server::Apply(std::string_view expression) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Knowledgebase result;
+  if (durable_ != nullptr) {
+    KBT_ASSIGN_OR_RETURN(result, durable_->Apply(expression));
+  } else {
+    KBT_ASSIGN_OR_RETURN(
+        result, own_engine_->Apply(expression, registry_.Current()->kb));
+  }
+  return FinishCommit(std::move(result));
+}
+
+StatusOr<uint64_t> Server::Apply(const Pipeline& pipeline) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Knowledgebase result;
+  if (durable_ != nullptr) {
+    KBT_ASSIGN_OR_RETURN(result, durable_->Apply(pipeline));
+  } else {
+    KBT_ASSIGN_OR_RETURN(
+        result, own_engine_->Apply(pipeline, registry_.Current()->kb));
+  }
+  return FinishCommit(std::move(result));
+}
+
+StatusOr<uint64_t> Server::FinishCommit(Knowledgebase result) {
+  // Durability (when on) already happened inside the store's Apply; only now
+  // does the new state become visible to readers.
+  std::shared_ptr<const Snapshot> snap = registry_.Publish(std::move(result));
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  if (durable_ != nullptr && options_.checkpoint_every > 0 &&
+      ++commits_since_checkpoint_ >= options_.checkpoint_every) {
+    KBT_RETURN_IF_ERROR(durable_->Checkpoint());
+    commits_since_checkpoint_ = 0;
+  }
+  return snap->version;
+}
+
+Status Server::Checkpoint() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (durable_ == nullptr) return Status::OK();
+  KBT_RETURN_IF_ERROR(durable_->Checkpoint());
+  commits_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Status Server::Sync() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (durable_ == nullptr) return Status::OK();
+  return durable_->Sync();
+}
+
+StatusOr<ReadResult> Server::ExecuteRead(Session& session, const Snapshot& snap,
+                                         const ReadRequest& request) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+
+  // Resolve the antecedent chain. Bank entries are held for the duration of
+  // the call so LRU eviction cannot pull a formula out from under a step.
+  std::vector<std::shared_ptr<SentenceCaches>> entries;
+  std::vector<Formula> local_parses;
+  std::vector<ChainStep> steps;
+  steps.reserve(request.antecedents.size());
+  if (options_.use_cache_bank) {
+    entries.reserve(request.antecedents.size());
+    for (const std::string& text : request.antecedents) {
+      KBT_ASSIGN_OR_RETURN(std::shared_ptr<SentenceCaches> entry,
+                           bank_.Get(text));
+      ChainStep step;
+      step.antecedent = &entry->sentence;
+      step.ground_cache = &entry->ground;
+      step.cnf_cache = &entry->cnf;
+      steps.push_back(step);
+      entries.push_back(std::move(entry));
+    }
+  } else {
+    local_parses.reserve(request.antecedents.size());
+    for (const std::string& text : request.antecedents) {
+      KBT_ASSIGN_OR_RETURN(Formula parsed, ParseSentence(text));
+      local_parses.push_back(parsed);
+    }
+    for (const Formula& parsed : local_parses) {
+      ChainStep step;
+      step.antecedent = &parsed;
+      steps.push_back(step);
+    }
+  }
+  KBT_ASSIGN_OR_RETURN(Formula consequent, ParseSentence(request.consequent));
+
+  TauOptions tau_options;
+  tau_options.mu = options_.engine.mu;
+  tau_options.threads = options_.read_threads;
+  tau_options.use_ground_cache = options_.engine.tau_ground_cache;
+  tau_options.use_cnf_prefix = options_.engine.tau_cnf_prefix;
+  tau_options.pool = read_pool_;
+  tau_options.solver = &session.solver_;
+  tau_options.scratch = &session.scratch_;
+
+  KBT_ASSIGN_OR_RETURN(bool holds,
+                       NestedCounterfactualExec(snap.kb, steps, consequent,
+                                                request.modality, tau_options));
+  ReadResult result;
+  result.holds = holds;
+  result.snapshot_version = snap.version;
+  return result;
+}
+
+StatusOr<std::vector<ReadResult>> Server::ExecuteBatch(
+    Session& session, const std::vector<ReadRequest>& requests) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  // One snapshot for the whole batch: every answer is consistent with one
+  // version, whatever the writer does meanwhile.
+  std::shared_ptr<const Snapshot> snap = registry_.Current();
+
+  // Group same-chain requests back to back. The group leader grounds and
+  // encodes into the shared bank entries; the rest of its group forks the
+  // frozen prefixes while they are hot. Results stay positionally aligned.
+  std::vector<size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<std::string> keys;
+  keys.reserve(requests.size());
+  for (const ReadRequest& request : requests) keys.push_back(ChainKey(request));
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
+
+  std::vector<ReadResult> results(requests.size());
+  for (size_t i : order) {
+    KBT_ASSIGN_OR_RETURN(results[i], ExecuteRead(session, *snap, requests[i]));
+  }
+  return results;
+}
+
+Server::ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.commits = commits_.load(std::memory_order_relaxed);
+  stats.reads = reads_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.bank_hits = bank_.hits();
+  stats.bank_misses = bank_.misses();
+  stats.snapshot_version = registry_.version();
+  return stats;
+}
+
+}  // namespace kbt::serve

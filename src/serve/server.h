@@ -1,0 +1,219 @@
+#ifndef KBT_SERVE_SERVER_H_
+#define KBT_SERVE_SERVER_H_
+
+/// \file
+/// The in-process hypothetical-query server: the first user-facing surface of
+/// the engine (ROADMAP "serving layer" item; a socket protocol can front this
+/// later without touching the semantics).
+///
+/// Roles:
+///   * ONE logical writer. Apply/Checkpoint serialize on a writer mutex, run
+///     the transformation through a core Engine — or a store::DurableEngine,
+///     so commits hit the WAL before acknowledgment — and atomically publish
+///     the result as a new immutable snapshot (serve/snapshot.h).
+///   * MANY readers. Each Session pins a sat::Solver + exec::WorldScratch for
+///     its thread, acquires the current snapshot with one atomic load, and
+///     evaluates modal queries / (nested) counterfactuals against it — never
+///     blocking on the writer, MVCC-style. Reads of one session ride the
+///     previous call's warm solver arena and scratch buffers.
+///   * A cache bank shared by all readers (serve/cache_bank.h): per-sentence
+///     grounding + frozen-CNF caches, so repeated and batched reads of one
+///     sentence ground/encode once and fork thereafter.
+///
+/// Batching: ExecuteBatch groups a vector of read requests by their antecedent
+/// chain, so within a group the first request fills the per-sentence caches
+/// (one grounding, one CNF prefix per active domain) and the rest fork — the
+/// same-domain batching the ROADMAP asks for, measured in
+/// bench/json_bench_serving.cc against its one-at-a-time twin.
+///
+/// Consistency model: a read sees exactly one published snapshot (its
+/// ReadResult carries the version); a write is visible to reads that acquire
+/// after its Publish. Writes are serialized, so versions are a total order.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "core/engine.h"
+#include "core/hypothetical.h"
+#include "exec/scratch.h"
+#include "sat/solver.h"
+#include "serve/cache_bank.h"
+#include "serve/snapshot.h"
+#include "store/durable_engine.h"
+
+namespace kbt::serve {
+
+struct ServerOptions {
+  /// Engine options for the write path and the μ options of reads. The τ
+  /// thread/cache settings apply to write-path transformations; reads run
+  /// sequentially on their calling thread unless read_threads > 1.
+  EngineOptions engine;
+  /// Distinct sentences the shared cache bank holds (LRU beyond it).
+  size_t cache_bank_capacity = 64;
+  /// Off = every read builds per-call executor state (the no-batch baseline;
+  /// bench twin `_nobatch`).
+  bool use_cache_bank = true;
+  /// τ worker threads for read-path chains (>1 borrows the engine's persistent
+  /// pool — useful for many-world snapshots; 1 = on the session's thread).
+  size_t read_threads = 1;
+  /// Durable mode: write a checkpoint (and rotate the WAL) automatically every
+  /// N commits. 0 = only explicit Checkpoint() calls.
+  size_t checkpoint_every = 0;
+};
+
+/// One read: insert the antecedents left to right (hypothetically — the
+/// snapshot is never modified), then check the consequent under the modality.
+/// No antecedents = plain modal query.
+struct ReadRequest {
+  std::vector<std::string> antecedents;
+  std::string consequent;
+  Modality modality = Modality::kNecessarily;
+};
+
+struct ReadResult {
+  bool holds = false;
+  /// The snapshot version the request evaluated against.
+  uint64_t snapshot_version = 0;
+};
+
+class Server;
+
+/// One client's pinned read state: a solver whose arena stays warm across the
+/// session's queries and the enumerator's scratch buffers. NOT thread-safe —
+/// a session belongs to one thread at a time (create one per client thread).
+/// Must not outlive its Server.
+class Session {
+ public:
+  /// Evaluates one read against the current snapshot.
+  StatusOr<ReadResult> Query(const ReadRequest& request);
+
+  /// Sugar: modal query ("does `sentence` necessarily/possibly hold?").
+  StatusOr<ReadResult> Holds(std::string_view sentence,
+                             Modality modality = Modality::kNecessarily);
+
+  /// Forwards to the server's serialized write path; returns the new version.
+  StatusOr<uint64_t> Apply(std::string_view expression);
+
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class Server;
+  Session(Server* server, uint64_t id) : server_(server), id_(id) {}
+
+  Server* server_;
+  uint64_t id_;
+  sat::Solver solver_;
+  exec::WorldScratch scratch_;
+};
+
+class Server {
+ public:
+  /// In-memory server starting from `initial` (version 0).
+  explicit Server(Knowledgebase initial, ServerOptions options = ServerOptions());
+
+  /// Durable server: opens (or recovers) the store in `dir` and publishes its
+  /// committed state as version 0. Every Apply commits through the WAL before
+  /// the snapshot advances.
+  static StatusOr<std::unique_ptr<Server>> OpenDurable(
+      const std::string& dir, const Knowledgebase& initial,
+      store::StoreOptions store_options = store::StoreOptions(),
+      ServerOptions options = ServerOptions());
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Creates a session. Thread-safe; the session itself is single-threaded.
+  std::unique_ptr<Session> StartSession();
+
+  /// Serialized write path: applies the transformation to the current state,
+  /// commits it (durable mode), and publishes the new snapshot. Returns the
+  /// published version. Readers are never blocked: they stay on the previous
+  /// snapshot until Publish lands.
+  StatusOr<uint64_t> Apply(std::string_view expression);
+  StatusOr<uint64_t> Apply(const Pipeline& pipeline);
+
+  /// Durable mode: checkpoint + WAL rotation (no-op without a store).
+  Status Checkpoint();
+  /// Durable mode: group-commit/manual-mode durability barrier.
+  Status Sync();
+
+  /// The current snapshot (wait-free; see SnapshotRegistry).
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const {
+    return registry_.Current();
+  }
+
+  /// Executes a batch of reads against ONE snapshot, grouped by antecedent
+  /// chain so each group shares its sentence caches (the leader grounds and
+  /// encodes; the rest fork). Results are positionally aligned with
+  /// `requests`. Runs on the calling thread with `session`'s pinned solver;
+  /// pass the calling thread's session.
+  StatusOr<std::vector<ReadResult>> ExecuteBatch(
+      Session& session, const std::vector<ReadRequest>& requests);
+
+  struct ServerStats {
+    uint64_t commits = 0;
+    uint64_t reads = 0;
+    uint64_t batches = 0;
+    /// Cache-bank entry lookups (hit = sentence already resolved).
+    uint64_t bank_hits = 0;
+    uint64_t bank_misses = 0;
+    uint64_t snapshot_version = 0;
+  };
+  ServerStats stats() const;
+
+  const ServerOptions& options() const { return options_; }
+  /// Durable-mode store handle (nullptr in-memory). Exposed for tests and the
+  /// shell's `lsn`/introspection commands; writes must still go through Apply.
+  store::DurableEngine* store() { return durable_.get(); }
+
+ private:
+  friend class Session;
+
+  Server(ServerOptions options, Knowledgebase initial);
+
+  /// The engine behind the write path (owned or the durable store's).
+  Engine& engine();
+
+  /// Resolves the read-path pool once, at construction (so readers never touch
+  /// the engine's lazily-created pool member concurrently with the writer):
+  /// the engine's persistent pool when the sizes agree, else a server-owned one.
+  void InitReadPool();
+
+  /// Read-path core: resolves the request against `snap` with `session`'s
+  /// pinned state, through the cache bank when enabled.
+  StatusOr<ReadResult> ExecuteRead(Session& session, const Snapshot& snap,
+                                   const ReadRequest& request);
+
+  /// Write-path tail under writer_mu_: publish + stats + auto-checkpoint.
+  StatusOr<uint64_t> FinishCommit(Knowledgebase result);
+
+  ServerOptions options_;
+  SnapshotRegistry registry_;
+  QueryCacheBank bank_;
+
+  /// Writer state, all under writer_mu_.
+  std::mutex writer_mu_;
+  std::unique_ptr<Engine> own_engine_;            ///< In-memory mode.
+  std::unique_ptr<store::DurableEngine> durable_; ///< Durable mode.
+  size_t commits_since_checkpoint_ = 0;
+
+  /// Read-path pool (nullptr when read_threads <= 1); fixed after init.
+  exec::ThreadPool* read_pool_ = nullptr;
+  std::unique_ptr<exec::ThreadPool> own_read_pool_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> batches_{0};
+};
+
+}  // namespace kbt::serve
+
+#endif  // KBT_SERVE_SERVER_H_

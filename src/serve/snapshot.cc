@@ -1,0 +1,24 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+namespace kbt::serve {
+
+SnapshotRegistry::SnapshotRegistry(Knowledgebase initial) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->version = 0;
+  snap->kb = std::move(initial);
+  current_.store(std::shared_ptr<const Snapshot>(std::move(snap)),
+                 std::memory_order_release);
+}
+
+std::shared_ptr<const Snapshot> SnapshotRegistry::Publish(Knowledgebase next) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->version = Current()->version + 1;
+  snap->kb = std::move(next);
+  std::shared_ptr<const Snapshot> published(std::move(snap));
+  current_.store(published, std::memory_order_release);
+  return published;
+}
+
+}  // namespace kbt::serve

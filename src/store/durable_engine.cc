@@ -84,6 +84,11 @@ StatusOr<Knowledgebase> DurableEngine::Apply(std::string_view expression) {
   return engine_.Apply(expression, kb_);
 }
 
+StatusOr<Knowledgebase> DurableEngine::Apply(const Pipeline& pipeline) {
+  // Same hook as the text path; engine_ commits the canonical rendering.
+  return engine_.Apply(pipeline, kb_);
+}
+
 Status DurableEngine::Commit(std::string_view expression,
                              const Knowledgebase& result) {
   WalRecord record;

@@ -75,6 +75,12 @@ class DurableEngine final : private TransformLog {
   /// on error neither did (the expression is not acknowledged).
   StatusOr<Knowledgebase> Apply(std::string_view expression);
 
+  /// Applies a pre-built pipeline to the current kb. The WAL records the
+  /// pipeline's canonical concrete rendering (which round-trips through
+  /// ParsePipeline), so recovery replays the identical transformation — the
+  /// pre-built path is as durable as the text path.
+  StatusOr<Knowledgebase> Apply(const Pipeline& pipeline);
+
   /// Commits an explicit tuple insertion (bulk load) into `relation`.
   Status InsertTuples(std::string_view relation,
                       const std::vector<std::vector<std::string>>& rows);

@@ -2,8 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <vector>
+
 #include "core/engine.h"
+#include "exec/cnf_cache.h"
+#include "exec/ground_cache.h"
+#include "exec/scratch.h"
 #include "logic/parser.h"
+#include "sat/solver.h"
+#include "testutil.h"
 
 namespace kbt {
 namespace {
@@ -78,6 +86,83 @@ TEST(CounterfactualTest, ConsequentOverNewRelations) {
   // ...or one mentioned by neither: empty under CWA, handled by extension.
   EXPECT_FALSE(*Counterfactual(kb, *ParseFormula("Q(a, b)"),
                                *ParseFormula("Zed(a)"), Modality::kPossibly));
+}
+
+// ---------------------------------------------------------------------------
+// NestedCounterfactualExec (the serving-path chain): equivalent to the plain
+// NestedCounterfactual under every executor-state configuration.
+
+/// Property: with or without borrowed per-step caches and a pinned
+/// solver/scratch — and with state reused *across* calls, the serving shape —
+/// the served chain evaluation agrees with the plain one on random inputs.
+TEST(CounterfactualTest, ExecChainEquivalentToPlainNestedCounterfactual) {
+  std::mt19937_64 rng(19920615);
+  testutil::RandomSentenceGenerator gen(&rng);
+  std::uniform_int_distribution<int> chain_len(0, 2);
+  std::bernoulli_distribution coin(0.5);
+
+  // Session-pinned state, deliberately shared across all rounds (the serving
+  // shape: one solver/scratch per session, one cache pair per sentence).
+  sat::Solver solver;
+  exec::WorldScratch scratch;
+  std::vector<std::unique_ptr<exec::GroundingCache>> ground_caches;
+  std::vector<std::unique_ptr<exec::CnfCache>> cnf_caches;
+  size_t next_cache = 0;
+
+  for (int round = 0; round < 25; ++round) {
+    Knowledgebase kb = testutil::RandomKnowledgebase(&rng);
+    int len = chain_len(rng);
+    std::vector<Formula> antecedents;
+    bool with_caches = coin(rng);
+    for (int i = 0; i < len; ++i) antecedents.push_back(gen.Generate(2));
+    // Build steps only after `antecedents` is final — ChainStep borrows.
+    std::vector<ChainStep> steps;
+    next_cache = 0;  // Formulas are fresh per round; fresh caches match them.
+    for (const Formula& f : antecedents) {
+      ChainStep step;
+      step.antecedent = &f;
+      if (with_caches) {
+        if (next_cache == ground_caches.size()) {
+          ground_caches.push_back(std::make_unique<exec::GroundingCache>());
+          cnf_caches.push_back(std::make_unique<exec::CnfCache>());
+        } else {
+          // Reused slots would pair a cache with a *different* sentence, which
+          // the cache-sharing contract forbids — always take a fresh pair.
+          ground_caches[next_cache] = std::make_unique<exec::GroundingCache>();
+          cnf_caches[next_cache] = std::make_unique<exec::CnfCache>();
+        }
+        step.ground_cache = ground_caches[next_cache].get();
+        step.cnf_cache = cnf_caches[next_cache].get();
+        ++next_cache;
+      }
+      steps.push_back(step);
+    }
+    Formula consequent = gen.Generate(2);
+    Modality modality = coin(rng) ? Modality::kNecessarily : Modality::kPossibly;
+
+    auto expected = NestedCounterfactual(kb, antecedents, consequent, modality);
+    ASSERT_TRUE(expected.ok()) << expected.status().message();
+
+    TauOptions options;
+    if (coin(rng)) {
+      options.solver = &solver;
+      options.scratch = &scratch;
+    }
+    auto served =
+        NestedCounterfactualExec(kb, steps, consequent, modality, options);
+    ASSERT_TRUE(served.ok()) << served.status().message();
+    EXPECT_EQ(*served, *expected)
+        << "round " << round << " caches=" << with_caches;
+  }
+}
+
+TEST(CounterfactualTest, ExecEmptyChainIsModalQuery) {
+  Knowledgebase kb = RobotsKb();
+  TauOptions options;
+  EXPECT_TRUE(*NestedCounterfactualExec(kb, {}, *ParseFormula("R1(v) | R1(w)"),
+                                        Modality::kNecessarily, options));
+  EXPECT_FALSE(*NestedCounterfactualExec(kb, {}, *ParseFormula("R1(v)"),
+                                         Modality::kNecessarily, options));
 }
 
 }  // namespace

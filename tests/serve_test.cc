@@ -1,0 +1,386 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/hypothetical.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "serve/cache_bank.h"
+#include "serve/snapshot.h"
+#include "store/file.h"
+#include "store/recovery.h"
+#include "testutil.h"
+
+namespace kbt::serve {
+namespace {
+
+Knowledgebase SmallKb() {
+  return *MakeSingletonKb({{"P", 1}, {"Q", 2}},
+                          {{"P", {{"a"}}}, {"Q", {{"a", "b"}}}});
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotRegistry
+
+TEST(SnapshotRegistryTest, InitialStateIsVersionZero) {
+  SnapshotRegistry registry(SmallKb());
+  std::shared_ptr<const Snapshot> snap = registry.Current();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, 0u);
+  EXPECT_EQ(snap->kb, SmallKb());
+  EXPECT_EQ(registry.version(), 0u);
+}
+
+TEST(SnapshotRegistryTest, PublishAdvancesVersionAndKeepsOldAlive) {
+  SnapshotRegistry registry(SmallKb());
+  std::shared_ptr<const Snapshot> v0 = registry.Current();
+
+  Knowledgebase next = *MakeSingletonKb({{"P", 1}}, {{"P", {{"b"}}}});
+  std::shared_ptr<const Snapshot> v1 = registry.Publish(next);
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(registry.Current()->version, 1u);
+  EXPECT_EQ(registry.Current()->kb, next);
+
+  // The superseded snapshot is unchanged for readers still holding it.
+  EXPECT_EQ(v0->version, 0u);
+  EXPECT_EQ(v0->kb, SmallKb());
+}
+
+// ---------------------------------------------------------------------------
+// QueryCacheBank
+
+TEST(QueryCacheBankTest, TextualVariantsOfOneSentenceShareAnEntry) {
+  QueryCacheBank bank(8);
+  auto a = bank.Get("P(a)&Q(a,b)");
+  ASSERT_TRUE(a.ok());
+  auto b = bank.Get("P(a)  &  Q(a, b)");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ(bank.entries(), 1u);
+  EXPECT_EQ(bank.hits(), 1u);
+  EXPECT_EQ(bank.misses(), 1u);
+  // The entry's canonical formula is what borrowers evaluate.
+  ASSERT_NE((*a)->sentence, nullptr);
+}
+
+TEST(QueryCacheBankTest, EvictsLeastRecentlyUsedBeyondCapacity) {
+  QueryCacheBank bank(2);
+  ASSERT_TRUE(bank.Get("P(a)").ok());
+  ASSERT_TRUE(bank.Get("P(b)").ok());
+  ASSERT_TRUE(bank.Get("P(a)").ok());  // P(a) is now hottest.
+  ASSERT_TRUE(bank.Get("P(c)").ok());  // Evicts P(b).
+  EXPECT_EQ(bank.entries(), 2u);
+  uint64_t misses_before = bank.misses();
+  ASSERT_TRUE(bank.Get("P(b)").ok());  // Re-resolved: a miss (evicts P(a)).
+  EXPECT_EQ(bank.misses(), misses_before + 1);
+  uint64_t hits_before = bank.hits();
+  ASSERT_TRUE(bank.Get("P(c)").ok());  // Still resident: a hit.
+  EXPECT_EQ(bank.hits(), hits_before + 1);
+}
+
+TEST(QueryCacheBankTest, EvictedEntryStaysValidForHolders) {
+  QueryCacheBank bank(1);
+  auto held = bank.Get("P(a) | Q(a, a)");
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(bank.Get("P(b)").ok());  // Evicts the held entry from the bank.
+  EXPECT_EQ(bank.entries(), 1u);
+  // The shared_ptr keeps the entry (and its formula) alive.
+  EXPECT_EQ(ToString((*held)->sentence), ToString(*ParseSentence("P(a)|Q(a,a)")));
+}
+
+TEST(QueryCacheBankTest, ParseErrorsPropagate) {
+  QueryCacheBank bank(4);
+  EXPECT_FALSE(bank.Get("P(a").ok());
+  EXPECT_FALSE(bank.Get("P(a) &").ok());
+  // (No free-variable case: an unbound identifier in term position names a
+  // constant in this syntax, so any well-formed formula here is a sentence.)
+  EXPECT_EQ(bank.entries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Server: write path and snapshots
+
+TEST(ServeServerTest, ApplyPublishesMonotoneVersions) {
+  Server server(SmallKb());
+  EXPECT_EQ(server.CurrentSnapshot()->version, 0u);
+
+  auto v1 = server.Apply("tau{P(b)}");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 1u);
+  auto v2 = server.Apply("tau{Q(b, c)}");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2u);
+  EXPECT_EQ(server.CurrentSnapshot()->version, 2u);
+  EXPECT_EQ(server.stats().commits, 2u);
+}
+
+TEST(ServeServerTest, FailedApplyPublishesNothing) {
+  Server server(SmallKb());
+  std::shared_ptr<const Snapshot> before = server.CurrentSnapshot();
+  EXPECT_FALSE(server.Apply("tau{P(").ok());
+  EXPECT_EQ(server.CurrentSnapshot().get(), before.get());
+  EXPECT_EQ(server.stats().commits, 0u);
+}
+
+TEST(ServeServerTest, PipelineApplyMatchesTextApply) {
+  Server text_server(SmallKb());
+  Server pipe_server(SmallKb());
+  ASSERT_TRUE(text_server.Apply("tau{P(b) | Q(b, b)} >> glb").ok());
+  Pipeline pipeline;
+  pipeline.Tau("P(b) | Q(b, b)").Glb();
+  ASSERT_TRUE(pipe_server.Apply(pipeline).ok());
+  EXPECT_EQ(text_server.CurrentSnapshot()->kb, pipe_server.CurrentSnapshot()->kb);
+}
+
+// ---------------------------------------------------------------------------
+// Server: read path
+
+TEST(ServeServerTest, ModalAndCounterfactualReadsMatchCoreSemantics) {
+  Server server(SmallKb());
+  std::unique_ptr<Session> session = server.StartSession();
+
+  auto modal = session->Holds("P(a)");
+  ASSERT_TRUE(modal.ok());
+  EXPECT_TRUE(modal->holds);
+  EXPECT_EQ(modal->snapshot_version, 0u);
+
+  ReadRequest request;
+  request.antecedents = {"P(c)", "Q(c, c)"};
+  request.consequent = "P(c) & Q(c, c)";
+  request.modality = Modality::kNecessarily;
+  auto counterfactual = session->Query(request);
+  ASSERT_TRUE(counterfactual.ok());
+  EXPECT_TRUE(counterfactual->holds);
+
+  // The snapshot itself was never modified by the hypothetical chain.
+  EXPECT_EQ(server.CurrentSnapshot()->kb, SmallKb());
+  EXPECT_EQ(server.stats().reads, 2u);
+}
+
+TEST(ServeServerTest, ReadsSeeTheVersionTheyAcquired) {
+  Server server(SmallKb());
+  std::unique_ptr<Session> session = server.StartSession();
+  ASSERT_TRUE(server.Apply("tau{P(d)}").ok());
+  auto read = session->Holds("P(d)");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->holds);
+  EXPECT_EQ(read->snapshot_version, 1u);
+}
+
+/// Property: the served read path (cache bank + pinned solver/scratch +
+/// NestedCounterfactualExec) answers exactly like the plain core evaluation on
+/// the same snapshot — across random kbs, random chains, repeated sentences
+/// (cache hits), both modalities, and interleaved writes.
+TEST(ServeServerTest, ServedReadsEquivalentToPlainNestedCounterfactual) {
+  std::mt19937_64 rng(20260808);
+  testutil::RandomSentenceGenerator gen(&rng);
+  std::uniform_int_distribution<int> chain_len(0, 2);
+  std::bernoulli_distribution coin(0.5);
+
+  for (int round = 0; round < 30; ++round) {
+    Knowledgebase kb = testutil::RandomKnowledgebase(&rng);
+    Server server(kb);
+    std::unique_ptr<Session> session = server.StartSession();
+    for (int q = 0; q < 4; ++q) {
+      std::vector<Formula> antecedents;
+      ReadRequest request;
+      int len = chain_len(rng);
+      for (int i = 0; i < len; ++i) {
+        Formula f = gen.Generate(2);
+        antecedents.push_back(f);
+        request.antecedents.push_back(ToString(f));
+      }
+      Formula consequent = gen.Generate(2);
+      request.consequent = ToString(consequent);
+      request.modality =
+          coin(rng) ? Modality::kNecessarily : Modality::kPossibly;
+
+      auto expected = NestedCounterfactual(kb, antecedents, consequent,
+                                           request.modality);
+      ASSERT_TRUE(expected.ok()) << expected.status().message();
+      auto served = session->Query(request);
+      ASSERT_TRUE(served.ok()) << served.status().message();
+      EXPECT_EQ(served->holds, *expected)
+          << "round " << round << " query " << q << ": chain of " << len
+          << " onto " << request.consequent;
+    }
+  }
+}
+
+/// Same property with the bank disabled (the no-batch baseline path).
+TEST(ServeServerTest, NoBankReadsEquivalentToPlainNestedCounterfactual) {
+  std::mt19937_64 rng(808);
+  testutil::RandomSentenceGenerator gen(&rng);
+  ServerOptions options;
+  options.use_cache_bank = false;
+
+  for (int round = 0; round < 10; ++round) {
+    Knowledgebase kb = testutil::RandomKnowledgebase(&rng);
+    Server server(kb, options);
+    std::unique_ptr<Session> session = server.StartSession();
+    Formula antecedent = gen.Generate(2);
+    Formula consequent = gen.Generate(2);
+    ReadRequest request;
+    request.antecedents = {ToString(antecedent)};
+    request.consequent = ToString(consequent);
+    auto expected =
+        NestedCounterfactual(kb, {antecedent}, consequent, request.modality);
+    ASSERT_TRUE(expected.ok());
+    auto served = session->Query(request);
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(served->holds, *expected);
+  }
+}
+
+TEST(ServeServerTest, RepeatedSentencesHitTheBank) {
+  Server server(SmallKb());
+  std::unique_ptr<Session> session = server.StartSession();
+  ReadRequest request;
+  request.antecedents = {"P(b)"};
+  request.consequent = "P(b)";
+  for (int i = 0; i < 3; ++i) {
+    auto result = session->Query(request);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->holds);
+  }
+  Server::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.bank_misses, 1u);  // One resolve for P(b)...
+  EXPECT_EQ(stats.bank_hits, 2u);    // ...then hits.
+}
+
+// ---------------------------------------------------------------------------
+// Batching
+
+TEST(ServeServerTest, BatchedResultsIdenticalToOneAtATime) {
+  std::mt19937_64 rng(4242);
+  testutil::RandomSentenceGenerator gen(&rng);
+
+  for (int round = 0; round < 8; ++round) {
+    Knowledgebase kb = testutil::RandomKnowledgebase(&rng);
+    // The batch deliberately repeats chains so grouping has something to merge.
+    std::vector<ReadRequest> requests;
+    for (int i = 0; i < 3; ++i) {
+      ReadRequest request;
+      request.antecedents = {ToString(gen.Generate(2))};
+      request.consequent = ToString(gen.Generate(2));
+      requests.push_back(request);
+      requests.push_back(request);  // Duplicate: same group.
+      std::swap(requests[requests.size() / 2], requests.back());
+    }
+
+    Server batch_server(kb);
+    std::unique_ptr<Session> batch_session = batch_server.StartSession();
+    auto batched = batch_server.ExecuteBatch(*batch_session, requests);
+    ASSERT_TRUE(batched.ok()) << batched.status().message();
+    ASSERT_EQ(batched->size(), requests.size());
+
+    Server serial_server(kb);
+    std::unique_ptr<Session> serial_session = serial_server.StartSession();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      auto expected = serial_session->Query(requests[i]);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ((*batched)[i].holds, expected->holds) << "request " << i;
+      EXPECT_EQ((*batched)[i].snapshot_version, 0u);
+    }
+    EXPECT_EQ(batch_server.stats().batches, 1u);
+  }
+}
+
+TEST(ServeServerTest, BatchEvaluatesAgainstOneSnapshot) {
+  Server server(SmallKb());
+  std::unique_ptr<Session> session = server.StartSession();
+  ASSERT_TRUE(server.Apply("tau{P(b)}").ok());
+  std::vector<ReadRequest> requests(3);
+  requests[0].consequent = "P(a)";
+  requests[1].consequent = "P(b)";
+  requests[2].consequent = "P(c)";
+  auto results = server.ExecuteBatch(*session, requests);
+  ASSERT_TRUE(results.ok());
+  for (const ReadResult& r : *results) EXPECT_EQ(r.snapshot_version, 1u);
+  EXPECT_TRUE((*results)[0].holds);
+  EXPECT_TRUE((*results)[1].holds);
+  EXPECT_FALSE((*results)[2].holds);
+}
+
+// ---------------------------------------------------------------------------
+// Durable serving
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + name;
+  if (store::Env::Default()->FileExists(dir)) {
+    auto names = store::Env::Default()->ListDir(dir);
+    if (names.ok()) {
+      for (const std::string& n : *names) {
+        Status ignored = store::Env::Default()->RemoveFile(dir + "/" + n);
+        (void)ignored;
+      }
+    }
+  }
+  return dir;
+}
+
+TEST(ServeServerTest, DurableServerSurvivesReopen) {
+  const std::string dir = FreshDir("kbt_serve_test_reopen");
+  Knowledgebase committed{Schema()};
+  {
+    auto server = Server::OpenDurable(dir, SmallKb());
+    ASSERT_TRUE(server.ok()) << server.status().message();
+    ASSERT_TRUE((*server)->Apply("tau{P(b)}").ok());
+    ASSERT_TRUE((*server)->Apply("tau{Q(b, c) | Q(c, b)}").ok());
+    committed = (*server)->CurrentSnapshot()->kb;
+    EXPECT_EQ((*server)->store()->lsn(), 2u);
+  }
+  // Reopen: recovered state is version 0 and `initial` is ignored.
+  auto server = Server::OpenDurable(dir, Knowledgebase(Schema()));
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  EXPECT_EQ((*server)->CurrentSnapshot()->version, 0u);
+  EXPECT_EQ((*server)->CurrentSnapshot()->kb, committed);
+
+  // And serves reads over the recovered state.
+  std::unique_ptr<Session> session = (*server)->StartSession();
+  auto read = session->Holds("P(b)");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->holds);
+}
+
+TEST(ServeServerTest, AutoCheckpointRotatesEveryNCommits) {
+  const std::string dir = FreshDir("kbt_serve_test_autockpt");
+  ServerOptions options;
+  options.checkpoint_every = 2;
+  auto server =
+      Server::OpenDurable(dir, SmallKb(), store::StoreOptions(), options);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*server)->Apply("tau{P(b)}").ok());
+  }
+  // Two checkpoints happened; the newest is at lsn 4, so wal-4 exists and the
+  // original wal-0 was garbage-collected.
+  EXPECT_TRUE(
+      store::Env::Default()->FileExists(dir + "/" + store::WalFileName(4)));
+  EXPECT_FALSE(
+      store::Env::Default()->FileExists(dir + "/" + store::WalFileName(0)));
+  EXPECT_EQ((*server)->CurrentSnapshot()->version, 4u);
+}
+
+TEST(ServeServerTest, DurablePipelineApplyIsReplayed) {
+  const std::string dir = FreshDir("kbt_serve_test_pipeline");
+  Knowledgebase committed{Schema()};
+  {
+    auto server = Server::OpenDurable(dir, SmallKb());
+    ASSERT_TRUE(server.ok());
+    Pipeline pipeline;
+    pipeline.Tau("P(b) | P(c)").Glb();
+    ASSERT_TRUE((*server)->Apply(pipeline).ok());
+    committed = (*server)->CurrentSnapshot()->kb;
+  }
+  auto server = Server::OpenDurable(dir, Knowledgebase(Schema()));
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  EXPECT_EQ((*server)->CurrentSnapshot()->kb, committed);
+}
+
+}  // namespace
+}  // namespace kbt::serve
