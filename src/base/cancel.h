@@ -1,0 +1,76 @@
+#ifndef KBT_BASE_CANCEL_H_
+#define KBT_BASE_CANCEL_H_
+
+/// \file
+/// Cooperative deadline / cancellation tokens.
+///
+/// A CancelToken is the one object a request's cancellation state lives in:
+/// an atomic flag (flipped by Cancel(), e.g. when a server drains), an
+/// optional monotonic deadline, and an optional parent token (so a
+/// per-request deadline token also observes a server-wide drain token).
+/// Workers poll Expired() at natural loop boundaries — per SAT conflict
+/// batch, per τ world, per chain step — and unwind with kDeadlineExceeded.
+/// Nothing blocks on a token and nothing is preempted: cancellation is
+/// cooperative, which is what lets the SAT solver stop at a clean decision
+/// boundary and stay reusable.
+///
+/// Expired() reads a steady clock when a deadline is set, so callers on hot
+/// paths poll it once per O(hundreds) of iterations, not per iteration. The
+/// flag-only check (cancelled()) is a relaxed atomic load and safe anywhere.
+///
+/// Thread-safety: Cancel()/cancelled()/Expired() may be called from any
+/// thread. set_deadline/set_parent are setup-time only (before the token is
+/// shared).
+
+#include <atomic>
+#include <chrono>
+
+namespace kbt {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms the deadline `timeout` from now. A zero/negative timeout expires
+  /// immediately.
+  void set_deadline_after(std::chrono::steady_clock::duration timeout) {
+    deadline_ = std::chrono::steady_clock::now() + timeout;
+    has_deadline_ = true;
+  }
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  /// Chains this token below `parent`: Expired() also reports true once the
+  /// parent expires. `parent` must outlive this token; may be nullptr.
+  void set_parent(const CancelToken* parent) { parent_ = parent; }
+
+  /// Fires the token: every Expired()/cancelled() call from now on returns
+  /// true. Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Flag-only check (no clock read): true once Cancel() was called.
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Full check: the flag, the deadline (one steady-clock read when armed),
+  /// and the parent chain.
+  bool Expired() const {
+    if (cancelled()) return true;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return true;
+    }
+    return parent_ != nullptr && parent_->Expired();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace kbt
+
+#endif  // KBT_BASE_CANCEL_H_

@@ -24,6 +24,10 @@ const char* StatusCodeName(StatusCode code) {
       return "io-error";
     case StatusCode::kDataLoss:
       return "data-loss";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

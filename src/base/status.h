@@ -39,6 +39,14 @@ enum class StatusCode {
   /// mismatch, truncation past the committed prefix). Unlike kIOError this is
   /// a statement about the data, not the device.
   kDataLoss = 8,
+  /// The operation's deadline expired (or its cancellation token fired) before
+  /// it completed. The work was abandoned cooperatively: no partial state is
+  /// visible and the operation may be retried with a larger deadline.
+  kDeadlineExceeded = 9,
+  /// The service cannot take the request right now (overloaded, draining, or
+  /// the connection failed before the request was accepted). Safe to retry
+  /// after backing off — the request was rejected, not half-executed.
+  kUnavailable = 10,
 };
 
 /// Human-readable name of a StatusCode ("ok", "invalid-argument", ...).
@@ -93,6 +101,14 @@ class Status final {
   /// Returns a kDataLoss status with the given message.
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  /// Returns a kDeadlineExceeded status with the given message.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  /// Returns a kUnavailable status with the given message.
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
   /// Returns a kIOError carrying the errno of a failed syscall:
   /// "<context>: <strerror(errno_value)> (errno <errno_value>)".

@@ -9,9 +9,11 @@ namespace kbt {
 namespace {
 
 /// Shared tail of both chain evaluators: extend the schema so the consequent's
-/// satisfaction is defined, then fold the modality over the worlds.
+/// satisfaction is defined, then fold the modality over the worlds. `cancel`
+/// (nullable) is polled per world — a chain may yield many worlds and each
+/// Satisfies is a full model check.
 StatusOr<bool> CheckConsequent(Knowledgebase current, const Formula& consequent,
-                               Modality modality) {
+                               Modality modality, const CancelToken* cancel) {
   // The consequent may mention relations the updates introduced; extend the
   // schema so satisfaction is defined (new relations are empty under CWA).
   KBT_ASSIGN_OR_RETURN(Schema consequent_schema, SchemaOf(consequent));
@@ -23,6 +25,9 @@ StatusOr<bool> CheckConsequent(Knowledgebase current, const Formula& consequent,
   bool all = true;
   bool some = false;
   for (size_t i = 0; i < current.size(); ++i) {
+    if (cancel != nullptr && cancel->Expired()) {
+      return Status::DeadlineExceeded("query cancelled during consequent check");
+    }
     Database db = current.World(i);  // Transient copy-on-write materialization.
     KBT_ASSIGN_OR_RETURN(bool holds, Satisfies(db, consequent));
     all = all && holds;
@@ -41,24 +46,36 @@ StatusOr<bool> NestedCounterfactual(const Knowledgebase& kb,
   for (const Formula& a : antecedents) {
     KBT_ASSIGN_OR_RETURN(current, Tau(a, current, options));
   }
-  return CheckConsequent(std::move(current), consequent, modality);
+  return CheckConsequent(std::move(current), consequent, modality,
+                         options.cancel);
 }
 
 StatusOr<bool> NestedCounterfactualExec(const Knowledgebase& kb,
                                         const std::vector<ChainStep>& steps,
                                         const Formula& consequent,
                                         Modality modality,
-                                        const TauOptions& options) {
+                                        const TauOptions& options,
+                                        TauStats* stats) {
   Knowledgebase current = kb;
   for (const ChainStep& step : steps) {
+    // Between chain steps is the coarsest useful cancellation boundary: each
+    // τ may fan a world-set out by orders of magnitude. (τ itself re-checks
+    // per world and inside the SAT search via options.mu.cancel.)
+    if (options.mu.cancel != nullptr && options.mu.cancel->Expired()) {
+      return Status::DeadlineExceeded("query cancelled between chain steps");
+    }
     // The base options carry the session-wide resources (pool, pinned solver,
     // scratch, μ options); only the per-sentence caches vary per step.
     TauOptions step_options = options;
     step_options.ground_cache = step.ground_cache;
     step_options.cnf_cache = step.cnf_cache;
-    KBT_ASSIGN_OR_RETURN(current, Tau(*step.antecedent, current, step_options));
+    // Tau merges μ counters into whatever stats object arrives, so passing
+    // the same one per step accumulates across the chain.
+    KBT_ASSIGN_OR_RETURN(current,
+                         Tau(*step.antecedent, current, step_options, stats));
   }
-  return CheckConsequent(std::move(current), consequent, modality);
+  return CheckConsequent(std::move(current), consequent, modality,
+                         options.mu.cancel);
 }
 
 StatusOr<bool> Counterfactual(const Knowledgebase& kb, const Formula& antecedent,

@@ -32,6 +32,8 @@ void MuStats::MergeFrom(const MuStats& other) {
   sat_decisions += other.sat_decisions;
   sat_reused_levels += other.sat_reused_levels;
   sat_saved_propagations += other.sat_saved_propagations;
+  sat_interrupt_checks += other.sat_interrupt_checks;
+  sat_budget_trips += other.sat_budget_trips;
   datalog_rounds += other.datalog_rounds;
   datalog_derived_tuples += other.datalog_derived_tuples;
   used = other.used;  // Last strategy wins; τ reports per-call anyway.
@@ -73,6 +75,11 @@ StatusOr<TauStrategyPlan> PlanTauStrategies(const Formula& sentence,
 StatusOr<Knowledgebase> MuExec(const Formula& sentence, const Database& db,
                                const MuOptions& options, MuStats* stats,
                                const MuExecContext& exec) {
+  // Cheapest place to honor an already-expired request: before grounding.
+  // The SAT strategy additionally polls the token inside the search.
+  if (options.cancel != nullptr && options.cancel->Expired()) {
+    return Status::DeadlineExceeded("μ cancelled before evaluation");
+  }
   UpdateContext ctx;
   if (exec.extended_schema != nullptr && exec.formula_constants != nullptr) {
     KBT_ASSIGN_OR_RETURN(

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 
+#include "base/cancel.h"
 #include "base/status.h"
 #include "core/universe.h"
 #include "logic/formula.h"
@@ -67,6 +68,16 @@ struct MuOptions {
   /// (the json_bench_mu `_noreuse` mode); either way μ returns the identical
   /// minimal-model set (property-tested in tests/pipeline_fuzz_test.cc).
   bool reuse_assumption_trail = true;
+  /// Cooperative cancellation: checked at enumeration boundaries and polled
+  /// inside the SAT search; an expired token makes μ return kDeadlineExceeded.
+  /// Must outlive the call. nullptr (the default) disables every check — the
+  /// computation is then bit-identical to a token-free build.
+  const CancelToken* cancel = nullptr;
+  /// SAT-strategy conflict budget per μ call (0 = unlimited): once the
+  /// session solver has spent this many further conflicts, μ returns
+  /// kDeadlineExceeded with the solver reusable. A coarse-grained guard for
+  /// servers that cannot afford an unbounded descent even with no deadline.
+  uint64_t sat_conflict_budget = 0;
 };
 
 struct MuStats {
@@ -87,6 +98,10 @@ struct MuStats {
   /// literals those levels kept enqueued (0 with reuse_assumption_trail off).
   uint64_t sat_reused_levels = 0;
   uint64_t sat_saved_propagations = 0;
+  /// Interrupt-token polls inside the SAT search and solves abandoned by a
+  /// budget/token trip (both 0 unless cancel/sat_conflict_budget are set).
+  uint64_t sat_interrupt_checks = 0;
+  uint64_t sat_budget_trips = 0;
   /// Datalog statistics (datalog strategy only).
   size_t datalog_rounds = 0;
   size_t datalog_derived_tuples = 0;

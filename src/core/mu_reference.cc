@@ -137,6 +137,12 @@ StatusOr<Knowledgebase> MuReference(const Formula& sentence, const Database& db,
   };
 
   for (uint64_t mask = 0; mask < (uint64_t{1} << k); ++mask) {
+    // Up to 2^max_reference_atoms assignments: poll the request token every
+    // 1024 so a cancelled request unwinds promptly (no-op when token-free).
+    if (options.cancel != nullptr && (mask & 1023) == 0 &&
+        options.cancel->Expired()) {
+      return Status::DeadlineExceeded("μ cancelled during reference enumeration");
+    }
     for (size_t i = 0; i < k; ++i) {
       assignment[static_cast<size_t>(vars[i])] = ((mask >> i) & 1) != 0;
     }

@@ -127,6 +127,17 @@ class SatEnumerator {
       own_node_lits = encoder.node_lits();
       node_lits = &own_node_lits;
     }
+    // Arm per-request limits now — Reset/InitFromFrozen above cleared any —
+    // and guarantee they are disarmed when Run unwinds: the solver may be a
+    // session solver that outlives this request's (stack-allocated) token.
+    if (options_.cancel != nullptr || options_.sat_conflict_budget != 0) {
+      solver_->SetInterrupt(options_.cancel);
+      solver_->SetBudget(options_.sat_conflict_budget, 0);
+    }
+    struct LimitsGuard {
+      Solver* s;
+      ~LimitsGuard() { s->ClearLimits(); }
+    } limits_guard{solver_};
     // Valid previous evaluation of the same circuit on this worker: the next
     // world's defaults differ in a handful of atoms, so the circuit walk below
     // shrinks to the changed cone.
@@ -204,7 +215,9 @@ class SatEnumerator {
       // unblocked model found is near-minimal, keeping its descent short.
       SeedDefaultPhases();
       FlushRetiredGuards();
-      if (Solve(no_assumptions_) == SolveResult::kUnsat) break;
+      SolveResult probe = Solve(no_assumptions_);
+      if (probe == SolveResult::kUnknown) return DeadlineStatus();
+      if (probe == SolveResult::kUnsat) break;
       KBT_ASSIGN_OR_RETURN(FoundModel candidate, Descend());
       // The descent fixpoint is minimal unless a previously reported minimal model
       // (now blocked, hence invisible) lies strictly below it.
@@ -325,8 +338,19 @@ class SatEnumerator {
     stats_->sat_decisions = solver_->stats().decisions;
     stats_->sat_reused_levels = solver_->stats().reused_assumption_levels;
     stats_->sat_saved_propagations = solver_->stats().saved_propagations;
+    stats_->sat_interrupt_checks = solver_->stats().interrupt_checks;
+    stats_->sat_budget_trips = solver_->stats().budget_trips;
     if (r == SolveResult::kSat) ++stats_->candidates_examined;
     return r;
+  }
+
+  /// The kUnknown unwind: the solver already backtracked to a usable root
+  /// (AbortSolve); μ reports the abandoned request as a deadline error.
+  Status DeadlineStatus() const {
+    return Status::DeadlineExceeded(
+        options_.cancel != nullptr && options_.cancel->Expired()
+            ? "μ cancelled during SAT search"
+            : "μ SAT conflict budget exhausted");
   }
 
   void SnapshotModel() {
@@ -421,6 +445,7 @@ class SatEnumerator {
       SeedDefaultPhases();
       SolveResult r = Solve(assumptions);
       RetireGuard(act);
+      if (r == SolveResult::kUnknown) return DeadlineStatus();
       if (r == SolveResult::kUnsat) break;
       SnapshotModel();
     }
@@ -455,6 +480,7 @@ class SatEnumerator {
       SeedDefaultPhases();
       SolveResult r = Solve(assumptions);
       RetireGuard(act);
+      if (r == SolveResult::kUnknown) return DeadlineStatus();
       if (r == SolveResult::kUnsat) break;
       SnapshotModel();
     }

@@ -33,7 +33,10 @@ class Solver;
 namespace kbt {
 
 struct TauOptions {
-  /// Options for the per-world μ calls.
+  /// Options for the per-world μ calls. Cancellation rides here too: set
+  /// `mu.cancel` (and optionally `mu.sat_conflict_budget`) and every world's
+  /// μ honors it — an expired token fails the τ call with kDeadlineExceeded
+  /// before the next world starts and mid-search inside the SAT descent.
   MuOptions mu;
   /// Worker threads for the world fan-out. 1 = sequential in the calling
   /// thread; 0 = one per hardware thread.

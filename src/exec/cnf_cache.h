@@ -81,6 +81,20 @@ class CnfCache {
   Stats stats() const { return cache_.stats(); }
   /// Number of distinct domains seen.
   size_t entries() const { return cache_.entries(); }
+  /// Caps distinct cached domains with LRU eviction (0 = unbounded). Bounds
+  /// growth under domain churn; lookups still return identical values.
+  void set_max_entries(size_t n) { cache_.set_max_entries(n); }
+  /// Estimated bytes held by completed entries. Counts the frozen solver
+  /// state and the dense tables; the shared grounding is *not* counted (it is
+  /// billed to the GroundingCache that owns it).
+  size_t approx_bytes() const {
+    return cache_.ApproxBytes([](const FrozenCnf& f) {
+      return f.prefix.arena_words() * sizeof(uint32_t) +
+             static_cast<size_t>(f.prefix.num_vars()) * 40 +
+             f.atom_var.size() * sizeof(sat::Var) +
+             f.node_lit.size() * sizeof(sat::Lit);
+    });
+  }
 
  private:
   DomainKeyedOnceCache<FrozenCnf> cache_;

@@ -64,6 +64,19 @@ class GroundingCache {
   Stats stats() const { return cache_.stats(); }
   /// Number of distinct domains seen.
   size_t entries() const { return cache_.entries(); }
+  /// Caps distinct cached domains with LRU eviction (0 = unbounded). Bounds
+  /// growth under domain churn; lookups still return identical values.
+  void set_max_entries(size_t n) { cache_.set_max_entries(n); }
+  /// Estimated bytes held by completed entries (circuit nodes, atom table,
+  /// adjacency — a sizing heuristic, not an exact meter).
+  size_t approx_bytes() const {
+    return cache_.ApproxBytes([](const CachedGrounding& g) {
+      return g.grounding.circuit.size() * 16 + g.grounding.atoms.size() * 24 +
+             g.mentioned.size() * sizeof(int) +
+             g.users.offset.size() * sizeof(uint32_t) +
+             g.users.data.size() * sizeof(int32_t);
+    });
+  }
 
  private:
   DomainKeyedOnceCache<CachedGrounding> cache_;

@@ -11,8 +11,17 @@
 /// errors are cached like values. This header is the one implementation of
 /// that discipline; the concrete caches supply only the value type and the
 /// build function.
+///
+/// Boundedness: a serving workload with a churning active domain (every
+/// commit growing or shifting the domain) makes each lookup a fresh key, so
+/// an unbounded map grows linearly with commits. set_max_entries caps the
+/// table with LRU eviction — borrowers keep their shared_ptr, so eviction
+/// never invalidates a computation in flight — and ApproxBytes lets owners
+/// budget by memory rather than entry count.
 
 #include <cstdint>
+#include <atomic>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -38,7 +47,17 @@ class DomainKeyedOnceCache {
   struct Stats {
     uint64_t hits = 0;    ///< Lookups served by an existing entry.
     uint64_t misses = 0;  ///< Lookups that created (and computed) an entry.
+    uint64_t evictions = 0;  ///< Entries dropped by the max_entries LRU cap.
   };
+
+  /// Caps the number of cached domains (0 = unbounded, the default). Beyond
+  /// the cap the least-recently-used entry is dropped when a new one is
+  /// created. Setting a cap only changes *retention*: every lookup still
+  /// returns the same value it would have computed uncached.
+  void set_max_entries(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_entries_ = n;
+  }
 
   /// Returns the cached value for `domain`, computing it via `build` on first
   /// use. `build` is `StatusOr<std::shared_ptr<const V>>()`; a failed build is
@@ -49,27 +68,40 @@ class DomainKeyedOnceCache {
     std::shared_ptr<Entry> entry;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      std::shared_ptr<Entry>& slot = map_[domain];
-      if (slot == nullptr) {
-        slot = std::make_shared<Entry>();
+      auto it = map_.find(domain);
+      if (it == map_.end()) {
         ++stats_.misses;
+        if (max_entries_ > 0 && map_.size() >= max_entries_) {
+          // Evict the coldest domain. A borrower mid-computation keeps its
+          // own shared_ptr<Entry>; only the cache's reference goes away.
+          map_.erase(lru_.back());
+          lru_.pop_back();
+          ++stats_.evictions;
+        }
+        lru_.push_front(domain);
+        auto slot = std::make_shared<Entry>();
+        slot->lru_pos = lru_.begin();
+        it = map_.emplace(domain, std::move(slot)).first;
       } else {
         ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second->lru_pos);
       }
-      entry = slot;
+      entry = it->second;
     }
     // The first thread to take the entry lock computes; latecomers wait on
     // the same lock and find the result. The map lock is never held while
     // computing.
     std::lock_guard<std::mutex> entry_lock(entry->mu);
-    if (!entry->done) {
+    if (!entry->done.load(std::memory_order_relaxed)) {
       StatusOr<std::shared_ptr<const V>> built = build();
       if (built.ok()) {
         entry->value = std::move(*built);
       } else {
         entry->status = built.status();
       }
-      entry->done = true;
+      // Release pairs with ApproxBytes's acquire: a reader that observes
+      // done=true also observes the completed value.
+      entry->done.store(true, std::memory_order_release);
     }
     if (!entry->status.ok()) return entry->status;
     return entry->value;
@@ -86,6 +118,23 @@ class DomainKeyedOnceCache {
     return map_.size();
   }
 
+  /// Estimated bytes held by completed entries, as Σ cost(value). Entries
+  /// still computing (or that failed) count zero. `cost` must not lock this
+  /// cache.
+  template <typename CostFn>
+  size_t ApproxBytes(CostFn&& cost) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto& [key, entry] : map_) {
+      total += key.capacity() * sizeof(Value);
+      if (entry->done.load(std::memory_order_acquire) && entry->status.ok() &&
+          entry->value != nullptr) {
+        total += cost(*entry->value);
+      }
+    }
+    return total;
+  }
+
  private:
   struct DomainHash {
     size_t operator()(const std::vector<Value>& domain) const {
@@ -99,13 +148,17 @@ class DomainKeyedOnceCache {
   /// immutable.
   struct Entry {
     std::mutex mu;
-    bool done = false;
+    std::atomic<bool> done{false};
     Status status;
     std::shared_ptr<const V> value;
+    std::list<std::vector<Value>>::iterator lru_pos;
   };
 
   mutable std::mutex mu_;
+  size_t max_entries_ = 0;
   std::unordered_map<std::vector<Value>, std::shared_ptr<Entry>, DomainHash> map_;
+  /// Domains in recency order; back() is the eviction candidate.
+  std::list<std::vector<Value>> lru_;
   Stats stats_;
 };
 

@@ -1,0 +1,299 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "store/crc32.h"
+
+namespace kbt::net {
+
+namespace {
+
+uint32_t ReadLeU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+uint64_t ReadLeU64(const char* p) {
+  return static_cast<uint64_t>(ReadLeU32(p)) |
+         static_cast<uint64_t>(ReadLeU32(p + 4)) << 32;
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kReadRequest) &&
+         t <= static_cast<uint8_t>(FrameType::kStatsReply);
+}
+
+StatusOr<std::string> EncodeFrame(FrameType type, std::string_view payload,
+                                  uint16_t seq) {
+  if (payload.size() > kMaxPayload) {
+    return Status::InvalidArgument("frame payload exceeds cap: " +
+                                   std::to_string(payload.size()));
+  }
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  PutU32(&out, kWireMagic);
+  PutU8(&out, kWireVersion);
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU8(&out, static_cast<uint8_t>(seq & 0xff));
+  PutU8(&out, static_cast<uint8_t>(seq >> 8));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, store::Crc32c(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+StatusOr<FrameHeader> DecodeHeader(std::string_view header) {
+  if (header.size() != kHeaderSize) {
+    return Status::DataLoss("frame header truncated: " +
+                            std::to_string(header.size()) + " bytes");
+  }
+  const char* p = header.data();
+  if (ReadLeU32(p) != kWireMagic) {
+    return Status::DataLoss("bad frame magic");
+  }
+  uint8_t version = static_cast<uint8_t>(p[4]);
+  if (version != kWireVersion) {
+    return Status::DataLoss("unsupported wire version " +
+                            std::to_string(version));
+  }
+  uint8_t type = static_cast<uint8_t>(p[5]);
+  if (!IsKnownFrameType(type)) {
+    return Status::DataLoss("unknown frame type " + std::to_string(type));
+  }
+  FrameHeader h;
+  h.type = static_cast<FrameType>(type);
+  h.seq = static_cast<uint16_t>(static_cast<uint8_t>(p[6]) |
+                                static_cast<uint16_t>(static_cast<uint8_t>(p[7]))
+                                    << 8);
+  h.payload_len = ReadLeU32(p + 8);
+  if (h.payload_len > kMaxPayload) {
+    return Status::DataLoss("frame payload length over cap: " +
+                            std::to_string(h.payload_len));
+  }
+  return h;
+}
+
+Status VerifyPayload(std::string_view header, std::string_view payload) {
+  if (header.size() != kHeaderSize) {
+    return Status::DataLoss("frame header truncated");
+  }
+  uint32_t expected = ReadLeU32(header.data() + 12);
+  uint32_t actual = store::Crc32c(payload.data(), payload.size());
+  if (expected != actual) {
+    return Status::DataLoss("frame payload CRC mismatch");
+  }
+  return Status::OK();
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+StatusOr<uint8_t> PayloadReader::GetU8() {
+  if (pos_ + 1 > data_.size()) return Status::DataLoss("payload underrun (u8)");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+StatusOr<uint32_t> PayloadReader::GetU32() {
+  if (pos_ + 4 > data_.size()) return Status::DataLoss("payload underrun (u32)");
+  uint32_t v = ReadLeU32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> PayloadReader::GetU64() {
+  if (pos_ + 8 > data_.size()) return Status::DataLoss("payload underrun (u64)");
+  uint64_t v = ReadLeU64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<std::string> PayloadReader::GetString(size_t max_len) {
+  KBT_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (len > max_len) {
+    return Status::DataLoss("string field over cap: " + std::to_string(len));
+  }
+  if (pos_ + len > data_.size()) {
+    return Status::DataLoss("payload underrun (string)");
+  }
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+
+std::string EncodeReadRequest(const WireReadRequest& r) {
+  std::string out;
+  PutU64(&out, r.deadline_ms);
+  PutU8(&out, r.modality);
+  PutU32(&out, static_cast<uint32_t>(r.antecedents.size()));
+  for (const std::string& a : r.antecedents) PutString(&out, a);
+  PutString(&out, r.consequent);
+  return out;
+}
+
+StatusOr<WireReadRequest> DecodeReadRequest(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireReadRequest r;
+  KBT_ASSIGN_OR_RETURN(r.deadline_ms, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.modality, reader.GetU8());
+  if (r.modality > 1) {
+    return Status::DataLoss("bad modality byte " + std::to_string(r.modality));
+  }
+  KBT_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  if (n > kMaxChainDepth) {
+    return Status::DataLoss("antecedent chain over cap: " + std::to_string(n));
+  }
+  r.antecedents.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KBT_ASSIGN_OR_RETURN(std::string a, reader.GetString());
+    r.antecedents.push_back(std::move(a));
+  }
+  KBT_ASSIGN_OR_RETURN(r.consequent, reader.GetString());
+  if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in read request");
+  return r;
+}
+
+std::string EncodeReadReply(const WireReadReply& r) {
+  std::string out;
+  PutU8(&out, r.holds ? 1 : 0);
+  PutU64(&out, r.snapshot_version);
+  return out;
+}
+
+StatusOr<WireReadReply> DecodeReadReply(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireReadReply r;
+  KBT_ASSIGN_OR_RETURN(uint8_t holds, reader.GetU8());
+  if (holds > 1) return Status::DataLoss("bad holds byte");
+  r.holds = holds == 1;
+  KBT_ASSIGN_OR_RETURN(r.snapshot_version, reader.GetU64());
+  if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in read reply");
+  return r;
+}
+
+std::string EncodeApplyRequest(const WireApplyRequest& r) {
+  std::string out;
+  PutString(&out, r.expression);
+  return out;
+}
+
+StatusOr<WireApplyRequest> DecodeApplyRequest(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireApplyRequest r;
+  KBT_ASSIGN_OR_RETURN(r.expression, reader.GetString());
+  if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in apply request");
+  return r;
+}
+
+std::string EncodeApplyReply(const WireApplyReply& r) {
+  std::string out;
+  PutU64(&out, r.version);
+  return out;
+}
+
+StatusOr<WireApplyReply> DecodeApplyReply(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireApplyReply r;
+  KBT_ASSIGN_OR_RETURN(r.version, reader.GetU64());
+  if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in apply reply");
+  return r;
+}
+
+std::string EncodeError(const WireError& e) {
+  std::string out;
+  PutU8(&out, e.code);
+  PutU32(&out, e.retry_after_ms);
+  PutString(&out, e.message);
+  return out;
+}
+
+StatusOr<WireError> DecodeError(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireError e;
+  KBT_ASSIGN_OR_RETURN(e.code, reader.GetU8());
+  KBT_ASSIGN_OR_RETURN(e.retry_after_ms, reader.GetU32());
+  KBT_ASSIGN_OR_RETURN(e.message, reader.GetString());
+  if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in error frame");
+  return e;
+}
+
+WireError ErrorFromStatus(const Status& status, uint32_t retry_after_ms) {
+  WireError e;
+  e.code = static_cast<uint8_t>(status.code());
+  e.retry_after_ms = retry_after_ms;
+  e.message = status.message();
+  return e;
+}
+
+Status StatusFromError(const WireError& e) {
+  StatusCode code = static_cast<StatusCode>(e.code);
+  switch (code) {
+    case StatusCode::kOk:
+      // An error frame must carry an error; a peer sending kOk is corrupt.
+      return Status::DataLoss("error frame with OK code");
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kNotFound:
+    case StatusCode::kUnsupported:
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+    case StatusCode::kDataLoss:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      return Status(code, e.message);
+  }
+  return Status::DataLoss("error frame with unknown code " +
+                          std::to_string(e.code));
+}
+
+std::string EncodeStatsReply(const WireStatsReply& r) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(r.counters.size()));
+  for (const auto& [name, value] : r.counters) {
+    PutString(&out, name);
+    PutU64(&out, value);
+  }
+  return out;
+}
+
+StatusOr<WireStatsReply> DecodeStatsReply(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireStatsReply r;
+  KBT_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  if (n > 4096) return Status::DataLoss("stats counter count over cap");
+  r.counters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KBT_ASSIGN_OR_RETURN(std::string name, reader.GetString(4096));
+    KBT_ASSIGN_OR_RETURN(uint64_t value, reader.GetU64());
+    r.counters.emplace_back(std::move(name), value);
+  }
+  if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in stats reply");
+  return r;
+}
+
+}  // namespace kbt::net

@@ -1,0 +1,185 @@
+#ifndef KBT_NET_FRAME_H_
+#define KBT_NET_FRAME_H_
+
+/// \file
+/// The kbt wire protocol: length-prefixed, CRC-guarded binary frames.
+///
+/// Every message on a connection is one frame:
+///
+///   offset  size  field
+///   0       4     magic       0x4B425457 ("KBTW"), little-endian
+///   4       1     version     kWireVersion
+///   5       1     type        FrameType
+///   6       2     seq         request sequence number; replies echo it
+///   8       4     payload_len bytes following the header (≤ kMaxPayload)
+///   12      4     crc32c      CRC-32C of the payload bytes (store/crc32)
+///
+/// `seq` pins each reply to its request: a client numbers requests 1, 2, …
+/// and discards any success reply whose echoed seq does not match the
+/// request in flight. Without it, a duplicated frame (retransmission-style
+/// fault) desyncs the strict request–reply pairing and a later read could
+/// consume a stale reply of the right type — a silently *wrong answer*.
+/// Frames originated outside a request–reply exchange (accept-time rejects)
+/// use seq 0.
+///
+/// The header is fixed-size (kHeaderSize = 16) so a reader always knows how
+/// many bytes to expect next; the CRC catches payload corruption and the
+/// magic/version/len checks catch header corruption, desync and garbage.
+/// Decoding is total: any malformed input yields a typed Status
+/// (kDataLoss/kInvalidArgument), never a crash or an over-allocation — the
+/// payload buffer is only sized after the length passed its cap.
+///
+/// Payloads are flat little-endian fields and u32-length-prefixed strings
+/// (see the Put*/Get* helpers). Hard caps — frame length, antecedent chain
+/// depth, batch size — are enforced at both encode and decode time, so a
+/// malicious or corrupt peer cannot make the server allocate unboundedly.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace kbt::net {
+
+inline constexpr uint32_t kWireMagic = 0x4B425457;  // "KBTW"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderSize = 16;
+/// Hard cap on one frame's payload. Large enough for any sane request or
+/// reply, small enough that a corrupt length field cannot OOM the peer.
+inline constexpr size_t kMaxPayload = 8u << 20;  // 8 MiB
+/// Hard cap on a read request's antecedent chain depth.
+inline constexpr size_t kMaxChainDepth = 64;
+/// Hard cap on requests in one batch frame.
+inline constexpr size_t kMaxBatch = 1024;
+
+enum class FrameType : uint8_t {
+  kReadRequest = 1,   ///< client → server: one hypothetical read
+  kReadReply = 2,     ///< server → client: ReadResult
+  kApplyRequest = 3,  ///< client → server: transformation expression
+  kApplyReply = 4,    ///< server → client: committed version
+  kError = 5,         ///< server → client: typed Status (+ retry-after hint)
+  kPing = 6,          ///< either direction: liveness probe
+  kPong = 7,          ///< reply to kPing
+  kStatsRequest = 8,  ///< client → server: server counters
+  kStatsReply = 9,    ///< server → client: counter list
+};
+
+/// True iff `t` is a defined FrameType value.
+bool IsKnownFrameType(uint8_t t);
+
+/// A decoded frame: type + owned payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Serializes a frame (header + payload). Fails with kInvalidArgument when
+/// the payload exceeds kMaxPayload.
+StatusOr<std::string> EncodeFrame(FrameType type, std::string_view payload,
+                                  uint16_t seq = 0);
+
+/// A validated frame header.
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  uint32_t payload_len = 0;
+  uint16_t seq = 0;
+};
+
+/// Validates a header. Fails with kDataLoss on bad magic/version/type bytes
+/// or an over-cap length. `header` must be exactly kHeaderSize bytes.
+StatusOr<FrameHeader> DecodeHeader(std::string_view header);
+
+/// Verifies the payload against the header's CRC. `header` must have passed
+/// DecodeHeader; fails with kDataLoss on mismatch.
+Status VerifyPayload(std::string_view header, std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Payload field helpers (little-endian, bounds-checked reads).
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+/// u32 length prefix + bytes.
+void PutString(std::string* out, std::string_view s);
+
+/// Cursor over a payload; every Get* checks bounds and fails with kDataLoss
+/// instead of reading past the end.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : data_(payload) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  /// Reads a u32-prefixed string; `max_len` guards against corrupt prefixes.
+  StatusOr<std::string> GetString(size_t max_len = kMaxPayload);
+
+  /// True when the cursor consumed every byte (trailing garbage = corrupt).
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Message payloads. Encode/Decode pairs for each frame type; decode is total.
+
+struct WireReadRequest {
+  std::vector<std::string> antecedents;
+  std::string consequent;
+  uint8_t modality = 0;  ///< 0 = necessarily, 1 = possibly
+  uint64_t deadline_ms = 0;
+};
+
+std::string EncodeReadRequest(const WireReadRequest& r);
+StatusOr<WireReadRequest> DecodeReadRequest(std::string_view payload);
+
+struct WireReadReply {
+  bool holds = false;
+  uint64_t snapshot_version = 0;
+};
+
+std::string EncodeReadReply(const WireReadReply& r);
+StatusOr<WireReadReply> DecodeReadReply(std::string_view payload);
+
+struct WireApplyRequest {
+  std::string expression;
+};
+
+std::string EncodeApplyRequest(const WireApplyRequest& r);
+StatusOr<WireApplyRequest> DecodeApplyRequest(std::string_view payload);
+
+struct WireApplyReply {
+  uint64_t version = 0;
+};
+
+std::string EncodeApplyReply(const WireApplyReply& r);
+StatusOr<WireApplyReply> DecodeApplyReply(std::string_view payload);
+
+struct WireError {
+  uint8_t code = 0;  ///< StatusCode as u8
+  uint32_t retry_after_ms = 0;  ///< 0 = no hint; set on kUnavailable rejects
+  std::string message;
+};
+
+std::string EncodeError(const WireError& e);
+StatusOr<WireError> DecodeError(std::string_view payload);
+/// Sugar: WireError from a Status (+ optional retry hint).
+WireError ErrorFromStatus(const Status& status, uint32_t retry_after_ms = 0);
+/// The inverse: a typed Status reconstructed from an error frame.
+Status StatusFromError(const WireError& e);
+
+struct WireStatsReply {
+  /// (name, value) counter pairs, server-defined.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+std::string EncodeStatsReply(const WireStatsReply& r);
+StatusOr<WireStatsReply> DecodeStatsReply(std::string_view payload);
+
+}  // namespace kbt::net
+
+#endif  // KBT_NET_FRAME_H_

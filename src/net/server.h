@@ -1,0 +1,157 @@
+#ifndef KBT_NET_SERVER_H_
+#define KBT_NET_SERVER_H_
+
+/// \file
+/// The socket front of serve::Server: accept loop, per-connection workers,
+/// overload control, graceful drain.
+///
+/// Threading model — deliberately boring: one blocking accept thread, one
+/// worker thread per connection, blocking frame IO with per-direction socket
+/// timeouts. Robustness comes from four mechanisms, not from async IO:
+///
+///   * Framing: every malformed frame (bad magic/CRC/length/type) gets one
+///     best-effort error reply, then the connection closes. The decoder is
+///     total, so garbage can cost at most one connection, never the process.
+///   * Overload control: beyond `max_connections` the accept loop *rejects
+///     early* — one kUnavailable frame with a retry-after hint, then close —
+///     instead of queueing forever; `max_in_flight` bounds the requests
+///     executing concurrently the same way.
+///   * Deadlines: each read request's deadline_ms becomes a CancelToken
+///     parented on the server-wide drain token and rides serve → τ → μ → SAT.
+///   * Drain: Shutdown() stops accepting, lets in-flight requests finish for
+///     `drain_grace_ms`, then cancels the drain token (in-flight requests
+///     unwind with kDeadlineExceeded at their next check), joins every
+///     worker, and syncs the durable store. An acknowledged commit is on
+///     disk before its reply frame leaves, so SIGTERM → Shutdown() never
+///     loses acknowledged work (crash-matrix tested).
+///
+/// ServeConnection is public: tests drive the exact production frame loop
+/// over in-memory PipeTransport/FaultTransport pairs, deterministically.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/status.h"
+#include "net/transport.h"
+#include "serve/server.h"
+
+namespace kbt::net {
+
+struct NetServerOptions {
+  /// Bind address; port 0 picks a free port (see NetServer::port()).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// listen(2) backlog — the kernel-side accept queue bound.
+  int accept_backlog = 64;
+  /// Connections served concurrently; beyond it new connections are rejected
+  /// early with kUnavailable + retry-after. 0 = unlimited.
+  size_t max_connections = 64;
+  /// Requests executing concurrently across all connections; beyond it a
+  /// request is rejected with kUnavailable + retry-after (the connection
+  /// stays open). 0 = unlimited.
+  size_t max_in_flight = 32;
+  /// Per-connection socket timeouts (0 = none). An idle client costs a
+  /// blocked thread, so production configs should set the read timeout.
+  uint64_t read_timeout_ms = 0;
+  uint64_t write_timeout_ms = 10'000;
+  /// Retry-after hint sent with kUnavailable rejects.
+  uint32_t retry_after_ms = 50;
+  /// Shutdown(): how long in-flight requests may run before the drain token
+  /// cancels them.
+  uint64_t drain_grace_ms = 2'000;
+};
+
+class NetServer {
+ public:
+  /// Serves `server` (borrowed; must outlive this). Does not listen yet.
+  NetServer(serve::Server* server, NetServerOptions options);
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens and starts the accept thread.
+  Status Start();
+
+  /// The bound port (after Start; useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain; see the file comment. Idempotent, thread- and
+  /// signal-context-safe to *request* via RequestShutdown; the blocking work
+  /// happens here.
+  Status Shutdown();
+
+  /// Async-signal-safe shutdown request (e.g. from a SIGTERM handler via
+  /// self-pipe): flags the server; the accept thread then initiates drain.
+  /// The caller of WaitForShutdown (or Shutdown) completes it.
+  void RequestShutdown() { shutdown_requested_.store(true); }
+
+  /// Blocks until RequestShutdown (or Shutdown from another thread), then
+  /// performs the drain and returns its status.
+  Status WaitForShutdown();
+
+  /// Serves one connection's frame loop on the calling thread until the peer
+  /// closes, a fatal frame error closes it, or drain completes. Public so
+  /// tests can run the production loop over an in-memory transport.
+  void ServeConnection(Transport& transport);
+
+  struct NetStats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_rejected = 0;  ///< Over max_connections.
+    uint64_t requests_ok = 0;
+    uint64_t requests_rejected = 0;  ///< Over max_in_flight.
+    uint64_t requests_failed = 0;    ///< Error replies (parse, deadline, ...).
+    uint64_t malformed_frames = 0;   ///< Connections closed on bad frames.
+  };
+  NetStats net_stats() const;
+
+  /// The server-wide drain token (parent of every request token).
+  const CancelToken& drain_token() const { return drain_token_; }
+
+ private:
+  void AcceptLoop();
+  /// One request–reply exchange. Returns false when the connection must
+  /// close (clean EOF, malformed frame, IO error). `last_seq` is the
+  /// connection's previous request seq, used to drop duplicated frames.
+  bool ServeOneFrame(Transport& transport, serve::Session& session,
+                     uint16_t* last_seq);
+  /// Best-effort typed error reply (ignores write failures — the close that
+  /// follows is the real signal). `seq` echoes the offending request; 0 for
+  /// errors outside an exchange (accept-time rejects).
+  void SendError(Transport& transport, const Status& status,
+                 uint32_t retry_after_ms = 0, uint16_t seq = 0);
+
+  serve::Server* server_;
+  NetServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> shutdown_done_{false};
+  CancelToken drain_token_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  /// Connection transports, shared with their worker threads so Shutdown()
+  /// can unblock parked readers without racing a worker's exit.
+  std::vector<std::shared_ptr<Transport>> live_transports_;
+  std::atomic<size_t> open_connections_{0};
+  std::atomic<size_t> in_flight_{0};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_ok_{0};
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> requests_failed_{0};
+  std::atomic<uint64_t> malformed_frames_{0};
+};
+
+}  // namespace kbt::net
+
+#endif  // KBT_NET_SERVER_H_

@@ -1,0 +1,317 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "net/frame.h"
+
+namespace kbt::net {
+
+Status WriteFrame(Transport& t, uint8_t type, std::string_view payload,
+                  uint16_t seq) {
+  KBT_ASSIGN_OR_RETURN(
+      std::string frame,
+      EncodeFrame(static_cast<FrameType>(type), payload, seq));
+  return t.WriteAll(frame.data(), frame.size());
+}
+
+Status ReadFrame(Transport& t, uint8_t* out_type, std::string* out_payload,
+                 uint16_t* out_seq) {
+  char header[kHeaderSize];
+  KBT_RETURN_IF_ERROR(t.ReadFull(header, kHeaderSize));
+  std::string_view header_view(header, kHeaderSize);
+  KBT_ASSIGN_OR_RETURN(FrameHeader decoded, DecodeHeader(header_view));
+  std::string payload;
+  payload.resize(decoded.payload_len);
+  if (decoded.payload_len > 0) {
+    Status read = t.ReadFull(payload.data(), payload.size());
+    if (!read.ok()) {
+      // EOF between frames is clean; EOF inside a frame body is data loss.
+      if (read.code() == StatusCode::kUnavailable) {
+        return Status::DataLoss("connection closed mid-frame");
+      }
+      return read;
+    }
+  }
+  KBT_RETURN_IF_ERROR(VerifyPayload(header_view, payload));
+  *out_type = static_cast<uint8_t>(decoded.type);
+  *out_payload = std::move(payload);
+  if (out_seq != nullptr) *out_seq = decoded.seq;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+
+namespace {
+
+void SetSocketTimeout(int fd, int opt, uint64_t ms) {
+  if (ms == 0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int fd, uint64_t read_timeout_ms,
+                                 uint64_t write_timeout_ms)
+    : fd_(fd) {
+  SetSocketTimeout(fd_, SO_RCVTIMEO, read_timeout_ms);
+  SetSocketTimeout(fd_, SO_SNDTIMEO, write_timeout_ms);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+SocketTransport::~SocketTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SocketTransport::ReadFull(void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      return got == 0 ? Status::Unavailable("connection closed by peer")
+                      : Status::DataLoss("connection closed mid-read");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("socket read timeout");
+    }
+    return Status::IOErrorFromErrno("socket read", errno);
+  }
+  return Status::OK();
+}
+
+Status SocketTransport::WriteAll(const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::IOError("socket write timeout");
+    }
+    return Status::IOErrorFromErrno("socket write", errno);
+  }
+  return Status::OK();
+}
+
+void SocketTransport::Shutdown() {
+  // shutdown() (not close()) so a concurrent reader unblocks with EOF rather
+  // than racing a reused descriptor.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+StatusOr<std::unique_ptr<Transport>> DialTcp(const std::string& host,
+                                             uint16_t port,
+                                             uint64_t connect_timeout_ms,
+                                             uint64_t read_timeout_ms,
+                                             uint64_t write_timeout_ms) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* result = nullptr;
+  std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::Unavailable(std::string("resolve ") + host + ": " +
+                               ::gai_strerror(rc));
+  }
+  Status last = Status::Unavailable("no addresses for " + host);
+  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::IOErrorFromErrno("socket", errno);
+      continue;
+    }
+    // Connect under the write timeout: a SYN that never answers must not
+    // hang the client past its budget.
+    SetSocketTimeout(fd, SO_SNDTIMEO, connect_timeout_ms);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(result);
+      return std::unique_ptr<Transport>(
+          new SocketTransport(fd, read_timeout_ms, write_timeout_ms));
+    }
+    last = Status::Unavailable(std::string("connect ") + host + ":" +
+                               port_str + ": " + std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(result);
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// PipeTransport
+
+std::pair<std::unique_ptr<PipeTransport>, std::unique_ptr<PipeTransport>>
+MakePipePair() {
+  auto a_to_b = std::make_shared<PipeTransport::Queue>();
+  auto b_to_a = std::make_shared<PipeTransport::Queue>();
+  auto a = std::unique_ptr<PipeTransport>(new PipeTransport());
+  auto b = std::unique_ptr<PipeTransport>(new PipeTransport());
+  a->in_ = b_to_a;
+  a->out_ = a_to_b;
+  b->in_ = a_to_b;
+  b->out_ = b_to_a;
+  return {std::move(a), std::move(b)};
+}
+
+Status PipeTransport::ReadFull(void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  std::unique_lock<std::mutex> lock(in_->mu);
+  while (got < n) {
+    in_->cv.wait(lock, [&] { return !in_->bytes.empty() || in_->closed; });
+    if (in_->bytes.empty() && in_->closed) {
+      return got == 0 ? Status::Unavailable("pipe closed by peer")
+                      : Status::DataLoss("pipe closed mid-read");
+    }
+    size_t take = std::min(n - got, in_->bytes.size());
+    std::memcpy(p + got, in_->bytes.data(), take);
+    in_->bytes.erase(0, take);
+    got += take;
+  }
+  return Status::OK();
+}
+
+Status PipeTransport::WriteAll(const void* buf, size_t n) {
+  std::lock_guard<std::mutex> lock(out_->mu);
+  if (out_->closed) return Status::IOError("pipe closed");
+  out_->bytes.append(static_cast<const char*>(buf), n);
+  out_->cv.notify_all();
+  return Status::OK();
+}
+
+void PipeTransport::Shutdown() {
+  for (const std::shared_ptr<Queue>& q : {in_, out_}) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    q->closed = true;
+    q->cv.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultTransport
+
+void FaultTransport::FailReadAt(size_t nth, NetFaultKind kind,
+                                std::chrono::milliseconds delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_fault_ = Pending{true, nth, kind, delay};
+}
+
+void FaultTransport::FailWriteAt(size_t nth, NetFaultKind kind,
+                                 std::chrono::milliseconds delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_fault_ = Pending{true, nth, kind, delay};
+}
+
+bool FaultTransport::Due(Pending* p, Pending* fired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!p->armed) return false;
+  if (p->countdown > 0) {
+    --p->countdown;
+    return false;
+  }
+  *fired = *p;
+  p->armed = false;  // One-shot.
+  ++fired_;
+  return true;
+}
+
+void FaultTransport::Shutdown() { inner_->Shutdown(); }
+
+size_t FaultTransport::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+Status FaultTransport::ReadFull(void* buf, size_t n) {
+  Pending fault;
+  if (!Due(&read_fault_, &fault)) return inner_->ReadFull(buf, n);
+  switch (fault.kind) {
+    case NetFaultKind::kDropConnection:
+      inner_->Shutdown();
+      return Status::IOError("injected: connection dropped before read");
+    case NetFaultKind::kTruncate: {
+      // Deliver half the bytes, then the connection dies.
+      size_t half = n / 2;
+      Status s = inner_->ReadFull(buf, half);
+      inner_->Shutdown();
+      if (!s.ok()) return s;
+      return Status::DataLoss("injected: connection died mid-read");
+    }
+    case NetFaultKind::kGarbage: {
+      KBT_RETURN_IF_ERROR(inner_->ReadFull(buf, n));
+      // Flip bits across the received bytes — CRC/magic checks must catch it.
+      char* p = static_cast<char*>(buf);
+      for (size_t i = 0; i < n; i += 7) p[i] = static_cast<char>(p[i] ^ 0x5a);
+      return Status::OK();
+    }
+    case NetFaultKind::kDuplicate:
+      // Duplication is a write-side fault; on the read side treat as delay.
+      return inner_->ReadFull(buf, n);
+    case NetFaultKind::kDelay:
+      std::this_thread::sleep_for(fault.delay);
+      return inner_->ReadFull(buf, n);
+  }
+  return Status::Internal("unreachable fault kind");
+}
+
+Status FaultTransport::WriteAll(const void* buf, size_t n) {
+  Pending fault;
+  if (!Due(&write_fault_, &fault)) return inner_->WriteAll(buf, n);
+  switch (fault.kind) {
+    case NetFaultKind::kDropConnection:
+      inner_->Shutdown();
+      return Status::IOError("injected: connection dropped before write");
+    case NetFaultKind::kTruncate: {
+      Status s = inner_->WriteAll(buf, n / 2);
+      inner_->Shutdown();
+      if (!s.ok()) return s;
+      return Status::IOError("injected: connection died mid-write");
+    }
+    case NetFaultKind::kGarbage: {
+      std::string corrupted(static_cast<const char*>(buf), n);
+      for (size_t i = 0; i < n; i += 7) {
+        corrupted[i] = static_cast<char>(corrupted[i] ^ 0x5a);
+      }
+      // The bytes leave corrupted but the local write "succeeds" — exactly a
+      // network-level corruption the peer must detect.
+      return inner_->WriteAll(corrupted.data(), corrupted.size());
+    }
+    case NetFaultKind::kDuplicate: {
+      KBT_RETURN_IF_ERROR(inner_->WriteAll(buf, n));
+      return inner_->WriteAll(buf, n);
+    }
+    case NetFaultKind::kDelay:
+      std::this_thread::sleep_for(fault.delay);
+      return inner_->WriteAll(buf, n);
+  }
+  return Status::Internal("unreachable fault kind");
+}
+
+}  // namespace kbt::net

@@ -1,0 +1,179 @@
+#ifndef KBT_NET_TRANSPORT_H_
+#define KBT_NET_TRANSPORT_H_
+
+/// \file
+/// Byte transports under the wire protocol.
+///
+/// Transport is the minimal blocking interface frame IO needs: read-fully,
+/// write-fully, shutdown. Three implementations:
+///
+///   * SocketTransport — a connected TCP socket with per-direction timeouts
+///     (SO_RCVTIMEO/SO_SNDTIMEO), the production path.
+///   * PipeTransport — an in-memory duplex pipe (two byte queues + condvars),
+///     giving tests a real two-endpoint connection with zero syscalls and
+///     zero flakiness.
+///   * FaultTransport — wraps another transport and injects one-shot faults
+///     (drop, truncate, garbage, duplicate, delay) on either direction,
+///     mirroring store/fault_env's failpoint discipline. This is what drives
+///     the flaky-network matrix: every fault the net layer claims to survive
+///     is injected deterministically and asserted on.
+///
+/// ReadFull returning kUnavailable means the peer closed cleanly between
+/// frames; kIOError/kDataLoss mean the connection died or corrupted mid-read.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace kbt::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Reads exactly `n` bytes into `buf`, blocking as needed. kUnavailable =
+  /// clean EOF before the first byte; kDataLoss = EOF mid-object (the peer
+  /// died inside a frame); kIOError = syscall failure/timeout.
+  virtual Status ReadFull(void* buf, size_t n) = 0;
+
+  /// Writes all `n` bytes, blocking as needed.
+  virtual Status WriteAll(const void* buf, size_t n) = 0;
+
+  /// Shuts the connection down, unblocking any reader/writer (thread-safe;
+  /// callable concurrently with ReadFull/WriteAll from another thread).
+  virtual void Shutdown() = 0;
+};
+
+/// Writes one frame (EncodeFrame output) to `t`. `seq` pins a reply to its
+/// request; 0 for frames outside an exchange.
+Status WriteFrame(Transport& t, uint8_t type, std::string_view payload,
+                  uint16_t seq = 0);
+
+/// Reads one frame: header, validation, payload, CRC. Malformed input yields
+/// the decoder's typed error without reading past the claimed length.
+/// Outputs are only written on OK; `out_seq` is optional.
+Status ReadFrame(Transport& t, uint8_t* out_type, std::string* out_payload,
+                 uint16_t* out_seq = nullptr);
+
+// ---------------------------------------------------------------------------
+
+/// A connected socket. Takes ownership of `fd`.
+class SocketTransport : public Transport {
+ public:
+  /// `read_timeout_ms`/`write_timeout_ms`: 0 = block forever.
+  SocketTransport(int fd, uint64_t read_timeout_ms = 0,
+                  uint64_t write_timeout_ms = 0);
+  ~SocketTransport() override;
+
+  Status ReadFull(void* buf, size_t n) override;
+  Status WriteAll(const void* buf, size_t n) override;
+  void Shutdown() override;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// Dials host:port (blocking). Returns a SocketTransport on success.
+StatusOr<std::unique_ptr<Transport>> DialTcp(const std::string& host,
+                                             uint16_t port,
+                                             uint64_t connect_timeout_ms = 0,
+                                             uint64_t read_timeout_ms = 0,
+                                             uint64_t write_timeout_ms = 0);
+
+// ---------------------------------------------------------------------------
+
+/// One direction of an in-memory pipe: a bounded-unbounded byte queue.
+/// Created in pairs by MakePipePair.
+class PipeTransport : public Transport {
+ public:
+  /// Dropping an endpoint closes the connection (the peer unblocks with EOF),
+  /// mirroring a socket close.
+  ~PipeTransport() override { Shutdown(); }
+
+  Status ReadFull(void* buf, size_t n) override;
+  Status WriteAll(const void* buf, size_t n) override;
+  void Shutdown() override;
+
+ private:
+  friend std::pair<std::unique_ptr<PipeTransport>,
+                   std::unique_ptr<PipeTransport>>
+  MakePipePair();
+
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::string bytes;
+    bool closed = false;
+  };
+
+  std::shared_ptr<Queue> in_;
+  std::shared_ptr<Queue> out_;
+};
+
+/// Two connected endpoints: bytes written to one are read from the other.
+std::pair<std::unique_ptr<PipeTransport>, std::unique_ptr<PipeTransport>>
+MakePipePair();
+
+// ---------------------------------------------------------------------------
+
+/// What a FaultTransport failpoint does when it fires.
+enum class NetFaultKind : uint8_t {
+  kDropConnection,  ///< Shut the underlying transport down instead of the op.
+  kTruncate,        ///< Deliver/send only half the requested bytes, then drop.
+  kGarbage,         ///< Flip bits in the bytes (payload delivered corrupted).
+  kDuplicate,       ///< Writes only: send the bytes twice (stale-frame echo).
+  kDelay,           ///< Sleep `delay` then do the op normally.
+};
+
+/// A transport wrapper with one-shot fault injection per direction, the
+/// net-layer sibling of store::FaultInjectionEnv: arm a failpoint at the
+/// N-th read or write, run the workload, assert the typed-error outcome.
+class FaultTransport : public Transport {
+ public:
+  explicit FaultTransport(std::unique_ptr<Transport> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Arms a one-shot fault at the `nth` ReadFull call from now (0 = next).
+  void FailReadAt(size_t nth, NetFaultKind kind,
+                  std::chrono::milliseconds delay = {});
+  /// Arms a one-shot fault at the `nth` WriteAll call from now (0 = next).
+  void FailWriteAt(size_t nth, NetFaultKind kind,
+                   std::chrono::milliseconds delay = {});
+
+  Status ReadFull(void* buf, size_t n) override;
+  Status WriteAll(const void* buf, size_t n) override;
+  void Shutdown() override;
+
+  /// Faults actually fired so far (a test asserting an outcome should also
+  /// assert its fault fired, or the run validated nothing).
+  size_t faults_fired() const;
+
+ private:
+  struct Pending {
+    bool armed = false;
+    size_t countdown = 0;
+    NetFaultKind kind = NetFaultKind::kDropConnection;
+    std::chrono::milliseconds delay{};
+  };
+
+  /// Returns the fault to fire for this op, if armed and due.
+  bool Due(Pending* p, Pending* fired);
+
+  std::unique_ptr<Transport> inner_;
+  mutable std::mutex mu_;
+  Pending read_fault_;
+  Pending write_fault_;
+  size_t fired_ = 0;
+};
+
+}  // namespace kbt::net
+
+#endif  // KBT_NET_TRANSPORT_H_

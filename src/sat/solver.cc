@@ -91,6 +91,7 @@ void Solver::Reset() {
   level_seen_.clear();
   level_seen_clear_.clear();
   last_assumptions_.clear();  // options_ survives: configuration, not state.
+  ClearLimits();  // Budgets are per-request state, like the assumptions.
   stats_ = Stats();
 }
 
@@ -165,7 +166,50 @@ void Solver::InitFromFrozen(const Frozen& frozen) {
   seen_.assign(frozen.values.size(), 0);
   level_seen_clear_.clear();
   last_assumptions_.clear();  // The frozen state has no retained trail.
+  ClearLimits();  // Callers arm per-request budgets after forking.
   stats_ = frozen.frozen_stats;
+}
+
+void Solver::SetBudget(uint64_t conflicts, uint64_t propagations) {
+  conflict_limit_ = conflicts == 0 ? 0 : stats_.conflicts + conflicts;
+  propagation_limit_ =
+      propagations == 0 ? 0 : stats_.propagations + propagations;
+  limits_active_ =
+      conflict_limit_ != 0 || propagation_limit_ != 0 || interrupt_ != nullptr;
+}
+
+void Solver::SetInterrupt(const CancelToken* token) {
+  interrupt_ = token;
+  limits_active_ =
+      conflict_limit_ != 0 || propagation_limit_ != 0 || interrupt_ != nullptr;
+}
+
+void Solver::ClearLimits() {
+  limits_active_ = false;
+  conflict_limit_ = 0;
+  propagation_limit_ = 0;
+  interrupt_ = nullptr;
+}
+
+bool Solver::Interrupted(bool poll_token) {
+  if (conflict_limit_ != 0 && stats_.conflicts >= conflict_limit_) return true;
+  if (propagation_limit_ != 0 && stats_.propagations >= propagation_limit_) {
+    return true;
+  }
+  if (poll_token && interrupt_ != nullptr) {
+    ++stats_.interrupt_checks;
+    if (interrupt_->Expired()) return true;
+  }
+  return false;
+}
+
+SolveResult Solver::AbortSolve() {
+  CancelUntil(0);
+  // The retained trail no longer corresponds to an answered question; a later
+  // Solve must not reuse it as if the abandoned search had completed.
+  last_assumptions_.clear();
+  ++stats_.budget_trips;
+  return SolveResult::kUnknown;
 }
 
 ClauseRef Solver::AllocClause(std::span<const Lit> lits, bool learned,
@@ -631,6 +675,9 @@ int Solver::LubyUnit(int i) {
 SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
   ++stats_.solve_calls;
   if (!ok_) return SolveResult::kUnsat;
+  // An already-tripped budget or an expired token abandons the call up front
+  // (the session's token usually fired between requests, not mid-search).
+  if (limits_active_ && Interrupted(/*poll_token=*/true)) return AbortSolve();
   if (options_.reuse_assumption_trail) {
     // Trail saving: level i+1, while still on the trail, holds exactly the
     // decision + propagation of last_assumptions_[i], so the prefix shared
@@ -674,6 +721,13 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
         ok_ = false;
         return SolveResult::kUnsat;
       }
+      // Budget/interrupt check, once per conflict (the token itself only every
+      // 64th — Expired() reads a clock). Checked after the root-conflict
+      // branch so a definite UNSAT one line away is never traded for kUnknown.
+      if (limits_active_ &&
+          Interrupted(/*poll_token=*/(stats_.conflicts & 63) == 0)) {
+        return AbortSolve();
+      }
       // A conflict among assumption decisions alone (no free decisions below the
       // conflict's resolution) may require backjumping into the assumption prefix;
       // the assumptions are then re-decided. If the conflict persists with only
@@ -715,6 +769,13 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
         reduce_limit_ += reduce_limit_ / 2;
       }
       continue;
+    }
+
+    // Propagation-budget check at decision points: long conflict-free
+    // propagation stretches must not outrun the budget unchecked. Two integer
+    // compares — no token poll here.
+    if (limits_active_ && Interrupted(/*poll_token=*/false)) {
+      return AbortSolve();
     }
 
     // Decision: assumptions first, then activity order.

@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "base/cancel.h"
+
 namespace kbt::sat {
 
 /// A 0-based propositional variable.
@@ -51,7 +53,11 @@ inline Var VarOf(Lit l) { return l >> 1; }
 inline bool IsNegated(Lit l) { return (l & 1) != 0; }
 inline Lit Negate(Lit l) { return l ^ 1; }
 
-enum class SolveResult { kSat, kUnsat };
+/// kUnknown is returned only when a budget or interrupt token is armed (see
+/// SetBudget/SetInterrupt) and trips mid-search: the question was abandoned,
+/// not answered. The solver backtracks to the root and stays fully usable —
+/// clauses, activities and learned state are all intact.
+enum class SolveResult { kSat, kUnsat, kUnknown };
 
 /// Behavioral knobs, set once per solver (between Solve calls; typically right
 /// after construction / Reset / InitFromFrozen).
@@ -126,6 +132,10 @@ class Solver {
                                             ///< (reuse_assumption_trail only).
     uint64_t saved_propagations = 0;        ///< Trail literals kept enqueued by
                                             ///< reuse instead of re-propagated.
+    uint64_t interrupt_checks = 0;  ///< Times the interrupt token was polled
+                                    ///< (0 unless SetInterrupt armed one).
+    uint64_t budget_trips = 0;      ///< Solve calls abandoned as kUnknown by a
+                                    ///< budget or interrupt trip.
   };
 
   /// An immutable snapshot of a solver at decision level 0 with no assumptions
@@ -277,6 +287,27 @@ class Solver {
   /// Number of learned clauses currently retained.
   size_t num_learned_clauses() const { return learned_.size(); }
 
+  /// Arms cumulative search budgets, measured from the current stats: after
+  /// `conflicts` further conflicts (or `propagations` further propagations; 0 =
+  /// unlimited for either) any in-flight or later Solve returns kUnknown at
+  /// its next check point, backtracked to the root and reusable. Budgets are
+  /// per-request state, not configuration: Reset and InitFromFrozen clear
+  /// them (callers arm them after forking). With no budget and no interrupt
+  /// armed the search is bit-identical to a limit-free solver.
+  void SetBudget(uint64_t conflicts, uint64_t propagations);
+  /// Arms a cooperative interrupt token, polled at Solve entry and every 64th
+  /// conflict; an expired token makes Solve return kUnknown exactly like a
+  /// budget trip. `token` must outlive the armed solves; nullptr disarms.
+  void SetInterrupt(const CancelToken* token);
+  /// Disarms budgets and the interrupt token.
+  void ClearLimits();
+  /// Conflicts remaining before the armed conflict budget trips (0 when no
+  /// conflict budget is armed or it has already tripped).
+  uint64_t conflicts_until_budget() const {
+    return conflict_limit_ > stats_.conflicts ? conflict_limit_ - stats_.conflicts
+                                              : 0;
+  }
+
   /// Learned-clause budget before the next DB reduction (grows geometrically
   /// afterwards). Lower it to bound memory on long descend-and-block runs — or
   /// in tests, to exercise reduction on small instances.
@@ -363,6 +394,15 @@ class Solver {
   void GarbageCollect();
   static int LubyUnit(int i);
 
+  /// True when an armed budget or interrupt token has tripped. `poll_token`
+  /// gates the (comparatively expensive) token check so the hot loop polls it
+  /// only every 64th conflict; budget comparisons run on every call.
+  bool Interrupted(bool poll_token);
+  /// Abandons the current Solve: backtracks to the root, clears the saved
+  /// assumption trail (it no longer matches an answered question), bumps
+  /// budget_trips and returns kUnknown. The solver stays fully usable.
+  SolveResult AbortSolve();
+
   bool ok_ = true;
   /// The clause arena. All clauses, problem and learned, live here.
   std::vector<uint32_t> arena_;
@@ -391,6 +431,14 @@ class Solver {
   std::vector<int8_t> saved_phase_;
 
   SolverOptions options_;
+  /// Cooperative limits (SetBudget/SetInterrupt). limits_active_ is the single
+  /// off-path guard: when false, Solve takes no limit branches at all and the
+  /// search is bit-identical to a limit-free build. The limits are absolute
+  /// stats thresholds (0 = unlimited), cleared by Reset/InitFromFrozen.
+  bool limits_active_ = false;
+  uint64_t conflict_limit_ = 0;
+  uint64_t propagation_limit_ = 0;
+  const CancelToken* interrupt_ = nullptr;
   /// The previous Solve's assumption vector (reuse_assumption_trail only):
   /// compared against the next call's vector to find the shared prefix whose
   /// decision levels — still on the trail — can be kept.

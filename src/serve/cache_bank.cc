@@ -8,8 +8,11 @@
 
 namespace kbt::serve {
 
-QueryCacheBank::QueryCacheBank(size_t capacity)
-    : capacity_(std::max<size_t>(1, capacity)) {}
+QueryCacheBank::QueryCacheBank(size_t capacity, size_t entry_byte_budget,
+                               size_t entry_max_domains)
+    : capacity_(std::max<size_t>(1, capacity)),
+      entry_byte_budget_(entry_byte_budget),
+      entry_max_domains_(entry_max_domains) {}
 
 StatusOr<std::shared_ptr<SentenceCaches>> QueryCacheBank::Get(
     std::string_view sentence_text) {
@@ -20,9 +23,20 @@ StatusOr<std::shared_ptr<SentenceCaches>> QueryCacheBank::Get(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return it->second.caches;
+    // Budget check on the hot entry: ApproxBytes walks the entry's domain
+    // maps (their own locks; never held while this bank lock is taken
+    // elsewhere, so the order bank → cache is acyclic). Over budget, the
+    // entry is dropped and rebuilt fresh — in-flight borrowers keep theirs.
+    if (entry_byte_budget_ > 0 &&
+        it->second.caches->ApproxBytes() > entry_byte_budget_) {
+      ++budget_evictions_;
+      lru_.erase(it->second.lru_pos);
+      entries_.erase(it);
+    } else {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.caches;
+    }
   }
   ++misses_;
   if (entries_.size() >= capacity_) {
@@ -31,6 +45,10 @@ StatusOr<std::shared_ptr<SentenceCaches>> QueryCacheBank::Get(
   }
   auto caches = std::make_shared<SentenceCaches>();
   caches->sentence = std::move(parsed);
+  if (entry_max_domains_ > 0) {
+    caches->ground.set_max_entries(entry_max_domains_);
+    caches->cnf.set_max_entries(entry_max_domains_);
+  }
   lru_.push_front(key);
   entries_.emplace(std::move(key), Slot{caches, lru_.begin()});
   return caches;
@@ -49,6 +67,11 @@ uint64_t QueryCacheBank::misses() const {
 size_t QueryCacheBank::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+uint64_t QueryCacheBank::budget_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_evictions_;
 }
 
 }  // namespace kbt::serve

@@ -18,9 +18,15 @@
 /// re-parse — so two textual spellings that print alike can never mix two
 /// circuit structures inside one cache.
 ///
-/// The bank is bounded: entries are evicted LRU beyond `capacity` sentences.
-/// Entries are handed out as shared_ptr, so eviction never invalidates a
-/// request in flight.
+/// The bank is bounded two ways. Across sentences, entries are evicted LRU
+/// beyond `capacity`. Within a sentence, the grounding/CNF caches are keyed
+/// by active domain — a workload whose domain churns (every commit growing
+/// the domain) makes each read a fresh key, so unbounded per-sentence caches
+/// grow linearly with commits. `entry_max_domains` caps the domains inside a
+/// sentence's caches (LRU), and `entry_byte_budget` evicts the whole
+/// sentence entry when its memory estimate exceeds the budget — the next
+/// request rebuilds it fresh. Entries are handed out as shared_ptr, so
+/// eviction never invalidates a request in flight.
 
 #include <cstdint>
 #include <list>
@@ -45,12 +51,21 @@ struct SentenceCaches {
   Formula sentence = nullptr;
   exec::GroundingCache ground;
   exec::CnfCache cnf;
+
+  /// Estimated bytes held by both caches (heuristic; see the caches).
+  size_t ApproxBytes() const {
+    return ground.approx_bytes() + cnf.approx_bytes();
+  }
 };
 
 class QueryCacheBank {
  public:
   /// `capacity` bounds the number of distinct sentences cached (≥ 1).
-  explicit QueryCacheBank(size_t capacity = 64);
+  /// `entry_byte_budget` (0 = unbounded) evicts a sentence entry whose caches
+  /// exceed the budget; `entry_max_domains` (0 = unbounded) caps the domains
+  /// cached inside each sentence's grounding/CNF caches.
+  explicit QueryCacheBank(size_t capacity = 64, size_t entry_byte_budget = 0,
+                          size_t entry_max_domains = 0);
 
   /// Returns the shared entry for `sentence_text`, parsing and inserting it on
   /// first use. The key is the canonical rendering of the parse, so textual
@@ -62,6 +77,8 @@ class QueryCacheBank {
   uint64_t hits() const;
   uint64_t misses() const;
   size_t entries() const;
+  /// Sentence entries evicted because their caches outgrew the byte budget.
+  uint64_t budget_evictions() const;
 
  private:
   struct Slot {
@@ -71,11 +88,14 @@ class QueryCacheBank {
 
   mutable std::mutex mu_;
   const size_t capacity_;
+  const size_t entry_byte_budget_;
+  const size_t entry_max_domains_;
   std::unordered_map<std::string, Slot> entries_;
   /// Canonical keys in recency order; back() is the eviction candidate.
   std::list<std::string> lru_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t budget_evictions_ = 0;
 };
 
 }  // namespace kbt::serve

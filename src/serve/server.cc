@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <utility>
@@ -51,7 +52,8 @@ StatusOr<uint64_t> Session::Apply(std::string_view expression) {
 Server::Server(ServerOptions options, Knowledgebase initial)
     : options_(std::move(options)),
       registry_(std::move(initial)),
-      bank_(options_.cache_bank_capacity) {}
+      bank_(options_.cache_bank_capacity, options_.cache_entry_byte_budget,
+            options_.cache_entry_max_domains) {}
 
 Server::Server(Knowledgebase initial, ServerOptions options)
     : Server(std::move(options), std::move(initial)) {
@@ -198,11 +200,41 @@ StatusOr<ReadResult> Server::ExecuteRead(Session& session, const Snapshot& snap,
   tau_options.solver = &session.solver_;
   tau_options.scratch = &session.scratch_;
 
-  KBT_ASSIGN_OR_RETURN(bool holds,
-                       NestedCounterfactualExec(snap.kb, steps, consequent,
-                                                request.modality, tau_options));
+  // Deadline plumbing. The per-request token lives on this stack frame; μ
+  // disarms the solver before unwinding, so no reference outlives the call.
+  // When no deadline, external token or budget is configured, none of this
+  // is passed down and the read path is bit-identical to the limit-free one.
+  CancelToken token;
+  bool limited = request.deadline_ms > 0 || request.cancel != nullptr;
+  if (limited) {
+    if (request.deadline_ms > 0) {
+      token.set_deadline_after(std::chrono::milliseconds(request.deadline_ms));
+    }
+    token.set_parent(request.cancel);
+    tau_options.mu.cancel = &token;
+  }
+  if (options_.read_sat_conflict_budget > 0) {
+    tau_options.mu.sat_conflict_budget = options_.read_sat_conflict_budget;
+    limited = true;
+  }
+
+  TauStats tau_stats;
+  StatusOr<bool> holds = NestedCounterfactualExec(
+      snap.kb, steps, consequent, request.modality, tau_options,
+      limited ? &tau_stats : nullptr);
+  if (limited) {
+    sat_interrupt_checks_.fetch_add(tau_stats.mu.sat_interrupt_checks,
+                                    std::memory_order_relaxed);
+    sat_budget_trips_.fetch_add(tau_stats.mu.sat_budget_trips,
+                                std::memory_order_relaxed);
+    if (!holds.ok() &&
+        holds.status().code() == StatusCode::kDeadlineExceeded) {
+      deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  KBT_RETURN_IF_ERROR(holds.status());
   ReadResult result;
-  result.holds = holds;
+  result.holds = *holds;
   result.snapshot_version = snap.version;
   return result;
 }
@@ -239,7 +271,12 @@ Server::ServerStats Server::stats() const {
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.bank_hits = bank_.hits();
   stats.bank_misses = bank_.misses();
+  stats.bank_budget_evictions = bank_.budget_evictions();
   stats.snapshot_version = registry_.version();
+  stats.deadlines_exceeded = deadlines_exceeded_.load(std::memory_order_relaxed);
+  stats.sat_interrupt_checks =
+      sat_interrupt_checks_.load(std::memory_order_relaxed);
+  stats.sat_budget_trips = sat_budget_trips_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -38,6 +38,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/cancel.h"
 #include "base/status.h"
 #include "core/engine.h"
 #include "core/hypothetical.h"
@@ -65,6 +66,16 @@ struct ServerOptions {
   /// Durable mode: write a checkpoint (and rotate the WAL) automatically every
   /// N commits. 0 = only explicit Checkpoint() calls.
   size_t checkpoint_every = 0;
+  /// Per-read SAT conflict budget (0 = unlimited): a read whose μ descents
+  /// spend more than this many conflicts in one world fails with
+  /// kDeadlineExceeded even without a deadline — the server-side guard
+  /// against a single pathological query holding a session forever.
+  uint64_t read_sat_conflict_budget = 0;
+  /// Byte budget for one sentence's caches in the bank (0 = unbounded).
+  /// See QueryCacheBank; bounds per-sentence growth under domain churn.
+  size_t cache_entry_byte_budget = 0;
+  /// Max distinct domains cached inside one sentence entry (0 = unbounded).
+  size_t cache_entry_max_domains = 0;
 };
 
 /// One read: insert the antecedents left to right (hypothetically — the
@@ -74,6 +85,15 @@ struct ReadRequest {
   std::vector<std::string> antecedents;
   std::string consequent;
   Modality modality = Modality::kNecessarily;
+  /// Relative deadline for this read, milliseconds; 0 = none. When it expires
+  /// mid-evaluation the read fails with kDeadlineExceeded, the session solver
+  /// is left at a usable root, and the session may be reused immediately.
+  uint64_t deadline_ms = 0;
+  /// External cancellation (e.g. a server-wide drain token); nullable, must
+  /// outlive the call. Combined with the deadline via token parenting. When
+  /// neither this nor deadline_ms nor a budget is set, the read path is
+  /// bit-identical to the pre-deadline build.
+  const CancelToken* cancel = nullptr;
 };
 
 struct ReadResult {
@@ -164,7 +184,16 @@ class Server {
     /// Cache-bank entry lookups (hit = sentence already resolved).
     uint64_t bank_hits = 0;
     uint64_t bank_misses = 0;
+    /// Sentence entries evicted for exceeding the byte budget (bounded-bank
+    /// mode only).
+    uint64_t bank_budget_evictions = 0;
     uint64_t snapshot_version = 0;
+    /// Deadline/budget activity across all sessions: reads that failed with
+    /// kDeadlineExceeded, solver interrupt-token polls, and solves abandoned
+    /// by a budget/token trip (sat::Solver::Stats counters, aggregated).
+    uint64_t deadlines_exceeded = 0;
+    uint64_t sat_interrupt_checks = 0;
+    uint64_t sat_budget_trips = 0;
   };
   ServerStats stats() const;
 
@@ -212,6 +241,9 @@ class Server {
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> deadlines_exceeded_{0};
+  std::atomic<uint64_t> sat_interrupt_checks_{0};
+  std::atomic<uint64_t> sat_budget_trips_{0};
 };
 
 }  // namespace kbt::serve

@@ -1,0 +1,257 @@
+// Deadline / cancellation properties, solver level and serve level.
+//
+// The contract under test (solver.h, serve/server.h):
+//
+//   * OFF-PATH IDENTITY — with no budget and no interrupt armed (or after
+//     ClearLimits), the search is bit-identical to a limit-free solver; at
+//     the serve level a read with no deadline/cancel/budget is bit-identical
+//     to the pre-deadline build, and a deadline too generous to fire changes
+//     no answer.
+//   * CLEAN TRIPS — a tripped budget or expired token yields kUnknown
+//     (solver) / kDeadlineExceeded (serve) with the solver backtracked to a
+//     usable root: the same solver/session answers the next question
+//     correctly with no reconstruction.
+//   * NO WEDGING — a tiny deadline on an arbitrary read returns promptly
+//     with either the correct answer or kDeadlineExceeded, never a hang and
+//     never a wrong answer.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/cancel.h"
+#include "logic/printer.h"
+#include "sat/solver.h"
+#include "serve/server.h"
+#include "testutil.h"
+
+namespace kbt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Solver level
+
+/// Random 3-SAT instance over `vars` variables loaded into `s`.
+void LoadRandom3Sat(sat::Solver* s, int vars, int clauses,
+                    std::mt19937_64* rng) {
+  std::uniform_int_distribution<int> var(0, vars - 1);
+  std::bernoulli_distribution sign(0.5);
+  for (int i = 0; i < vars; ++i) s->NewVar();
+  for (int c = 0; c < clauses; ++c) {
+    s->AddClause({sat::MkLit(var(*rng), sign(*rng)),
+                  sat::MkLit(var(*rng), sign(*rng)),
+                  sat::MkLit(var(*rng), sign(*rng))});
+  }
+}
+
+TEST(DeadlinePropertyTest, UntrippedLimitsAreBitIdenticalToNoLimits) {
+  // A huge budget plus a token that never fires must not perturb the search:
+  // same answers, same conflict/decision/propagation counts, every seed. The
+  // only permitted difference is the interrupt-poll counter itself.
+  for (int seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng_a(seed * 104729 + 1), rng_b = rng_a;
+    sat::Solver plain, limited;
+    LoadRandom3Sat(&plain, 14, 60, &rng_a);
+    LoadRandom3Sat(&limited, 14, 60, &rng_b);
+
+    CancelToken never;  // No deadline, never cancelled.
+    limited.SetBudget(1'000'000'000, 1'000'000'000);
+    limited.SetInterrupt(&never);
+
+    sat::SolveResult ra = plain.Solve();
+    sat::SolveResult rb = limited.Solve();
+    ASSERT_EQ(ra, rb) << "seed " << seed;
+    EXPECT_EQ(plain.stats().conflicts, limited.stats().conflicts);
+    EXPECT_EQ(plain.stats().decisions, limited.stats().decisions);
+    EXPECT_EQ(plain.stats().propagations, limited.stats().propagations);
+    EXPECT_EQ(plain.stats().restarts, limited.stats().restarts);
+    if (ra == sat::SolveResult::kSat) {
+      for (sat::Var v = 0; v < 14; ++v) {
+        EXPECT_EQ(plain.ModelValue(v), limited.ModelValue(v));
+      }
+    }
+    EXPECT_EQ(plain.stats().interrupt_checks, 0u);
+    EXPECT_GE(limited.stats().interrupt_checks, 1u);  // Polled at Solve entry.
+    EXPECT_EQ(limited.stats().budget_trips, 0u);
+  }
+}
+
+TEST(DeadlinePropertyTest, ClearLimitsRestoresTheLimitFreeSearchExactly) {
+  for (int seed = 0; seed < 6; ++seed) {
+    std::mt19937_64 rng_a(seed * 7 + 3), rng_b = rng_a;
+    sat::Solver plain, cleared;
+    LoadRandom3Sat(&plain, 14, 60, &rng_a);
+    LoadRandom3Sat(&cleared, 14, 60, &rng_b);
+
+    cleared.SetBudget(1, 1);  // Would trip almost immediately...
+    cleared.ClearLimits();    // ...but is fully disarmed.
+
+    EXPECT_EQ(plain.Solve(), cleared.Solve());
+    EXPECT_EQ(plain.stats().conflicts, cleared.stats().conflicts);
+    EXPECT_EQ(plain.stats().decisions, cleared.stats().decisions);
+    EXPECT_EQ(plain.stats().propagations, cleared.stats().propagations);
+    EXPECT_EQ(cleared.stats().interrupt_checks, 0u);
+    EXPECT_EQ(cleared.stats().budget_trips, 0u);
+  }
+}
+
+TEST(DeadlinePropertyTest, BudgetTripReturnsUnknownAndSolverStaysUsable) {
+  // An over-constrained instance forces conflicts; a 1-conflict budget must
+  // trip. Afterwards ClearLimits + re-Solve on the SAME solver must give the
+  // true answer — the abort left the solver at a usable root.
+  std::mt19937_64 rng(42), rng_ref(42);
+  sat::Solver s, reference;
+  LoadRandom3Sat(&s, 14, 90, &rng);
+  LoadRandom3Sat(&reference, 14, 90, &rng_ref);
+  sat::SolveResult truth = reference.Solve();
+  ASSERT_NE(truth, sat::SolveResult::kUnknown);
+
+  s.SetBudget(1, 0);
+  sat::SolveResult limited = s.Solve();
+  if (limited == sat::SolveResult::kUnknown) {
+    EXPECT_GE(s.stats().budget_trips, 1u);
+  }
+  // Whether or not the first call already finished within budget, the solver
+  // must answer correctly once the limits come off.
+  s.ClearLimits();
+  EXPECT_EQ(s.Solve(), truth);
+}
+
+TEST(DeadlinePropertyTest, CancelledTokenAbortsAtSolveEntry) {
+  std::mt19937_64 rng(7);
+  sat::Solver s;
+  LoadRandom3Sat(&s, 14, 60, &rng);
+  CancelToken token;
+  token.Cancel();
+  s.SetInterrupt(&token);
+  EXPECT_EQ(s.Solve(), sat::SolveResult::kUnknown);
+  EXPECT_GE(s.stats().interrupt_checks, 1u);
+
+  s.ClearLimits();
+  EXPECT_NE(s.Solve(), sat::SolveResult::kUnknown);  // Reusable.
+}
+
+TEST(DeadlinePropertyTest, ExpiredDeadlineTokenAbortsSolve) {
+  std::mt19937_64 rng(11);
+  sat::Solver s;
+  LoadRandom3Sat(&s, 14, 60, &rng);
+  CancelToken token;
+  token.set_deadline_after(std::chrono::milliseconds(-1));  // Already past.
+  s.SetInterrupt(&token);
+  EXPECT_EQ(s.Solve(), sat::SolveResult::kUnknown);
+  s.ClearLimits();
+  EXPECT_NE(s.Solve(), sat::SolveResult::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Serve level
+
+TEST(ServeDeadlineTest, CancelledRequestFailsTypedAndSessionRecovers) {
+  serve::Server server(
+      *MakeSingletonKb({{"P", 1}, {"Q", 2}}, {{"P", {{"a"}}}}));
+  std::unique_ptr<serve::Session> session = server.StartSession();
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  serve::ReadRequest request;
+  request.consequent = "P(a)";
+  request.cancel = &cancelled;
+  auto r = session->Query(request);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  EXPECT_GE(server.stats().deadlines_exceeded, 1u);
+
+  // The SAME session answers the next read correctly: the abort restored the
+  // pinned solver.
+  auto ok = session->Holds("P(a)");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok->holds);
+}
+
+TEST(ServeDeadlineTest, GenerousDeadlineChangesNoAnswer) {
+  // Property: for random kbs and random read chains, deadline_ms = 1 hour
+  // (armed, polled, never fires) returns exactly what no deadline returns.
+  std::mt19937_64 rng(20260808);
+  testutil::RandomSentenceGenerator gen(&rng);
+  for (int round = 0; round < 15; ++round) {
+    Knowledgebase kb = testutil::RandomKnowledgebase(&rng);
+    serve::Server server(kb);
+    std::unique_ptr<serve::Session> session = server.StartSession();
+    for (int q = 0; q < 3; ++q) {
+      serve::ReadRequest request;
+      request.antecedents = {ToString(gen.Generate(2))};
+      request.consequent = ToString(gen.Generate(2));
+      auto plain = session->Query(request);
+      ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+      request.deadline_ms = 3'600'000;
+      auto timed = session->Query(request);
+      ASSERT_TRUE(timed.ok()) << timed.status().ToString();
+      EXPECT_EQ(plain->holds, timed->holds) << "round " << round;
+    }
+  }
+  // Deadline-armed reads polled the solver's interrupt token; with no SAT
+  // work some rounds may skip polling, but across 45 reads at least one
+  // descent solves.
+}
+
+TEST(ServeDeadlineTest, ArmedDeadlineShowsUpInInterruptCheckStats) {
+  // Ground reads dispatch to the reference strategy and never enter the SAT
+  // search; pin the SAT strategy so the armed token is actually polled.
+  serve::ServerOptions options;
+  options.engine.mu.strategy = MuStrategy::kSat;
+  serve::Server server(
+      *MakeSingletonKb({{"P", 1}, {"Q", 2}}, {{"P", {{"a"}}}}), options);
+  std::unique_ptr<serve::Session> session = server.StartSession();
+  serve::ReadRequest request;
+  request.antecedents = {"P(b)"};
+  request.consequent = "P(a)&P(b)";
+  request.deadline_ms = 3'600'000;
+  auto r = session->Query(request);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->holds);
+  // The token was armed, so every μ solve polled it at entry.
+  EXPECT_GE(server.stats().sat_interrupt_checks, 1u);
+  EXPECT_EQ(server.stats().deadlines_exceeded, 0u);
+}
+
+TEST(ServeDeadlineTest, TinyDeadlineNeverWedgesAndNeverLies) {
+  // A 1 ms deadline on random reads must come back promptly with either the
+  // correct answer (verified against an undeadlined run) or a clean
+  // kDeadlineExceeded — and the session stays usable either way.
+  std::mt19937_64 rng(99);
+  testutil::RandomSentenceGenerator gen(&rng);
+  for (int round = 0; round < 10; ++round) {
+    Knowledgebase kb = testutil::RandomKnowledgebase(&rng);
+    serve::Server server(kb);
+    std::unique_ptr<serve::Session> session = server.StartSession();
+
+    serve::ReadRequest request;
+    request.antecedents = {ToString(gen.Generate(2))};
+    request.consequent = ToString(gen.Generate(2));
+    auto truth = session->Query(request);
+    ASSERT_TRUE(truth.ok());
+
+    request.deadline_ms = 1;
+    auto timed = session->Query(request);
+    if (timed.ok()) {
+      EXPECT_EQ(timed->holds, truth->holds) << "round " << round;
+    } else {
+      EXPECT_EQ(timed.status().code(), StatusCode::kDeadlineExceeded)
+          << timed.status().ToString();
+    }
+
+    // Session reusable after either outcome.
+    request.deadline_ms = 0;
+    auto again = session->Query(request);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(again->holds, truth->holds);
+  }
+}
+
+}  // namespace
+}  // namespace kbt

@@ -11,6 +11,8 @@
 #include "logic/printer.h"
 #include "serve/cache_bank.h"
 #include "serve/snapshot.h"
+#include "logic/grounder.h"
+#include "store/fault_env.h"
 #include "store/file.h"
 #include "store/recovery.h"
 #include "testutil.h"
@@ -99,6 +101,42 @@ TEST(QueryCacheBankTest, ParseErrorsPropagate) {
   // (No free-variable case: an unbound identifier in term position names a
   // constant in this syntax, so any well-formed formula here is a sentence.)
   EXPECT_EQ(bank.entries(), 0u);
+}
+
+TEST(QueryCacheBankTest, DomainCapBoundsPerSentenceGrowthUnderChurn) {
+  // Rotating active domains — the shape a domain-churning workload produces:
+  // every commit adds a constant, so every read is a fresh domain key. With
+  // entry_max_domains = 2 the per-sentence grounding cache must stay at ≤ 2
+  // entries no matter how many distinct domains pass through, and an evicted
+  // domain must recompute to an identical grounding.
+  QueryCacheBank bank(4, /*entry_byte_budget=*/0, /*entry_max_domains=*/2);
+  auto entry = bank.Get("P(a)");
+  ASSERT_TRUE(entry.ok());
+  GrounderOptions gopts;
+
+  std::vector<Value> first_domain = {Name("a")};
+  auto first = (*entry)->ground.GetOrGround((*entry)->sentence, first_domain,
+                                            gopts);
+  ASSERT_TRUE(first.ok());
+  const size_t first_circuit = (*first)->grounding.circuit.size();
+
+  for (int i = 0; i < 10; ++i) {
+    std::vector<Value> domain = {Name("a")};
+    for (int j = 0; j <= i; ++j) {
+      domain.push_back(Name("c" + std::to_string(j)));
+    }
+    auto g = (*entry)->ground.GetOrGround((*entry)->sentence, domain, gopts);
+    ASSERT_TRUE(g.ok()) << g.status().message();
+    EXPECT_LE((*entry)->ground.entries(), 2u) << "round " << i;
+  }
+  EXPECT_GE((*entry)->ground.stats().evictions, 8u);
+
+  // The first domain was evicted long ago; recomputing it yields the same
+  // grounding shape.
+  auto again = (*entry)->ground.GetOrGround((*entry)->sentence, first_domain,
+                                            gopts);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->grounding.circuit.size(), first_circuit);
 }
 
 // ---------------------------------------------------------------------------
@@ -252,6 +290,38 @@ TEST(ServeServerTest, RepeatedSentencesHitTheBank) {
   EXPECT_EQ(stats.bank_hits, 2u);    // ...then hits.
 }
 
+TEST(ServeServerTest, ByteBudgetEvictsSentenceEntriesUnderDomainChurn) {
+  // Domain-churn workload against a 1-byte entry budget: every read outgrows
+  // the budget, so the bank must keep evicting and rebuilding instead of
+  // accumulating one grounding per domain forever — and every answer must
+  // match an unbounded twin serving the identical workload.
+  ServerOptions bounded_options;
+  bounded_options.cache_entry_byte_budget = 1;
+  Server bounded(SmallKb(), bounded_options);
+  Server unbounded(SmallKb());
+  std::unique_ptr<Session> bounded_session = bounded.StartSession();
+  std::unique_ptr<Session> unbounded_session = unbounded.StartSession();
+
+  for (int i = 0; i < 8; ++i) {
+    const std::string apply = "tau{P(c" + std::to_string(i) + ")}";
+    ASSERT_TRUE(bounded.Apply(apply).ok());
+    ASSERT_TRUE(unbounded.Apply(apply).ok());
+    for (const char* sentence :
+         {"exists x: P(x)", "forall x: Q(x, x) -> P(x)"}) {
+      ReadRequest request;
+      request.antecedents = {"Q(b, b)"};
+      request.consequent = sentence;
+      auto b = bounded_session->Query(request);
+      auto u = unbounded_session->Query(request);
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      ASSERT_TRUE(u.ok()) << u.status().ToString();
+      EXPECT_EQ(b->holds, u->holds) << "round " << i << ": " << sentence;
+    }
+  }
+  EXPECT_GT(bounded.stats().bank_budget_evictions, 0u);
+  EXPECT_EQ(unbounded.stats().bank_budget_evictions, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Batching
 
@@ -364,6 +434,44 @@ TEST(ServeServerTest, AutoCheckpointRotatesEveryNCommits) {
   EXPECT_FALSE(
       store::Env::Default()->FileExists(dir + "/" + store::WalFileName(0)));
   EXPECT_EQ((*server)->CurrentSnapshot()->version, 4u);
+}
+
+TEST(ServeServerTest, FailedDurableCommitLeavesSnapshotUnchanged) {
+  // When the WAL write under Apply fails, the error must surface BEFORE
+  // Publish: readers keep the old snapshot, the commit counter does not
+  // move, and the next Apply succeeds with a contiguous version number
+  // (the store self-heals the torn record).
+  store::FaultInjectionEnv env;
+  store::StoreOptions store_options;
+  store_options.env = &env;
+  auto server = Server::OpenDurable("db", SmallKb(), store_options);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  ASSERT_TRUE((*server)->Apply("tau{P(b)}").ok());
+  const Knowledgebase before = (*server)->CurrentSnapshot()->kb;
+  const uint64_t version_before = (*server)->CurrentSnapshot()->version;
+  const uint64_t commits_before = (*server)->stats().commits;
+  const uint64_t lsn_before = (*server)->store()->lsn();
+
+  env.FailAt(1, store::FaultKind::kFail);  // Next write-side syscall fails.
+  auto failed = (*server)->Apply("tau{P(c)}");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError)
+      << failed.status().ToString();
+
+  EXPECT_EQ((*server)->CurrentSnapshot()->version, version_before);
+  EXPECT_EQ((*server)->CurrentSnapshot()->kb, before);
+  EXPECT_EQ((*server)->stats().commits, commits_before);
+  EXPECT_EQ((*server)->store()->lsn(), lsn_before);
+
+  // The transient fault is gone; the write path must be fully recovered.
+  auto retried = (*server)->Apply("tau{P(c)}");
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(*retried, version_before + 1);
+  EXPECT_EQ((*server)->store()->lsn(), lsn_before + 1);
+  std::unique_ptr<Session> session = (*server)->StartSession();
+  auto read = session->Holds("P(c)");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->holds);
 }
 
 TEST(ServeServerTest, DurablePipelineApplyIsReplayed) {

@@ -1,0 +1,142 @@
+// kbt_client — command-line client for kbt_server (src/net/ wire protocol).
+//
+// Usage:
+//   kbt_client [--host H] --port N COMMAND...
+//
+// Commands:
+//   ping                        liveness probe
+//   apply EXPR                  commit a transformation, print the version
+//   query SENTENCE              modal query (necessity); prints true/false
+//   possibly SENTENCE           modal query (possibility)
+//   if "A1; A2 => B"            nested counterfactual (necessity)
+//   stats                       dump server counters
+//
+// Flags:
+//   --deadline MS               server-side deadline for reads (0 = none)
+//   --attempts N                retry attempts (default 4)
+//
+// Exit status: 0 on success (for reads, whether the answer is true or
+// false — the answer is on stdout), 1 on any error.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "kbt_client: " << message << "\n";
+  return 1;
+}
+
+// Splits "A1; A2 => B" into antecedents + consequent.
+bool ParseCounterfactual(const std::string& text,
+                         std::vector<std::string>* antecedents,
+                         std::string* consequent) {
+  size_t arrow = text.find("=>");
+  if (arrow == std::string::npos) return false;
+  std::string left = text.substr(0, arrow);
+  *consequent = text.substr(arrow + 2);
+  size_t start = 0;
+  while (start <= left.size()) {
+    size_t semi = left.find(';', start);
+    std::string part = semi == std::string::npos
+                           ? left.substr(start)
+                           : left.substr(start, semi - start);
+    if (part.find_first_not_of(" \t") != std::string::npos) {
+      antecedents->push_back(part);
+    }
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return !consequent->empty();
+}
+
+int RunRead(kbt::net::Client& client, const std::vector<std::string>& ants,
+            const std::string& consequent, bool necessarily,
+            uint64_t deadline_ms) {
+  kbt::StatusOr<kbt::net::ClientReadResult> result =
+      client.Read(ants, consequent, necessarily, deadline_ms);
+  if (!result.ok()) return Fail(result.status().ToString());
+  std::cout << (result->holds ? "true" : "false") << " (version "
+            << result->snapshot_version << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t deadline_ms = 0;
+  kbt::net::ClientOptions options;
+  std::vector<std::string> command;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) {
+      host = v;
+    } else if (arg == "--port" && (v = next())) {
+      port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--deadline" && (v = next())) {
+      deadline_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--attempts" && (v = next())) {
+      options.max_attempts = std::strtoull(v, nullptr, 10);
+    } else {
+      command.push_back(arg);
+    }
+  }
+  if (port == 0) return Fail("--port is required");
+  if (command.empty()) return Fail("no command (ping|apply|query|possibly|if|stats)");
+
+  kbt::net::Client client = kbt::net::Client::Dial(host, port, options);
+  const std::string& cmd = command[0];
+
+  if (cmd == "ping") {
+    kbt::Status s = client.Ping();
+    if (!s.ok()) return Fail(s.ToString());
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (cmd == "apply") {
+    if (command.size() < 2) return Fail("apply needs an expression");
+    kbt::StatusOr<uint64_t> version = client.Apply(command[1]);
+    if (!version.ok()) {
+      if (client.maybe_executed()) {
+        std::cerr << "kbt_client: outcome unknown (may have executed)\n";
+      }
+      return Fail(version.status().ToString());
+    }
+    std::cout << "version " << *version << "\n";
+    return 0;
+  }
+  if (cmd == "query" || cmd == "possibly") {
+    if (command.size() < 2) return Fail(cmd + " needs a sentence");
+    return RunRead(client, {}, command[1], cmd == "query", deadline_ms);
+  }
+  if (cmd == "if") {
+    if (command.size() < 2) return Fail("if needs \"A1; A2 => B\"");
+    std::vector<std::string> ants;
+    std::string consequent;
+    if (!ParseCounterfactual(command[1], &ants, &consequent)) {
+      return Fail("could not parse counterfactual (need '=>')");
+    }
+    return RunRead(client, ants, consequent, /*necessarily=*/true, deadline_ms);
+  }
+  if (cmd == "stats") {
+    kbt::StatusOr<kbt::net::WireStatsReply> stats = client.Stats();
+    if (!stats.ok()) return Fail(stats.status().ToString());
+    for (const auto& [name, value] : stats->counters) {
+      std::cout << name << " = " << value << "\n";
+    }
+    return 0;
+  }
+  return Fail("unknown command: " + cmd);
+}

@@ -1,0 +1,149 @@
+// kbt_server — the network front end: serves a knowledgebase over the kbt
+// wire protocol (src/net/) until SIGTERM/SIGINT, then drains gracefully.
+//
+// Usage:
+//   kbt_server --init "R/2 S/1" [--store DIR] [--port N] [flags]
+//   kbt_server --load "[ R/1: {(a)} ]" [--store DIR] [--port N] [flags]
+//
+// Flags:
+//   --init DECLS            empty singleton kb over NAME/ARITY declarations
+//   --load LITERAL          kb from a knowledgebase literal
+//   --store DIR             durable mode: WAL + checkpoints in DIR
+//   --host H --port N       bind address (port 0 = pick a free port)
+//   --max-connections N     reject-early bound on concurrent connections
+//   --max-in-flight N       reject-early bound on concurrently executing reads
+//   --read-timeout-ms MS    per-connection idle timeout
+//   --sat-budget N          per-read SAT conflict budget (0 = unlimited)
+//   --cache-bytes N         per-sentence cache byte budget (0 = unbounded)
+//   --cache-domains N       per-sentence cached-domain cap (0 = unbounded)
+//
+// The bound port is printed as "listening on HOST:PORT" once ready — the
+// smoke test scrapes it. SIGTERM and SIGINT request a graceful drain: stop
+// accepting, finish or cancel in-flight requests, fsync the store, exit 0.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/interner.h"
+#include "net/server.h"
+#include "rel/io.h"
+#include "serve/server.h"
+
+namespace {
+
+kbt::net::NetServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  // Async-signal-safe: one atomic store; the drain runs on the main thread.
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+kbt::StatusOr<kbt::Knowledgebase> InitialKb(const std::string& init,
+                                            const std::string& load) {
+  if (!load.empty()) return kbt::ParseKnowledgebase(load);
+  std::vector<kbt::RelationDecl> decls;
+  std::istringstream in{init};
+  std::string token;
+  while (in >> token) {
+    size_t slash = token.rfind('/');
+    if (slash == std::string::npos || slash + 1 == token.size()) {
+      return kbt::Status::InvalidArgument("expected NAME/ARITY, got '" + token +
+                                          "'");
+    }
+    size_t arity = 0;
+    try {
+      arity = std::stoul(token.substr(slash + 1));
+    } catch (...) {
+      return kbt::Status::InvalidArgument("bad arity in '" + token + "'");
+    }
+    decls.push_back({kbt::Name(token.substr(0, slash)), arity});
+  }
+  KBT_ASSIGN_OR_RETURN(kbt::Schema schema,
+                       kbt::Schema::FromDecls(std::move(decls)));
+  return kbt::Knowledgebase::Singleton(kbt::Database(schema));
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "kbt_server: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string init, load, store_dir;
+  kbt::net::NetServerOptions net_options;
+  kbt::serve::ServerOptions serve_options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--init" && (v = next())) {
+      init = v;
+    } else if (arg == "--load" && (v = next())) {
+      load = v;
+    } else if (arg == "--store" && (v = next())) {
+      store_dir = v;
+    } else if (arg == "--host" && (v = next())) {
+      net_options.host = v;
+    } else if (arg == "--port" && (v = next())) {
+      net_options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--max-connections" && (v = next())) {
+      net_options.max_connections = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-in-flight" && (v = next())) {
+      net_options.max_in_flight = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--read-timeout-ms" && (v = next())) {
+      net_options.read_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--sat-budget" && (v = next())) {
+      serve_options.read_sat_conflict_budget = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--cache-bytes" && (v = next())) {
+      serve_options.cache_entry_byte_budget = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--cache-domains" && (v = next())) {
+      serve_options.cache_entry_max_domains = std::strtoull(v, nullptr, 10);
+    } else {
+      return Fail("unknown or incomplete flag: " + arg);
+    }
+  }
+  if (init.empty() && load.empty()) {
+    return Fail("one of --init or --load is required");
+  }
+
+  kbt::StatusOr<kbt::Knowledgebase> kb = InitialKb(init, load);
+  if (!kb.ok()) return Fail(kb.status().ToString());
+
+  std::unique_ptr<kbt::serve::Server> server;
+  if (!store_dir.empty()) {
+    kbt::StatusOr<std::unique_ptr<kbt::serve::Server>> durable =
+        kbt::serve::Server::OpenDurable(store_dir, *kb, kbt::store::StoreOptions(),
+                                        serve_options);
+    if (!durable.ok()) return Fail(durable.status().ToString());
+    server = std::move(*durable);
+  } else {
+    server = std::make_unique<kbt::serve::Server>(std::move(*kb), serve_options);
+  }
+
+  kbt::net::NetServer net(server.get(), net_options);
+  kbt::Status started = net.Start();
+  if (!started.ok()) return Fail(started.ToString());
+
+  g_server = &net;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::cout << "listening on " << net_options.host << ":" << net.port() << "\n"
+            << std::flush;
+
+  kbt::Status drained = net.WaitForShutdown();
+  g_server = nullptr;
+  if (!drained.ok()) return Fail("drain: " + drained.ToString());
+  std::cout << "drained cleanly\n";
+  return 0;
+}

@@ -175,7 +175,11 @@ struct Shell {
     std::cout << "version=" << s.snapshot_version << " commits=" << s.commits
               << " reads=" << s.reads << " batches=" << s.batches
               << " bank_hits=" << s.bank_hits
-              << " bank_misses=" << s.bank_misses;
+              << " bank_misses=" << s.bank_misses
+              << " bank_budget_evictions=" << s.bank_budget_evictions
+              << " deadlines_exceeded=" << s.deadlines_exceeded
+              << " sat_interrupt_checks=" << s.sat_interrupt_checks
+              << " sat_budget_trips=" << s.sat_budget_trips;
     if (server->store() != nullptr)
       std::cout << " lsn=" << server->store()->lsn();
     std::cout << "\n";
