@@ -84,14 +84,29 @@ Status NetServer::Start() {
 
 void NetServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
+    ReapFinishedWorkers();
     if (shutdown_requested_.load(std::memory_order_acquire)) break;
     struct sockaddr_in peer;
     socklen_t peer_len = sizeof(peer);
-    int fd = ::accept(listen_fd_, reinterpret_cast<struct sockaddr*>(&peer),
-                      &peer_len);
+    int fd = ::accept(listen_fd_.load(std::memory_order_acquire),
+                      reinterpret_cast<struct sockaddr*>(&peer), &peer_len);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      // The listener was closed by Shutdown, or is in a terminal state.
+      int err = errno;
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Per-connection failures (peer reset while queued in the backlog)
+      // must not kill the listener for everyone else.
+      if (err == EINTR || err == ECONNABORTED || err == EPROTO ||
+          err == EAGAIN || err == EWOULDBLOCK) {
+        continue;
+      }
+      // Descriptor/buffer exhaustion is transient: back off so in-flight
+      // closes and the reap above can release resources, then retry.
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
+      // Terminal: the listener is gone (EBADF/EINVAL after Shutdown closed
+      // it) or irrecoverably broken.
       break;
     }
     auto transport = std::make_shared<SocketTransport>(
@@ -105,17 +120,54 @@ void NetServer::AcceptLoop() {
       SendError(*transport,
                 Status::Unavailable("server at connection capacity"),
                 options_.retry_after_ms);
-      continue;  // unique_ptr closes the socket.
+      continue;  // The last shared_ptr closes the socket.
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     open_connections_.fetch_add(1, std::memory_order_acq_rel);
+    // conn_mu_ is held across thread creation AND map insertion, so the
+    // worker's exit-time FinishConnection (which takes conn_mu_) always
+    // finds its entries registered, however fast the connection ends.
     std::lock_guard<std::mutex> lock(conn_mu_);
-    live_transports_.push_back(transport);
-    conn_threads_.emplace_back([this, t = std::move(transport)] {
-      ServeConnection(*t);
-      open_connections_.fetch_sub(1, std::memory_order_acq_rel);
-    });
+    uint64_t id = next_conn_id_++;
+    live_transports_.emplace(id, transport);
+    conn_threads_.emplace(
+        id, std::thread([this, id, t = std::move(transport)]() mutable {
+          ServeConnection(*t);
+          FinishConnection(id, std::move(t));
+        }));
   }
+}
+
+void NetServer::FinishConnection(uint64_t id,
+                                 std::shared_ptr<Transport> transport) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    live_transports_.erase(id);
+    auto it = conn_threads_.find(id);
+    if (it != conn_threads_.end()) {
+      // Our own handle — a thread cannot join itself, so park it for the
+      // accept loop (or Shutdown's sweep) to join. If Shutdown already moved
+      // it out, it is joining us directly and there is nothing to park.
+      finished_threads_.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+  }
+  transport.reset();  // Last reference: the socket closes now, not at join.
+  open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void NetServer::ReapFinishedWorkers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    done.swap(finished_threads_);
+  }
+  // Join outside conn_mu_: a parked thread may still be finishing
+  // FinishConnection's tail, and Shutdown's sweep takes the same lock.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+  connections_reaped_.fetch_add(done.size(), std::memory_order_relaxed);
 }
 
 void NetServer::ServeConnection(Transport& transport) {
@@ -271,9 +323,15 @@ void NetServer::SendError(Transport& transport, const Status& status,
 }
 
 Status NetServer::WaitForShutdown() {
-  while (!shutdown_requested_.load(std::memory_order_acquire) &&
-         !shutdown_done_.load(std::memory_order_acquire)) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    // RequestShutdown is async-signal-safe — a plain atomic store that
+    // cannot notify a condvar from a signal handler — so the wait re-checks
+    // that flag on a short timeout; a completed drain notifies directly.
+    while (!shutdown_done_ &&
+           !shutdown_requested_.load(std::memory_order_acquire)) {
+      shutdown_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
   }
   return Shutdown();
 }
@@ -281,18 +339,19 @@ Status NetServer::WaitForShutdown() {
 Status NetServer::Shutdown() {
   bool expected = false;
   if (!stopping_.compare_exchange_strong(expected, true)) {
-    // Another caller ran (or is running) the drain; wait for it.
-    while (!shutdown_done_.load(std::memory_order_acquire)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    }
-    return Status::OK();
+    // Another caller runs the drain; wait for it and report the same result
+    // (a store-sync failure must reach every caller, not just the winner).
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_done_; });
+    return shutdown_status_;
   }
 
-  // 1. Stop accepting: close the listener, which unblocks accept().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // 1. Stop accepting: claim and close the listener, which unblocks accept()
+  // (with EBADF; the loop sees stopping_ set and exits).
+  int listener = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listener >= 0) {
+    ::shutdown(listener, SHUT_RDWR);
+    ::close(listener);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
 
@@ -309,25 +368,35 @@ Status NetServer::Shutdown() {
   // the client gets a typed error, not silence. Parked readers unblock via
   // transport shutdown.
   drain_token_.Cancel();
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const std::shared_ptr<Transport>& t : live_transports_) {
-      t->Shutdown();
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (std::thread& t : conn_threads_) {
-      if (t.joinable()) t.join();
-    }
+    for (auto& entry : live_transports_) entry.second->Shutdown();
+    for (auto& entry : conn_threads_) workers.push_back(std::move(entry.second));
     conn_threads_.clear();
+    for (std::thread& t : finished_threads_) workers.push_back(std::move(t));
+    finished_threads_.clear();
+  }
+  // Join OUTSIDE conn_mu_: an exiting worker takes it to deregister itself
+  // in FinishConnection, and a join-under-lock would deadlock with that.
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  connections_reaped_.fetch_add(workers.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
     live_transports_.clear();
   }
 
   // 4. Durability barrier: every acknowledged commit is already in the WAL
   // (Apply writes before replying); Sync covers group-commit/manual modes.
   Status sync = server_->Sync();
-  shutdown_done_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_done_ = true;
+    shutdown_status_ = sync;
+  }
+  shutdown_cv_.notify_all();
   return sync;
 }
 
@@ -337,6 +406,8 @@ NetServer::NetStats NetServer::net_stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   s.connections_rejected =
       connections_rejected_.load(std::memory_order_relaxed);
+  s.connections_reaped = connections_reaped_.load(std::memory_order_relaxed);
+  s.open_connections = open_connections_.load(std::memory_order_acquire);
   s.requests_ok = requests_ok_.load(std::memory_order_relaxed);
   s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
   s.requests_failed = requests_failed_.load(std::memory_order_relaxed);

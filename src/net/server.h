@@ -25,14 +25,23 @@
 ///     disk before its reply frame leaves, so SIGTERM → Shutdown() never
 ///     loses acknowledged work (crash-matrix tested).
 ///
+/// A worker that finishes (peer hung up, fatal frame error) deregisters
+/// itself: it drops the connection's transport — closing the socket right
+/// then, not at shutdown — and parks its thread handle on a finished list
+/// the accept loop joins before each accept. A long-running server therefore
+/// holds an fd and a thread stack only per *open* connection, never per
+/// connection ever served.
+///
 /// ServeConnection is public: tests drive the exact production frame loop
 /// over in-memory PipeTransport/FaultTransport pairs, deterministically.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "base/cancel.h"
@@ -102,6 +111,8 @@ class NetServer {
   struct NetStats {
     uint64_t connections_accepted = 0;
     uint64_t connections_rejected = 0;  ///< Over max_connections.
+    uint64_t connections_reaped = 0;    ///< Worker threads joined so far.
+    uint64_t open_connections = 0;      ///< Currently being served.
     uint64_t requests_ok = 0;
     uint64_t requests_rejected = 0;  ///< Over max_in_flight.
     uint64_t requests_failed = 0;    ///< Error replies (parse, deadline, ...).
@@ -114,6 +125,12 @@ class NetServer {
 
  private:
   void AcceptLoop();
+  /// Worker exit path: drops the connection's transport (closing the socket
+  /// now) and moves its own thread handle to finished_threads_ for joining.
+  void FinishConnection(uint64_t id, std::shared_ptr<Transport> transport);
+  /// Joins every thread parked on finished_threads_. Called by the accept
+  /// loop before each accept; Shutdown sweeps whatever remains.
+  void ReapFinishedWorkers();
   /// One request–reply exchange. Returns false when the connection must
   /// close (clean EOF, malformed frame, IO error). `last_seq` is the
   /// connection's previous request seq, used to drop duplicated frames.
@@ -128,24 +145,40 @@ class NetServer {
   serve::Server* server_;
   NetServerOptions options_;
 
-  int listen_fd_ = -1;
+  /// Atomic: the accept thread reads it while Shutdown claims-and-closes it
+  /// (exchange to -1), after which accept fails with EBADF and the loop ends.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
-  std::atomic<bool> shutdown_done_{false};
   CancelToken drain_token_;
 
+  /// Drain result shared with every Shutdown/WaitForShutdown caller: the
+  /// winner stores the store-Sync status here, losers wait on the condvar
+  /// and report the same Status (a sync failure must not be visible to only
+  /// one of two concurrent callers).
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_done_ = false;   // Guarded by shutdown_mu_.
+  Status shutdown_status_;       // Guarded by shutdown_mu_.
+
   std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
-  /// Connection transports, shared with their worker threads so Shutdown()
-  /// can unblock parked readers without racing a worker's exit.
-  std::vector<std::shared_ptr<Transport>> live_transports_;
+  /// Live connections by id. Transports are shared with their worker thread
+  /// so Shutdown() can unblock parked readers without racing a worker's
+  /// exit; a worker erases its own entries via FinishConnection.
+  std::unordered_map<uint64_t, std::thread> conn_threads_;
+  std::unordered_map<uint64_t, std::shared_ptr<Transport>> live_transports_;
+  /// Handles of exited workers awaiting join (self-parked; a thread cannot
+  /// join itself).
+  std::vector<std::thread> finished_threads_;
+  uint64_t next_conn_id_ = 0;  // Guarded by conn_mu_.
   std::atomic<size_t> open_connections_{0};
   std::atomic<size_t> in_flight_{0};
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> connections_reaped_{0};
   std::atomic<uint64_t> requests_ok_{0};
   std::atomic<uint64_t> requests_rejected_{0};
   std::atomic<uint64_t> requests_failed_{0};

@@ -56,8 +56,10 @@ Status ReadFrame(Transport& t, uint8_t* out_type, std::string* out_payload,
 
 namespace {
 
+/// ms == 0 still calls setsockopt — a zero timeval means "block forever" —
+/// so a timeout set on the fd in an earlier phase (DialTcp's connect budget
+/// on SO_SNDTIMEO) never silently outlives that phase.
 void SetSocketTimeout(int fd, int opt, uint64_t ms) {
-  if (ms == 0) return;
   struct timeval tv;
   tv.tv_sec = static_cast<time_t>(ms / 1000);
   tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
@@ -149,7 +151,8 @@ StatusOr<std::unique_ptr<Transport>> DialTcp(const std::string& host,
       continue;
     }
     // Connect under the write timeout: a SYN that never answers must not
-    // hang the client past its budget.
+    // hang the client past its budget. The SocketTransport constructor
+    // resets SO_SNDTIMEO to the real write timeout after connect succeeds.
     SetSocketTimeout(fd, SO_SNDTIMEO, connect_timeout_ms);
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
       ::freeaddrinfo(result);

@@ -1,6 +1,9 @@
 #include "net/server.h"
 
+#include <dirent.h>
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/time.h>
 
 #include <chrono>
 #include <memory>
@@ -320,6 +323,121 @@ TEST(NetServeTest, DrainingServerRejectsApplies) {
     }
   }
   EXPECT_EQ(h.server().stats().commits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Live TCP: connection reaping, shutdown agreement, dial timeout hygiene.
+// The pipe harness bypasses the accept loop, so these run over real sockets.
+
+int CountOpenFds() {
+  int count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;  // Includes ".", "..", and the dirfd itself — constant noise.
+}
+
+/// Polls `pred` until true or ~5 s elapse.
+template <typename Pred>
+bool EventuallyTrue(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+Status PingOnce(Transport& t, uint16_t seq) {
+  KBT_RETURN_IF_ERROR(
+      WriteFrame(t, static_cast<uint8_t>(FrameType::kPing), "", seq));
+  uint8_t type = 0;
+  std::string payload;
+  KBT_RETURN_IF_ERROR(ReadFrame(t, &type, &payload));
+  if (static_cast<FrameType>(type) != FrameType::kPong) {
+    return Status::Internal("expected pong");
+  }
+  return Status::OK();
+}
+
+TEST(NetServeTcpTest, ClosedConnectionsReleaseFdsAndThreads) {
+  serve::Server server(SmallKb(), serve::ServerOptions());
+  NetServer net(&server, NetServerOptions());
+  ASSERT_TRUE(net.Start().ok());
+
+  // Warm-up connection so lazy one-time allocations don't skew the baseline.
+  {
+    auto warm = DialTcp("127.0.0.1", net.port());
+    ASSERT_TRUE(warm.ok()) << warm.status().message();
+    ASSERT_TRUE(PingOnce(**warm, 1).ok());
+  }
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return net.net_stats().open_connections == 0; }));
+  int baseline = CountOpenFds();
+  ASSERT_GT(baseline, 0);
+
+  constexpr int kConnections = 16;
+  for (int i = 0; i < kConnections; ++i) {
+    auto t = DialTcp("127.0.0.1", net.port());
+    ASSERT_TRUE(t.ok()) << t.status().message();
+    ASSERT_TRUE(PingOnce(**t, 1).ok());
+    // The transport is destroyed here: the peer closes, the worker exits.
+  }
+
+  // Every server-side socket closes when its worker exits — NOT at shutdown.
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return net.net_stats().open_connections == 0; }));
+  EXPECT_LE(CountOpenFds(), baseline + 1)
+      << "closed connections are leaking file descriptors";
+
+  // Exited workers are joined by the accept loop, not hoarded until
+  // Shutdown: one more connection wakes the loop, whose pre-accept sweep
+  // reaps all earlier handles.
+  auto wake = DialTcp("127.0.0.1", net.port());
+  ASSERT_TRUE(wake.ok());
+  ASSERT_TRUE(PingOnce(**wake, 1).ok());
+  EXPECT_TRUE(EventuallyTrue([&] {
+    return net.net_stats().connections_reaped >=
+           static_cast<uint64_t>(kConnections);
+  })) << "accept loop never joined finished workers; reaped = "
+      << net.net_stats().connections_reaped;
+
+  EXPECT_TRUE(net.Shutdown().ok());
+  EXPECT_EQ(net.net_stats().open_connections, 0u);
+}
+
+TEST(NetServeTcpTest, ConcurrentShutdownCallersObserveSameStatus) {
+  serve::Server server(SmallKb(), serve::ServerOptions());
+  NetServer net(&server, NetServerOptions());
+  ASSERT_TRUE(net.Start().ok());
+  // Both callers must return the same drain result (the store-sync status),
+  // whichever of them wins the race to run the drain.
+  Status a, b;
+  std::thread t1([&] { a = net.Shutdown(); });
+  std::thread t2([&] { b = net.Shutdown(); });
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(a.ok()) << a.ToString();
+  EXPECT_EQ(a.code(), b.code());
+  EXPECT_EQ(a.message(), b.message());
+}
+
+TEST(NetServeTcpTest, DialConnectTimeoutDoesNotLeakIntoWrites) {
+  serve::Server server(SmallKb(), serve::ServerOptions());
+  NetServer net(&server, NetServerOptions());
+  ASSERT_TRUE(net.Start().ok());
+  // connect_timeout 3 s, write_timeout 0 ("block forever"): after the dial,
+  // SO_SNDTIMEO must be cleared, not left at the connect budget.
+  auto t = DialTcp("127.0.0.1", net.port(), /*connect_timeout_ms=*/3000,
+                   /*read_timeout_ms=*/0, /*write_timeout_ms=*/0);
+  ASSERT_TRUE(t.ok()) << t.status().message();
+  int fd = static_cast<SocketTransport*>(t->get())->fd();
+  struct timeval tv;
+  socklen_t len = sizeof(tv);
+  ASSERT_EQ(::getsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, &len), 0);
+  EXPECT_EQ(tv.tv_sec, 0);
+  EXPECT_EQ(tv.tv_usec, 0);
+  EXPECT_TRUE(net.Shutdown().ok());
 }
 
 // ---------------------------------------------------------------------------
