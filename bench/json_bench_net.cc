@@ -1,0 +1,326 @@
+/// \file
+/// Machine-readable benchmark for the network layer end to end: real
+/// localhost TCP through NetServer's accept loop, frame codec, and
+/// per-connection workers, measured from net::Client.
+///
+/// Two row families:
+///
+///   * net_mixed — `connections` concurrent clients, each its own TCP
+///     connection, running a fixed op count at `read_frac` reads (the rest
+///     are serialized τ applies issued by connection 0). Reported: total
+///     ops/sec and read latency percentiles — what one wire hop plus the
+///     serving layer costs versus BENCH_serving's in-process rows.
+///   * repl_apply — the semi-sync tax twin: a durable primary with a live
+///     streaming follower (pipe-connected pull thread), one TCP client
+///     issuing applies. semi_sync=0 rows return after local durability;
+///     semi_sync=1 rows block until the follower's fetch acks the lsn. The
+///     delta between the twins is the replication round-trip a caller buys
+///     with "on two machines before the reply".
+///
+/// Usage: json_bench_net [output.json]   (default: BENCH_net.json)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/transport.h"
+#include "repl/follower.h"
+#include "repl/primary.h"
+#include "serve/server.h"
+#include "store/file.h"
+
+namespace kbt::bench {
+namespace {
+
+constexpr const char* kRev = "pr10";
+
+struct NetBenchRecord {
+  std::string name;
+  int connections = 0;
+  double read_frac = 0.0;
+  int semi_sync = 0;
+  int ops = 0;
+  double ops_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+bool WriteNetBenchJson(const std::string& path,
+                       const std::vector<NetBenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fprintf(f, "{\n  \"benchmarks\": [\n") >= 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const NetBenchRecord& r = records[i];
+    ok = std::fprintf(
+             f,
+             "    {\"name\": \"%s\", \"rev\": \"%s\", \"connections\": %d, "
+             "\"read_frac\": %.2f, \"semi_sync\": %d, \"ops\": %d, "
+             "\"ops_per_sec\": %.3f, \"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+             r.name.c_str(), kRev, r.connections, r.read_frac, r.semi_sync,
+             r.ops, r.ops_per_sec, r.p50_ms, r.p99_ms,
+             i + 1 < records.size() ? "," : "") >= 0 &&
+         ok;
+  }
+  ok = std::fprintf(f, "  ]\n}\n") >= 0 && ok;
+  return std::fclose(f) == 0 && ok;
+}
+
+/// 3-world kb over a small domain (the serving bench's shape): reads fold
+/// over worlds, writes keep the world count stable.
+Knowledgebase NetKb(int domain) {
+  Schema schema = *Schema::Of({{"Dom", 1}, {"R", 2}, {"P", 1}, {"Q", 1}});
+  Relation::Builder dom(1);
+  for (int i = 0; i < domain; ++i) dom.Append({Name(V(i))});
+  Relation dom_rel = dom.Build();
+  Relation edges = ChainEdges(domain);
+  std::vector<Database> worlds;
+  for (int w = 0; w < 3; ++w) {
+    Relation::Builder p(1);
+    p.Append({Name(V(w % domain))});
+    Database db =
+        *Database::Create(schema, {dom_rel, edges, p.Build(), Relation(1)});
+    worlds.push_back(std::move(db));
+  }
+  return *Knowledgebase::FromDatabases(std::move(worlds));
+}
+
+/// The recurring read pool, as (antecedents, consequent, necessarily)
+/// triples on the wire.
+struct WireRead {
+  std::vector<std::string> antecedents;
+  std::string consequent;
+  bool necessarily = true;
+};
+
+std::vector<WireRead> ReadPool() {
+  return {
+      {{}, "P(n0)", false},
+      {{}, "Q(n1)", true},
+      {{"P(n1)"}, "P(n1)", true},
+      {{"Q(n2)"}, "P(n0) | Q(n2)", false},
+      {{"P(n2)", "Q(n0)"}, "Q(n0)", true},
+      {{"R(n0, n2)"}, "R(n0, n2)", false},
+  };
+}
+
+std::string WriteExpr(int i) {
+  return "tau{Q(n" + std::to_string(i % 3) + ")}";
+}
+
+struct MixResult {
+  double ops_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+MixResult Summarize(std::vector<double> latencies, int extra_ops,
+                    double wall_ms) {
+  std::sort(latencies.begin(), latencies.end());
+  MixResult r;
+  int executed = static_cast<int>(latencies.size()) + extra_ops;
+  r.ops_per_sec = wall_ms > 0 ? 1000.0 * executed / wall_ms : 0.0;
+  if (!latencies.empty()) {
+    r.p50_ms = latencies[latencies.size() / 2];
+    r.p99_ms = latencies[std::min(latencies.size() - 1,
+                                  latencies.size() * 99 / 100)];
+  }
+  return r;
+}
+
+/// `connections` clients over localhost TCP, `total_ops` at `read_frac`.
+/// Connection 0 owns the write budget (the write path is serialized).
+MixResult RunNetMix(uint16_t port, int connections, double read_frac,
+                    int total_ops) {
+  using Clock = std::chrono::steady_clock;
+  const std::vector<WireRead> pool = ReadPool();
+  const int writes = static_cast<int>(total_ops * (1.0 - read_frac));
+  const int reads = total_ops - writes;
+  const int reads_per_conn = reads / connections;
+
+  std::vector<std::vector<double>> latencies(connections);
+  auto worker = [&](int c) {
+    net::ClientOptions options;
+    options.sleep_on_backoff = false;
+    net::Client client = net::Client::Dial("127.0.0.1", port, options);
+    std::vector<double>& lat = latencies[c];
+    lat.reserve(reads_per_conn);
+    for (int i = 0; i < reads_per_conn; ++i) {
+      const WireRead& r = pool[(c + i) % pool.size()];
+      auto start = Clock::now();
+      auto result = client.Read(r.antecedents, r.consequent, r.necessarily);
+      if (!result.ok()) std::abort();
+      lat.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count());
+    }
+    if (c == 0) {
+      for (int i = 0; i < writes; ++i) {
+        if (!client.Apply(WriteExpr(i)).ok()) std::abort();
+      }
+    }
+  };
+
+  auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (int c = 0; c < connections; ++c) workers.emplace_back(worker, c);
+  for (std::thread& w : workers) w.join();
+  double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (std::vector<double>& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  return Summarize(std::move(all), writes, wall_ms);
+}
+
+std::string ScratchDir(const char* tag) {
+  const char* base = std::getenv("TMPDIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/kbt_bench_net_" +
+         tag + "_" + std::to_string(static_cast<unsigned>(::getpid()));
+}
+
+void RemoveStoreDir(const std::string& dir) {
+  store::Env* env = store::Env::Default();
+  StatusOr<std::vector<std::string>> names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      Status ignored = env->RemoveFile(dir + "/" + name);
+      (void)ignored;
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// One semi-sync twin row: durable primary + streaming follower, `applies`
+/// commits from a TCP client. The only difference between the twins is
+/// whether each Apply waits for the follower's ack.
+MixResult RunReplApplies(bool semi_sync, int applies) {
+  using Clock = std::chrono::steady_clock;
+  const std::string pdir = ScratchDir(semi_sync ? "p_ss" : "p");
+  const std::string fdir = ScratchDir(semi_sync ? "f_ss" : "f");
+  RemoveStoreDir(pdir);
+  RemoveStoreDir(fdir);
+
+  auto server = serve::Server::OpenDurable(pdir, NetKb(6));
+  if (!server.ok()) std::abort();
+  repl::PrimaryOptions popts;
+  popts.semi_sync = semi_sync;
+  popts.semi_sync_timeout_ms = 10'000;
+  auto primary = repl::Primary::Attach(server->get(), popts);
+  if (!primary.ok()) std::abort();
+
+  net::NetServerOptions nopts;
+  nopts.repl = primary->get();
+  net::NetServer net(server->get(), nopts);
+  if (!net.Start().ok()) std::abort();
+  const uint16_t port = net.port();
+
+  repl::FollowerOptions fopts;
+  fopts.node_id = "bench-replica";
+  fopts.dir = fdir;
+  fopts.initial = NetKb(6);
+  fopts.connect = [port] { return net::DialTcp("127.0.0.1", port); };
+  fopts.poll_wait_ms = 1'000;
+  auto follower = repl::Follower::Open(std::move(fopts));
+  if (!follower.ok()) std::abort();
+  if (!(*follower)->Start().ok()) std::abort();
+
+  std::vector<double> lat;
+  lat.reserve(applies);
+  net::Client client = net::Client::Dial("127.0.0.1", port);
+  auto start = Clock::now();
+  for (int i = 0; i < applies; ++i) {
+    auto t0 = Clock::now();
+    if (!client.Apply(WriteExpr(i)).ok()) std::abort();
+    lat.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+
+  (*follower)->Stop();
+  follower->reset();
+  Status ignored = net.Shutdown();
+  (void)ignored;
+  primary->reset();
+  server->reset();
+  RemoveStoreDir(pdir);
+  RemoveStoreDir(fdir);
+  return Summarize(std::move(lat), 0, wall_ms);
+}
+
+int Main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "BENCH_net.json";
+  std::vector<NetBenchRecord> records;
+
+  // Family 1: connections × read mix over localhost TCP, in-memory server.
+  constexpr int kOps = 600;
+  for (double read_frac : {1.0, 0.9}) {
+    for (int connections : {1, 2, 4}) {
+      serve::Server server(NetKb(6));
+      net::NetServer net(&server, net::NetServerOptions());
+      if (!net.Start().ok()) std::abort();
+      MixResult mix = RunNetMix(net.port(), connections, read_frac, kOps);
+      Status ignored = net.Shutdown();
+      (void)ignored;
+      NetBenchRecord r;
+      r.name = "net_mixed";
+      r.connections = connections;
+      r.read_frac = read_frac;
+      r.ops = kOps;
+      r.ops_per_sec = mix.ops_per_sec;
+      r.p50_ms = mix.p50_ms;
+      r.p99_ms = mix.p99_ms;
+      records.push_back(r);
+    }
+  }
+
+  // Family 2: the semi-sync tax twin rows.
+  constexpr int kApplies = 200;
+  for (bool semi_sync : {false, true}) {
+    MixResult mix = RunReplApplies(semi_sync, kApplies);
+    NetBenchRecord r;
+    r.name = "repl_apply";
+    r.connections = 1;
+    r.read_frac = 0.0;
+    r.semi_sync = semi_sync ? 1 : 0;
+    r.ops = kApplies;
+    r.ops_per_sec = mix.ops_per_sec;
+    r.p50_ms = mix.p50_ms;
+    r.p99_ms = mix.p99_ms;
+    records.push_back(r);
+  }
+
+  if (!WriteNetBenchJson(path, records)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  for (const NetBenchRecord& r : records) {
+    std::printf(
+        "%-10s conns=%d read=%.2f semi_sync=%d %10.2f ops/s  p50=%.4f ms "
+        "p99=%.4f ms\n",
+        r.name.c_str(), r.connections, r.read_frac, r.semi_sync, r.ops_per_sec,
+        r.p50_ms, r.p99_ms);
+  }
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kbt::bench
+
+int main(int argc, char** argv) { return kbt::bench::Main(argc, argv); }

@@ -28,6 +28,10 @@ const char* StatusCodeName(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kReadOnly:
+      return "read-only";
+    case StatusCode::kFenced:
+      return "fenced";
   }
   return "unknown";
 }

@@ -47,6 +47,16 @@ enum class StatusCode {
   /// the connection failed before the request was accepted). Safe to retry
   /// after backing off — the request was rejected, not half-executed.
   kUnavailable = 10,
+  /// The node is a read-only replica (or a fenced ex-primary): writes are
+  /// refused here by design, not by overload. Retrying at the same node is
+  /// pointless; the error may carry a redirect hint naming the writable
+  /// primary.
+  kReadOnly = 11,
+  /// The caller's replication epoch is stale: a newer primary exists and this
+  /// request came from (or was meant for) a deposed one. The request was
+  /// refused to keep divergence structurally impossible; the caller must
+  /// re-handshake (or re-seed) before continuing.
+  kFenced = 12,
 };
 
 /// Human-readable name of a StatusCode ("ok", "invalid-argument", ...).
@@ -109,6 +119,14 @@ class Status final {
   /// Returns a kUnavailable status with the given message.
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  /// Returns a kReadOnly status with the given message.
+  static Status ReadOnly(std::string message) {
+    return Status(StatusCode::kReadOnly, std::move(message));
+  }
+  /// Returns a kFenced status with the given message.
+  static Status Fenced(std::string message) {
+    return Status(StatusCode::kFenced, std::move(message));
   }
   /// Returns a kIOError carrying the errno of a failed syscall:
   /// "<context>: <strerror(errno_value)> (errno <errno_value>)".

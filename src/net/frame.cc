@@ -24,7 +24,7 @@ uint64_t ReadLeU64(const char* p) {
 
 bool IsKnownFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kReadRequest) &&
-         t <= static_cast<uint8_t>(FrameType::kStatsReply);
+         t <= static_cast<uint8_t>(FrameType::kReplCkptChunk);
 }
 
 StatusOr<std::string> EncodeFrame(FrameType type, std::string_view payload,
@@ -228,6 +228,7 @@ std::string EncodeError(const WireError& e) {
   PutU8(&out, e.code);
   PutU32(&out, e.retry_after_ms);
   PutString(&out, e.message);
+  PutString(&out, e.redirect);
   return out;
 }
 
@@ -237,6 +238,7 @@ StatusOr<WireError> DecodeError(std::string_view payload) {
   KBT_ASSIGN_OR_RETURN(e.code, reader.GetU8());
   KBT_ASSIGN_OR_RETURN(e.retry_after_ms, reader.GetU32());
   KBT_ASSIGN_OR_RETURN(e.message, reader.GetString());
+  KBT_ASSIGN_OR_RETURN(e.redirect, reader.GetString(4096));
   if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in error frame");
   return e;
 }
@@ -265,6 +267,13 @@ Status StatusFromError(const WireError& e) {
     case StatusCode::kDataLoss:
     case StatusCode::kDeadlineExceeded:
     case StatusCode::kUnavailable:
+    case StatusCode::kReadOnly:
+    case StatusCode::kFenced:
+      // A replica's write rejection names the primary; keep the hint visible
+      // to callers that only look at the message.
+      if (!e.redirect.empty()) {
+        return Status(code, e.message + " (redirect: " + e.redirect + ")");
+      }
       return Status(code, e.message);
   }
   return Status::DataLoss("error frame with unknown code " +
@@ -293,6 +302,183 @@ StatusOr<WireStatsReply> DecodeStatsReply(std::string_view payload) {
     r.counters.emplace_back(std::move(name), value);
   }
   if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in stats reply");
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Replication messages
+
+std::string EncodeReplSubscribe(const WireReplSubscribe& r) {
+  std::string out;
+  PutString(&out, r.follower_id);
+  PutU64(&out, r.epoch);
+  PutU64(&out, r.start_lsn);
+  PutU8(&out, r.has_state);
+  return out;
+}
+
+StatusOr<WireReplSubscribe> DecodeReplSubscribe(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireReplSubscribe r;
+  KBT_ASSIGN_OR_RETURN(r.follower_id, reader.GetString(4096));
+  KBT_ASSIGN_OR_RETURN(r.epoch, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.start_lsn, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.has_state, reader.GetU8());
+  if (r.has_state > 1) return Status::DataLoss("bad has_state byte");
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes in repl subscribe");
+  }
+  return r;
+}
+
+std::string EncodeReplSubscribeReply(const WireReplSubscribeReply& r) {
+  std::string out;
+  PutString(&out, r.primary_id);
+  PutU64(&out, r.epoch);
+  PutU64(&out, r.primary_lsn);
+  PutU64(&out, r.horizon_lsn);
+  PutU8(&out, r.need_snapshot);
+  PutU64(&out, r.snapshot_lsn);
+  PutU32(&out, static_cast<uint32_t>(r.epoch_history.size()));
+  for (const auto& [epoch, start_lsn] : r.epoch_history) {
+    PutU64(&out, epoch);
+    PutU64(&out, start_lsn);
+  }
+  return out;
+}
+
+StatusOr<WireReplSubscribeReply> DecodeReplSubscribeReply(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  WireReplSubscribeReply r;
+  KBT_ASSIGN_OR_RETURN(r.primary_id, reader.GetString(4096));
+  KBT_ASSIGN_OR_RETURN(r.epoch, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.primary_lsn, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.horizon_lsn, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.need_snapshot, reader.GetU8());
+  if (r.need_snapshot > 1) return Status::DataLoss("bad need_snapshot byte");
+  KBT_ASSIGN_OR_RETURN(r.snapshot_lsn, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  if (n > kMaxEpochHistory) {
+    return Status::DataLoss("epoch history over cap: " + std::to_string(n));
+  }
+  r.epoch_history.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KBT_ASSIGN_OR_RETURN(uint64_t epoch, reader.GetU64());
+    KBT_ASSIGN_OR_RETURN(uint64_t start_lsn, reader.GetU64());
+    r.epoch_history.emplace_back(epoch, start_lsn);
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes in repl subscribe reply");
+  }
+  return r;
+}
+
+std::string EncodeReplFetch(const WireReplFetch& r) {
+  std::string out;
+  PutString(&out, r.follower_id);
+  PutU64(&out, r.epoch);
+  PutU64(&out, r.after_lsn);
+  PutU32(&out, r.wait_ms);
+  PutU32(&out, r.max_records);
+  PutU32(&out, r.max_bytes);
+  return out;
+}
+
+StatusOr<WireReplFetch> DecodeReplFetch(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireReplFetch r;
+  KBT_ASSIGN_OR_RETURN(r.follower_id, reader.GetString(4096));
+  KBT_ASSIGN_OR_RETURN(r.epoch, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.after_lsn, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.wait_ms, reader.GetU32());
+  KBT_ASSIGN_OR_RETURN(r.max_records, reader.GetU32());
+  KBT_ASSIGN_OR_RETURN(r.max_bytes, reader.GetU32());
+  if (!reader.AtEnd()) return Status::DataLoss("trailing bytes in repl fetch");
+  return r;
+}
+
+std::string EncodeReplRecords(const WireReplRecords& r) {
+  std::string out;
+  PutU64(&out, r.epoch);
+  PutU64(&out, r.start_lsn);
+  PutU64(&out, r.primary_lsn);
+  PutU32(&out, static_cast<uint32_t>(r.records.size()));
+  for (const auto& [kind, payload] : r.records) {
+    PutU8(&out, kind);
+    PutString(&out, payload);
+  }
+  return out;
+}
+
+StatusOr<WireReplRecords> DecodeReplRecords(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireReplRecords r;
+  KBT_ASSIGN_OR_RETURN(r.epoch, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.start_lsn, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.primary_lsn, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+  if (n > kMaxReplBatch) {
+    return Status::DataLoss("repl batch over cap: " + std::to_string(n));
+  }
+  r.records.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    KBT_ASSIGN_OR_RETURN(uint8_t kind, reader.GetU8());
+    // Must be a store::WalRecordKind (kTransform/kInsert/kDelete).
+    if (kind < 1 || kind > 3) {
+      return Status::DataLoss("bad WAL record kind " + std::to_string(kind));
+    }
+    KBT_ASSIGN_OR_RETURN(std::string bytes, reader.GetString());
+    r.records.emplace_back(kind, std::move(bytes));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes in repl records");
+  }
+  return r;
+}
+
+std::string EncodeReplCkptFetch(const WireReplCkptFetch& r) {
+  std::string out;
+  PutU64(&out, r.lsn);
+  PutU64(&out, r.offset);
+  PutU32(&out, r.max_bytes);
+  return out;
+}
+
+StatusOr<WireReplCkptFetch> DecodeReplCkptFetch(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireReplCkptFetch r;
+  KBT_ASSIGN_OR_RETURN(r.lsn, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.offset, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.max_bytes, reader.GetU32());
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes in ckpt fetch");
+  }
+  return r;
+}
+
+std::string EncodeReplCkptChunk(const WireReplCkptChunk& r) {
+  std::string out;
+  PutU64(&out, r.lsn);
+  PutU64(&out, r.offset);
+  PutU64(&out, r.total_size);
+  PutString(&out, r.bytes);
+  return out;
+}
+
+StatusOr<WireReplCkptChunk> DecodeReplCkptChunk(std::string_view payload) {
+  PayloadReader reader(payload);
+  WireReplCkptChunk r;
+  KBT_ASSIGN_OR_RETURN(r.lsn, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.offset, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.total_size, reader.GetU64());
+  KBT_ASSIGN_OR_RETURN(r.bytes, reader.GetString());
+  if (r.offset + r.bytes.size() > r.total_size) {
+    return Status::DataLoss("ckpt chunk overruns its total size");
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes in ckpt chunk");
+  }
   return r;
 }
 

@@ -53,17 +53,28 @@ inline constexpr size_t kMaxPayload = 8u << 20;  // 8 MiB
 inline constexpr size_t kMaxChainDepth = 64;
 /// Hard cap on requests in one batch frame.
 inline constexpr size_t kMaxBatch = 1024;
+/// Hard cap on WAL records in one replication batch frame.
+inline constexpr size_t kMaxReplBatch = 512;
+/// Hard cap on epoch-history entries in a subscribe reply (one per promotion
+/// over the store's lifetime; far beyond any sane deployment).
+inline constexpr size_t kMaxEpochHistory = 4096;
 
 enum class FrameType : uint8_t {
-  kReadRequest = 1,   ///< client → server: one hypothetical read
-  kReadReply = 2,     ///< server → client: ReadResult
-  kApplyRequest = 3,  ///< client → server: transformation expression
-  kApplyReply = 4,    ///< server → client: committed version
-  kError = 5,         ///< server → client: typed Status (+ retry-after hint)
-  kPing = 6,          ///< either direction: liveness probe
-  kPong = 7,          ///< reply to kPing
-  kStatsRequest = 8,  ///< client → server: server counters
-  kStatsReply = 9,    ///< server → client: counter list
+  kReadRequest = 1,        ///< client → server: one hypothetical read
+  kReadReply = 2,          ///< server → client: ReadResult
+  kApplyRequest = 3,       ///< client → server: transformation expression
+  kApplyReply = 4,         ///< server → client: committed version
+  kError = 5,              ///< server → client: typed Status (+ retry-after hint)
+  kPing = 6,               ///< either direction: liveness probe
+  kPong = 7,               ///< reply to kPing
+  kStatsRequest = 8,       ///< client → server: server counters
+  kStatsReply = 9,         ///< server → client: counter list
+  kReplSubscribe = 10,     ///< follower → primary: replication handshake
+  kReplSubscribeReply = 11,///< primary → follower: epoch + catch-up plan
+  kReplFetch = 12,         ///< follower → primary: long-poll fetch (+ ack)
+  kReplRecords = 13,       ///< primary → follower: WAL record batch
+  kReplCkptFetch = 14,     ///< follower → primary: checkpoint chunk request
+  kReplCkptChunk = 15,     ///< primary → follower: checkpoint chunk
 };
 
 /// True iff `t` is a defined FrameType value.
@@ -163,6 +174,9 @@ struct WireError {
   uint8_t code = 0;  ///< StatusCode as u8
   uint32_t retry_after_ms = 0;  ///< 0 = no hint; set on kUnavailable rejects
   std::string message;
+  /// Where to go instead ("host:port"); set on kReadOnly rejects at a
+  /// replica so a writing client can find the primary. Empty = no hint.
+  std::string redirect;
 };
 
 std::string EncodeError(const WireError& e);
@@ -179,6 +193,103 @@ struct WireStatsReply {
 
 std::string EncodeStatsReply(const WireStatsReply& r);
 StatusOr<WireStatsReply> DecodeStatsReply(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Replication messages (primary/replica WAL shipping; see docs/replication.md).
+//
+// The protocol is pull-based strict request/reply: the follower subscribes,
+// then long-polls record batches, so the existing seq/at-most-once machinery
+// and retry rules apply to the replication link unchanged. A fetch's
+// `after_lsn` doubles as the follower's durable ack — everything ≤ after_lsn
+// is on the follower's own WAL — which drives both semi-sync commit waits and
+// the primary's GC retention pin.
+
+struct WireReplSubscribe {
+  std::string follower_id;
+  /// The follower's persisted epoch; 0 = never attached to any primary.
+  uint64_t epoch = 0;
+  /// The follower's committed lsn (meaningless when has_state = 0).
+  uint64_t start_lsn = 0;
+  /// 0 = fresh follower with no local store: always seeded by checkpoint.
+  uint8_t has_state = 0;
+};
+
+std::string EncodeReplSubscribe(const WireReplSubscribe& r);
+StatusOr<WireReplSubscribe> DecodeReplSubscribe(std::string_view payload);
+
+struct WireReplSubscribeReply {
+  std::string primary_id;
+  uint64_t epoch = 0;
+  uint64_t primary_lsn = 0;
+  /// Oldest lsn fetchable from the primary's log files (the GC horizon):
+  /// records with lsn > horizon_lsn can be shipped; a follower whose
+  /// start_lsn is below it must re-seed from the snapshot.
+  uint64_t horizon_lsn = 0;
+  /// 1 = the follower must install checkpoint `snapshot_lsn` (chunked
+  /// transfer) before fetching records.
+  uint8_t need_snapshot = 0;
+  uint64_t snapshot_lsn = 0;
+  /// (epoch, start_lsn) per promotion, oldest first — the primary's lineage.
+  /// The follower persists it; a future primary uses it to decide whether a
+  /// stale-epoch subscriber's log is a safe prefix or must re-seed.
+  std::vector<std::pair<uint64_t, uint64_t>> epoch_history;
+};
+
+std::string EncodeReplSubscribeReply(const WireReplSubscribeReply& r);
+StatusOr<WireReplSubscribeReply> DecodeReplSubscribeReply(
+    std::string_view payload);
+
+struct WireReplFetch {
+  std::string follower_id;
+  /// The epoch the follower adopted at subscribe; a mismatch fences one side.
+  uint64_t epoch = 0;
+  /// Fetch records with lsn > after_lsn. Doubles as the durable ack.
+  uint64_t after_lsn = 0;
+  /// Long-poll bound: when no records are available, the primary parks the
+  /// request up to this long before replying with an empty batch. Clamped
+  /// server-side.
+  uint32_t wait_ms = 0;
+  uint32_t max_records = 0;  ///< 0 = server default (≤ kMaxReplBatch).
+  uint32_t max_bytes = 0;    ///< 0 = server default.
+};
+
+std::string EncodeReplFetch(const WireReplFetch& r);
+StatusOr<WireReplFetch> DecodeReplFetch(std::string_view payload);
+
+struct WireReplRecords {
+  /// The primary's epoch: a follower on a newer epoch refuses the batch.
+  uint64_t epoch = 0;
+  /// lsn of the first record in the batch (= request's after_lsn + 1).
+  uint64_t start_lsn = 0;
+  /// The primary's committed lsn at reply time (lag = primary_lsn - acked).
+  uint64_t primary_lsn = 0;
+  /// (kind, payload) pairs, exactly the store's WAL record bytes.
+  std::vector<std::pair<uint8_t, std::string>> records;
+};
+
+std::string EncodeReplRecords(const WireReplRecords& r);
+StatusOr<WireReplRecords> DecodeReplRecords(std::string_view payload);
+
+struct WireReplCkptFetch {
+  uint64_t lsn = 0;     ///< Which checkpoint (from the subscribe reply).
+  uint64_t offset = 0;  ///< Byte offset into the checkpoint file.
+  uint32_t max_bytes = 0;  ///< 0 = server default.
+};
+
+std::string EncodeReplCkptFetch(const WireReplCkptFetch& r);
+StatusOr<WireReplCkptFetch> DecodeReplCkptFetch(std::string_view payload);
+
+struct WireReplCkptChunk {
+  uint64_t lsn = 0;
+  uint64_t offset = 0;
+  /// Total checkpoint file size; the transfer is done when
+  /// offset + bytes.size() == total_size.
+  uint64_t total_size = 0;
+  std::string bytes;
+};
+
+std::string EncodeReplCkptChunk(const WireReplCkptChunk& r);
+StatusOr<WireReplCkptChunk> DecodeReplCkptChunk(std::string_view payload);
 
 }  // namespace kbt::net
 

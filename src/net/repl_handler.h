@@ -1,0 +1,42 @@
+#ifndef KBT_NET_REPL_HANDLER_H_
+#define KBT_NET_REPL_HANDLER_H_
+
+/// \file
+/// The NetServer-side interface of a replication primary.
+///
+/// NetServer delegates the three replication request frames here so the net
+/// layer never depends on src/repl/ (repl links against net for the wire
+/// structs; this interface breaks the cycle). repl::Primary implements it.
+///
+/// Handlers run on connection worker threads. HandleFetch may park the worker
+/// for the request's long-poll window; it must observe `cancel` (the server's
+/// drain token) so a drain is never blocked behind a parked fetch.
+
+#include "base/cancel.h"
+#include "base/status.h"
+#include "net/frame.h"
+
+namespace kbt::net {
+
+class ReplHandler {
+ public:
+  virtual ~ReplHandler() = default;
+
+  /// Replication handshake: epoch exchange + catch-up plan.
+  virtual StatusOr<WireReplSubscribeReply> HandleSubscribe(
+      const WireReplSubscribe& sub) = 0;
+
+  /// Record fetch (doubles as the follower's ack). Long-polls up to the
+  /// request's wait_ms when nothing is available; `cancel` (nullable) aborts
+  /// the wait early with an empty batch.
+  virtual StatusOr<WireReplRecords> HandleFetch(const WireReplFetch& fetch,
+                                                const CancelToken* cancel) = 0;
+
+  /// One chunk of a checkpoint transfer (catch-up below the GC horizon).
+  virtual StatusOr<WireReplCkptChunk> HandleCkptFetch(
+      const WireReplCkptFetch& fetch) = 0;
+};
+
+}  // namespace kbt::net
+
+#endif  // KBT_NET_REPL_HANDLER_H_

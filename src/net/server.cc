@@ -282,6 +282,89 @@ bool NetServer::ServeOneFrame(Transport& transport, serve::Session& session,
                             EncodeApplyReply(reply), seq);
       return s.ok();
     }
+    case FrameType::kReplSubscribe: {
+      StatusOr<WireReplSubscribe> decoded = DecodeReplSubscribe(payload);
+      if (!decoded.ok()) {
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        SendError(transport, decoded.status(), 0, seq);
+        return false;
+      }
+      if (options_.repl == nullptr) {
+        SendError(transport,
+                  Status::Unsupported("server is not a replication primary"),
+                  0, seq);
+        return true;
+      }
+      StatusOr<WireReplSubscribeReply> reply =
+          options_.repl->HandleSubscribe(*decoded);
+      if (!reply.ok()) {
+        requests_failed_.fetch_add(1, std::memory_order_relaxed);
+        SendError(transport, reply.status(), 0, seq);
+        // Typed refusals (kFenced, kDataLoss) leave the connection open: the
+        // follower decides whether to re-seed or stop.
+        return true;
+      }
+      requests_ok_.fetch_add(1, std::memory_order_relaxed);
+      Status s = WriteFrame(
+          transport, static_cast<uint8_t>(FrameType::kReplSubscribeReply),
+          EncodeReplSubscribeReply(*reply), seq);
+      return s.ok();
+    }
+    case FrameType::kReplFetch: {
+      StatusOr<WireReplFetch> decoded = DecodeReplFetch(payload);
+      if (!decoded.ok()) {
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        SendError(transport, decoded.status(), 0, seq);
+        return false;
+      }
+      if (options_.repl == nullptr) {
+        SendError(transport,
+                  Status::Unsupported("server is not a replication primary"),
+                  0, seq);
+        return true;
+      }
+      // No InFlightSlot: a parked long-poll would pin a request slot for its
+      // whole wait window and starve client traffic. The drain token bounds
+      // the park instead.
+      StatusOr<WireReplRecords> reply =
+          options_.repl->HandleFetch(*decoded, &drain_token_);
+      if (!reply.ok()) {
+        requests_failed_.fetch_add(1, std::memory_order_relaxed);
+        SendError(transport, reply.status(), 0, seq);
+        return true;
+      }
+      requests_ok_.fetch_add(1, std::memory_order_relaxed);
+      Status s = WriteFrame(transport,
+                            static_cast<uint8_t>(FrameType::kReplRecords),
+                            EncodeReplRecords(*reply), seq);
+      return s.ok();
+    }
+    case FrameType::kReplCkptFetch: {
+      StatusOr<WireReplCkptFetch> decoded = DecodeReplCkptFetch(payload);
+      if (!decoded.ok()) {
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        SendError(transport, decoded.status(), 0, seq);
+        return false;
+      }
+      if (options_.repl == nullptr) {
+        SendError(transport,
+                  Status::Unsupported("server is not a replication primary"),
+                  0, seq);
+        return true;
+      }
+      StatusOr<WireReplCkptChunk> reply =
+          options_.repl->HandleCkptFetch(*decoded);
+      if (!reply.ok()) {
+        requests_failed_.fetch_add(1, std::memory_order_relaxed);
+        SendError(transport, reply.status(), 0, seq);
+        return true;
+      }
+      requests_ok_.fetch_add(1, std::memory_order_relaxed);
+      Status s = WriteFrame(transport,
+                            static_cast<uint8_t>(FrameType::kReplCkptChunk),
+                            EncodeReplCkptChunk(*reply), seq);
+      return s.ok();
+    }
     case FrameType::kStatsRequest: {
       serve::Server::ServerStats st = server_->stats();
       WireStatsReply reply;
@@ -317,6 +400,11 @@ bool NetServer::ServeOneFrame(Transport& transport, serve::Session& session,
 void NetServer::SendError(Transport& transport, const Status& status,
                           uint32_t retry_after_ms, uint16_t seq) {
   WireError e = ErrorFromStatus(status, retry_after_ms);
+  if (status.code() == StatusCode::kReadOnly) {
+    // A write refused at a replica carries the primary's address so the
+    // client can redirect instead of retrying here forever.
+    e.redirect = server_->redirect_hint();
+  }
   // Best effort: the peer may already be gone.
   (void)WriteFrame(transport, static_cast<uint8_t>(FrameType::kError),
                    EncodeError(e), seq);

@@ -46,6 +46,7 @@
 
 #include "base/cancel.h"
 #include "base/status.h"
+#include "net/repl_handler.h"
 #include "net/transport.h"
 #include "serve/server.h"
 
@@ -73,6 +74,12 @@ struct NetServerOptions {
   /// Shutdown(): how long in-flight requests may run before the drain token
   /// cancels them.
   uint64_t drain_grace_ms = 2'000;
+  /// Replication primary hook (borrowed; must outlive the server). When set,
+  /// the three repl request frames are delegated to it; when nullptr they are
+  /// refused with kUnsupported. Repl frames bypass the in-flight cap — a
+  /// parked long-poll fetch must not starve client requests (they still
+  /// consume a connection slot).
+  ReplHandler* repl = nullptr;
 };
 
 class NetServer {

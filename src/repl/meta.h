@@ -1,0 +1,77 @@
+#ifndef KBT_REPL_META_H_
+#define KBT_REPL_META_H_
+
+/// \file
+/// The replication epoch-history file: the one piece of durable state the
+/// replication layer adds to a store directory.
+///
+/// An *epoch* names one primary's reign; every promotion starts a new one.
+/// The history records, oldest first, each epoch together with the lsn at
+/// which it began — the full promotion lineage of the data the store holds.
+/// The current epoch is the last entry (an empty history reads as epoch 0:
+/// "never attached to any replication group").
+///
+/// The lineage is what makes divergence *structurally* detectable instead of
+/// hoped-away: when a subscriber announces (epoch e, lsn s), the primary
+/// finds the first history entry with epoch > e. If s is at or below that
+/// entry's start lsn, the subscriber's log is a prefix of this lineage and
+/// record shipping from s is safe; if s is beyond it, the subscriber
+/// committed records under a deposed primary that this lineage never adopted
+/// — those records are not a prefix of anything here, and the follower must
+/// be re-seeded (or refused), never "caught up" across the fork.
+///
+/// File layout (little-endian):
+///
+///   magic "KBTREPL" (7 bytes), u8 version,
+///   u32 crc32c(payload), u32 payload_len,
+///   payload: u32 entry_count, entry_count × (u64 epoch, u64 start_lsn)
+///
+/// Writes are crash-atomic (tmp + sync + rename + dir sync), same as
+/// checkpoints: a crash leaves the old or the new history, never a torn one.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "store/file.h"
+
+namespace kbt::repl {
+
+inline constexpr char kReplMetaFileName[] = "replmeta";
+inline constexpr char kReplMetaMagic[7] = {'K', 'B', 'T', 'R', 'E', 'P', 'L'};
+inline constexpr uint8_t kReplMetaVersion = 1;
+
+struct ReplMeta {
+  /// (epoch, start_lsn) per promotion, oldest first, epochs strictly
+  /// increasing. Empty = epoch 0, never part of a replication group.
+  std::vector<std::pair<uint64_t, uint64_t>> history;
+
+  /// The current epoch (the last entry's; 0 when empty).
+  uint64_t epoch() const { return history.empty() ? 0 : history.back().first; }
+
+  friend bool operator==(const ReplMeta& a, const ReplMeta& b) {
+    return a.history == b.history;
+  }
+};
+
+/// The file image of `meta`.
+std::string EncodeReplMeta(const ReplMeta& meta);
+
+/// Parses a replmeta file image. Any defect — bad magic/version/CRC,
+/// truncation, trailing bytes, non-increasing epochs — is kDataLoss.
+StatusOr<ReplMeta> DecodeReplMeta(std::string_view bytes);
+
+/// Durably (crash-atomically) writes `meta` as `dir`/replmeta.
+Status WriteReplMeta(store::Env* env, const std::string& dir,
+                     const ReplMeta& meta);
+
+/// Reads `dir`/replmeta. kNotFound when the file does not exist (a store
+/// that was never part of a replication group).
+StatusOr<ReplMeta> ReadReplMeta(store::Env* env, const std::string& dir);
+
+}  // namespace kbt::repl
+
+#endif  // KBT_REPL_META_H_

@@ -104,28 +104,81 @@ std::unique_ptr<Session> Server::StartSession() {
       new Session(this, next_session_id_.fetch_add(1, std::memory_order_relaxed)));
 }
 
+Status Server::RefuseWhenReadOnly() {
+  if (!read_only()) return Status::OK();
+  std::string hint = redirect_hint();
+  std::string message = "server is read-only (replica)";
+  if (!hint.empty()) message += "; primary at " + hint;
+  return Status::ReadOnly(std::move(message));
+}
+
 StatusOr<uint64_t> Server::Apply(std::string_view expression) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  Knowledgebase result;
-  if (durable_ != nullptr) {
-    KBT_ASSIGN_OR_RETURN(result, durable_->Apply(expression));
-  } else {
-    KBT_ASSIGN_OR_RETURN(
-        result, own_engine_->Apply(expression, registry_.Current()->kb));
+  uint64_t version = 0;
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    KBT_RETURN_IF_ERROR(RefuseWhenReadOnly());
+    Knowledgebase result;
+    if (durable_ != nullptr) {
+      KBT_ASSIGN_OR_RETURN(result, durable_->Apply(expression));
+      lsn = durable_->lsn();
+    } else {
+      KBT_ASSIGN_OR_RETURN(
+          result, own_engine_->Apply(expression, registry_.Current()->kb));
+    }
+    KBT_ASSIGN_OR_RETURN(version, FinishCommit(std::move(result)));
   }
-  return FinishCommit(std::move(result));
+  // Semi-sync wait happens OUTSIDE the writer lock: follower acks (and other
+  // writers) must not queue behind this client's wait. An error here reports
+  // "durable locally, not yet on any replica" — the commit stands.
+  if (commit_waiter_ != nullptr && durable_ != nullptr) {
+    KBT_RETURN_IF_ERROR(commit_waiter_(lsn));
+  }
+  return version;
 }
 
 StatusOr<uint64_t> Server::Apply(const Pipeline& pipeline) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  Knowledgebase result;
-  if (durable_ != nullptr) {
-    KBT_ASSIGN_OR_RETURN(result, durable_->Apply(pipeline));
-  } else {
-    KBT_ASSIGN_OR_RETURN(
-        result, own_engine_->Apply(pipeline, registry_.Current()->kb));
+  uint64_t version = 0;
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    KBT_RETURN_IF_ERROR(RefuseWhenReadOnly());
+    Knowledgebase result;
+    if (durable_ != nullptr) {
+      KBT_ASSIGN_OR_RETURN(result, durable_->Apply(pipeline));
+      lsn = durable_->lsn();
+    } else {
+      KBT_ASSIGN_OR_RETURN(
+          result, own_engine_->Apply(pipeline, registry_.Current()->kb));
+    }
+    KBT_ASSIGN_OR_RETURN(version, FinishCommit(std::move(result)));
   }
-  return FinishCommit(std::move(result));
+  if (commit_waiter_ != nullptr && durable_ != nullptr) {
+    KBT_RETURN_IF_ERROR(commit_waiter_(lsn));
+  }
+  return version;
+}
+
+StatusOr<uint64_t> Server::ApplyReplicated(const store::WalRecord& record) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (durable_ == nullptr) {
+    return Status::Unsupported("ApplyReplicated requires a durable store");
+  }
+  KBT_RETURN_IF_ERROR(durable_->ApplyReplicated(record));
+  return FinishCommit(durable_->kb());
+}
+
+void Server::SetReadOnly(bool read_only, std::string redirect_hint) {
+  {
+    std::lock_guard<std::mutex> lock(hint_mu_);
+    redirect_hint_ = std::move(redirect_hint);
+  }
+  read_only_.store(read_only, std::memory_order_release);
+}
+
+std::string Server::redirect_hint() const {
+  std::lock_guard<std::mutex> lock(hint_mu_);
+  return redirect_hint_;
 }
 
 StatusOr<uint64_t> Server::FinishCommit(Knowledgebase result) {

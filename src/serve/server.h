@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -164,6 +165,32 @@ class Server {
   /// Durable mode: group-commit/manual-mode durability barrier.
   Status Sync();
 
+  /// Replication: commits a record shipped from a primary (through the same
+  /// ApplyWalRecord path recovery replays — see DurableEngine) and publishes
+  /// the result as a new snapshot, so replica reads see every acked lsn.
+  /// Works in read-only mode — that is its purpose. Durable mode only.
+  /// Returns the published snapshot version.
+  StatusOr<uint64_t> ApplyReplicated(const store::WalRecord& record);
+
+  /// Read-only mode (a follower, or a fenced ex-primary): Apply is refused
+  /// with a typed kReadOnly error carrying `redirect_hint` ("host:port" of
+  /// the writable primary; may be empty). ApplyReplicated still commits.
+  /// Thread-safe; flipped by follower promote and primary fencing.
+  void SetReadOnly(bool read_only, std::string redirect_hint = "");
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
+  /// The redirect advertised with kReadOnly rejections (empty = none).
+  std::string redirect_hint() const;
+
+  /// Replication: semi-sync hook. When set, Apply — after its commit is
+  /// durable and published — calls the waiter with the commit's lsn *outside*
+  /// the writer lock (follower acks must not queue behind it) and propagates
+  /// its error to the caller. The commit itself stays durable and visible
+  /// either way: a semi-sync timeout means "not yet on any replica", never
+  /// "rolled back". Setup-time only (attach before serving traffic).
+  void SetCommitWaiter(std::function<Status(uint64_t lsn)> waiter) {
+    commit_waiter_ = std::move(waiter);
+  }
+
   /// The current snapshot (wait-free; see SnapshotRegistry).
   std::shared_ptr<const Snapshot> CurrentSnapshot() const {
     return registry_.Current();
@@ -223,6 +250,9 @@ class Server {
   /// Write-path tail under writer_mu_: publish + stats + auto-checkpoint.
   StatusOr<uint64_t> FinishCommit(Knowledgebase result);
 
+  /// kReadOnly (with the redirect hint in the message) when read-only.
+  Status RefuseWhenReadOnly();
+
   ServerOptions options_;
   SnapshotRegistry registry_;
   QueryCacheBank bank_;
@@ -236,6 +266,13 @@ class Server {
   /// Read-path pool (nullptr when read_threads <= 1); fixed after init.
   exec::ThreadPool* read_pool_ = nullptr;
   std::unique_ptr<exec::ThreadPool> own_read_pool_;
+
+  /// Read-only gate + redirect hint (hint under its own mutex: it changes on
+  /// promote/fence while reads of it ride error paths on worker threads).
+  std::atomic<bool> read_only_{false};
+  mutable std::mutex hint_mu_;
+  std::string redirect_hint_;
+  std::function<Status(uint64_t)> commit_waiter_;
 
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> commits_{0};

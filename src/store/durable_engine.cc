@@ -91,10 +91,28 @@ StatusOr<Knowledgebase> DurableEngine::Apply(const Pipeline& pipeline) {
 
 Status DurableEngine::Commit(std::string_view expression,
                              const Knowledgebase& result) {
+  if (replicated_apply_) {
+    // ApplyReplicated is replaying a primary's kTransform record through the
+    // engine; it commits the original record bytes itself. Logging the
+    // re-rendering here would double-commit (and could differ byte-wise).
+    return Status::OK();
+  }
   WalRecord record;
   record.kind = WalRecordKind::kTransform;
   record.payload = std::string(expression);
   return CommitRecord(record, result);
+}
+
+Status DurableEngine::ApplyReplicated(const WalRecord& record) {
+  if (broken_) {
+    return Status::IOError("store at " + dir_ +
+                           " is broken; reopen to recover");
+  }
+  replicated_apply_ = true;
+  StatusOr<Knowledgebase> next = ApplyWalRecord(engine_, record, kb_);
+  replicated_apply_ = false;
+  KBT_RETURN_IF_ERROR(next.status());
+  return CommitRecord(record, *next);
 }
 
 Status DurableEngine::CommitRecord(const WalRecord& record,
@@ -121,6 +139,7 @@ Status DurableEngine::CommitRecord(const WalRecord& record,
   kb_ = next;
   ++lsn_;
   unsynced_commits_ = synced ? 0 : unsynced_commits_ + 1;
+  if (commit_listener_ != nullptr) commit_listener_(lsn_, record);
   return Status::OK();
 }
 
@@ -232,12 +251,30 @@ Status DurableEngine::Checkpoint() {
   // recovery and retried on the next checkpoint).
   StatusOr<std::vector<std::string>> names = env_->ListDir(dir_);
   if (names.ok()) {
+    // Retention pin: a subscribed follower acked only up to `pin` must still
+    // be able to fetch records pin+1… (or re-seed). Those live in the files
+    // at the pin's *floor checkpoint* — the largest checkpoint lsn ≤ pin:
+    // wal-<floor> holds the records and checkpoint-<floor> is the snapshot a
+    // re-seeding follower at that horizon would pull. Everything from the
+    // floor up survives; without a pin the floor is the fresh checkpoint.
+    uint64_t keep_from = lsn;
+    if (retain_lsn_hook_ != nullptr) {
+      std::optional<uint64_t> pin = retain_lsn_hook_();
+      if (pin.has_value() && *pin < lsn) {
+        uint64_t floor = 0;
+        for (const std::string& name : *names) {
+          std::optional<uint64_t> c = ParseStoreLsnSuffix(name, "checkpoint");
+          if (c.has_value() && *c <= *pin && *c >= floor) floor = *c;
+        }
+        keep_from = floor;
+      }
+    }
     for (const std::string& name : *names) {
       std::optional<uint64_t> checkpoint_of =
           ParseStoreLsnSuffix(name, "checkpoint");
       std::optional<uint64_t> wal_of = ParseStoreLsnSuffix(name, "wal");
-      bool stale = (checkpoint_of.has_value() && *checkpoint_of < lsn) ||
-                   (wal_of.has_value() && *wal_of < lsn) ||
+      bool stale = (checkpoint_of.has_value() && *checkpoint_of < keep_from) ||
+                   (wal_of.has_value() && *wal_of < keep_from) ||
                    name.ends_with(".tmp");
       if (stale) {
         Status ignored = env_->RemoveFile(dir_ + "/" + name);

@@ -26,7 +26,9 @@
 /// fresh Open, which re-runs recovery) is the only way back.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -81,6 +83,30 @@ class DurableEngine final : private TransformLog {
   /// pre-built path is as durable as the text path.
   StatusOr<Knowledgebase> Apply(const Pipeline& pipeline);
 
+  /// Replication: applies a record shipped from a primary through the exact
+  /// replay path recovery uses (ApplyWalRecord) and commits the *primary's*
+  /// record bytes — not a re-rendering — to this store's own WAL. The
+  /// TransformLog hook is suppressed for the duration so the record is logged
+  /// once, verbatim; follower state is therefore bit-identical to the
+  /// primary's at every lsn by construction.
+  Status ApplyReplicated(const WalRecord& record);
+
+  /// Replication: called after every successful commit with the new lsn and
+  /// the record just made durable (under the caller's write serialization —
+  /// commits are already single-threaded). A primary's feed hook.
+  void SetCommitListener(
+      std::function<void(uint64_t lsn, const WalRecord& record)> listener) {
+    commit_listener_ = std::move(listener);
+  }
+
+  /// Replication: GC retention pin. When set, Checkpoint()'s garbage
+  /// collection keeps every checkpoint/wal file needed to serve records after
+  /// the returned lsn (the minimum acked lsn over subscribed followers):
+  /// files at or above the pin's floor checkpoint survive. nullopt = no pin.
+  void SetRetainLsnHook(std::function<std::optional<uint64_t>()> hook) {
+    retain_lsn_hook_ = std::move(hook);
+  }
+
   /// Commits an explicit tuple insertion (bulk load) into `relation`.
   Status InsertTuples(std::string_view relation,
                       const std::vector<std::vector<std::string>>& rows);
@@ -100,6 +126,12 @@ class DurableEngine final : private TransformLog {
   const Knowledgebase& kb() const { return kb_; }
   /// Committed records since the store was created.
   uint64_t lsn() const { return lsn_; }
+  /// lsn of the checkpoint the current WAL hangs off.
+  uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
+  /// The store directory (for replication's log/checkpoint file reads).
+  const std::string& dir() const { return dir_; }
+  /// The storage backend (never nullptr).
+  Env* env() const { return env_; }
   /// True once a failed self-heal left the log unusable (see file comment).
   bool broken() const { return broken_; }
   /// The wrapped engine — exposed for options tweaks between commits. Note
@@ -144,6 +176,11 @@ class DurableEngine final : private TransformLog {
   uint64_t last_good_wal_bytes_ = 0;
   size_t unsynced_commits_ = 0;
   bool broken_ = false;
+  /// True while ApplyReplicated replays through the engine; suppresses the
+  /// TransformLog hook so the replicated record is committed once, verbatim.
+  bool replicated_apply_ = false;
+  std::function<void(uint64_t, const WalRecord&)> commit_listener_;
+  std::function<std::optional<uint64_t>()> retain_lsn_hook_;
 };
 
 }  // namespace kbt::store

@@ -1,0 +1,203 @@
+#include "store/fsck.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/engine.h"
+#include "repl/meta.h"
+#include "store/checkpoint.h"
+#include "store/recovery.h"
+#include "store/wal.h"
+
+namespace kbt::store {
+
+namespace {
+
+struct NamedLsn {
+  uint64_t lsn = 0;
+  std::string name;
+};
+
+}  // namespace
+
+StatusOr<FsckReport> CheckStore(Env* env, const std::string& dir,
+                                const FsckOptions& options) {
+  KBT_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+
+  FsckReport report;
+  std::vector<NamedLsn> checkpoints;
+  std::vector<NamedLsn> wals;
+  bool saw_repl_meta = false;
+  for (const std::string& name : names) {
+    std::optional<uint64_t> ckpt = ParseStoreLsnSuffix(name, "checkpoint");
+    if (ckpt.has_value()) {
+      checkpoints.push_back({*ckpt, name});
+      continue;
+    }
+    std::optional<uint64_t> wal = ParseStoreLsnSuffix(name, "wal");
+    if (wal.has_value()) {
+      wals.push_back({*wal, name});
+      continue;
+    }
+    if (name == repl::kReplMetaFileName) {
+      saw_repl_meta = true;
+      continue;
+    }
+    if (name.ends_with(".tmp")) {
+      report.warnings.push_back("leftover temp file " + name +
+                                " (an interrupted atomic write; ignored by "
+                                "recovery, removed by the next checkpoint)");
+      continue;
+    }
+    report.warnings.push_back("unrecognized file " + name);
+  }
+  if (checkpoints.empty() && wals.empty() && !saw_repl_meta) {
+    return Status::NotFound(dir + " holds no store files");
+  }
+
+  // Checkpoints: every one must decode, but only the newest is load-bearing —
+  // a corrupt older one is shadowed (recovery would never reach it when a
+  // newer good one exists).
+  std::sort(checkpoints.begin(), checkpoints.end(),
+            [](const NamedLsn& a, const NamedLsn& b) { return a.lsn > b.lsn; });
+  report.checkpoints_seen = checkpoints.size();
+  bool best_found = false;
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    const NamedLsn& c = checkpoints[i];
+    StatusOr<std::string> bytes = env->ReadFile(dir + "/" + c.name);
+    Status decode_status = Status::OK();
+    if (bytes.ok()) {
+      StatusOr<CheckpointContents> contents = DecodeCheckpoint(*bytes);
+      if (contents.ok()) {
+        if (contents->lsn != c.lsn) {
+          report.errors.push_back(c.name + " decodes to lsn " +
+                                  std::to_string(contents->lsn) +
+                                  " (name/content mismatch)");
+          continue;
+        }
+        ++report.checkpoints_valid;
+        if (!best_found) {
+          report.best_checkpoint_lsn = c.lsn;
+          best_found = true;
+        }
+        continue;
+      }
+      decode_status = contents.status();
+    } else {
+      decode_status = bytes.status();
+    }
+    const std::string finding =
+        c.name + ": " + std::string(decode_status.message());
+    if (i == 0) {
+      // The newest checkpoint is what recovery wants; losing it forfeits
+      // every record since the previous one.
+      report.errors.push_back(finding + " (newest checkpoint)");
+    } else {
+      report.warnings.push_back(finding + " (shadowed by a newer checkpoint)");
+    }
+  }
+  if (checkpoints.empty()) {
+    report.errors.push_back("no checkpoint file at all; nothing to recover");
+  } else if (!best_found) {
+    report.errors.push_back("no checkpoint decodes; recovery would fail");
+  }
+
+  // WAL files: valid header, whole-record prefix, name/header agreement.
+  std::sort(wals.begin(), wals.end(),
+            [](const NamedLsn& a, const NamedLsn& b) { return a.lsn < b.lsn; });
+  report.wal_files_seen = wals.size();
+  for (const NamedLsn& w : wals) {
+    StatusOr<std::string> bytes = env->ReadFile(dir + "/" + w.name);
+    if (!bytes.ok()) {
+      report.errors.push_back(w.name + ": " +
+                              std::string(bytes.status().message()));
+      continue;
+    }
+    StatusOr<WalContents> contents = ReadWal(*bytes);
+    if (!contents.ok()) {
+      report.errors.push_back(w.name + ": " +
+                              std::string(contents.status().message()));
+      continue;
+    }
+    if (contents->start_lsn != w.lsn) {
+      report.errors.push_back(w.name + " header claims start lsn " +
+                              std::to_string(contents->start_lsn) +
+                              " (name/content mismatch)");
+      continue;
+    }
+    report.wal_records += contents->records.size();
+    if (contents->valid_bytes < bytes->size()) {
+      const uint64_t torn = bytes->size() - contents->valid_bytes;
+      report.torn_tail_bytes += torn;
+      const std::string finding =
+          w.name + ": " + std::to_string(torn) +
+          " byte(s) past the last whole record (torn tail; recovery "
+          "truncates it)";
+      if (options.strict_tail) {
+        report.errors.push_back(finding);
+      } else {
+        report.warnings.push_back(finding);
+      }
+    }
+    const bool paired = std::any_of(
+        checkpoints.begin(), checkpoints.end(),
+        [&](const NamedLsn& c) { return c.lsn == w.lsn; });
+    if (!paired) {
+      report.warnings.push_back(
+          w.name + " has no checkpoint-" + std::to_string(w.lsn) +
+          " to hang off; its records are unreachable to recovery");
+    }
+  }
+
+  if (saw_repl_meta) {
+    StatusOr<repl::ReplMeta> meta = repl::ReadReplMeta(env, dir);
+    if (meta.ok()) {
+      report.has_repl_meta = true;
+      report.repl_epoch = meta->epoch();
+    } else {
+      report.errors.push_back("replmeta: " +
+                              std::string(meta.status().message()));
+    }
+  }
+
+  if (options.deep) {
+    // The strongest statement: run the real recovery path. Deterministic
+    // replay means success here is success at the next open.
+    Engine engine;
+    StatusOr<RecoveredStore> recovered = RecoverStore(env, dir, engine);
+    if (recovered.ok()) {
+      report.recovered_lsn = recovered->lsn;
+    } else {
+      report.errors.push_back("deep replay: " +
+                              std::string(recovered.status().message()));
+    }
+  }
+  return report;
+}
+
+std::string FormatFsckReport(const FsckReport& report) {
+  std::string out;
+  for (const std::string& e : report.errors) out += "error: " + e + "\n";
+  for (const std::string& w : report.warnings) out += "warning: " + w + "\n";
+  out += "checkpoints: " + std::to_string(report.checkpoints_valid) + "/" +
+         std::to_string(report.checkpoints_seen) + " valid";
+  if (report.checkpoints_valid > 0) {
+    out += ", best lsn " + std::to_string(report.best_checkpoint_lsn);
+  }
+  out += "\nwal: " + std::to_string(report.wal_files_seen) + " file(s), " +
+         std::to_string(report.wal_records) + " record(s), " +
+         std::to_string(report.torn_tail_bytes) + " torn byte(s)\n";
+  if (report.has_repl_meta) {
+    out += "replication: epoch " + std::to_string(report.repl_epoch) + "\n";
+  }
+  if (report.recovered_lsn != 0 || report.clean()) {
+    if (report.recovered_lsn != 0) {
+      out += "deep replay: recovered to lsn " +
+             std::to_string(report.recovered_lsn) + "\n";
+    }
+  }
+  out += report.clean() ? "clean\n" : "CORRUPT\n";
+  return out;
+}
+
+}  // namespace kbt::store

@@ -1,0 +1,73 @@
+#ifndef KBT_STORE_FSCK_H_
+#define KBT_STORE_FSCK_H_
+
+/// \file
+/// Offline store integrity verification (the `kbt_fsck` tool's core).
+///
+/// CheckStore walks a store directory the way recovery would — checkpoints,
+/// WAL headers, record CRCs, file continuity, the replication meta file —
+/// and reports *every* problem it finds instead of stopping at the first, so
+/// an operator sees the whole damage picture before deciding to restore or
+/// accept data loss. Findings are split into:
+///
+///   * errors   — recovery would lose acknowledged commits or fail outright
+///                (no decodable checkpoint, corrupt newest checkpoint, a
+///                corrupt record *before* the WAL tail, lsn mismatches);
+///   * warnings — conditions recovery handles by design (a torn tail from a
+///                crash mid-append, leftover .tmp files, an older corrupt
+///                checkpoint shadowed by a newer good one).
+///
+/// Deep mode additionally replays recovery end to end (checkpoint + WAL
+/// through the deterministic engine) and reports the recovered lsn — the
+/// strongest offline statement: "this store opens, to exactly lsn N".
+///
+/// Pure read-only: CheckStore never writes, truncates, or repairs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "store/file.h"
+
+namespace kbt::store {
+
+struct FsckOptions {
+  /// Replay recovery through the engine and report the recovered lsn.
+  bool deep = false;
+  /// Treat a torn WAL tail as an error instead of a warning (for stores that
+  /// were closed cleanly, where a torn tail is unexpected).
+  bool strict_tail = false;
+};
+
+struct FsckReport {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+
+  uint64_t checkpoints_seen = 0;
+  uint64_t checkpoints_valid = 0;
+  /// The newest valid checkpoint's lsn (recovery's starting point).
+  uint64_t best_checkpoint_lsn = 0;
+  uint64_t wal_files_seen = 0;
+  uint64_t wal_records = 0;     ///< Valid records across all WAL files.
+  uint64_t torn_tail_bytes = 0; ///< Bytes past the last whole record.
+  bool has_repl_meta = false;
+  uint64_t repl_epoch = 0;      ///< Current epoch when has_repl_meta.
+  /// Deep mode: the lsn recovery lands on (0 unless deep && clean enough).
+  uint64_t recovered_lsn = 0;
+
+  bool clean() const { return errors.empty(); }
+};
+
+/// Verifies the store in `dir`. Returns the report — problems live in
+/// report.errors/warnings, not the Status; only an unreadable directory (or
+/// a directory that is not a store at all) fails the call itself.
+StatusOr<FsckReport> CheckStore(Env* env, const std::string& dir,
+                                const FsckOptions& options = FsckOptions());
+
+/// Renders the report as human-readable lines ("ok" / numbered findings).
+std::string FormatFsckReport(const FsckReport& report);
+
+}  // namespace kbt::store
+
+#endif  // KBT_STORE_FSCK_H_

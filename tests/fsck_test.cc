@@ -1,0 +1,187 @@
+/// \file
+/// Offline integrity verification (store/fsck.h — the kbt_fsck tool's core)
+/// over deliberately damaged stores. The split under test:
+///
+///   * errors   = recovery would lose acknowledged commits or fail (corrupt
+///     NEWEST checkpoint, lsn mismatches, corrupt replmeta);
+///   * warnings = damage recovery absorbs by design (torn WAL tail, an older
+///     corrupt checkpoint shadowed by a newer good one, orphan WAL files);
+///   * deep mode actually replays recovery and reports the landed lsn.
+
+#include "store/fsck.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "repl/meta.h"
+#include "store/durable_engine.h"
+#include "store/fault_env.h"
+#include "store/wal.h"
+
+namespace kbt::store {
+namespace {
+
+Knowledgebase InitialKb() {
+  return *MakeSingletonKb({{"P", 1}}, {{"P", {{"a"}}}});
+}
+
+/// A store with two checkpoints (lsn 0 and 2, the older kept by a retention
+/// pin) and a live WAL holding one more committed record (lsn 3).
+void BuildStore(FaultInjectionEnv* env) {
+  StoreOptions options;
+  options.env = env;
+  auto store = DurableEngine::Open("db", InitialKb(), options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  (*store)->SetRetainLsnHook([] { return std::optional<uint64_t>(0); });
+  ASSERT_TRUE((*store)->Apply("tau{P(b)}").ok());
+  ASSERT_TRUE((*store)->Apply("tau{P(c)}").ok());
+  ASSERT_TRUE((*store)->Checkpoint().ok());  // checkpoint-2; wal-0 pinned.
+  ASSERT_TRUE((*store)->Apply("tau{P(d)}").ok());
+}
+
+/// Flips one byte of `path` at `offset` (negative = from the end).
+void CorruptByte(FaultInjectionEnv* env, const std::string& path,
+                 int64_t offset) {
+  auto bytes = env->ReadFile(path);
+  ASSERT_TRUE(bytes.ok()) << path << ": " << bytes.status().ToString();
+  size_t at = offset >= 0 ? size_t(offset) : bytes->size() + offset;
+  ASSERT_LT(at, bytes->size());
+  (*bytes)[at] ^= 0x40;
+  auto file = env->NewTruncatedFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(*bytes).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+}
+
+void AppendBytes(FaultInjectionEnv* env, const std::string& path,
+                 const std::string& bytes) {
+  auto file = env->NewAppendableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(bytes).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+}
+
+TEST(FsckTest, CleanStoreDeepVerifies) {
+  FaultInjectionEnv env;
+  BuildStore(&env);
+  FsckOptions options;
+  options.deep = true;
+  auto report = CheckStore(&env, "db", options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean());
+  EXPECT_TRUE(report->warnings.empty());
+  EXPECT_EQ(report->checkpoints_valid, 2u);
+  EXPECT_EQ(report->best_checkpoint_lsn, 2u);
+  EXPECT_EQ(report->wal_records, 3u);  // wal-0: lsn 1–2; wal-2: lsn 3.
+  EXPECT_EQ(report->recovered_lsn, 3u);
+  EXPECT_NE(FormatFsckReport(*report).find("clean"), std::string::npos);
+}
+
+TEST(FsckTest, CorruptNewestCheckpointIsAnError) {
+  FaultInjectionEnv env;
+  BuildStore(&env);
+  CorruptByte(&env, "db/checkpoint-2", -1);
+  auto report = CheckStore(&env, "db");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+  ASSERT_FALSE(report->errors.empty());
+  EXPECT_NE(report->errors[0].find("newest checkpoint"), std::string::npos)
+      << report->errors[0];
+  EXPECT_NE(FormatFsckReport(*report).find("CORRUPT"), std::string::npos);
+}
+
+TEST(FsckTest, CorruptShadowedCheckpointIsOnlyAWarning) {
+  FaultInjectionEnv env;
+  BuildStore(&env);
+  CorruptByte(&env, "db/checkpoint-0", -1);
+  auto report = CheckStore(&env, "db");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->errors[0];
+  ASSERT_FALSE(report->warnings.empty());
+  EXPECT_NE(report->warnings[0].find("shadowed"), std::string::npos)
+      << report->warnings[0];
+}
+
+TEST(FsckTest, TornTailIsAWarningUnlessStrict) {
+  FaultInjectionEnv env;
+  BuildStore(&env);
+  AppendBytes(&env, "db/wal-2", "\x07partial");  // A crash mid-append.
+
+  auto report = CheckStore(&env, "db");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean());
+  ASSERT_FALSE(report->warnings.empty());
+  EXPECT_NE(report->warnings[0].find("torn tail"), std::string::npos);
+  EXPECT_GT(report->torn_tail_bytes, 0u);
+
+  // Deep mode still recovers to the full committed lsn past the torn tail.
+  FsckOptions deep;
+  deep.deep = true;
+  auto deep_report = CheckStore(&env, "db", deep);
+  ASSERT_TRUE(deep_report.ok());
+  EXPECT_EQ(deep_report->recovered_lsn, 3u);
+
+  // A cleanly-closed store should not have one: strict mode promotes it.
+  FsckOptions strict;
+  strict.strict_tail = true;
+  auto strict_report = CheckStore(&env, "db", strict);
+  ASSERT_TRUE(strict_report.ok());
+  EXPECT_FALSE(strict_report->clean());
+}
+
+TEST(FsckTest, CorruptReplMetaIsAnError) {
+  FaultInjectionEnv env;
+  BuildStore(&env);
+  repl::ReplMeta meta;
+  meta.history = {{1, 0}, {2, 3}};
+  ASSERT_TRUE(repl::WriteReplMeta(&env, "db", meta).ok());
+
+  // Intact: reported, with the current epoch surfaced.
+  auto report = CheckStore(&env, "db");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean());
+  EXPECT_TRUE(report->has_repl_meta);
+  EXPECT_EQ(report->repl_epoch, 2u);
+  EXPECT_NE(FormatFsckReport(*report).find("epoch 2"), std::string::npos);
+
+  // Corrupt: an error — a replica with an unreadable lineage cannot prove
+  // its log is a prefix of anything.
+  CorruptByte(&env, "db/replmeta", -1);
+  report = CheckStore(&env, "db");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+}
+
+TEST(FsckTest, OrphanWalIsAWarning) {
+  FaultInjectionEnv env;
+  BuildStore(&env);
+  // A well-formed WAL hanging off a checkpoint that does not exist:
+  // recovery can never reach its records.
+  auto file = env.NewAppendableFile("db/wal-7");
+  ASSERT_TRUE(file.ok());
+  auto writer = WalWriter::Create(std::move(*file), 0, 7);
+  ASSERT_TRUE(writer.ok());
+  WalRecord record;
+  record.payload = "tau{P(z)}";
+  ASSERT_TRUE((*writer)->Append(record).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  auto report = CheckStore(&env, "db");
+  ASSERT_TRUE(report.ok());
+  bool flagged = false;
+  for (const std::string& w : report->warnings) {
+    flagged = flagged || w.find("unreachable") != std::string::npos;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(FsckTest, NotAStoreFailsTheCallItself) {
+  FaultInjectionEnv env;
+  auto report = CheckStore(&env, "nowhere");
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace kbt::store

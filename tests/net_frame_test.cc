@@ -59,6 +59,99 @@ TEST(NetFrameTest, ErrorRoundtripPreservesStatus) {
   EXPECT_EQ(back.message(), "query cancelled");
 }
 
+TEST(NetFrameTest, ErrorRoundtripCarriesRedirectHint) {
+  WireError e = ErrorFromStatus(Status::ReadOnly("replica is read-only"));
+  e.redirect = "10.0.0.7:4100";
+  auto decoded = DecodeError(EncodeError(e));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->redirect, "10.0.0.7:4100");
+  EXPECT_EQ(StatusFromError(*decoded).code(), StatusCode::kReadOnly);
+}
+
+TEST(NetFrameTest, ReplSubscribeRoundtrip) {
+  WireReplSubscribe r;
+  r.follower_id = "f1";
+  r.epoch = 3;
+  r.start_lsn = 77;
+  r.has_state = 1;
+  auto decoded = DecodeReplSubscribe(EncodeReplSubscribe(r));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->follower_id, "f1");
+  EXPECT_EQ(decoded->epoch, 3u);
+  EXPECT_EQ(decoded->start_lsn, 77u);
+  EXPECT_EQ(decoded->has_state, 1u);
+}
+
+TEST(NetFrameTest, ReplSubscribeReplyRoundtrip) {
+  WireReplSubscribeReply r;
+  r.primary_id = "p0";
+  r.epoch = 4;
+  r.primary_lsn = 120;
+  r.horizon_lsn = 100;
+  r.need_snapshot = 1;
+  r.snapshot_lsn = 110;
+  r.epoch_history = {{1, 0}, {2, 50}, {4, 110}};
+  auto decoded = DecodeReplSubscribeReply(EncodeReplSubscribeReply(r));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->primary_id, "p0");
+  EXPECT_EQ(decoded->epoch, 4u);
+  EXPECT_EQ(decoded->primary_lsn, 120u);
+  EXPECT_EQ(decoded->horizon_lsn, 100u);
+  EXPECT_EQ(decoded->need_snapshot, 1u);
+  EXPECT_EQ(decoded->snapshot_lsn, 110u);
+  EXPECT_EQ(decoded->epoch_history, r.epoch_history);
+}
+
+TEST(NetFrameTest, ReplFetchAndRecordsRoundtrip) {
+  WireReplFetch f;
+  f.follower_id = "f2";
+  f.epoch = 2;
+  f.after_lsn = 41;
+  f.wait_ms = 250;
+  f.max_records = 16;
+  f.max_bytes = 65536;
+  auto fd = DecodeReplFetch(EncodeReplFetch(f));
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->after_lsn, 41u);
+  EXPECT_EQ(fd->wait_ms, 250u);
+
+  WireReplRecords r;
+  r.epoch = 2;
+  r.start_lsn = 42;
+  r.primary_lsn = 44;
+  r.records = {{1, "tau{...}"}, {2, std::string("\x01\x02", 2)}, {3, ""}};
+  auto rd = DecodeReplRecords(EncodeReplRecords(r));
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd->epoch, 2u);
+  EXPECT_EQ(rd->start_lsn, 42u);
+  EXPECT_EQ(rd->primary_lsn, 44u);
+  EXPECT_EQ(rd->records, r.records);
+}
+
+TEST(NetFrameTest, ReplRecordsRejectsBadKindAndOverCapBatch) {
+  WireReplRecords r;
+  r.records = {{9, "bogus kind"}};
+  EXPECT_FALSE(DecodeReplRecords(EncodeReplRecords(r)).ok());
+  r.records.clear();
+  for (size_t i = 0; i <= kMaxReplBatch; ++i) r.records.emplace_back(1, "x");
+  EXPECT_FALSE(DecodeReplRecords(EncodeReplRecords(r)).ok());
+}
+
+TEST(NetFrameTest, ReplCkptChunkRoundtripAndOverrunRejected) {
+  WireReplCkptChunk c;
+  c.lsn = 10;
+  c.offset = 4096;
+  c.total_size = 9000;
+  c.bytes = std::string(1000, 'z');
+  auto decoded = DecodeReplCkptChunk(EncodeReplCkptChunk(c));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->total_size, 9000u);
+  EXPECT_EQ(decoded->bytes.size(), 1000u);
+  // A chunk claiming bytes past its own total size is corrupt.
+  c.offset = 8500;
+  EXPECT_FALSE(DecodeReplCkptChunk(EncodeReplCkptChunk(c)).ok());
+}
+
 TEST(NetFrameTest, StatsReplyRoundtrip) {
   WireStatsReply r;
   r.counters = {{"reads", 7}, {"commits", 3}};
@@ -228,6 +321,12 @@ TEST(NetFrameFuzzTest, MessageDecodersRejectRandomPayloads) {
     (void)DecodeApplyReply(garbage);
     (void)DecodeError(garbage);
     (void)DecodeStatsReply(garbage);
+    (void)DecodeReplSubscribe(garbage);
+    (void)DecodeReplSubscribeReply(garbage);
+    (void)DecodeReplFetch(garbage);
+    (void)DecodeReplRecords(garbage);
+    (void)DecodeReplCkptFetch(garbage);
+    (void)DecodeReplCkptChunk(garbage);
   }
   SUCCEED();
 }

@@ -17,21 +17,39 @@
 //   --cache-bytes N         per-sentence cache byte budget (0 = unbounded)
 //   --cache-domains N       per-sentence cached-domain cap (0 = unbounded)
 //
+// Replication (see docs/replication.md):
+//   --repl-primary          serve the replication protocol (requires --store)
+//   --semi-sync             writes ack only after >=1 follower has them
+//   --semi-sync-timeout-ms  bound on that wait (then kDeadlineExceeded,
+//                           commit durable locally either way)
+//   --node-id NAME          this node's identity (subscription key / fencing)
+//   --replica-of HOST:PORT  run as a read replica of that primary instead:
+//                           pull + apply its WAL, serve reads, refuse writes
+//                           with a redirect to the primary
+//
 // The bound port is printed as "listening on HOST:PORT" once ready — the
 // smoke test scrapes it. SIGTERM and SIGINT request a graceful drain: stop
 // accepting, finish or cancel in-flight requests, fsync the store, exit 0.
+// A replica also exits (nonzero) if it diverges from its primary — restart
+// it to re-seed.
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/interner.h"
 #include "net/server.h"
+#include "net/transport.h"
 #include "rel/io.h"
+#include "repl/follower.h"
+#include "repl/primary.h"
 #include "serve/server.h"
 
 namespace {
@@ -76,9 +94,11 @@ int Fail(const std::string& message) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string init, load, store_dir;
+  std::string init, load, store_dir, node_id, replica_of;
+  bool repl_primary = false;
   kbt::net::NetServerOptions net_options;
   kbt::serve::ServerOptions serve_options;
+  kbt::repl::PrimaryOptions primary_options;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -108,29 +128,88 @@ int main(int argc, char** argv) {
       serve_options.cache_entry_byte_budget = std::strtoull(v, nullptr, 10);
     } else if (arg == "--cache-domains" && (v = next())) {
       serve_options.cache_entry_max_domains = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--repl-primary") {
+      repl_primary = true;
+    } else if (arg == "--semi-sync") {
+      primary_options.semi_sync = true;
+    } else if (arg == "--semi-sync-timeout-ms" && (v = next())) {
+      primary_options.semi_sync_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--node-id" && (v = next())) {
+      node_id = v;
+    } else if (arg == "--replica-of" && (v = next())) {
+      replica_of = v;
     } else {
       return Fail("unknown or incomplete flag: " + arg);
     }
   }
-  if (init.empty() && load.empty()) {
+  if (!replica_of.empty() && repl_primary) {
+    return Fail("--replica-of and --repl-primary are mutually exclusive");
+  }
+  if (replica_of.empty() && init.empty() && load.empty()) {
     return Fail("one of --init or --load is required");
   }
 
-  kbt::StatusOr<kbt::Knowledgebase> kb = InitialKb(init, load);
-  if (!kb.ok()) return Fail(kb.status().ToString());
-
   std::unique_ptr<kbt::serve::Server> server;
-  if (!store_dir.empty()) {
-    kbt::StatusOr<std::unique_ptr<kbt::serve::Server>> durable =
-        kbt::serve::Server::OpenDurable(store_dir, *kb, kbt::store::StoreOptions(),
-                                        serve_options);
-    if (!durable.ok()) return Fail(durable.status().ToString());
-    server = std::move(*durable);
+  std::unique_ptr<kbt::repl::Primary> primary;
+  std::unique_ptr<kbt::repl::Follower> follower;
+  kbt::serve::Server* front = nullptr;
+
+  if (!replica_of.empty()) {
+    // Replica: our serve::Server lives inside the Follower, seeded and kept
+    // current by the pull loop; the net front serves its reads.
+    if (store_dir.empty()) return Fail("--replica-of requires --store DIR");
+    size_t colon = replica_of.rfind(':');
+    if (colon == std::string::npos || colon + 1 == replica_of.size()) {
+      return Fail("--replica-of wants HOST:PORT, got '" + replica_of + "'");
+    }
+    std::string host = replica_of.substr(0, colon);
+    int port = std::atoi(replica_of.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) {
+      return Fail("bad port in '" + replica_of + "'");
+    }
+    kbt::repl::FollowerOptions follower_options;
+    if (!node_id.empty()) follower_options.node_id = node_id;
+    follower_options.dir = store_dir;
+    follower_options.serve = serve_options;
+    follower_options.redirect_hint = replica_of;
+    follower_options.connect = [host, port]() {
+      return kbt::net::DialTcp(host, static_cast<uint16_t>(port));
+    };
+    // The net front holds server() for its whole life; a mid-life re-seed
+    // must restart the process rather than swap the server out from under it.
+    follower_options.reseed_after_open = false;
+    kbt::StatusOr<std::unique_ptr<kbt::repl::Follower>> opened =
+        kbt::repl::Follower::Open(std::move(follower_options));
+    if (!opened.ok()) return Fail("replica: " + opened.status().ToString());
+    follower = std::move(*opened);
+    front = follower->server();
   } else {
-    server = std::make_unique<kbt::serve::Server>(std::move(*kb), serve_options);
+    kbt::StatusOr<kbt::Knowledgebase> kb = InitialKb(init, load);
+    if (!kb.ok()) return Fail(kb.status().ToString());
+    if (!store_dir.empty()) {
+      kbt::StatusOr<std::unique_ptr<kbt::serve::Server>> durable =
+          kbt::serve::Server::OpenDurable(store_dir, *kb,
+                                          kbt::store::StoreOptions(),
+                                          serve_options);
+      if (!durable.ok()) return Fail(durable.status().ToString());
+      server = std::move(*durable);
+    } else {
+      server =
+          std::make_unique<kbt::serve::Server>(std::move(*kb), serve_options);
+    }
+    front = server.get();
+    if (repl_primary) {
+      if (store_dir.empty()) return Fail("--repl-primary requires --store");
+      if (!node_id.empty()) primary_options.node_id = node_id;
+      kbt::StatusOr<std::unique_ptr<kbt::repl::Primary>> attached =
+          kbt::repl::Primary::Attach(server.get(), primary_options);
+      if (!attached.ok()) return Fail(attached.status().ToString());
+      primary = std::move(*attached);
+      net_options.repl = primary.get();
+    }
   }
 
-  kbt::net::NetServer net(server.get(), net_options);
+  kbt::net::NetServer net(front, net_options);
   kbt::Status started = net.Start();
   if (!started.ok()) return Fail(started.ToString());
 
@@ -140,10 +219,45 @@ int main(int argc, char** argv) {
 
   std::cout << "listening on " << net_options.host << ":" << net.port() << "\n"
             << std::flush;
+  if (primary != nullptr) {
+    std::cout << "role: primary, epoch " << primary->epoch()
+              << (primary_options.semi_sync ? ", semi-sync" : "") << "\n"
+              << std::flush;
+  }
+
+  // Replica: start pulling only after the net front is up, and watch for
+  // divergence — a lost follower can't serve honest reads, so shut down.
+  std::atomic<bool> watch_stop{false};
+  std::thread watchdog;
+  if (follower != nullptr) {
+    kbt::Status pulling = follower->Start();
+    if (!pulling.ok()) return Fail("replica: " + pulling.ToString());
+    std::cout << "role: replica of " << replica_of << ", epoch "
+              << follower->epoch() << ", lsn " << follower->applied_lsn()
+              << "\n"
+              << std::flush;
+    watchdog = std::thread([&net, &watch_stop, f = follower.get()]() {
+      while (!watch_stop.load(std::memory_order_acquire)) {
+        if (f->state() == kbt::repl::FollowerState::kLost) {
+          net.RequestShutdown();
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+  }
 
   kbt::Status drained = net.WaitForShutdown();
   g_server = nullptr;
+  watch_stop.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+  bool lost = false;
+  if (follower != nullptr) {
+    follower->Stop();
+    lost = follower->state() == kbt::repl::FollowerState::kLost;
+  }
   if (!drained.ok()) return Fail("drain: " + drained.ToString());
+  if (lost) return Fail("replica diverged from its primary; re-seed required");
   std::cout << "drained cleanly\n";
   return 0;
 }

@@ -1,0 +1,162 @@
+#!/bin/sh
+# Two-node replication smoke run over real TCP: a kbt_server primary with
+# --repl-primary, a kbt_server replica with --replica-of that catches up,
+# serves reads, and refuses writes with a redirect; then a kbt_shell replica
+# that follows, waits for a known lsn, and promotes. Both stores must pass
+# kbt_fsck --deep afterwards. Registered as the `repl_smoke` ctest.
+#
+# Usage: repl_smoke.sh BUILD_DIR SOURCE_DIR
+set -u
+
+BUILD_DIR="${1:?usage: repl_smoke.sh BUILD_DIR SOURCE_DIR}"
+SOURCE_DIR="${2:?usage: repl_smoke.sh BUILD_DIR SOURCE_DIR}"
+SERVER="$BUILD_DIR/kbt_server"
+CLIENT="$BUILD_DIR/kbt_client"
+SHELL_BIN="$BUILD_DIR/kbt_shell"
+FSCK="$BUILD_DIR/kbt_fsck"
+WORK="$(mktemp -d)"
+PRIMARY_LOG="$WORK/primary.log"
+REPLICA_LOG="$WORK/replica.log"
+PRIMARY_PID=""
+REPLICA_PID=""
+
+fail() {
+  echo "repl_smoke: FAIL: $*" >&2
+  echo "--- primary log ---" >&2
+  cat "$PRIMARY_LOG" >&2 || true
+  echo "--- replica log ---" >&2
+  cat "$REPLICA_LOG" >&2 || true
+  [ -n "$PRIMARY_PID" ] && kill -KILL "$PRIMARY_PID" 2>/dev/null
+  [ -n "$REPLICA_PID" ] && kill -KILL "$REPLICA_PID" 2>/dev/null
+  rm -rf "$WORK"
+  exit 1
+}
+
+expect() {  # expect DESCRIPTION EXPECTED_OUTPUT cmd args...
+  desc="$1"; want="$2"; shift 2
+  got="$("$@" 2>&1)" || fail "$desc: exit $? output: $got"
+  case "$got" in
+    *"$want"*) ;;
+    *) fail "$desc: wanted '$want' in: $got" ;;
+  esac
+}
+
+expect_fail() {  # expect_fail DESCRIPTION EXPECTED_OUTPUT cmd args...
+  desc="$1"; want="$2"; shift 2
+  if got="$("$@" 2>&1)"; then
+    fail "$desc: expected failure, got success: $got"
+  fi
+  case "$got" in
+    *"$want"*) ;;
+    *) fail "$desc: wanted '$want' in: $got" ;;
+  esac
+}
+
+scrape_port() {  # scrape_port LOGFILE PID
+  port=""
+  i=0
+  while [ $i -lt 100 ]; do
+    port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$1")"
+    [ -n "$port" ] && break
+    kill -0 "$2" 2>/dev/null || return 1
+    sleep 0.1
+    i=$((i + 1))
+  done
+  [ -n "$port" ] || return 1
+  echo "$port"
+}
+
+retry_true() {  # retry_true DESCRIPTION cmd args... — read until "true"
+  desc="$1"; shift
+  i=0
+  while [ $i -lt 100 ]; do
+    got="$("$@" 2>&1)" && case "$got" in *true*) return 0 ;; esac
+    sleep 0.1
+    i=$((i + 1))
+  done
+  fail "$desc: never became true (last: $got)"
+}
+
+# --- Primary up, two committed writes. ---
+"$SERVER" --init "P/1" --store "$WORK/primary" --repl-primary \
+  --node-id alpha --port 0 >"$PRIMARY_LOG" 2>&1 &
+PRIMARY_PID=$!
+PPORT="$(scrape_port "$PRIMARY_LOG" "$PRIMARY_PID")" || fail "primary never listened"
+grep -q "role: primary" "$PRIMARY_LOG" || fail "no 'role: primary' line"
+
+expect "apply 1" "version 1" "$CLIENT" --port "$PPORT" apply "tau{P(a)}"
+expect "apply 2" "version 2" "$CLIENT" --port "$PPORT" apply "tau{P(b)}"
+
+# --- Server-mode replica: catches up, serves reads, refuses writes. ---
+"$SERVER" --replica-of "127.0.0.1:$PPORT" --store "$WORK/replica" \
+  --node-id beta --port 0 >"$REPLICA_LOG" 2>&1 &
+REPLICA_PID=$!
+RPORT="$(scrape_port "$REPLICA_LOG" "$REPLICA_PID")" || fail "replica never listened"
+grep -q "role: replica" "$REPLICA_LOG" || fail "no 'role: replica' line"
+
+retry_true "replica sees P(a)" "$CLIENT" --port "$RPORT" query "P(a)"
+expect "replica sees P(b)" "true" "$CLIENT" --port "$RPORT" query "P(b)"
+expect_fail "replica refuses writes" "read-only" \
+  "$CLIENT" --port "$RPORT" --attempts 1 apply "tau{P(x)}"
+expect_fail "rejection names the primary" "redirect: 127.0.0.1:$PPORT" \
+  "$CLIENT" --port "$RPORT" --attempts 1 apply "tau{P(x)}"
+
+# A third write lands on the primary and flows through.
+expect "apply 3" "version 3" "$CLIENT" --port "$PPORT" apply "tau{P(c)}"
+retry_true "replica sees P(c)" "$CLIENT" --port "$RPORT" query "P(c)"
+
+# --- Shell-mode replica: follow, wait for lsn 3, promote, write locally. ---
+cat >"$WORK/promote.kbt" <<EOF
+replica $WORK/replica2 127.0.0.1:$PPORT
+repl-wait 3 30000
+query P(a)
+expect true
+query P(c)
+expect true
+repl-stats
+expect-error insert P(zz)
+promote
+insert P(z)
+query P(z)
+expect true
+repl-stats
+quit
+EOF
+SHELL_OUT="$("$SHELL_BIN" --script "$WORK/promote.kbt" 2>&1)" \
+  || fail "shell replica/promote script failed: $SHELL_OUT"
+case "$SHELL_OUT" in
+  *"ok: promoted, epoch 2"*) ;;
+  *) fail "shell did not promote to epoch 2: $SHELL_OUT" ;;
+esac
+
+# --- Drain both servers cleanly. ---
+kill -TERM "$REPLICA_PID"
+i=0
+while kill -0 "$REPLICA_PID" 2>/dev/null; do
+  [ $i -ge 100 ] && fail "replica did not drain within 10s of SIGTERM"
+  sleep 0.1
+  i=$((i + 1))
+done
+wait "$REPLICA_PID" || fail "replica exited non-zero"
+grep -q "drained cleanly" "$REPLICA_LOG" || fail "replica: no 'drained cleanly'"
+
+kill -TERM "$PRIMARY_PID"
+i=0
+while kill -0 "$PRIMARY_PID" 2>/dev/null; do
+  [ $i -ge 100 ] && fail "primary did not drain within 10s of SIGTERM"
+  sleep 0.1
+  i=$((i + 1))
+done
+wait "$PRIMARY_PID" || fail "primary exited non-zero"
+PRIMARY_PID=""
+REPLICA_PID=""
+
+# --- Every store passes a deep fsck; the promoted one carries epoch 2. ---
+expect "fsck primary" "clean" "$FSCK" --deep "$WORK/primary"
+expect "fsck replica" "clean" "$FSCK" --deep "$WORK/replica"
+expect "fsck promoted" "clean" "$FSCK" --deep "$WORK/replica2"
+expect "promoted epoch persisted" "replication: epoch 2" \
+  "$FSCK" "$WORK/replica2"
+
+rm -rf "$WORK"
+echo "repl_smoke: PASS"

@@ -17,22 +17,33 @@
 //   if A1; A2 => B          nested counterfactual (necessity)
 //   if? A1; A2 => B         nested counterfactual (possibility)
 //   expect true|false       assert the last query/if result
+//   expect-error CMD...     assert that CMD fails (its error becomes success)
 //   show                    print the current snapshot's knowledgebase
 //   worlds                  world count + snapshot version
 //   checkpoint | sync       durable-mode barriers (no-ops in memory)
 //   stats                   server counters
+//   replica DIR HOST:PORT   become a read replica of that primary (store in
+//                           DIR); reads serve locally, writes are refused
+//   repl-wait LSN [MS]      block until the replica has applied LSN
+//   promote                 failover: stop pulling, open for writes
+//   repl-stats              replication counters
 //   help | quit
 
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/interner.h"
+#include "net/transport.h"
 #include "rel/io.h"
+#include "repl/follower.h"
 #include "serve/server.h"
 
 namespace {
@@ -50,18 +61,29 @@ std::string_view Trim(std::string_view s) {
 
 struct Shell {
   std::unique_ptr<kbt::serve::Server> server;
+  // In replica mode the server lives inside the follower instead; `srv()` is
+  // the one place that knows which.
+  std::unique_ptr<kbt::repl::Follower> follower;
   std::unique_ptr<kbt::serve::Session> session;
   std::optional<bool> last_result;
   bool quit = false;
 
+  kbt::serve::Server* srv() {
+    return follower != nullptr ? follower->server() : server.get();
+  }
+
   Status RequireServer() {
-    if (server == nullptr)
+    if (srv() == nullptr)
       return Status::InvalidArgument("no server — run `init` or `load` first");
     return Status::OK();
   }
 
   void Adopt(std::unique_ptr<kbt::serve::Server> next) {
     session.reset();
+    if (follower != nullptr) {
+      follower->Stop();
+      follower.reset();
+    }
     server = std::move(next);
     session = server->StartSession();
   }
@@ -95,21 +117,21 @@ struct Shell {
   Status Load(std::string_view args) {
     KBT_ASSIGN_OR_RETURN(Knowledgebase kb, kbt::ParseKnowledgebase(args));
     Adopt(std::make_unique<kbt::serve::Server>(std::move(kb)));
-    std::cout << "ok: " << server->CurrentSnapshot()->kb.size() << " world(s)\n";
+    std::cout << "ok: " << srv()->CurrentSnapshot()->kb.size() << " world(s)\n";
     return Status::OK();
   }
 
   Status OpenStore(std::string_view args) {
     std::string dir{Trim(args)};
     if (dir.empty()) return Status::InvalidArgument("open needs a directory");
-    Knowledgebase seed = server != nullptr ? server->CurrentSnapshot()->kb
-                                           : Knowledgebase();
+    Knowledgebase seed =
+        srv() != nullptr ? srv()->CurrentSnapshot()->kb : Knowledgebase();
     KBT_ASSIGN_OR_RETURN(std::unique_ptr<kbt::serve::Server> durable,
                          kbt::serve::Server::OpenDurable(dir, seed));
     Adopt(std::move(durable));
     std::cout << "ok: durable store at " << dir << ", lsn "
-              << server->store()->lsn() << ", "
-              << server->CurrentSnapshot()->kb.size() << " world(s)\n";
+              << srv()->store()->lsn() << ", "
+              << srv()->CurrentSnapshot()->kb.size() << " world(s)\n";
     return Status::OK();
   }
 
@@ -117,7 +139,7 @@ struct Shell {
     KBT_RETURN_IF_ERROR(RequireServer());
     KBT_ASSIGN_OR_RETURN(uint64_t version, session->Apply(expression));
     std::cout << "ok: version " << version << ", "
-              << server->CurrentSnapshot()->kb.size() << " world(s)\n";
+              << srv()->CurrentSnapshot()->kb.size() << " world(s)\n";
     return Status::OK();
   }
 
@@ -171,7 +193,7 @@ struct Shell {
 
   Status Stats() {
     KBT_RETURN_IF_ERROR(RequireServer());
-    kbt::serve::Server::ServerStats s = server->stats();
+    kbt::serve::Server::ServerStats s = srv()->stats();
     std::cout << "version=" << s.snapshot_version << " commits=" << s.commits
               << " reads=" << s.reads << " batches=" << s.batches
               << " bank_hits=" << s.bank_hits
@@ -180,9 +202,103 @@ struct Shell {
               << " deadlines_exceeded=" << s.deadlines_exceeded
               << " sat_interrupt_checks=" << s.sat_interrupt_checks
               << " sat_budget_trips=" << s.sat_budget_trips;
-    if (server->store() != nullptr)
-      std::cout << " lsn=" << server->store()->lsn();
+    if (srv()->store() != nullptr)
+      std::cout << " lsn=" << srv()->store()->lsn();
     std::cout << "\n";
+    return Status::OK();
+  }
+
+  Status Replica(std::string_view args) {
+    std::istringstream in{std::string(args)};
+    std::string dir, addr;
+    in >> dir >> addr;
+    size_t colon = addr.rfind(':');
+    if (dir.empty() || addr.empty() || colon == std::string::npos ||
+        colon + 1 == addr.size()) {
+      return Status::InvalidArgument("replica needs `DIR HOST:PORT`");
+    }
+    std::string host = addr.substr(0, colon);
+    int port = std::atoi(addr.c_str() + colon + 1);
+    if (port <= 0 || port > 65535)
+      return Status::InvalidArgument("bad port in '" + addr + "'");
+
+    kbt::repl::FollowerOptions options;
+    options.dir = dir;
+    options.redirect_hint = addr;
+    options.connect = [host, port]() {
+      return kbt::net::DialTcp(host, static_cast<uint16_t>(port));
+    };
+    // The shell's session pins server(); a mid-life re-seed must not swap it.
+    options.reseed_after_open = false;
+    KBT_ASSIGN_OR_RETURN(std::unique_ptr<kbt::repl::Follower> next,
+                         kbt::repl::Follower::Open(std::move(options)));
+    session.reset();
+    server.reset();
+    if (follower != nullptr) follower->Stop();
+    follower = std::move(next);
+    KBT_RETURN_IF_ERROR(follower->Start());
+    session = follower->server()->StartSession();
+    std::cout << "ok: replica of " << addr << ", epoch " << follower->epoch()
+              << ", lsn " << follower->applied_lsn() << "\n";
+    return Status::OK();
+  }
+
+  Status ReplWait(std::string_view args) {
+    if (follower == nullptr)
+      return Status::InvalidArgument("repl-wait needs a replica (`replica`)");
+    std::istringstream in{std::string(args)};
+    uint64_t lsn = 0;
+    uint64_t timeout_ms = 10'000;
+    if (!(in >> lsn))
+      return Status::InvalidArgument("repl-wait needs `LSN [TIMEOUT_MS]`");
+    in >> timeout_ms;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (follower->applied_lsn() < lsn) {
+      if (follower->state() == kbt::repl::FollowerState::kLost)
+        return Status::DataLoss("replica diverged while waiting");
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::DeadlineExceeded(
+            "replica stuck at lsn " + std::to_string(follower->applied_lsn()) +
+            " waiting for " + std::to_string(lsn));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::cout << "ok: applied lsn " << follower->applied_lsn() << "\n";
+    return Status::OK();
+  }
+
+  Status Promote() {
+    if (follower == nullptr)
+      return Status::InvalidArgument("promote needs a replica (`replica`)");
+    KBT_ASSIGN_OR_RETURN(uint64_t epoch, follower->Promote());
+    // Same server object, now writable; a fresh session is still tidier.
+    session = follower->server()->StartSession();
+    std::cout << "ok: promoted, epoch " << epoch << ", lsn "
+              << follower->applied_lsn() << "\n";
+    return Status::OK();
+  }
+
+  Status ReplStats() {
+    if (follower == nullptr)
+      return Status::InvalidArgument("repl-stats needs a replica (`replica`)");
+    kbt::repl::Follower::Stats s = follower->stats();
+    const char* state = "idle";
+    switch (s.state) {
+      case kbt::repl::FollowerState::kIdle: state = "idle"; break;
+      case kbt::repl::FollowerState::kStreaming: state = "streaming"; break;
+      case kbt::repl::FollowerState::kLost: state = "lost"; break;
+      case kbt::repl::FollowerState::kPromoted: state = "promoted"; break;
+    }
+    std::cout << "state=" << state << " epoch=" << s.epoch
+              << " applied_lsn=" << s.applied_lsn
+              << " primary_lsn=" << s.primary_lsn
+              << " batches=" << s.batches_applied
+              << " records=" << s.records_applied
+              << " reconnects=" << s.reconnects
+              << " resubscribes=" << s.resubscribes
+              << " snapshot_installs=" << s.snapshot_installs
+              << " stale_refused=" << s.stale_batches_refused << "\n";
     return Status::OK();
   }
 
@@ -200,7 +316,18 @@ struct Shell {
     }
     if (cmd == "help") {
       std::cout << "commands: init load open insert apply query possibly if if? "
-                   "expect show worlds checkpoint sync stats help quit\n";
+                   "expect expect-error show worlds checkpoint sync stats "
+                   "replica repl-wait promote repl-stats help quit\n";
+      return Status::OK();
+    }
+    if (cmd == "expect-error") {
+      if (args.empty())
+        return Status::InvalidArgument("expect-error needs a command");
+      Status inner = Execute(args);
+      if (inner.ok())
+        return Status::Internal("expected an error but `" + std::string(args) +
+                                "` succeeded");
+      std::cout << "ok: error: " << inner.message() << "\n";
       return Status::OK();
     }
     if (cmd == "init") return Init(args);
@@ -217,28 +344,32 @@ struct Shell {
     if (cmd == "if?") return If(args, kbt::Modality::kPossibly);
     if (cmd == "expect") return Expect(args);
     if (cmd == "stats") return Stats();
+    if (cmd == "replica") return Replica(args);
+    if (cmd == "repl-wait") return ReplWait(args);
+    if (cmd == "promote") return Promote();
+    if (cmd == "repl-stats") return ReplStats();
     if (cmd == "show") {
       KBT_RETURN_IF_ERROR(RequireServer());
-      std::cout << kbt::FormatKnowledgebase(server->CurrentSnapshot()->kb)
+      std::cout << kbt::FormatKnowledgebase(srv()->CurrentSnapshot()->kb)
                 << "\n";
       return Status::OK();
     }
     if (cmd == "worlds") {
       KBT_RETURN_IF_ERROR(RequireServer());
-      std::shared_ptr<const kbt::serve::Snapshot> snap = server->CurrentSnapshot();
+      std::shared_ptr<const kbt::serve::Snapshot> snap = srv()->CurrentSnapshot();
       std::cout << snap->kb.size() << " world(s) at version " << snap->version
                 << "\n";
       return Status::OK();
     }
     if (cmd == "checkpoint") {
       KBT_RETURN_IF_ERROR(RequireServer());
-      KBT_RETURN_IF_ERROR(server->Checkpoint());
+      KBT_RETURN_IF_ERROR(srv()->Checkpoint());
       std::cout << "ok\n";
       return Status::OK();
     }
     if (cmd == "sync") {
       KBT_RETURN_IF_ERROR(RequireServer());
-      KBT_RETURN_IF_ERROR(server->Sync());
+      KBT_RETURN_IF_ERROR(srv()->Sync());
       std::cout << "ok\n";
       return Status::OK();
     }
